@@ -1,0 +1,99 @@
+// E3 — FO is in AC0 data complexity (survey §2).
+//
+// Claims reproduced: for a fixed FO sentence the compiled circuit family
+// has (a) depth constant in n, (b) size polynomial in n, and (c) the n-th
+// circuit evaluated on the structure's bit encoding agrees with direct
+// model checking.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "circuits/compile.h"
+#include "eval/model_check.h"
+#include "logic/parser.h"
+#include "structures/generators.h"
+
+namespace {
+
+using fmtk::Circuit;
+using fmtk::CompileSentence;
+using fmtk::EncodeStructure;
+using fmtk::Formula;
+using fmtk::MakeRandomStructure;
+using fmtk::ParseFormula;
+using fmtk::Satisfies;
+using fmtk::Signature;
+using fmtk::Structure;
+
+struct NamedSentence {
+  const char* name;
+  const char* text;
+};
+
+constexpr NamedSentence kSentences[] = {
+    {"has-loop", "exists x. E(x,x)"},
+    {"out-regular", "forall x. exists y. E(x,y)"},
+    {"sym-pair", "exists x. forall y. E(x,y) -> E(y,x)"},
+};
+
+void PrintTable() {
+  std::printf("=== E3: FO data complexity in AC0 ===\n");
+  std::printf(
+      "paper: constant-depth, poly-size circuit families with unbounded "
+      "fan-in decide any fixed FO query\n\n");
+  std::printf("%-12s %6s %8s %8s %10s\n", "sentence", "n", "depth", "gates",
+              "agree");
+  std::mt19937_64 rng(99);
+  for (const NamedSentence& s : kSentences) {
+    Formula f = *ParseFormula(s.text);
+    for (std::size_t n : {2, 4, 8, 16, 32}) {
+      Circuit circuit = *CompileSentence(f, *Signature::Graph(), n);
+      std::size_t agree = 0;
+      const int trials = 5;
+      for (int t = 0; t < trials; ++t) {
+        Structure g = MakeRandomStructure(Signature::Graph(), n, 0.4, rng);
+        bool via_circuit = *circuit.Evaluate(*EncodeStructure(g));
+        bool direct = *Satisfies(g, f);
+        agree += (via_circuit == direct) ? 1 : 0;
+      }
+      std::printf("%-12s %6zu %8zu %8zu %7zu/%d\n", s.name, n,
+                  circuit.Depth(), circuit.gate_count(), agree, trials);
+    }
+  }
+  std::printf(
+      "\nshape check: depth column constant per sentence as n grows; gate "
+      "count polynomial (~n^rank); agreement 5/5.\n\n");
+}
+
+void BM_CompileCircuit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Formula f = *ParseFormula(kSentences[1].text);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompileSentence(f, *Signature::Graph(), n));
+  }
+}
+BENCHMARK(BM_CompileCircuit)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_EvaluateCircuit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Formula f = *ParseFormula(kSentences[1].text);
+  Circuit circuit = *CompileSentence(f, *Signature::Graph(), n);
+  std::mt19937_64 rng(1);
+  Structure g = MakeRandomStructure(Signature::Graph(), n, 0.4, rng);
+  std::vector<bool> bits = *EncodeStructure(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit.Evaluate(bits));
+  }
+}
+BENCHMARK(BM_EvaluateCircuit)->RangeMultiplier(2)->Range(4, 64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

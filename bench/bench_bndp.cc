@@ -1,0 +1,92 @@
+// E7 — Theorem 3.4, the bounded number of degrees property.
+//
+// Claims reproduced: TC of an n-chain realizes n distinct degrees from
+// degree-<=2 inputs, and same-generation on a depth-d full binary tree
+// realizes degrees 1, 2, 4, ..., 2^d from degree-<=3 inputs — both violate
+// the BNDP, so neither is FO. An FO control query's degree count stays
+// flat.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/locality/bndp.h"
+#include "logic/parser.h"
+#include "queries/relation_query.h"
+#include "structures/generators.h"
+#include "structures/graph.h"
+
+namespace {
+
+using fmtk::BndpProfile;
+using fmtk::DegreeCount;
+using fmtk::MakeDirectedPath;
+using fmtk::MakeFullBinaryTree;
+using fmtk::ParseFormula;
+using fmtk::Relation;
+using fmtk::RelationQuery;
+using fmtk::Structure;
+
+void PrintTable() {
+  std::printf("=== E7: the bounded number of degrees property ===\n");
+  std::printf(
+      "paper: FO queries have the BNDP; TC and Datalog same-generation "
+      "violate it\n\n");
+  RelationQuery tc = RelationQuery::TransitiveClosure();
+  RelationQuery sg = RelationQuery::SameGeneration();
+  RelationQuery fo = RelationQuery::FromFormula(
+      "two-step", *ParseFormula("exists z. E(x,z) & E(z,y)"), {"x", "y"});
+  std::printf("-- chains (input degrees <= 2) --\n");
+  std::printf("%6s %14s %14s\n", "n", "|degs(TC)|", "|degs(FO ctl)|");
+  for (std::size_t n : {4, 8, 16, 32, 64, 128}) {
+    Structure chain = MakeDirectedPath(n);
+    Relation tc_out = *tc.Evaluate(chain);
+    Relation fo_out = *fo.Evaluate(chain);
+    std::printf("%6zu %14zu %14zu\n", n, DegreeCount(tc_out, n),
+                DegreeCount(fo_out, n));
+  }
+  std::printf("\n-- full binary trees (input degrees <= 3) --\n");
+  std::printf("%6s %6s %14s %20s\n", "depth", "n", "|degs(SG)|",
+              "max degree in SG");
+  for (std::size_t depth = 2; depth <= 7; ++depth) {
+    Structure tree = MakeFullBinaryTree(depth);
+    Relation sg_out = *sg.Evaluate(tree);
+    std::set<std::size_t> degs =
+        fmtk::DegreeSet(sg_out, tree.domain_size());
+    std::printf("%6zu %6zu %14zu %20zu\n", depth, tree.domain_size(),
+                degs.size(), *degs.rbegin());
+  }
+  std::printf(
+      "\nshape check: |degs(TC)| = n and max SG degree = 2^depth (both "
+      "unbounded); the FO control stays at <= 3.\n\n");
+}
+
+void BM_TcDegreeSpectrum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure chain = MakeDirectedPath(n);
+  RelationQuery tc = RelationQuery::TransitiveClosure();
+  for (auto _ : state) {
+    Relation out = *tc.Evaluate(chain);
+    benchmark::DoNotOptimize(DegreeCount(out, n));
+  }
+}
+BENCHMARK(BM_TcDegreeSpectrum)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_SameGenerationOnTrees(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  Structure tree = MakeFullBinaryTree(depth);
+  RelationQuery sg = RelationQuery::SameGeneration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sg.Evaluate(tree));
+  }
+}
+BENCHMARK(BM_SameGenerationOnTrees)->DenseRange(2, 7);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

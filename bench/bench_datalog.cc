@@ -1,0 +1,103 @@
+// E14 — Datalog fixed points: the survey's non-FO contrast class.
+//
+// Claims reproduced: same-generation and transitive closure need a number
+// of fixpoint rounds that grows with the input (no FO formula can do
+// that), and semi-naive evaluation derives far fewer duplicate tuples than
+// naive iteration.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "structures/generators.h"
+
+namespace {
+
+using fmtk::DatalogProgram;
+using fmtk::DatalogStats;
+using fmtk::DatalogStrategy;
+using fmtk::EvaluateDatalog;
+using fmtk::MakeDirectedPath;
+using fmtk::MakeFullBinaryTree;
+using fmtk::Structure;
+
+void PrintTable() {
+  std::printf("=== E14: Datalog fixed points (TC, same-generation) ===\n");
+  std::printf(
+      "paper: fixpoint queries iterate to a data-dependent depth — beyond "
+      "any fixed FO quantifier rank\n\n");
+  std::printf("-- transitive closure on chains --\n");
+  std::printf("%6s %12s %16s %16s\n", "n", "iterations", "derived(semi)",
+              "derived(naive)");
+  for (std::size_t n : {8, 16, 32, 64}) {
+    Structure chain = MakeDirectedPath(n);
+    DatalogStats semi;
+    DatalogStats naive;
+    (void)*EvaluateDatalog(DatalogProgram::TransitiveClosure(), chain,
+                           DatalogStrategy::kSemiNaive, &semi);
+    (void)*EvaluateDatalog(DatalogProgram::TransitiveClosure(), chain,
+                           DatalogStrategy::kNaive, &naive);
+    std::printf("%6zu %12zu %16llu %16llu\n", n, semi.iterations,
+                static_cast<unsigned long long>(semi.tuples_derived),
+                static_cast<unsigned long long>(naive.tuples_derived));
+  }
+  std::printf("\n-- same-generation on full binary trees --\n");
+  std::printf("%6s %6s %12s %14s\n", "depth", "n", "iterations",
+              "|sg| tuples");
+  for (std::size_t depth = 2; depth <= 6; ++depth) {
+    Structure tree = MakeFullBinaryTree(depth);
+    DatalogStats stats;
+    auto out = *EvaluateDatalog(DatalogProgram::SameGeneration(), tree,
+                                DatalogStrategy::kSemiNaive, &stats);
+    std::printf("%6zu %6zu %12zu %14zu\n", depth, tree.domain_size(),
+                stats.iterations, out.at("sg").size());
+  }
+  std::printf(
+      "\nshape check: iteration count grows with the input (linearly for "
+      "TC-on-chains, with depth for SG); semi-naive derives an order of "
+      "magnitude fewer duplicates than naive.\n\n");
+}
+
+void BM_TcSemiNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure chain = MakeDirectedPath(n);
+  DatalogProgram tc = DatalogProgram::TransitiveClosure();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateDatalog(tc, chain, DatalogStrategy::kSemiNaive));
+  }
+}
+BENCHMARK(BM_TcSemiNaive)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_TcNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure chain = MakeDirectedPath(n);
+  DatalogProgram tc = DatalogProgram::TransitiveClosure();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateDatalog(tc, chain, DatalogStrategy::kNaive));
+  }
+}
+BENCHMARK(BM_TcNaive)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_SameGeneration(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  Structure tree = MakeFullBinaryTree(depth);
+  DatalogProgram sg = DatalogProgram::SameGeneration();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateDatalog(sg, tree, DatalogStrategy::kSemiNaive));
+  }
+}
+BENCHMARK(BM_SameGeneration)->DenseRange(2, 6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

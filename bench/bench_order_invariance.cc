@@ -1,0 +1,92 @@
+// X2/E15 — Structures with order (survey §3.6).
+//
+// Claims reproduced: a pure-σ sentence is trivially order-invariant; a
+// sentence using < as more than cardinality information is caught with a
+// witness pair of orders; order-invariant use of < (threshold counting) is
+// certified exhaustively on small structures. The timed benchmarks show
+// the n! blow-up of exhaustive certification vs sampling.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "core/order/order_invariance.h"
+#include "logic/parser.h"
+#include "structures/generators.h"
+
+namespace {
+
+using fmtk::CheckOrderInvariance;
+using fmtk::Formula;
+using fmtk::MakeDirectedCycle;
+using fmtk::MakeSet;
+using fmtk::OrderInvarianceReport;
+using fmtk::ParseFormula;
+using fmtk::Structure;
+
+void PrintTable() {
+  std::printf("=== E15 (ext): order-invariance on (A, <) ===\n");
+  std::printf(
+      "paper (3.6): database domains are ordered; only order-invariant "
+      "sentences define queries on plain structures\n\n");
+  struct Case {
+    const char* name;
+    const char* formula;
+  };
+  const Case cases[] = {
+      {"pure sigma", "forall x. exists y. E(x,y)"},
+      {"cardinality via <", "exists x y. x < y"},
+      {"min has a loop", "exists x. (!(exists y. y < x)) & E(x,x)"},
+  };
+  std::printf("%-18s %10s %12s %10s %12s\n", "sentence", "|A|", "orders",
+              "invariant", "mode");
+  std::mt19937_64 rng(77);
+  for (const Case& c : cases) {
+    Formula f = *ParseFormula(c.formula);
+    for (std::size_t n : {3, 5, 8}) {
+      Structure g(fmtk::Signature::Graph(), n);
+      g.AddTuple(0, {0, 0});  // One loop, to make "min has a loop" biased.
+      OrderInvarianceReport report = *CheckOrderInvariance(g, f, rng, 5, 20);
+      std::printf("%-18s %10zu %12zu %10s %12s\n", c.name, n,
+                  report.orders_checked, report.invariant ? "yes" : "NO",
+                  n <= 5 ? "exhaustive" : "sampled");
+    }
+  }
+  std::printf(
+      "\nshape check: rows 1-2 invariant everywhere; row 3 caught with a "
+      "witness at every size.\n\n");
+}
+
+void BM_ExhaustiveInvariance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure g = MakeSet(n);
+  Formula f = *ParseFormula("exists x y. x < y");
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckOrderInvariance(g, f, rng, /*max_exhaustive=*/8, 0));
+  }
+}
+BENCHMARK(BM_ExhaustiveInvariance)->DenseRange(3, 7);
+
+void BM_SampledInvariance(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Structure g = MakeDirectedCycle(n);
+  Formula f = *ParseFormula("forall x. exists y. E(x,y)");
+  std::mt19937_64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckOrderInvariance(g, f, rng, /*max_exhaustive=*/2, 10));
+  }
+}
+BENCHMARK(BM_SampledInvariance)->RangeMultiplier(2)->Range(8, 32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// X6/E17 (ext) — words as structures: the logic/automata bridge of the
+// survey family (Büchi encoding; McNaughton–Papert).
+//
+// Claims reproduced: the star-free example languages are FO-definable
+// (sentence agrees with the DFA on every word up to the bound), and the
+// parity language — EVEN in its string guise — is not: a^m and a^(m+1)
+// are rank-n equivalent at the 2^n - 1 threshold while parity differs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/types/rank_type.h"
+#include "words/dfa.h"
+#include "words/fo_language.h"
+#include "words/word_structure.h"
+
+namespace {
+
+using fmtk::CompareFoWithDfa;
+using fmtk::Dfa;
+using fmtk::MakeWordStructure;
+using fmtk::RankTypeIndex;
+using fmtk::Structure;
+
+void PrintTable() {
+  std::printf("=== E17 (ext): FO on words vs automata ===\n");
+  std::printf(
+      "Buchi encoding: words are structures with < and letter predicates; "
+      "FO = star-free languages\n\n");
+  std::printf("-- star-free languages: sentence vs DFA, all words <= L --\n");
+  std::printf("%-16s %6s %14s %10s\n", "language", "L", "words checked",
+              "agree");
+  for (std::size_t len : {6, 10, 12}) {
+    auto asbs =
+        *CompareFoWithDfa(*fmtk::AsThenBsSentence(),
+                          Dfa::StarFreeAsThenBs(), "ab", len);
+    std::printf("%-16s %6zu %14zu %10s\n", "a*b*", len, asbs.words_checked,
+                asbs.agree ? "yes" : "NO");
+    auto contains = *CompareFoWithDfa(*fmtk::ContainsAbSentence(),
+                                      Dfa::ContainsAb(), "ab", len);
+    std::printf("%-16s %6zu %14zu %10s\n", "contains-ab", len,
+                contains.words_checked, contains.agree ? "yes" : "NO");
+  }
+  std::printf(
+      "\n-- parity (even #a) is not FO: a^m vs a^(m+1) at the 2^n - 1 "
+      "threshold --\n");
+  std::printf("%4s %6s %12s %14s\n", "n", "m", "rank-n equiv",
+              "parity differs");
+  RankTypeIndex index;
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const std::size_t m = (std::size_t{1} << n) - 1;
+    Structure a = *MakeWordStructure(std::string(m, 'a'), "ab");
+    Structure b = *MakeWordStructure(std::string(m + 1, 'a'), "ab");
+    Dfa even = Dfa::EvenNumberOfAs();
+    std::printf("%4zu %6zu %12s %14s\n", n, m,
+                index.EquivalentUpToRank(a, b, n) ? "yes" : "no",
+                *even.Accepts(std::string(m, 'a')) !=
+                        *even.Accepts(std::string(m + 1, 'a'))
+                    ? "yes"
+                    : "no");
+  }
+  std::printf(
+      "\nshape check: star-free rows all agree; every parity row says "
+      "yes/yes — indistinguishable but different, so no FO sentence of "
+      "rank n defines parity.\n\n");
+}
+
+void BM_CompareFoWithDfa(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  fmtk::Formula sentence = *fmtk::AsThenBsSentence();
+  Dfa dfa = Dfa::StarFreeAsThenBs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompareFoWithDfa(sentence, dfa, "ab", len));
+  }
+}
+BENCHMARK(BM_CompareFoWithDfa)->DenseRange(4, 10, 2);
+
+void BM_DfaOnly(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  Dfa dfa = Dfa::StarFreeAsThenBs();
+  for (auto _ : state) {
+    fmtk::ForEachWord("ab", len, [&](const std::string& w) {
+      benchmark::DoNotOptimize(dfa.Accepts(w));
+      return true;
+    });
+  }
+}
+BENCHMARK(BM_DfaOnly)->DenseRange(4, 10, 2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// E13 — The 0-1 law for FO (survey's last section).
+//
+// Claims reproduced: μ_n(Q1) -> 0 and μ_n(Q2) -> 1 (the survey's two
+// example queries); μ_n(EVEN) alternates 1, 0, 1, ... so EVEN has no limit
+// and is not FO; the exact almost-sure decision procedure agrees with the
+// sampled limits; extension axioms are almost surely true.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "core/zeroone/almost_sure.h"
+#include "core/zeroone/mu.h"
+#include "logic/parser.h"
+#include "structures/signature.h"
+
+namespace {
+
+using fmtk::AlmostSurelyTrue;
+using fmtk::ExactMu;
+using fmtk::ExtensionAxiom;
+using fmtk::ExtensionPattern;
+using fmtk::Formula;
+using fmtk::MonteCarloMu;
+using fmtk::MuEstimate;
+using fmtk::ParseFormula;
+using fmtk::Signature;
+
+const char* kQ1 = "forall x. forall y. E(x,y)";
+const char* kQ2 = "forall x. forall y. x = y | (exists z. E(z,x) & !E(z,y))";
+
+void PrintTable() {
+  std::printf("=== E13: the 0-1 law for FO ===\n");
+  std::printf(
+      "paper: mu(Q1) = 0 (complete graphs), mu(Q2) = 1; mu_n(EVEN) "
+      "alternates, so EVEN is not FO\n\n");
+  Formula q1 = *ParseFormula(kQ1);
+  Formula q2 = *ParseFormula(kQ2);
+  std::mt19937_64 rng(11);
+  std::printf("%6s %14s %14s %12s\n", "n", "mu_n(Q1)", "mu_n(Q2)", "method");
+  for (std::size_t n : {1, 2, 3}) {
+    MuEstimate m1 = *ExactMu(q1, Signature::Graph(), n);
+    MuEstimate m2 = *ExactMu(q2, Signature::Graph(), n);
+    std::printf("%6zu %14.6f %14.6f %12s\n", n, m1.value, m2.value, "exact");
+  }
+  for (std::size_t n : {6, 12, 24, 48}) {
+    MuEstimate m1 = *MonteCarloMu(q1, Signature::Graph(), n, 300, rng);
+    MuEstimate m2 = *MonteCarloMu(q2, Signature::Graph(), n, 300, rng);
+    std::printf("%6zu %14.6f %14.6f %12s\n", n, m1.value, m2.value,
+                "sampled");
+  }
+  std::printf("\nexact almost-sure verdicts: Q1 = %s, Q2 = %s\n",
+              *AlmostSurelyTrue(q1) ? "1" : "0",
+              *AlmostSurelyTrue(q2) ? "1" : "0");
+
+  std::printf("\n-- mu_n(EVEN) has no limit --\n");
+  std::printf("%6s %12s\n", "n", "mu_n(EVEN)");
+  for (std::size_t n = 1; n <= 8; ++n) {
+    // Over the empty vocabulary there is exactly one structure per n.
+    std::printf("%6zu %12s\n", n, n % 2 == 0 ? "1" : "0");
+  }
+
+  std::printf("\n-- extension axioms are almost surely true --\n");
+  std::printf("%-26s %10s %16s\n", "pattern (k=1)", "exact", "mu_40 sampled");
+  for (bool in : {false, true}) {
+    for (bool out : {false, true}) {
+      ExtensionPattern pattern;
+      pattern.rows = {{in, out}};
+      pattern.loop = false;
+      Formula axiom = ExtensionAxiom(pattern);
+      MuEstimate sampled =
+          *MonteCarloMu(axiom, Signature::Graph(), 40, 100, rng);
+      std::printf("  in=%d out=%d loop=0        %10s %16.2f\n", in ? 1 : 0,
+                  out ? 1 : 0, *AlmostSurelyTrue(axiom) ? "1" : "0",
+                  sampled.value);
+    }
+  }
+  std::printf(
+      "\nshape check: Q1 column collapses to 0, Q2 column rises to 1, both "
+      "matching the exact verdicts; EVEN alternates forever.\n\n");
+}
+
+void BM_MonteCarloMu(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Formula q2 = *ParseFormula(kQ2);
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MonteCarloMu(q2, Signature::Graph(), n, 20, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloMu)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_AlmostSureDecision(benchmark::State& state) {
+  Formula q2 = *ParseFormula(kQ2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AlmostSurelyTrue(q2));
+  }
+}
+BENCHMARK(BM_AlmostSureDecision);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,209 @@
+// fmtk_cli — a small command-line front end for the toolkit.
+//
+//   fmtk_cli check <structure-file> "<sentence>"
+//   fmtk_cli query <structure-file> "<formula>" <var,var,...>
+//   fmtk_cli game <structure-file-A> <structure-file-B> <rounds>
+//   fmtk_cli distinguish <structure-file-A> <structure-file-B> <max-rank>
+//   fmtk_cli datalog <structure-file> "<program>"
+//
+// Structure files use the structures/io.h format (see the header or
+// `examples/` docs). Formulas use the logic/parser.h surface syntax.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/string_util.h"
+#include "core/games/ef_game.h"
+#include "core/games/hintikka.h"
+#include "core/types/rank_type.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "eval/model_check.h"
+#include "eval/query_eval.h"
+#include "logic/parser.h"
+#include "structures/io.h"
+
+namespace {
+
+using fmtk::Result;
+using fmtk::Status;
+using fmtk::Structure;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<Structure> LoadStructure(const std::string& path) {
+  FMTK_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return fmtk::ParseStructure(text);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunCheck(const std::string& file, const std::string& formula_text) {
+  Result<Structure> s = LoadStructure(file);
+  if (!s.ok()) {
+    return Fail(s.status());
+  }
+  Result<fmtk::Formula> f =
+      fmtk::ParseFormula(formula_text, &s->signature());
+  if (!f.ok()) {
+    return Fail(f.status());
+  }
+  Result<bool> verdict = fmtk::Satisfies(*s, *f);
+  if (!verdict.ok()) {
+    return Fail(verdict.status());
+  }
+  std::printf("%s\n", *verdict ? "true" : "false");
+  return *verdict ? 0 : 2;
+}
+
+int RunQuery(const std::string& file, const std::string& formula_text,
+             const std::string& vars_csv) {
+  Result<Structure> s = LoadStructure(file);
+  if (!s.ok()) {
+    return Fail(s.status());
+  }
+  Result<fmtk::Formula> f =
+      fmtk::ParseFormula(formula_text, &s->signature());
+  if (!f.ok()) {
+    return Fail(f.status());
+  }
+  std::vector<std::string> vars;
+  for (const std::string& v : fmtk::Split(vars_csv, ',')) {
+    std::string stripped(fmtk::StripWhitespace(v));
+    if (!stripped.empty()) {
+      vars.push_back(stripped);
+    }
+  }
+  Result<fmtk::Relation> answers = fmtk::EvaluateQuery(*s, *f, vars);
+  if (!answers.ok()) {
+    return Fail(answers.status());
+  }
+  std::printf("%zu answers: %s\n", answers->size(),
+              answers->ToString().c_str());
+  return 0;
+}
+
+int RunGame(const std::string& file_a, const std::string& file_b,
+            const std::string& rounds_text) {
+  Result<Structure> a = LoadStructure(file_a);
+  Result<Structure> b = LoadStructure(file_b);
+  if (!a.ok()) {
+    return Fail(a.status());
+  }
+  if (!b.ok()) {
+    return Fail(b.status());
+  }
+  const std::size_t rounds = std::stoul(rounds_text);
+  fmtk::EfGameSolver solver(*a, *b);
+  Result<bool> wins = solver.DuplicatorWins(rounds);
+  if (!wins.ok()) {
+    return Fail(wins.status());
+  }
+  std::printf("%zu-round EF game: duplicator %s (%llu positions explored)\n",
+              rounds, *wins ? "wins" : "loses",
+              static_cast<unsigned long long>(solver.nodes_explored()));
+  return 0;
+}
+
+int RunDistinguish(const std::string& file_a, const std::string& file_b,
+                   const std::string& rank_text) {
+  Result<Structure> a = LoadStructure(file_a);
+  Result<Structure> b = LoadStructure(file_b);
+  if (!a.ok()) {
+    return Fail(a.status());
+  }
+  if (!b.ok()) {
+    return Fail(b.status());
+  }
+  const std::size_t max_rank = std::stoul(rank_text);
+  fmtk::RankTypeIndex index;
+  for (std::size_t rank = 0; rank <= max_rank; ++rank) {
+    Result<std::optional<fmtk::Formula>> f =
+        fmtk::DistinguishingSentence(*a, *b, rank, index);
+    if (!f.ok()) {
+      return Fail(f.status());
+    }
+    if (f->has_value()) {
+      std::printf("distinguishable at rank %zu:\n%s\n", rank,
+                  (*f)->ToString().c_str());
+      return 0;
+    }
+  }
+  std::printf("equivalent up to rank %zu\n", max_rank);
+  return 0;
+}
+
+int RunDatalog(const std::string& file, const std::string& program_text) {
+  Result<Structure> s = LoadStructure(file);
+  if (!s.ok()) {
+    return Fail(s.status());
+  }
+  Result<fmtk::DatalogProgram> program =
+      fmtk::ParseDatalogProgram(program_text);
+  if (!program.ok()) {
+    return Fail(program.status());
+  }
+  fmtk::DatalogStats stats;
+  Result<std::map<std::string, fmtk::Relation>> idb = fmtk::EvaluateDatalog(
+      *program, *s, fmtk::DatalogStrategy::kSemiNaive, &stats);
+  if (!idb.ok()) {
+    return Fail(idb.status());
+  }
+  for (const auto& [name, relation] : *idb) {
+    std::printf("%s (%zu tuples): %s\n", name.c_str(), relation.size(),
+                relation.ToString().c_str());
+  }
+  std::printf("(%zu fixpoint rounds)\n", stats.iterations);
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  fmtk_cli check <structure-file> \"<sentence>\"\n"
+      "  fmtk_cli query <structure-file> \"<formula>\" <var,var,...>\n"
+      "  fmtk_cli game <file-A> <file-B> <rounds>\n"
+      "  fmtk_cli distinguish <file-A> <file-B> <max-rank>\n"
+      "  fmtk_cli datalog <structure-file> \"<program>\"\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "check" && argc == 4) {
+    return RunCheck(argv[2], argv[3]);
+  }
+  if (command == "query" && argc == 5) {
+    return RunQuery(argv[2], argv[3], argv[4]);
+  }
+  if (command == "game" && argc == 5) {
+    return RunGame(argv[2], argv[3], argv[4]);
+  }
+  if (command == "distinguish" && argc == 5) {
+    return RunDistinguish(argv[2], argv[3], argv[4]);
+  }
+  if (command == "datalog" && argc == 4) {
+    return RunDatalog(argv[2], argv[3]);
+  }
+  Usage();
+  return 1;
+}

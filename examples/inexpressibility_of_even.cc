@@ -1,0 +1,77 @@
+// The survey's §3 storyline end to end: prove EVEN is not FO-expressible
+// over sets and over linear orders with games, then push the result onto
+// connectivity, acyclicity and transitive closure with the §3.3 tricks.
+
+#include <cstdio>
+
+#include "core/games/ef_game.h"
+#include "core/games/linear_order.h"
+#include "core/interp/reductions.h"
+#include "queries/boolean_query.h"
+#include "structures/generators.h"
+
+int main() {
+  using namespace fmtk;  // NOLINT: examples favor brevity.
+
+  std::printf("== Step 1: EVEN over sets ==\n");
+  std::printf(
+      "For every n, the 2n-set and the (2n+1)-set are n-round equivalent "
+      "but differ on EVEN:\n");
+  for (std::size_t n = 1; n <= 4; ++n) {
+    Structure a = MakeSet(2 * n);
+    Structure b = MakeSet(2 * n + 1);
+    EfGameSolver solver(a, b);
+    std::printf("  n=%zu: G_%zu(set%zu, set%zu): duplicator %s\n", n, n,
+                a.domain_size(), b.domain_size(),
+                *solver.DuplicatorWins(n) ? "wins" : "LOSES (bug!)");
+  }
+  std::printf(
+      "Were EVEN definable by a rank-n sentence, both would have to agree "
+      "on it. Contradiction.\n\n");
+
+  std::printf("== Step 2: EVEN over linear orders (Theorem 3.1) ==\n");
+  std::printf(
+      "The game is combinatorially heavier; the composition method gives "
+      "L_m ==_n L_k for m,k >= 2^n - 1:\n");
+  for (std::size_t n = 2; n <= 6; ++n) {
+    const std::size_t m = std::size_t{1} << n;
+    std::printf("  n=%zu: L_%zu ==_%zu L_%zu: %s\n", n, m, n, m + 1,
+                LinearOrdersEquivalent(m, m + 1, n) ? "yes" : "no");
+  }
+  std::printf("\n== Step 3: the tricks (Corollary 3.2) ==\n");
+  Interpretation to_conn = EvenToConnectivity();
+  Interpretation to_acycl = EvenToAcyclicity();
+  BooleanQuery conn = BooleanQuery::Connectivity();
+  BooleanQuery dag = BooleanQuery::DirectedAcyclicity();
+  std::printf(
+      "The FO-definable 2nd-successor construction turns order parity into "
+      "connectivity:\n");
+  for (std::size_t n = 5; n <= 8; ++n) {
+    Structure g = *to_conn.Apply(MakeLinearOrder(n));
+    std::printf("  L_%zu (%s)  ->  graph is %s\n", n,
+                n % 2 == 0 ? "even" : "odd",
+                *conn.Evaluate(g) ? "connected" : "disconnected");
+  }
+  std::printf("...and the back-edge construction into acyclicity:\n");
+  for (std::size_t n = 5; n <= 8; ++n) {
+    Structure g = *to_acycl.Apply(MakeLinearOrder(n));
+    std::printf("  L_%zu (%s)  ->  graph is %s\n", n,
+                n % 2 == 0 ? "even" : "odd",
+                *dag.Evaluate(g) ? "acyclic" : "cyclic");
+  }
+  std::printf(
+      "\nIf CONN (or ACYCL) were FO, composing with the interpretation "
+      "would define EVEN over orders — impossible by Step 2.\n");
+  std::printf(
+      "Finally CONN <= TC: symmetrize, close transitively, test "
+      "completeness:\n");
+  Structure two_cycles = MakeDisjointCycles(2, 4);
+  Structure one_cycle = MakeDirectedCycle(8);
+  std::printf("  two 4-cycles: via TC -> %s; one 8-cycle: via TC -> %s\n",
+              *ConnectivityViaTransitiveClosure(two_cycles) ? "connected"
+                                                            : "disconnected",
+              *ConnectivityViaTransitiveClosure(one_cycle) ? "connected"
+                                                           : "disconnected");
+  std::printf("So TC is not FO-definable either. QED, four times over.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// The locality tools of §3.4–3.5: BNDP, Gaifman locality, Hanf locality,
+// and the bounded-degree linear-time evaluator, each on its canonical
+// example.
+
+#include <cstdio>
+
+#include "core/algorithmic/bounded_degree.h"
+#include "core/locality/bndp.h"
+#include "core/locality/gaifman_local.h"
+#include "core/locality/hanf.h"
+#include "logic/parser.h"
+#include "queries/relation_query.h"
+#include "structures/generators.h"
+
+int main() {
+  using namespace fmtk;  // NOLINT: examples favor brevity.
+
+  std::printf("== BNDP (Theorem 3.4) ==\n");
+  RelationQuery tc = RelationQuery::TransitiveClosure();
+  for (std::size_t n : {8, 16, 32}) {
+    Structure chain = MakeDirectedPath(n);
+    Relation out = *tc.Evaluate(chain);
+    std::printf(
+        "  TC of the %2zu-chain: input degrees <= 2, output realizes %zu "
+        "distinct degrees\n",
+        n, DegreeCount(out, n));
+  }
+  RelationQuery sg = RelationQuery::SameGeneration();
+  Structure tree = MakeFullBinaryTree(5);
+  Relation sg_out = *sg.Evaluate(tree);
+  std::printf(
+      "  same-generation on the depth-5 tree: %zu distinct degrees (the "
+      "levels contribute 1, 2, 4, ..., 32)\n\n",
+      DegreeCount(sg_out, tree.domain_size()));
+
+  std::printf("== Gaifman locality (Theorem 3.6) ==\n");
+  Structure chain = MakeDirectedPath(16);
+  Relation tc_out = *tc.Evaluate(chain);
+  auto violation = *FindGaifmanViolation(chain, tc_out, 2);
+  if (violation.has_value()) {
+    std::printf(
+        "  on the 16-chain, (%u,%u) and (%u,%u) have isomorphic "
+        "2-neighborhoods, but only the first is in TC\n",
+        violation->in_output[0], violation->in_output[1],
+        violation->not_in_output[0], violation->not_in_output[1]);
+  }
+  std::printf(
+      "  -> no radius works for TC on growing chains: TC is not "
+      "Gaifman-local, hence not FO.\n\n");
+
+  std::printf("== Hanf locality (Theorem 3.8) ==\n");
+  for (std::size_t m : {5, 9, 13}) {
+    Structure g1 = MakeDisjointCycles(2, m);
+    Structure g2 = MakeDirectedCycle(2 * m);
+    auto r = LargestHanfRadius(g1, g2, m);
+    std::printf(
+        "  two %2zu-cycles vs one %2zu-cycle: locally identical up to "
+        "radius %zu, yet exactly one is connected\n",
+        m, 2 * m, r.value_or(0));
+  }
+  std::printf("  -> connectivity is not Hanf-local, hence not FO.\n\n");
+
+  std::printf("== Bounded degree => linear time (Theorem 3.11) ==\n");
+  Formula sentence = *ParseFormula("exists x. !(exists y. E(x,y))");
+  BoundedDegreeEvaluator evaluator = *BoundedDegreeEvaluator::Create(
+      sentence, {.radius = 2, .threshold = 3});
+  std::printf("  sentence: %s\n", sentence.ToString().c_str());
+  for (std::size_t n = 50; n <= 250; n += 50) {
+    bool verdict = *evaluator.Evaluate(MakeDirectedPath(n));
+    std::printf(
+        "  chain n=%3zu: %-5s (type-histogram cache: %zu hits, %zu "
+        "misses)\n",
+        n, verdict ? "true" : "false", evaluator.cache_hits(),
+        evaluator.cache_misses());
+  }
+  std::printf(
+      "  after the first miss the whole family is answered by a linear "
+      "type-counting pass.\n");
+  return 0;
+}

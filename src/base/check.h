@@ -1,0 +1,57 @@
+#ifndef FMTK_BASE_CHECK_H_
+#define FMTK_BASE_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fmtk {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the FMTK_CHECK macro; programming errors are fatal
+/// (Google style: invariant violations do not report through Status).
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "FMTK_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed expression to void so it can sit in the false arm of
+/// the FMTK_CHECK ternary (glog's LogMessageVoidify).
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+}  // namespace fmtk
+
+/// Aborts with a message when `condition` is false; extra context may be
+/// streamed: FMTK_CHECK(n > 0) << "need a nonempty domain";
+/// For programming errors only — user-input errors go through Status/Result.
+#define FMTK_CHECK(condition)                                     \
+  (condition) ? (void)0                                           \
+              : ::fmtk::internal_check::Voidify() &               \
+                    ::fmtk::internal_check::CheckFailureStream(   \
+                        #condition, __FILE__, __LINE__)
+
+#endif  // FMTK_BASE_CHECK_H_

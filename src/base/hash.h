@@ -1,0 +1,44 @@
+#ifndef FMTK_BASE_HASH_H_
+#define FMTK_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace fmtk {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine's mixer).
+template <typename T>
+void HashCombine(std::size_t& seed, const T& value) {
+  std::hash<T> hasher;
+  seed ^= hasher(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a vector of hashable elements; usable as an unordered_map hasher.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    std::size_t seed = v.size();
+    for (const T& x : v) {
+      HashCombine(seed, x);
+    }
+    return seed;
+  }
+};
+
+/// Hashes a pair of hashable elements.
+template <typename A, typename B>
+struct PairHash {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    std::size_t seed = 0;
+    HashCombine(seed, p.first);
+    HashCombine(seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_HASH_H_

@@ -1,0 +1,74 @@
+#ifndef FMTK_BASE_RESULT_H_
+#define FMTK_BASE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "base/check.h"
+#include "base/status.h"
+
+namespace fmtk {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// could not be produced (Arrow's arrow::Result, absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design, mirroring Arrow).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error. `status` must be non-OK.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    FMTK_CHECK(!std::get<Status>(rep_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// Returns the error, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Value accessors. It is a fatal error to call these on an error Result.
+  const T& value() const& {
+    FMTK_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    FMTK_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    FMTK_CHECK(ok()) << "Result::value() on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace fmtk
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define FMTK_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  FMTK_ASSIGN_OR_RETURN_IMPL_(                                      \
+      FMTK_MACRO_CONCAT_(fmtk_result_, __LINE__), lhs, rexpr)
+
+#define FMTK_MACRO_CONCAT_INNER_(x, y) x##y
+#define FMTK_MACRO_CONCAT_(x, y) FMTK_MACRO_CONCAT_INNER_(x, y)
+
+#define FMTK_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) {                                   \
+    return result.status();                             \
+  }                                                     \
+  lhs = std::move(result).value()
+
+#endif  // FMTK_BASE_RESULT_H_

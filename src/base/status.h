@@ -1,0 +1,100 @@
+#ifndef FMTK_BASE_STATUS_H_
+#define FMTK_BASE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fmtk {
+
+/// Error categories used across the toolkit. Modelled after Arrow's
+/// StatusCode: a small closed set, with the human-readable detail carried in
+/// the message.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (bad arity, unknown name, ...).
+  kInvalidArgument,
+  /// An object was used against a signature/structure it does not belong to.
+  kSignatureMismatch,
+  /// Text could not be parsed (FO formulas, QBF, Datalog programs).
+  kParseError,
+  /// A configured resource limit (nodes, samples, recursion) was exceeded.
+  kResourceExhausted,
+  /// The operation is not defined for this input (e.g. exact enumeration of
+  /// structures over a domain too large to enumerate).
+  kUnsupported,
+  /// An invariant that should be unreachable was violated.
+  kInternal,
+};
+
+/// Returns a stable, human-readable name for `code` ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value, cheap to copy in the success case.
+///
+/// fmtk follows the session's database-C++ convention (Google style, Arrow
+/// idiom): no exceptions cross API boundaries; fallible operations return
+/// Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status SignatureMismatch(std::string msg) {
+    return Status(StatusCode::kSignatureMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return rep_ ? rep_->message : *kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace fmtk
+
+/// Propagates a non-OK Status from the current function.
+#define FMTK_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::fmtk::Status fmtk_status_macro_s = (expr);  \
+    if (!fmtk_status_macro_s.ok()) {              \
+      return fmtk_status_macro_s;                 \
+    }                                             \
+  } while (false)
+
+#endif  // FMTK_BASE_STATUS_H_

@@ -1,0 +1,24 @@
+#ifndef FMTK_BASE_STRING_UTIL_H_
+#define FMTK_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fmtk {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b" for sep ",").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True when `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_STRING_UTIL_H_

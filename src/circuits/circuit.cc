@@ -1,0 +1,134 @@
+#include "circuits/circuit.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+Circuit::GateId Circuit::Add(Gate gate) {
+  for (GateId in : gate.fanin) {
+    FMTK_CHECK(in < gates_.size()) << "fan-in references a future gate";
+  }
+  gates_.push_back(std::move(gate));
+  return gates_.size() - 1;
+}
+
+Circuit::GateId Circuit::AddInput(std::string label) {
+  Gate g;
+  g.kind = GateKind::kInput;
+  g.input_index = input_count_++;
+  g.label = std::move(label);
+  GateId id = Add(std::move(g));
+  inputs_.push_back(id);
+  return id;
+}
+
+Circuit::GateId Circuit::AddConst(bool value) {
+  Gate g;
+  g.kind = GateKind::kConst;
+  g.const_value = value;
+  return Add(std::move(g));
+}
+
+Circuit::GateId Circuit::AddNot(GateId input) {
+  Gate g;
+  g.kind = GateKind::kNot;
+  g.fanin = {input};
+  return Add(std::move(g));
+}
+
+Circuit::GateId Circuit::AddAnd(std::vector<GateId> inputs) {
+  Gate g;
+  g.kind = GateKind::kAnd;
+  g.fanin = std::move(inputs);
+  return Add(std::move(g));
+}
+
+Circuit::GateId Circuit::AddOr(std::vector<GateId> inputs) {
+  Gate g;
+  g.kind = GateKind::kOr;
+  g.fanin = std::move(inputs);
+  return Add(std::move(g));
+}
+
+void Circuit::SetOutput(GateId gate) {
+  FMTK_CHECK(gate < gates_.size()) << "output gate out of range";
+  output_ = gate;
+}
+
+std::size_t Circuit::Depth() const {
+  std::vector<std::size_t> depth(gates_.size(), 0);
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    std::size_t in_depth = 0;
+    for (GateId in : g.fanin) {
+      in_depth = std::max(in_depth, depth[in]);
+    }
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kConst:
+        depth[id] = 0;
+        break;
+      case GateKind::kNot:
+        depth[id] = in_depth;  // Negations are wires in the AC0 convention.
+        break;
+      case GateKind::kAnd:
+      case GateKind::kOr:
+        depth[id] = in_depth + 1;
+        break;
+    }
+  }
+  return gates_.empty() ? 0 : depth[output_];
+}
+
+Result<bool> Circuit::Evaluate(const std::vector<bool>& inputs) const {
+  if (inputs.size() != input_count_) {
+    return Status::InvalidArgument(
+        "circuit has " + std::to_string(input_count_) + " inputs, got " +
+        std::to_string(inputs.size()));
+  }
+  if (gates_.empty()) {
+    return Status::InvalidArgument("empty circuit");
+  }
+  std::vector<bool> value(gates_.size(), false);
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    switch (g.kind) {
+      case GateKind::kInput:
+        value[id] = inputs[g.input_index];
+        break;
+      case GateKind::kConst:
+        value[id] = g.const_value;
+        break;
+      case GateKind::kNot:
+        value[id] = !value[g.fanin[0]];
+        break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (GateId in : g.fanin) {
+          v = v && value[in];
+        }
+        value[id] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (GateId in : g.fanin) {
+          v = v || value[in];
+        }
+        value[id] = v;
+        break;
+      }
+    }
+  }
+  return static_cast<bool>(value[output_]);
+}
+
+const std::string& Circuit::input_label(std::size_t index) const {
+  FMTK_CHECK(index < inputs_.size()) << "input index out of range";
+  return gates_[inputs_[index]].label;
+}
+
+}  // namespace fmtk

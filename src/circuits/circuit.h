@@ -1,0 +1,70 @@
+#ifndef FMTK_CIRCUITS_CIRCUIT_H_
+#define FMTK_CIRCUITS_CIRCUIT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fmtk {
+
+/// A Boolean circuit with unbounded fan-in AND/OR gates, NOT gates,
+/// constants and named inputs — the AC⁰ computation model of the survey's
+/// data-complexity section. Gates form a DAG; inputs to a gate must be
+/// created before it (ids are topological by construction).
+class Circuit {
+ public:
+  enum class GateKind { kInput, kConst, kNot, kAnd, kOr };
+
+  using GateId = std::size_t;
+
+  Circuit() = default;
+
+  /// Adds an input gate; `label` is documentation (e.g. "E(2,3)").
+  GateId AddInput(std::string label);
+
+  GateId AddConst(bool value);
+  GateId AddNot(GateId input);
+  /// Empty fan-in is allowed: AND() = true, OR() = false.
+  GateId AddAnd(std::vector<GateId> inputs);
+  GateId AddOr(std::vector<GateId> inputs);
+
+  void SetOutput(GateId gate);
+  GateId output() const { return output_; }
+
+  std::size_t gate_count() const { return gates_.size(); }
+  std::size_t input_count() const { return input_count_; }
+
+  /// Depth: the longest path from any input/constant to the output, with
+  /// NOT gates counted as wires (the AC⁰ convention — negations are pushed
+  /// to the inputs for free).
+  std::size_t Depth() const;
+
+  /// Evaluates the circuit; `inputs` must assign every input gate (by
+  /// input index, in creation order).
+  Result<bool> Evaluate(const std::vector<bool>& inputs) const;
+
+  /// The label of the i-th input (creation order).
+  const std::string& input_label(std::size_t index) const;
+
+ private:
+  struct Gate {
+    GateKind kind;
+    bool const_value = false;
+    std::size_t input_index = 0;   // kInput.
+    std::string label;             // kInput.
+    std::vector<GateId> fanin;
+  };
+
+  GateId Add(Gate gate);
+
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::size_t input_count_ = 0;
+  GateId output_ = 0;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_CIRCUITS_CIRCUIT_H_

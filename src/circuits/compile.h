@@ -1,0 +1,37 @@
+#ifndef FMTK_CIRCUITS_COMPILE_H_
+#define FMTK_CIRCUITS_COMPILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "circuits/circuit.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// The FO -> AC⁰ translation behind "FO has constant-time parallel data
+/// complexity": for a fixed sentence φ over a relational signature (no
+/// constants) and a domain size n, produce the n-th circuit of the family.
+///
+/// Inputs: one bit per potential ground atom R(d̄) — relations in signature
+/// order, tuples in odometer order. Subformulas under an assignment become
+/// gates (∃ = unbounded fan-in OR over the n instantiations, ∀ = AND);
+/// shared subcircuits are memoized, giving size O(|φ| · n^width) and depth
+/// bounded by the formula depth — independent of n, which is exactly the
+/// AC⁰ shape the E3 experiment measures.
+Result<Circuit> CompileSentence(const Formula& sentence,
+                                const Signature& signature, std::size_t n);
+
+/// The circuit-input encoding of a structure (must match the compile-time
+/// signature and domain size).
+Result<std::vector<bool>> EncodeStructure(const Structure& s);
+
+/// Number of input bits for (signature, n): Σ_R n^arity(R).
+std::size_t InputBitCount(const Signature& signature, std::size_t n);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CIRCUITS_COMPILE_H_

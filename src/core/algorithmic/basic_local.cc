@@ -1,0 +1,125 @@
+#include "core/algorithmic/basic_local.h"
+
+#include <set>
+#include <utility>
+
+#include "core/algorithmic/local_formula.h"
+#include "core/locality/neighborhood.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+
+namespace {
+
+Status ValidateSentence(const BasicLocalSentence& sentence) {
+  std::set<std::string> free = FreeVariables(sentence.local);
+  if (free.size() > 1 ||
+      (free.size() == 1 && *free.begin() != sentence.variable)) {
+    return Status::InvalidArgument(
+        "the local formula must have at most the declared free variable " +
+        sentence.variable);
+  }
+  if (sentence.count == 0) {
+    return Status::InvalidArgument("witness count must be positive");
+  }
+  return Status::OK();
+}
+
+// Backtracking search for `need` elements of `candidates`, pairwise at
+// distance > 2r. `dist[i][j]` gives pairwise distances between candidates.
+bool FindScattered(const std::vector<std::vector<std::size_t>>& dist,
+                   std::size_t threshold, std::size_t need,
+                   std::size_t start, std::vector<std::size_t>& chosen) {
+  if (chosen.size() == need) {
+    return true;
+  }
+  for (std::size_t i = start; i < dist.size(); ++i) {
+    bool compatible = true;
+    for (std::size_t j : chosen) {
+      if (dist[i][j] <= threshold) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) {
+      continue;
+    }
+    chosen.push_back(i);
+    if (FindScattered(dist, threshold, need, i + 1, chosen)) {
+      return true;
+    }
+    chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<Element>> LocallySatisfyingElements(
+    const Structure& s, const BasicLocalSentence& sentence) {
+  FMTK_RETURN_IF_ERROR(ValidateSentence(sentence));
+  Adjacency gaifman = GaifmanAdjacency(s);
+  std::vector<Element> satisfying;
+  for (Element a = 0; a < s.domain_size(); ++a) {
+    Neighborhood n = NeighborhoodOf(s, gaifman, {a}, sentence.radius);
+    ModelChecker checker(n.structure);
+    FMTK_ASSIGN_OR_RETURN(
+        bool holds,
+        checker.Check(sentence.local,
+                      {{sentence.variable, n.distinguished[0]}}));
+    if (holds) {
+      satisfying.push_back(a);
+    }
+  }
+  return satisfying;
+}
+
+Result<bool> EvaluateBasicLocal(const Structure& s,
+                                const BasicLocalSentence& sentence) {
+  FMTK_ASSIGN_OR_RETURN(std::vector<Element> candidates,
+                        LocallySatisfyingElements(s, sentence));
+  if (candidates.size() < sentence.count) {
+    return false;
+  }
+  // Pairwise Gaifman distances between candidates.
+  Adjacency gaifman = GaifmanAdjacency(s);
+  std::vector<std::vector<std::size_t>> dist(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<std::size_t> all = BfsDistances(gaifman, {candidates[i]});
+    dist[i].resize(candidates.size());
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      dist[i][j] = all[candidates[j]];  // kUnreachable > any threshold.
+    }
+  }
+  std::vector<std::size_t> chosen;
+  return FindScattered(dist, 2 * sentence.radius, sentence.count, 0, chosen);
+}
+
+Result<Formula> BasicLocalToSentence(const BasicLocalSentence& sentence) {
+  FMTK_RETURN_IF_ERROR(ValidateSentence(sentence));
+  std::vector<std::string> witnesses;
+  std::vector<Formula> parts;
+  for (std::size_t i = 0; i < sentence.count; ++i) {
+    witnesses.push_back("w" + std::to_string(i + 1));
+  }
+  for (std::size_t i = 0; i < sentence.count; ++i) {
+    // ψ^{(r)}(w_i): rename the free variable, then relativize.
+    Formula renamed = SubstituteVariable(sentence.local, sentence.variable,
+                                         Term::Var(witnesses[i]));
+    FMTK_ASSIGN_OR_RETURN(
+        Formula local,
+        RelativizeToBall(renamed, witnesses[i], sentence.radius));
+    parts.push_back(std::move(local));
+  }
+  for (std::size_t i = 0; i < sentence.count; ++i) {
+    for (std::size_t j = i + 1; j < sentence.count; ++j) {
+      parts.push_back(DistanceGreaterFormula(witnesses[i], witnesses[j],
+                                             2 * sentence.radius));
+    }
+  }
+  return Formula::Exists(witnesses, Formula::And(std::move(parts)));
+}
+
+}  // namespace fmtk

@@ -1,0 +1,47 @@
+#ifndef FMTK_CORE_ALGORITHMIC_BASIC_LOCAL_H_
+#define FMTK_CORE_ALGORITHMIC_BASIC_LOCAL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// A basic local sentence in Gaifman's normal form (Theorem 3.12):
+///
+///   ∃x1...∃xn ( ∧_i ψ^{(r)}(x_i)  ∧  ∧_{i≠j} d(x_i, x_j) > 2r )
+///
+/// — there are n points, pairwise 2r-scattered, each satisfying ψ inside
+/// its own r-ball. Every FO sentence is a Boolean combination of these.
+struct BasicLocalSentence {
+  std::size_t count = 1;   // n witnesses.
+  std::size_t radius = 0;  // r.
+  Formula local;           // ψ with exactly one free variable...
+  std::string variable;    // ...named here.
+};
+
+/// Semantic evaluation: compute S = { a : N_r(a) ⊨ ψ[a] } by evaluating ψ
+/// on each neighborhood substructure, then search S for a 2r-scattered
+/// subset of size n (backtracking over distance-filtered candidates).
+Result<bool> EvaluateBasicLocal(const Structure& s,
+                                const BasicLocalSentence& sentence);
+
+/// The elements satisfying ψ locally (the S above) — useful for
+/// diagnostics and the scattered-witness reports in benches.
+Result<std::vector<Element>> LocallySatisfyingElements(
+    const Structure& s, const BasicLocalSentence& sentence);
+
+/// The equivalent plain FO sentence (graph vocabulary only: the scatter
+/// constraints and the relativization need distance formulas over E). Its
+/// evaluation by the generic model checker must agree with
+/// EvaluateBasicLocal — the test suite checks this on structure panels.
+Result<Formula> BasicLocalToSentence(const BasicLocalSentence& sentence);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_ALGORITHMIC_BASIC_LOCAL_H_

@@ -1,0 +1,118 @@
+#include "core/algorithmic/local_formula.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+namespace {
+
+// Fresh midpoint variables are generated per nesting depth so the formula
+// is safe under any later transformation.
+Formula DistanceAtMost(const std::string& x, const std::string& y,
+                       std::size_t d, std::size_t& counter) {
+  if (d == 0) {
+    return Formula::Equal(V(x), V(y));
+  }
+  if (d == 1) {
+    return Formula::Or({Formula::Equal(V(x), V(y)),
+                        Formula::Atom("E", {V(x), V(y)}),
+                        Formula::Atom("E", {V(y), V(x)})});
+  }
+  const std::size_t half = d / 2;
+  const std::size_t rest = d - half;
+  std::string mid = "m" + std::to_string(counter++);
+  Formula left = DistanceAtMost(x, mid, half, counter);
+  Formula right = DistanceAtMost(mid, y, rest, counter);
+  return Formula::Exists(mid,
+                         Formula::And(std::move(left), std::move(right)));
+}
+
+}  // namespace
+
+Formula DistanceAtMostFormula(const std::string& x, const std::string& y,
+                              std::size_t d) {
+  std::size_t counter = 0;
+  return DistanceAtMost(x, y, d, counter);
+}
+
+Formula DistanceGreaterFormula(const std::string& x, const std::string& y,
+                               std::size_t d) {
+  return Formula::Not(DistanceAtMostFormula(x, y, d));
+}
+
+namespace {
+
+Result<Formula> Relativize(const Formula& f, const std::string& center,
+                           std::size_t radius) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      return f;
+    case FormulaKind::kNot: {
+      FMTK_ASSIGN_OR_RETURN(Formula inner,
+                            Relativize(f.child(0), center, radius));
+      return Formula::Not(std::move(inner));
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.child_count());
+      for (const Formula& c : f.children()) {
+        FMTK_ASSIGN_OR_RETURN(Formula rc, Relativize(c, center, radius));
+        children.push_back(std::move(rc));
+      }
+      return f.kind() == FormulaKind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      FMTK_ASSIGN_OR_RETURN(Formula a, Relativize(f.child(0), center, radius));
+      FMTK_ASSIGN_OR_RETURN(Formula b, Relativize(f.child(1), center, radius));
+      return Formula::Implies(std::move(a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      FMTK_ASSIGN_OR_RETURN(Formula a, Relativize(f.child(0), center, radius));
+      FMTK_ASSIGN_OR_RETURN(Formula b, Relativize(f.child(1), center, radius));
+      return Formula::Iff(std::move(a), std::move(b));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists: {
+      if (f.variable() == center) {
+        return Status::InvalidArgument(
+            "formula rebinds the center variable " + center);
+      }
+      FMTK_ASSIGN_OR_RETURN(Formula body,
+                            Relativize(f.body(), center, radius));
+      Formula guard = DistanceAtMostFormula(center, f.variable(), radius);
+      if (f.kind() == FormulaKind::kExists) {
+        return Formula::Exists(f.variable(),
+                               Formula::And(std::move(guard),
+                                            std::move(body)));
+      }
+      if (f.kind() == FormulaKind::kCountExists) {
+        return Formula::CountExists(
+            f.count(), f.variable(),
+            Formula::And(std::move(guard), std::move(body)));
+      }
+      return Formula::Forall(
+          f.variable(), Formula::Implies(std::move(guard), std::move(body)));
+    }
+  }
+  return Status::Internal("unreachable formula kind");
+}
+
+}  // namespace
+
+Result<Formula> RelativizeToBall(const Formula& f, const std::string& center,
+                                 std::size_t radius) {
+  return Relativize(f, center, radius);
+}
+
+}  // namespace fmtk

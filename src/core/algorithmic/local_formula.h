@@ -1,0 +1,33 @@
+#ifndef FMTK_CORE_ALGORITHMIC_LOCAL_FORMULA_H_
+#define FMTK_CORE_ALGORITHMIC_LOCAL_FORMULA_H_
+
+#include <cstddef>
+#include <string>
+
+#include "base/result.h"
+#include "logic/formula.h"
+
+namespace fmtk {
+
+/// δ_{<=d}(x, y): Gaifman distance at most d, over the graph vocabulary
+/// {E/2} (orientation forgotten, per the survey's definition of distance).
+/// Built by halving, so quantifier rank is O(log d). Free variables are the
+/// two given names.
+Formula DistanceAtMostFormula(const std::string& x, const std::string& y,
+                              std::size_t d);
+
+/// d(x, y) > d as a formula: ¬δ_{<=d}.
+Formula DistanceGreaterFormula(const std::string& x, const std::string& y,
+                               std::size_t d);
+
+/// Relativizes φ to the radius-r ball around `center`: every quantifier
+/// ∃y ψ becomes ∃y (δ_{<=r}(center, y) ∧ ψ), and ∀y ψ becomes
+/// ∀y (δ_{<=r}(center, y) → ψ). The result is an r-local formula in
+/// Gaifman's sense (Theorem 3.12's building block). Graph vocabulary only.
+/// Fails if φ rebinds the center variable.
+Result<Formula> RelativizeToBall(const Formula& f, const std::string& center,
+                                 std::size_t radius);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_ALGORITHMIC_LOCAL_FORMULA_H_

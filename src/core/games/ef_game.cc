@@ -1,0 +1,213 @@
+#include "core/games/ef_game.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+namespace {
+
+// Adds the constant pairs to the initial position, per the textbook
+// convention that constants always count as played. Returns false when the
+// structures interpret constants incompatibly (spoiler wins outright).
+bool SeedConstants(const Structure& a, const Structure& b, PartialMap& map) {
+  for (std::size_t c = 0; c < a.signature().constant_count(); ++c) {
+    std::optional<Element> ca = a.constant(c);
+    std::optional<Element> cb = b.constant(c);
+    if (ca.has_value() != cb.has_value()) {
+      return false;
+    }
+    if (ca.has_value()) {
+      map.emplace_back(*ca, *cb);
+    }
+  }
+  return true;
+}
+
+PartialMap Canonical(PartialMap map) {
+  std::sort(map.begin(), map.end());
+  map.erase(std::unique(map.begin(), map.end()), map.end());
+  return map;
+}
+
+bool Pinned(const PartialMap& map, bool in_a, Element e) {
+  for (const auto& [x, y] : map) {
+    if ((in_a ? x : y) == e) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+EfGameSolver::EfGameSolver(const Structure& a, const Structure& b,
+                           EfOptions options)
+    : a_(a), b_(b), options_(options) {
+  FMTK_CHECK(a.signature() == b.signature())
+      << "EF games require equal signatures";
+}
+
+std::string EfGameSolver::MemoKey(std::size_t rounds,
+                                  const PartialMap& position) {
+  std::string key;
+  key.reserve(1 + position.size() * 8);
+  key += static_cast<char>(rounds);
+  for (const auto& [x, y] : position) {
+    key.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    key.append(reinterpret_cast<const char*>(&y), sizeof(y));
+  }
+  return key;
+}
+
+Result<bool> EfGameSolver::Wins(std::size_t rounds, PartialMap position) {
+  if (++nodes_ > options_.max_nodes) {
+    return Status::ResourceExhausted(
+        "EF game search exceeded " + std::to_string(options_.max_nodes) +
+        " positions");
+  }
+  position = Canonical(std::move(position));
+  // A broken position can never be repaired: the final map extends it.
+  if (!IsPartialIsomorphism(a_, b_, position)) {
+    return false;
+  }
+  if (rounds == 0) {
+    return true;
+  }
+  std::string key = MemoKey(rounds, position);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    return it->second;
+  }
+  bool duplicator_wins = true;
+  // Spoiler never gains by replaying a pinned element (the position would
+  // not change), so those moves are skipped.
+  for (int side = 0; side < 2 && duplicator_wins; ++side) {
+    const bool in_a = (side == 0);
+    const Structure& from = in_a ? a_ : b_;
+    const Structure& to = in_a ? b_ : a_;
+    for (Element s = 0; s < from.domain_size() && duplicator_wins; ++s) {
+      if (Pinned(position, in_a, s)) {
+        continue;
+      }
+      bool has_response = false;
+      for (Element d = 0; d < to.domain_size() && !has_response; ++d) {
+        PartialMap next = position;
+        next.emplace_back(in_a ? s : d, in_a ? d : s);
+        FMTK_ASSIGN_OR_RETURN(bool wins, Wins(rounds - 1, std::move(next)));
+        has_response = wins;
+      }
+      duplicator_wins = has_response;
+    }
+  }
+  memo_.emplace(std::move(key), duplicator_wins);
+  return duplicator_wins;
+}
+
+Result<bool> EfGameSolver::DuplicatorWins(std::size_t rounds,
+                                          const PartialMap& initial) {
+  PartialMap position = initial;
+  if (!SeedConstants(a_, b_, position)) {
+    return false;
+  }
+  return Wins(rounds, std::move(position));
+}
+
+Result<std::optional<std::size_t>> EfGameSolver::SpoilerNeeds(
+    std::size_t max_rounds) {
+  for (std::size_t r = 0; r <= max_rounds; ++r) {
+    FMTK_ASSIGN_OR_RETURN(bool duplicator_wins, DuplicatorWins(r));
+    if (!duplicator_wins) {
+      return std::optional<std::size_t>(r);
+    }
+  }
+  return std::optional<std::size_t>(std::nullopt);
+}
+
+Result<EfGameSolver::BestResponse> EfGameSolver::RespondTo(
+    std::size_t rounds_left, bool spoiler_in_a, Element spoiler_element,
+    const PartialMap& position) {
+  const Structure& to = spoiler_in_a ? b_ : a_;
+  BestResponse best;
+  bool best_survives = false;
+  for (Element d = 0; d < to.domain_size(); ++d) {
+    PartialMap next = position;
+    next.emplace_back(spoiler_in_a ? spoiler_element : d,
+                      spoiler_in_a ? d : spoiler_element);
+    const bool survives = IsPartialIsomorphism(a_, b_, next);
+    FMTK_ASSIGN_OR_RETURN(bool wins, Wins(rounds_left, std::move(next)));
+    if (wins) {
+      return BestResponse{d, true};
+    }
+    // Losing either way: prefer a response that at least keeps the board a
+    // partial isomorphism (survives this round).
+    if (!best.element.has_value() || (survives && !best_survives)) {
+      best.element = d;
+      best_survives = survives;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<EfGameSolver::PlayStep>> EfGameSolver::AdversarialPlay(
+    std::size_t rounds) {
+  std::vector<PlayStep> transcript;
+  PartialMap position;
+  if (!SeedConstants(a_, b_, position)) {
+    return transcript;  // Already broken before any move.
+  }
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::size_t remaining = rounds - round;
+    // The spoiler looks for a move with no winning duplicator response.
+    std::optional<PlayStep> chosen;
+    for (int side = 0; side < 2 && !chosen.has_value(); ++side) {
+      const bool in_a = (side == 0);
+      const Structure& from = in_a ? a_ : b_;
+      for (Element s = 0; s < from.domain_size(); ++s) {
+        if (Pinned(position, in_a, s)) {
+          continue;
+        }
+        FMTK_ASSIGN_OR_RETURN(BestResponse response,
+                              RespondTo(remaining - 1, in_a, s, position));
+        if (!response.wins) {
+          chosen = PlayStep{in_a, s, response.element};
+          break;
+        }
+      }
+    }
+    if (!chosen.has_value()) {
+      // No winning spoiler move exists; the spoiler plays the first fresh
+      // element (arbitrary play) and the duplicator answers optimally.
+      for (int side = 0; side < 2 && !chosen.has_value(); ++side) {
+        const bool in_a = (side == 0);
+        const Structure& from = in_a ? a_ : b_;
+        for (Element s = 0; s < from.domain_size(); ++s) {
+          if (!Pinned(position, in_a, s)) {
+            FMTK_ASSIGN_OR_RETURN(BestResponse response,
+                                  RespondTo(remaining - 1, in_a, s, position));
+            chosen = PlayStep{in_a, s, response.element};
+            break;
+          }
+        }
+      }
+    }
+    if (!chosen.has_value()) {
+      break;  // Both structures exhausted; nothing left to play.
+    }
+    transcript.push_back(*chosen);
+    if (!chosen->duplicator.has_value()) {
+      break;  // Duplicator cannot answer at all (empty structure).
+    }
+    position.emplace_back(
+        chosen->spoiler_in_a ? chosen->spoiler : *chosen->duplicator,
+        chosen->spoiler_in_a ? *chosen->duplicator : chosen->spoiler);
+    if (!IsPartialIsomorphism(a_, b_, position)) {
+      break;  // The board is broken; the game is decided.
+    }
+  }
+  return transcript;
+}
+
+}  // namespace fmtk

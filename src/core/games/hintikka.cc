@@ -1,0 +1,147 @@
+#include "core/games/hintikka.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types/atom_enumeration.h"
+
+namespace fmtk {
+
+namespace {
+
+std::string VarName(std::size_t index) {
+  return "x" + std::to_string(index + 1);
+}
+
+// Term for extended position p: variable for tuple positions, constant
+// symbol for the appended constant positions.
+Result<Term> TermForPosition(std::size_t p, std::size_t tuple_length,
+                             const Signature& signature) {
+  if (p < tuple_length) {
+    return Term::Var(VarName(p));
+  }
+  const std::size_t c = p - tuple_length;
+  if (c >= signature.constant_count()) {
+    return Status::InvalidArgument(
+        "type was computed against a different signature (position " +
+        std::to_string(p) + " out of range)");
+  }
+  return Term::Const(signature.constant_name(c));
+}
+
+class Builder {
+ public:
+  Builder(const RankTypeIndex& index, const Signature& signature)
+      : index_(index), signature_(signature) {}
+
+  Result<Formula> Build(RankTypeIndex::TypeId type) {
+    auto it = cache_.find(type);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    Result<Formula> built = index_.IsAtomic(type) ? BuildAtomic(type)
+                                                  : BuildComposite(type);
+    if (built.ok()) {
+      cache_.emplace(type, *built);
+    }
+    return built;
+  }
+
+ private:
+  Result<Formula> BuildAtomic(RankTypeIndex::TypeId type) {
+    const RankTypeIndex::AtomicInfo& info = index_.atomic_info(type);
+    const std::size_t m = info.tuple_length;
+    const std::size_t extended = m + signature_.constant_count();
+    std::vector<AtomSlot> slots = EnumerateAtomSlots(signature_, extended);
+    if (info.bits.size() != slots.size() + signature_.constant_count()) {
+      return Status::InvalidArgument(
+          "type bits do not match the signature's atom layout");
+    }
+    // Interpretedness markers: formulas cannot express uninterpreted
+    // constants.
+    for (std::size_t c = 0; c < signature_.constant_count(); ++c) {
+      if (info.bits[slots.size() + c] == 0) {
+        return Status::Unsupported(
+            "Hintikka formulas require all constants interpreted");
+      }
+    }
+    std::vector<Formula> parts;
+    parts.reserve(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const AtomSlot& slot = slots[i];
+      Formula atom;
+      if (slot.kind == AtomSlot::Kind::kRelation) {
+        std::vector<Term> terms;
+        terms.reserve(slot.positions.size());
+        for (std::size_t p : slot.positions) {
+          FMTK_ASSIGN_OR_RETURN(Term t, TermForPosition(p, m, signature_));
+          terms.push_back(std::move(t));
+        }
+        atom = Formula::Atom(signature_.relation(slot.relation_index).name,
+                             std::move(terms));
+      } else {
+        FMTK_ASSIGN_OR_RETURN(
+            Term t1, TermForPosition(slot.positions[0], m, signature_));
+        FMTK_ASSIGN_OR_RETURN(
+            Term t2, TermForPosition(slot.positions[1], m, signature_));
+        atom = Formula::Equal(std::move(t1), std::move(t2));
+      }
+      parts.push_back(info.bits[i] != 0 ? atom : Formula::Not(atom));
+    }
+    return Formula::And(std::move(parts));
+  }
+
+  Result<Formula> BuildComposite(RankTypeIndex::TypeId type) {
+    const RankTypeIndex::CompositeInfo& info = index_.composite_info(type);
+    FMTK_ASSIGN_OR_RETURN(Formula atomic, Build(info.atomic));
+    const std::size_t m = index_.atomic_info(info.atomic).tuple_length;
+    const std::string next_var = VarName(m);
+    std::vector<Formula> parts;
+    parts.push_back(std::move(atomic));
+    std::vector<Formula> child_formulas;
+    child_formulas.reserve(info.extensions.size());
+    for (RankTypeIndex::TypeId child : info.extensions) {
+      FMTK_ASSIGN_OR_RETURN(Formula cf, Build(child));
+      child_formulas.push_back(cf);
+      parts.push_back(Formula::Exists(next_var, std::move(cf)));
+    }
+    parts.push_back(
+        Formula::Forall(next_var, Formula::Or(std::move(child_formulas))));
+    return Formula::And(std::move(parts));
+  }
+
+  const RankTypeIndex& index_;
+  const Signature& signature_;
+  std::map<RankTypeIndex::TypeId, Formula> cache_;
+};
+
+}  // namespace
+
+Result<Formula> HintikkaFormula(const RankTypeIndex& index,
+                                RankTypeIndex::TypeId type,
+                                const Signature& signature) {
+  Builder builder(index, signature);
+  return builder.Build(type);
+}
+
+Result<std::optional<Formula>> DistinguishingSentence(const Structure& a,
+                                                      const Structure& b,
+                                                      std::size_t rank,
+                                                      RankTypeIndex& index) {
+  if (!(a.signature() == b.signature())) {
+    return Status::SignatureMismatch(
+        "distinguishing sentences require equal signatures");
+  }
+  RankTypeIndex::TypeId ta = index.TypeOf(a, {}, rank);
+  RankTypeIndex::TypeId tb = index.TypeOf(b, {}, rank);
+  if (ta == tb) {
+    return std::optional<Formula>(std::nullopt);
+  }
+  FMTK_ASSIGN_OR_RETURN(Formula f,
+                        HintikkaFormula(index, ta, a.signature()));
+  return std::optional<Formula>(std::move(f));
+}
+
+}  // namespace fmtk

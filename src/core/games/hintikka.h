@@ -1,0 +1,44 @@
+#ifndef FMTK_CORE_GAMES_HINTIKKA_H_
+#define FMTK_CORE_GAMES_HINTIKKA_H_
+
+#include <optional>
+
+#include "base/result.h"
+#include "core/types/rank_type.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Builds the Hintikka formula φ_τ(x1,...,xm) of an interned type τ: the
+/// canonical rank-k formula with
+///
+///   B ⊨ φ_τ[b̄]  iff  τ_k(B, b̄) = τ.
+///
+/// For a rank-0 type this is the full atomic diagram of the tuple; for rank
+/// k it conjoins "every one-extension type is realized" (∃ of each child
+/// formula) with "no other extension type occurs" (∀ over the disjunction).
+/// The formula uses variables x1..xm free and xm+1.. bound; quantifier rank
+/// is exactly the type's rank. Formulas grow exponentially in rank — the
+/// blow-up Theorem 3.1's discussion attributes to game arguments — so use
+/// small ranks.
+///
+/// The signature must match the one the type was computed against.
+/// Uninterpreted constants are not supported here (signatures without
+/// constants always work).
+Result<Formula> HintikkaFormula(const RankTypeIndex& index,
+                                RankTypeIndex::TypeId type,
+                                const Signature& signature);
+
+/// A sentence of quantifier rank ≤ `rank` with a ⊨ φ and b ⊭ φ, when the
+/// structures are distinguishable at that rank; nullopt when a ≡rank b.
+/// This is the constructive content of "A ∼Gn B iff A ≡n B": the spoiler's
+/// winning strategy turned into a concrete separating sentence.
+Result<std::optional<Formula>> DistinguishingSentence(const Structure& a,
+                                                      const Structure& b,
+                                                      std::size_t rank,
+                                                      RankTypeIndex& index);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_GAMES_HINTIKKA_H_

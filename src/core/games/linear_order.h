@@ -1,0 +1,43 @@
+#ifndef FMTK_CORE_GAMES_LINEAR_ORDER_H_
+#define FMTK_CORE_GAMES_LINEAR_ORDER_H_
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+
+namespace fmtk {
+
+/// Theorem 3.1 of the survey, in its sharp form (Libkin, *Elements of Finite
+/// Model Theory*, Thm 3.6): L_m ≡n L_k iff m = k or both m, k >= 2^n - 1.
+/// Closed-form predicate — the "library of winning strategies" entry for
+/// linear orders.
+bool LinearOrdersEquivalent(std::size_t m, std::size_t k, std::size_t n);
+
+/// The same game value computed by the composition method: a position in
+/// the game on two orders splits them into left/right intervals, and the
+/// duplicator wins iff she can answer every split with recursively
+/// n-1-equivalent interval pairs. Memoized interval DP, O(m²k²n) worst
+/// case — polynomial, unlike the general EF search. Used to cross-validate
+/// both the closed form and the general solver.
+bool LinearOrdersEquivalentByComposition(std::size_t m, std::size_t k,
+                                         std::size_t n);
+
+/// The composition method with a memo that persists across queries — use
+/// this for sweeps (thresholds, tables); repeated interval subgames are
+/// shared between calls.
+class LinearOrderGameTable {
+ public:
+  LinearOrderGameTable() = default;
+
+  /// Duplicator survives n rounds on L_m vs L_k?
+  bool Equivalent(std::size_t m, std::size_t k, std::size_t n);
+
+  std::size_t memo_size() const { return memo_.size(); }
+
+ private:
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, bool> memo_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_GAMES_LINEAR_ORDER_H_

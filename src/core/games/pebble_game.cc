@@ -1,0 +1,99 @@
+#include "core/games/pebble_game.h"
+
+#include "base/check.h"
+#include "structures/isomorphism.h"
+
+namespace fmtk {
+
+PebbleGameSolver::PebbleGameSolver(const Structure& a, const Structure& b,
+                                   std::size_t pebbles,
+                                   std::uint64_t max_nodes)
+    : a_(a), b_(b), pebbles_(pebbles), max_nodes_(max_nodes) {
+  FMTK_CHECK(a.signature() == b.signature())
+      << "pebble games require equal signatures";
+  FMTK_CHECK(pebbles_ >= 1) << "at least one pebble required";
+}
+
+bool PebbleGameSolver::BoardIsPartialIso(const Board& board) const {
+  PartialMap map;
+  for (const auto& placement : board) {
+    if (placement.has_value()) {
+      map.push_back(*placement);
+    }
+  }
+  // Constants count as always-placed pairs.
+  for (std::size_t c = 0; c < a_.signature().constant_count(); ++c) {
+    std::optional<Element> ca = a_.constant(c);
+    std::optional<Element> cb = b_.constant(c);
+    if (ca.has_value() != cb.has_value()) {
+      return false;
+    }
+    if (ca.has_value()) {
+      map.emplace_back(*ca, *cb);
+    }
+  }
+  return IsPartialIsomorphism(a_, b_, map);
+}
+
+std::string PebbleGameSolver::MemoKey(std::size_t rounds,
+                                      const Board& board) {
+  // Pebbles are interchangeable only in how FO^k reuses variables — they are
+  // named, so the key keeps per-pebble placements in order.
+  std::string key;
+  key += static_cast<char>(rounds);
+  for (const auto& placement : board) {
+    if (!placement.has_value()) {
+      key += '_';
+      continue;
+    }
+    key.append(reinterpret_cast<const char*>(&placement->first),
+               sizeof(Element));
+    key.append(reinterpret_cast<const char*>(&placement->second),
+               sizeof(Element));
+  }
+  return key;
+}
+
+Result<bool> PebbleGameSolver::Wins(std::size_t rounds, const Board& board) {
+  if (++nodes_ > max_nodes_) {
+    return Status::ResourceExhausted("pebble game search exceeded node cap");
+  }
+  if (!BoardIsPartialIso(board)) {
+    return false;
+  }
+  if (rounds == 0) {
+    return true;
+  }
+  std::string key = MemoKey(rounds, board);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    return it->second;
+  }
+  bool duplicator_wins = true;
+  for (std::size_t p = 0; p < pebbles_ && duplicator_wins; ++p) {
+    for (int side = 0; side < 2 && duplicator_wins; ++side) {
+      const bool in_a = (side == 0);
+      const Structure& from = in_a ? a_ : b_;
+      const Structure& to = in_a ? b_ : a_;
+      for (Element s = 0; s < from.domain_size() && duplicator_wins; ++s) {
+        bool has_response = false;
+        for (Element d = 0; d < to.domain_size() && !has_response; ++d) {
+          Board next = board;
+          next[p] = in_a ? std::make_pair(s, d) : std::make_pair(d, s);
+          FMTK_ASSIGN_OR_RETURN(bool wins, Wins(rounds - 1, next));
+          has_response = wins;
+        }
+        duplicator_wins = has_response;
+      }
+    }
+  }
+  memo_.emplace(std::move(key), duplicator_wins);
+  return duplicator_wins;
+}
+
+Result<bool> PebbleGameSolver::DuplicatorWins(std::size_t rounds) {
+  Board board(pebbles_);
+  return Wins(rounds, board);
+}
+
+}  // namespace fmtk

@@ -1,0 +1,62 @@
+#ifndef FMTK_CORE_GAMES_PEBBLE_GAME_H_
+#define FMTK_CORE_GAMES_PEBBLE_GAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// The k-pebble, r-round Ehrenfeucht–Fraïssé game characterizing the
+/// k-variable fragment FO^k: the spoiler may *move* pebbles rather than only
+/// adding them, modelling variable reuse. With r rounds it captures
+/// agreement on FO^k formulas of quantifier rank ≤ r.
+///
+/// The plain EF game is the special case where pebbles are never reused
+/// (k >= r), which the test suite cross-checks.
+class PebbleGameSolver {
+ public:
+  /// The structures must outlive the solver and have equal signatures.
+  /// `pebbles` >= 1.
+  PebbleGameSolver(const Structure& a, const Structure& b,
+                   std::size_t pebbles, std::uint64_t max_nodes = 20'000'000);
+
+  /// Temporaries would dangle — bind the structures to locals first.
+  PebbleGameSolver(Structure&&, const Structure&, std::size_t,
+                   std::uint64_t = 0) = delete;
+  PebbleGameSolver(const Structure&, Structure&&, std::size_t,
+                   std::uint64_t = 0) = delete;
+  PebbleGameSolver(Structure&&, Structure&&, std::size_t,
+                   std::uint64_t = 0) = delete;
+
+  /// Does the duplicator survive `rounds` rounds of the `pebbles`-pebble
+  /// game from the empty board?
+  Result<bool> DuplicatorWins(std::size_t rounds);
+
+  std::uint64_t nodes_explored() const { return nodes_; }
+
+ private:
+  // A board: per pebble, an optional (a, b) placement.
+  using Board = std::vector<std::optional<std::pair<Element, Element>>>;
+
+  Result<bool> Wins(std::size_t rounds, const Board& board);
+  bool BoardIsPartialIso(const Board& board) const;
+  static std::string MemoKey(std::size_t rounds, const Board& board);
+
+  const Structure& a_;
+  const Structure& b_;
+  std::size_t pebbles_;
+  std::uint64_t max_nodes_;
+  std::uint64_t nodes_ = 0;
+  std::unordered_map<std::string, bool> memo_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_GAMES_PEBBLE_GAME_H_

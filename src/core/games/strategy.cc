@@ -1,0 +1,172 @@
+#include "core/games/strategy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+namespace {
+
+// The image of `element` under the position map (or preimage, when
+// in_a == false side lookups are swapped by the caller).
+std::optional<Element> MirrorLookup(const PartialMap& position, bool in_a,
+                                    Element element) {
+  for (const auto& [x, y] : position) {
+    if ((in_a ? x : y) == element) {
+      return in_a ? y : x;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Element> SetMirrorStrategy::Respond(
+    const Structure& a, const Structure& b, const PartialMap& position,
+    bool spoiler_in_a, Element element, std::size_t rounds_remaining) {
+  (void)rounds_remaining;
+  std::optional<Element> mirrored =
+      MirrorLookup(position, spoiler_in_a, element);
+  if (mirrored.has_value()) {
+    return mirrored;
+  }
+  // Any fresh element of the other structure.
+  const Structure& other = spoiler_in_a ? b : a;
+  for (Element d = 0; d < other.domain_size(); ++d) {
+    if (!MirrorLookup(position, !spoiler_in_a, d).has_value()) {
+      return d;
+    }
+  }
+  return std::nullopt;  // The other structure ran out of elements.
+}
+
+std::optional<Element> OrderGapStrategy::Respond(
+    const Structure& a, const Structure& b, const PartialMap& position,
+    bool spoiler_in_a, Element element, std::size_t rounds_remaining) {
+  std::optional<Element> mirrored =
+      MirrorLookup(position, spoiler_in_a, element);
+  if (mirrored.has_value()) {
+    return mirrored;
+  }
+  // Orient so the spoiler played in X and we answer in Y.
+  const Structure& x_struct = spoiler_in_a ? a : b;
+  const Structure& y_struct = spoiler_in_a ? b : a;
+  // Pinned points, sorted on the X side; the map must be order-preserving
+  // (elements of MakeLinearOrder are numbered in order).
+  std::vector<std::pair<Element, Element>> pins;
+  pins.reserve(position.size());
+  for (const auto& [pa, pb] : position) {
+    pins.emplace_back(spoiler_in_a ? pa : pb, spoiler_in_a ? pb : pa);
+  }
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  for (std::size_t i = 1; i < pins.size(); ++i) {
+    if (pins[i].second <= pins[i - 1].second) {
+      return std::nullopt;  // Not order-preserving: invariant broken.
+    }
+  }
+  // Locate the spoiler's interval (l, r) with virtual endpoints -1 and n.
+  long long l = -1;
+  long long r = static_cast<long long>(x_struct.domain_size());
+  long long l_image = -1;
+  long long r_image = static_cast<long long>(y_struct.domain_size());
+  for (const auto& [px, py] : pins) {
+    if (px < element && static_cast<long long>(px) > l) {
+      l = px;
+      l_image = py;
+    }
+    if (px > element && static_cast<long long>(px) < r) {
+      r = px;
+      r_image = py;
+    }
+  }
+  const long long s = element;
+  const long long dl = s - l;          // Distance to the left pin.
+  const long long dr = r - s;          // Distance to the right pin.
+  const long long threshold =
+      rounds_remaining >= 62 ? (1LL << 62)
+                             : (1LL << rounds_remaining);
+  long long d;
+  if (dl <= threshold) {
+    d = l_image + dl;                  // Copy the small left gap exactly.
+    if (d >= r_image) {
+      return std::nullopt;
+    }
+  } else if (dr <= threshold) {
+    d = r_image - dr;                  // Copy the small right gap exactly.
+    if (d <= l_image) {
+      return std::nullopt;
+    }
+  } else {
+    // Both gaps large: split the target interval in half, leaving both
+    // sides >= 2^k when the interval invariant holds.
+    d = l_image + (r_image - l_image) / 2;
+    if (d <= l_image || d >= r_image) {
+      return std::nullopt;
+    }
+  }
+  return static_cast<Element>(d);
+}
+
+namespace {
+
+Result<bool> Explore(const Structure& a, const Structure& b,
+                     DuplicatorStrategy& strategy, PartialMap& position,
+                     std::size_t rounds, std::uint64_t& nodes,
+                     std::uint64_t max_nodes) {
+  if (++nodes > max_nodes) {
+    return Status::ResourceExhausted("strategy verification node cap hit");
+  }
+  if (!IsPartialIsomorphism(a, b, position)) {
+    return false;
+  }
+  if (rounds == 0) {
+    return true;
+  }
+  for (int side = 0; side < 2; ++side) {
+    const bool in_a = (side == 0);
+    const Structure& from = in_a ? a : b;
+    for (Element s = 0; s < from.domain_size(); ++s) {
+      std::optional<Element> d =
+          strategy.Respond(a, b, position, in_a, s, rounds - 1);
+      if (!d.has_value()) {
+        return false;  // The strategy resigned.
+      }
+      position.emplace_back(in_a ? s : *d, in_a ? *d : s);
+      Result<bool> survives =
+          Explore(a, b, strategy, position, rounds - 1, nodes, max_nodes);
+      position.pop_back();
+      if (!survives.ok() || !*survives) {
+        return survives;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> StrategySurvives(const Structure& a, const Structure& b,
+                              std::size_t rounds,
+                              DuplicatorStrategy& strategy,
+                              std::uint64_t max_nodes) {
+  FMTK_CHECK(a.signature() == b.signature())
+      << "strategy verification requires equal signatures";
+  PartialMap position;
+  for (std::size_t c = 0; c < a.signature().constant_count(); ++c) {
+    std::optional<Element> ca = a.constant(c);
+    std::optional<Element> cb = b.constant(c);
+    if (ca.has_value() != cb.has_value()) {
+      return false;
+    }
+    if (ca.has_value()) {
+      position.emplace_back(*ca, *cb);
+    }
+  }
+  std::uint64_t nodes = 0;
+  return Explore(a, b, strategy, position, rounds, nodes, max_nodes);
+}
+
+}  // namespace fmtk

@@ -1,0 +1,75 @@
+#ifndef FMTK_CORE_GAMES_STRATEGY_H_
+#define FMTK_CORE_GAMES_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "base/result.h"
+#include "structures/isomorphism.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// The survey (quoting [10]) suggests building "a library of winning
+/// strategies for the duplicator". This is that library's interface: a
+/// strategy maps game situations to duplicator responses, and a referee
+/// verifies a strategy by playing it against *every* spoiler line.
+///
+/// A verified strategy is a constructive proof of A ≡n B — unlike the
+/// exact solver, whose cost explodes, a good strategy answers in
+/// polynomial time. The set and linear-order strategies below are the two
+/// the survey's §3.2 walks through.
+class DuplicatorStrategy {
+ public:
+  virtual ~DuplicatorStrategy() = default;
+
+  /// The duplicator's answer when the spoiler, with `rounds_remaining`
+  /// rounds left AFTER this one, picks `element` in A (spoiler_in_a) or B.
+  /// `position` holds the pairs played so far (constants included).
+  /// nullopt = resign (no legal/strategic answer).
+  virtual std::optional<Element> Respond(const Structure& a,
+                                         const Structure& b,
+                                         const PartialMap& position,
+                                         bool spoiler_in_a, Element element,
+                                         std::size_t rounds_remaining) = 0;
+};
+
+/// The sets strategy (§3.2): mirror repeated picks, answer fresh picks
+/// with any fresh element. Wins G_n whenever both structures have >= n
+/// elements and no relations constrain the play (empty vocabulary).
+class SetMirrorStrategy : public DuplicatorStrategy {
+ public:
+  std::optional<Element> Respond(const Structure& a, const Structure& b,
+                                 const PartialMap& position,
+                                 bool spoiler_in_a, Element element,
+                                 std::size_t rounds_remaining) override;
+};
+
+/// The linear-order gap strategy behind Theorem 3.1: preserve, for every
+/// pair of adjacent pinned points (with virtual endpoints), either the
+/// exact gap or the fact that both gaps are >= 2^k with k rounds to go.
+/// Wins G_n(L_m, L_k) whenever m = k or both m, k >= 2^n - 1.
+/// The structures must be linear orders over {</2} with elements in order
+/// (as MakeLinearOrder builds them).
+class OrderGapStrategy : public DuplicatorStrategy {
+ public:
+  std::optional<Element> Respond(const Structure& a, const Structure& b,
+                                 const PartialMap& position,
+                                 bool spoiler_in_a, Element element,
+                                 std::size_t rounds_remaining) override;
+};
+
+/// Plays `strategy` against every spoiler line for `rounds` rounds.
+/// Returns true when every reachable final position is a partial
+/// isomorphism — i.e. the strategy certifies A ≡rounds B. Cost is
+/// O((|A| + |B|)^rounds) spoiler lines but only one duplicator reply each,
+/// far below the solver's minimax.
+Result<bool> StrategySurvives(const Structure& a, const Structure& b,
+                              std::size_t rounds,
+                              DuplicatorStrategy& strategy,
+                              std::uint64_t max_nodes = 20'000'000);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_GAMES_STRATEGY_H_

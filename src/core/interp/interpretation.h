@@ -1,0 +1,59 @@
+#ifndef FMTK_CORE_INTERP_INTERPRETATION_H_
+#define FMTK_CORE_INTERP_INTERPRETATION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// A (one-dimensional) FO interpretation: an FO-definable structure
+/// transformation, the formal device behind the survey's §3.3 "tricks".
+/// Each output relation is defined by a formula over the input signature;
+/// an optional domain formula restricts the output domain.
+///
+/// If Q is not FO-definable but I(·) is an interpretation with
+/// Q(I(A)) = P(A), then P is not FO-definable either — interpretations
+/// compose with FO, which is why one reduction (EVEN over orders) kills
+/// connectivity, acyclicity and transitive closure in one stroke.
+class Interpretation {
+ public:
+  /// `output_signature` must be relational without constants.
+  explicit Interpretation(std::shared_ptr<const Signature> output_signature);
+
+  /// Defines output relation `name` by φ(vars): a tuple d̄ is in the output
+  /// iff the input satisfies φ[vars/d̄]. `vars` must list exactly arity many
+  /// distinct variables covering φ's free variables.
+  Status DefineRelation(const std::string& name, Formula f,
+                        std::vector<std::string> variables);
+
+  /// Restricts the output domain to elements satisfying δ(variable);
+  /// omitted = the full input domain. Output elements are renumbered in
+  /// increasing input order.
+  void SetDomainFormula(Formula f, std::string variable);
+
+  const Signature& output_signature() const { return *output_signature_; }
+
+  /// Applies the interpretation. Every output relation must have been
+  /// defined.
+  Result<Structure> Apply(const Structure& input) const;
+
+ private:
+  struct RelationDef {
+    Formula formula;
+    std::vector<std::string> variables;
+  };
+
+  std::shared_ptr<const Signature> output_signature_;
+  std::vector<std::optional<RelationDef>> definitions_;
+  std::optional<RelationDef> domain_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_INTERP_INTERPRETATION_H_

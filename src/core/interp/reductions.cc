@@ -1,0 +1,85 @@
+#include "core/interp/reductions.h"
+
+#include "base/check.h"
+#include "logic/parser.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+
+namespace {
+
+Formula Parse(const char* text) {
+  Result<Formula> f = ParseFormula(text);
+  FMTK_CHECK(f.ok()) << "builtin formula failed to parse: " << text << ": "
+                     << f.status().ToString();
+  return *f;
+}
+
+// Definable predicates over the order vocabulary, written out once:
+//   succ(x,y)   : y is the immediate successor of x
+//   first(x)    : x is the minimum
+//   last(x)     : x is the maximum
+// The E-definitions below inline them.
+constexpr char kSecondSuccessor[] =
+    "exists z. (x < z & !(exists w. x < w & w < z))"
+    " & (z < y & !(exists w. z < w & w < y))";
+
+constexpr char kLastToSecond[] =
+    "!(exists w. x < w)"                                 // x is last
+    " & (exists f. !(exists w. w < f)"                   // f is first
+    "   & (f < y & !(exists w. f < w & w < y)))";        // y = succ(first)
+
+constexpr char kPenultimateToFirst[] =
+    "(exists l. (x < l & !(exists w. x < w & w < l))"    // l = succ(x)...
+    "   & !(exists w. l < w))"                           // ...and l is last
+    " & !(exists w. w < y)";                             // y is first
+
+constexpr char kLastToFirst[] =
+    "!(exists w. x < w) & !(exists w. w < y)";
+
+}  // namespace
+
+Interpretation EvenToConnectivity() {
+  Interpretation interp(Signature::Graph());
+  Formula e = Formula::Or(
+      {Parse(kSecondSuccessor), Parse(kLastToSecond),
+       Parse(kPenultimateToFirst)});
+  Status s = interp.DefineRelation("E", std::move(e), {"x", "y"});
+  FMTK_CHECK(s.ok()) << s.ToString();
+  return interp;
+}
+
+Interpretation EvenToAcyclicity() {
+  Interpretation interp(Signature::Graph());
+  Formula e =
+      Formula::Or(Parse(kSecondSuccessor), Parse(kLastToFirst));
+  Status s = interp.DefineRelation("E", std::move(e), {"x", "y"});
+  FMTK_CHECK(s.ok()) << s.ToString();
+  return interp;
+}
+
+Interpretation SymmetricClosure() {
+  Interpretation interp(Signature::Graph());
+  Status s = interp.DefineRelation("E", Parse("E(x,y) | E(y,x)"),
+                                   {"x", "y"});
+  FMTK_CHECK(s.ok()) << s.ToString();
+  return interp;
+}
+
+Result<bool> ConnectivityViaTransitiveClosure(const Structure& graph) {
+  Interpretation symmetrize = SymmetricClosure();
+  FMTK_ASSIGN_OR_RETURN(Structure sym, symmetrize.Apply(graph));
+  FMTK_ASSIGN_OR_RETURN(std::size_t rel, sym.RelationIndex("E"));
+  Relation closure = TransitiveClosure(sym, rel);
+  const std::size_t n = graph.domain_size();
+  for (Element a = 0; a < n; ++a) {
+    for (Element b = 0; b < n; ++b) {
+      if (a != b && !closure.Contains({a, b})) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,35 @@
+#ifndef FMTK_CORE_INTERP_REDUCTIONS_H_
+#define FMTK_CORE_INTERP_REDUCTIONS_H_
+
+#include "base/result.h"
+#include "core/interp/interpretation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// The §3.3 trick reductions, exactly as the survey draws them.
+
+/// EVEN(<) ≤ CONN: from a linear order, build the graph with an edge from
+/// each element to its 2nd successor, plus an edge from the last element to
+/// the 2nd element and from the penultimate element to the first. The
+/// result is connected iff the order has odd size (and has two components
+/// otherwise). Defined for orders of size >= 2.
+Interpretation EvenToConnectivity();
+
+/// EVEN(<) ≤ ACYCL: the 2nd-successor edges plus one back edge from the
+/// last element to the first. Acyclic iff the order has even size.
+Interpretation EvenToAcyclicity();
+
+/// CONN ≤ TC, step 1: the symmetric closure E(x,y) ∨ E(y,x) of a graph.
+/// Composing with transitive closure and the completeness test decides
+/// connectivity — so TC is not FO-definable either.
+Interpretation SymmetricClosure();
+
+/// The full CONN-via-TC pipeline of the survey: symmetrize, take the
+/// transitive closure, check completeness (all x != y pairs present).
+/// Semantically equal to BooleanQuery::Connectivity() for n >= 1.
+Result<bool> ConnectivityViaTransitiveClosure(const Structure& graph);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_INTERP_REDUCTIONS_H_

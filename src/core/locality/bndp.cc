@@ -1,0 +1,39 @@
+#include "core/locality/bndp.h"
+
+#include <algorithm>
+
+#include "structures/graph.h"
+
+namespace fmtk {
+
+void BndpProfile::Observe(const Structure& input, std::size_t input_rel_index,
+                          const Relation& output) {
+  const std::size_t k = MaxDegree(input, input_rel_index);
+  const std::size_t degrees = DegreeCount(output, input.domain_size());
+  std::size_t& slot = max_output_degrees_[k];
+  slot = std::max(slot, degrees);
+  ++observations_;
+}
+
+bool BndpProfile::WithinBound(std::size_t bound) const {
+  for (const auto& [k, degrees] : max_output_degrees_) {
+    if (degrees > bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t BndpProfile::MaxObserved() const {
+  std::size_t best = 0;
+  for (const auto& [k, degrees] : max_output_degrees_) {
+    best = std::max(best, degrees);
+  }
+  return best;
+}
+
+std::size_t DegreeCount(const Relation& relation, std::size_t domain_size) {
+  return DegreeSet(relation, domain_size).size();
+}
+
+}  // namespace fmtk

@@ -1,0 +1,52 @@
+#ifndef FMTK_CORE_LOCALITY_BNDP_H_
+#define FMTK_CORE_LOCALITY_BNDP_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Bookkeeping for the bounded-number-of-degrees property (Definition 3.3):
+/// a binary-output query Q has the BNDP when there is f_Q with
+/// |degs(Q(G))| <= f_Q(k) for every G of max degree <= k. Feed observations
+/// (one per evaluated structure) and read off the empirical f_Q: the max
+/// output degree-count per input degree bound. An FO query's profile stays
+/// flat as structures grow; TC and same-generation grow without bound — the
+/// E7 experiment.
+class BndpProfile {
+ public:
+  BndpProfile() = default;
+
+  /// Records one evaluation: `input` (with its graph relation index) and
+  /// the query's binary output over the same domain.
+  void Observe(const Structure& input, std::size_t input_rel_index,
+               const Relation& output);
+
+  /// max |degs(Q(G))| over observed inputs with max degree exactly k.
+  const std::map<std::size_t, std::size_t>& profile() const {
+    return max_output_degrees_;
+  }
+
+  /// Does the recorded data stay within `bound` for every input degree?
+  bool WithinBound(std::size_t bound) const;
+
+  /// The largest output degree count seen anywhere.
+  std::size_t MaxObserved() const;
+
+  std::size_t observations() const { return observations_; }
+
+ private:
+  std::map<std::size_t, std::size_t> max_output_degrees_;
+  std::size_t observations_ = 0;
+};
+
+/// |degs(R)| over a given domain size — the quantity the BNDP bounds.
+std::size_t DegreeCount(const Relation& relation, std::size_t domain_size);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_LOCALITY_BNDP_H_

@@ -1,0 +1,96 @@
+#include "core/locality/gaifman_local.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "core/locality/neighborhood.h"
+#include "structures/graph.h"
+#include "structures/isomorphism.h"
+
+namespace fmtk {
+
+namespace {
+
+// Enumerates all tuples in {0..n-1}^m.
+void AllTuples(std::size_t n, std::size_t m, std::vector<Tuple>& out) {
+  Tuple t(m, 0);
+  if (m == 0 || n == 0) {
+    return;
+  }
+  while (true) {
+    out.push_back(t);
+    std::size_t pos = m;
+    while (pos > 0) {
+      --pos;
+      if (t[pos] + 1 < n) {
+        ++t[pos];
+        break;
+      }
+      t[pos] = 0;
+      if (pos == 0) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::optional<GaifmanViolation>> FindGaifmanViolation(
+    const Structure& s, const Relation& output, std::size_t radius) {
+  const std::size_t m = output.arity();
+  if (m == 0) {
+    return Status::InvalidArgument(
+        "Gaifman locality concerns m-ary queries with m > 0");
+  }
+  for (const Tuple& t : output.tuples()) {
+    for (Element e : t) {
+      if (e >= s.domain_size()) {
+        return Status::InvalidArgument(
+            "output relation contains elements outside the structure");
+      }
+    }
+  }
+  Adjacency gaifman = GaifmanAdjacency(s);
+  std::vector<Tuple> tuples;
+  AllTuples(s.domain_size(), m, tuples);
+  // Bucket tuples by neighborhood invariant; compare in/out pairs within a
+  // bucket with the exact isomorphism test.
+  struct Entry {
+    Tuple tuple;
+    Neighborhood neighborhood;
+    bool in_output;
+  };
+  std::unordered_map<std::size_t, std::vector<Entry>> buckets;
+  for (const Tuple& t : tuples) {
+    Neighborhood n = NeighborhoodOf(s, gaifman, t, radius);
+    std::size_t invariant = IsomorphismInvariant(n.structure, n.distinguished);
+    std::vector<Entry>& bucket = buckets[invariant];
+    const bool in_output = output.Contains(t);
+    for (const Entry& other : bucket) {
+      if (other.in_output != in_output &&
+          NeighborhoodsIsomorphic(other.neighborhood, n)) {
+        return std::optional<GaifmanViolation>(
+            in_output ? GaifmanViolation{t, other.tuple}
+                      : GaifmanViolation{other.tuple, t});
+      }
+    }
+    bucket.push_back(Entry{t, std::move(n), in_output});
+  }
+  return std::optional<GaifmanViolation>(std::nullopt);
+}
+
+Result<std::optional<std::size_t>> GaifmanLocalRadiusOn(
+    const Structure& s, const Relation& output, std::size_t max_radius) {
+  for (std::size_t r = 0; r <= max_radius; ++r) {
+    FMTK_ASSIGN_OR_RETURN(std::optional<GaifmanViolation> violation,
+                          FindGaifmanViolation(s, output, r));
+    if (!violation.has_value()) {
+      return std::optional<std::size_t>(r);
+    }
+  }
+  return std::optional<std::size_t>(std::nullopt);
+}
+
+}  // namespace fmtk

@@ -1,0 +1,78 @@
+#include "core/locality/hanf.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fmtk {
+
+bool HanfEquivalent(const Structure& a, const Structure& b,
+                    std::size_t radius, NeighborhoodTypeIndex& index) {
+  if (!(a.signature() == b.signature()) ||
+      a.domain_size() != b.domain_size()) {
+    return false;
+  }
+  return NeighborhoodTypeHistogram(a, radius, index) ==
+         NeighborhoodTypeHistogram(b, radius, index);
+}
+
+bool HanfEquivalent(const Structure& a, const Structure& b,
+                    std::size_t radius) {
+  NeighborhoodTypeIndex index;
+  return HanfEquivalent(a, b, radius, index);
+}
+
+bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
+                             std::size_t radius, std::size_t threshold,
+                             NeighborhoodTypeIndex& index) {
+  if (!(a.signature() == b.signature())) {
+    return false;
+  }
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> ha =
+      NeighborhoodTypeHistogram(a, radius, index);
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> hb =
+      NeighborhoodTypeHistogram(b, radius, index);
+  auto count = [](const std::map<NeighborhoodTypeIndex::TypeId, std::size_t>&
+                      h,
+                  NeighborhoodTypeIndex::TypeId id) -> std::size_t {
+    auto it = h.find(id);
+    return it == h.end() ? 0 : it->second;
+  };
+  for (const auto& [id, ca] : ha) {
+    const std::size_t cb = count(hb, id);
+    if (ca != cb && (ca < threshold || cb < threshold)) {
+      return false;
+    }
+  }
+  for (const auto& [id, cb] : hb) {
+    if (ha.find(id) == ha.end() && cb > 0) {
+      // Realized in b only: counts are cb vs 0.
+      if (cb < threshold || threshold > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
+                             std::size_t radius, std::size_t threshold) {
+  NeighborhoodTypeIndex index;
+  return ThresholdHanfEquivalent(a, b, radius, threshold, index);
+}
+
+std::optional<std::size_t> LargestHanfRadius(const Structure& a,
+                                             const Structure& b,
+                                             std::size_t max_radius) {
+  NeighborhoodTypeIndex index;
+  std::optional<std::size_t> largest;
+  for (std::size_t r = 0; r <= max_radius; ++r) {
+    if (HanfEquivalent(a, b, r, index)) {
+      largest = r;
+    } else {
+      break;  // ⇆r is antitone in r.
+    }
+  }
+  return largest;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,88 @@
+#include "core/locality/neighborhood.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.h"
+#include "structures/isomorphism.h"
+
+namespace fmtk {
+
+std::vector<Element> Ball(const Adjacency& gaifman, const Tuple& center,
+                          std::size_t radius) {
+  std::vector<Element> sources;
+  sources.reserve(center.size());
+  for (Element e : center) {
+    FMTK_CHECK(e < gaifman.size()) << "ball center outside domain";
+    sources.push_back(e);
+  }
+  std::vector<std::size_t> dist = BfsDistances(gaifman, sources);
+  std::vector<Element> ball;
+  for (Element v = 0; v < gaifman.size(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] <= radius) {
+      ball.push_back(v);
+    }
+  }
+  return ball;
+}
+
+Neighborhood NeighborhoodOf(const Structure& s, const Adjacency& gaifman,
+                            const Tuple& center, std::size_t radius) {
+  std::vector<Element> ball = Ball(gaifman, center, radius);
+  Structure induced = InducedSubstructure(s, ball);
+  // Renumber the distinguished tuple into ball coordinates.
+  Tuple distinguished;
+  distinguished.reserve(center.size());
+  for (Element e : center) {
+    auto it = std::lower_bound(ball.begin(), ball.end(), e);
+    FMTK_CHECK(it != ball.end() && *it == e) << "center must lie in its ball";
+    distinguished.push_back(static_cast<Element>(it - ball.begin()));
+  }
+  return Neighborhood{std::move(induced), std::move(distinguished)};
+}
+
+bool NeighborhoodsIsomorphic(const Neighborhood& a, const Neighborhood& b) {
+  return AreIsomorphic(a.structure, b.structure, a.distinguished,
+                       b.distinguished);
+}
+
+NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::TypeOf(
+    const Neighborhood& n) {
+  const std::size_t invariant =
+      IsomorphismInvariant(n.structure, n.distinguished);
+  std::vector<std::pair<Neighborhood, TypeId>>& bucket = buckets_[invariant];
+  for (const auto& [rep, id] : bucket) {
+    if (NeighborhoodsIsomorphic(rep, n)) {
+      return id;
+    }
+  }
+  TypeId id = count_++;
+  bucket.emplace_back(n, id);
+  representatives_.emplace(id, &bucket.back().first);
+  // Note: vector growth may invalidate pointers from this bucket; refresh
+  // all entries of this bucket in the map.
+  for (const auto& [rep, rep_id] : bucket) {
+    representatives_[rep_id] = &rep;
+  }
+  return id;
+}
+
+const Neighborhood& NeighborhoodTypeIndex::representative(TypeId id) const {
+  auto it = representatives_.find(id);
+  FMTK_CHECK(it != representatives_.end()) << "unknown neighborhood type id";
+  return *it->second;
+}
+
+std::map<NeighborhoodTypeIndex::TypeId, std::size_t>
+NeighborhoodTypeHistogram(const Structure& s, std::size_t radius,
+                          NeighborhoodTypeIndex& index) {
+  Adjacency gaifman = GaifmanAdjacency(s);
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> histogram;
+  for (Element v = 0; v < s.domain_size(); ++v) {
+    Neighborhood n = NeighborhoodOf(s, gaifman, {v}, radius);
+    ++histogram[index.TypeOf(n)];
+  }
+  return histogram;
+}
+
+}  // namespace fmtk

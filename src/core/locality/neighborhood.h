@@ -1,0 +1,67 @@
+#ifndef FMTK_CORE_LOCALITY_NEIGHBORHOOD_H_
+#define FMTK_CORE_LOCALITY_NEIGHBORHOOD_H_
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "structures/graph.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// B_r(ā): the elements at Gaifman distance <= r from any component of ā,
+/// sorted ascending. `gaifman` must be GaifmanAdjacency(s).
+std::vector<Element> Ball(const Adjacency& gaifman, const Tuple& center,
+                          std::size_t radius);
+
+/// N_r(s, ā): the substructure induced by B_r(ā), with ā as distinguished
+/// elements (renumbered into the ball's numbering).
+struct Neighborhood {
+  Structure structure;
+  Tuple distinguished;
+};
+
+Neighborhood NeighborhoodOf(const Structure& s, const Adjacency& gaifman,
+                            const Tuple& center, std::size_t radius);
+
+/// N ≅ N' respecting the distinguished tuples (h(ā_i) = b̄_i).
+bool NeighborhoodsIsomorphic(const Neighborhood& a, const Neighborhood& b);
+
+/// Interns isomorphism types of neighborhoods: equal ids iff isomorphic
+/// (exact — candidates are bucketed by IsomorphismInvariant, then confirmed
+/// with the exact search). Ids are comparable across structures through the
+/// same index instance.
+class NeighborhoodTypeIndex {
+ public:
+  using TypeId = std::size_t;
+
+  NeighborhoodTypeIndex() = default;
+
+  TypeId TypeOf(const Neighborhood& n);
+
+  /// Number of distinct types seen.
+  std::size_t size() const { return count_; }
+
+  /// A representative neighborhood of a type.
+  const Neighborhood& representative(TypeId id) const;
+
+ private:
+  std::size_t count_ = 0;
+  // Invariant hash -> representatives in that bucket.
+  std::unordered_map<std::size_t, std::vector<std::pair<Neighborhood, TypeId>>>
+      buckets_;
+  std::map<TypeId, const Neighborhood*> representatives_;
+};
+
+/// Multiset of the r-neighborhood types of all single points of `s`
+/// (type id -> count). The survey's ⇆r comparisons reduce to comparing
+/// these histograms.
+std::map<NeighborhoodTypeIndex::TypeId, std::size_t>
+NeighborhoodTypeHistogram(const Structure& s, std::size_t radius,
+                          NeighborhoodTypeIndex& index);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_LOCALITY_NEIGHBORHOOD_H_

@@ -1,0 +1,53 @@
+#ifndef FMTK_CORE_ORDER_ORDER_INVARIANCE_H_
+#define FMTK_CORE_ORDER_ORDER_INVARIANCE_H_
+
+#include <cstddef>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// §3.6 of the survey: database domains are ordered, so the right
+/// expressiveness question is about structures (A, <). A sentence over
+/// σ ∪ {<} defines a query on plain σ-structures only if its verdict does
+/// not depend on which order was chosen — order-invariance. (Famously,
+/// order-invariant FO is strictly more expressive than FO, but
+/// order-invariant queries still cannot count: EVEN stays out of reach.)
+
+/// Expands `s` with the linear order that ranks `permutation[0]` first,
+/// `permutation[1]` second, ... The permutation must enumerate the domain
+/// exactly once; the signature must not already contain "<".
+Result<Structure> ExpandWithOrder(const Structure& s,
+                                  const std::vector<Element>& permutation);
+
+/// The identity permutation on s's domain.
+std::vector<Element> IdentityOrder(const Structure& s);
+
+/// Outcome of an order-invariance check on one structure.
+struct OrderInvarianceReport {
+  bool invariant = true;
+  /// Verdict under the first order checked (meaningful when invariant).
+  bool value = false;
+  std::size_t orders_checked = 0;
+  /// When not invariant: two orders with different verdicts.
+  std::optional<std::pair<std::vector<Element>, std::vector<Element>>>
+      witness;
+};
+
+/// Checks whether `sentence` (over σ ∪ {<}) gives the same verdict on
+/// (s, <) for every order <. Exhaustive over all |A|! permutations when
+/// |A| <= max_exhaustive; otherwise samples `samples` random permutations
+/// (plus the identity). Exhaustive mode is a proof for this structure;
+/// sampling is only a refutation search.
+Result<OrderInvarianceReport> CheckOrderInvariance(
+    const Structure& s, const Formula& sentence, std::mt19937_64& rng,
+    std::size_t max_exhaustive = 6, std::size_t samples = 30);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_ORDER_ORDER_INVARIANCE_H_

@@ -1,0 +1,46 @@
+#include "core/types/atom_enumeration.h"
+
+namespace fmtk {
+
+std::vector<AtomSlot> EnumerateAtomSlots(const Signature& signature,
+                                         std::size_t extended_length) {
+  std::vector<AtomSlot> slots;
+  for (std::size_t r = 0; r < signature.relation_count(); ++r) {
+    const std::size_t arity = signature.relation(r).arity;
+    if (arity == 0) {
+      slots.push_back({AtomSlot::Kind::kRelation, r, {}});
+      continue;
+    }
+    if (extended_length == 0) {
+      continue;  // No positions to fill.
+    }
+    std::vector<std::size_t> positions(arity, 0);
+    while (true) {
+      slots.push_back({AtomSlot::Kind::kRelation, r, positions});
+      std::size_t pos = arity;
+      bool done = false;
+      while (pos > 0) {
+        --pos;
+        if (positions[pos] + 1 < extended_length) {
+          ++positions[pos];
+          break;
+        }
+        positions[pos] = 0;
+        if (pos == 0) {
+          done = true;
+        }
+      }
+      if (done) {
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < extended_length; ++i) {
+    for (std::size_t j = i + 1; j < extended_length; ++j) {
+      slots.push_back({AtomSlot::Kind::kEquality, 0, {i, j}});
+    }
+  }
+  return slots;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,31 @@
+#ifndef FMTK_CORE_TYPES_ATOM_ENUMERATION_H_
+#define FMTK_CORE_TYPES_ATOM_ENUMERATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// One slot in the canonical enumeration of atomic facts about an (extended)
+/// tuple of length L: either R(p_1,...,p_r) for positions p_i < L, or an
+/// equality p_i = p_j with i < j. The enumeration fixes the bit layout of
+/// atomic types (rank_type) and the atom order of Hintikka formulas, so both
+/// must use this single definition.
+struct AtomSlot {
+  enum class Kind { kRelation, kEquality };
+  Kind kind = Kind::kRelation;
+  std::size_t relation_index = 0;          // kRelation only.
+  std::vector<std::size_t> positions;      // arity many / exactly two.
+};
+
+/// All slots for tuples of length `extended_length` over `signature`:
+/// relations in signature order, each with position tuples in odometer
+/// order, followed by all equalities (i, j) with i < j.
+std::vector<AtomSlot> EnumerateAtomSlots(const Signature& signature,
+                                         std::size_t extended_length);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_TYPES_ATOM_ENUMERATION_H_

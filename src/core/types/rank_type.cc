@@ -1,0 +1,191 @@
+#include "core/types/rank_type.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "core/types/atom_enumeration.h"
+
+namespace fmtk {
+
+namespace {
+
+// Memoization key for a single TypeOf computation: (rank, tuple).
+struct RankTupleKey {
+  std::size_t rank;
+  Tuple tuple;
+
+  bool operator==(const RankTupleKey&) const = default;
+};
+
+struct RankTupleKeyHash {
+  std::size_t operator()(const RankTupleKey& k) const {
+    std::size_t seed = k.rank;
+    for (Element e : k.tuple) {
+      HashCombine(seed, e);
+    }
+    return seed;
+  }
+};
+
+}  // namespace
+
+RankTypeIndex::TypeId RankTypeIndex::InternAtomic(
+    std::size_t tuple_length, std::vector<std::uint8_t> bits) {
+  auto key = std::make_pair(tuple_length, bits);
+  auto it = atomic_ids_.find(key);
+  if (it != atomic_ids_.end()) {
+    return it->second;
+  }
+  TypeId id = next_id_++;
+  atomic_ids_.emplace(std::move(key), id);
+  atomic_info_.emplace(id, AtomicInfo{tuple_length, std::move(bits)});
+  return id;
+}
+
+RankTypeIndex::TypeId RankTypeIndex::InternComposite(
+    std::size_t rank, TypeId atomic, std::vector<TypeId> extensions) {
+  std::vector<TypeId> key;
+  key.reserve(extensions.size() + 2);
+  key.push_back(static_cast<TypeId>(rank));
+  key.push_back(atomic);
+  key.insert(key.end(), extensions.begin(), extensions.end());
+  auto it = composite_ids_.find(key);
+  if (it != composite_ids_.end()) {
+    return it->second;
+  }
+  TypeId id = next_id_++;
+  composite_ids_.emplace(std::move(key), id);
+  composite_info_.emplace(id,
+                          CompositeInfo{rank, atomic, std::move(extensions)});
+  return id;
+}
+
+RankTypeIndex::TypeId RankTypeIndex::AtomicTypeOf(const Structure& s,
+                                                  const Tuple& tuple) {
+  // Extended tuple: the tuple followed by the interpreted constants.
+  // Interpretedness markers are appended to the bits so structures that
+  // interpret different constants get different types.
+  const std::size_t num_constants = s.signature().constant_count();
+  Tuple extended = tuple;
+  std::vector<std::uint8_t> interpreted(num_constants, 0);
+  for (std::size_t c = 0; c < num_constants; ++c) {
+    std::optional<Element> value = s.constant(c);
+    if (value.has_value()) {
+      interpreted[c] = 1;
+      extended.push_back(*value);
+    } else {
+      // Placeholder; atoms touching it evaluate to false deterministically.
+      extended.push_back(0);
+    }
+  }
+  const std::size_t length = extended.size();
+  std::vector<AtomSlot> slots = EnumerateAtomSlots(s.signature(), length);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(slots.size() + num_constants);
+  auto position_live = [&](std::size_t p) {
+    return p < tuple.size() || interpreted[p - tuple.size()] != 0;
+  };
+  for (const AtomSlot& slot : slots) {
+    bool value = false;
+    bool live = true;
+    for (std::size_t p : slot.positions) {
+      if (!position_live(p)) {
+        live = false;
+        break;
+      }
+    }
+    if (live) {
+      if (slot.kind == AtomSlot::Kind::kRelation) {
+        Tuple atom_tuple;
+        atom_tuple.reserve(slot.positions.size());
+        for (std::size_t p : slot.positions) {
+          atom_tuple.push_back(extended[p]);
+        }
+        value = s.relation(slot.relation_index).Contains(atom_tuple);
+      } else {
+        value = extended[slot.positions[0]] == extended[slot.positions[1]];
+      }
+    }
+    bits.push_back(value ? 1 : 0);
+  }
+  bits.insert(bits.end(), interpreted.begin(), interpreted.end());
+  return InternAtomic(tuple.size(), std::move(bits));
+}
+
+RankTypeIndex::TypeId RankTypeIndex::TypeOf(const Structure& s,
+                                            const Tuple& tuple,
+                                            std::size_t rank) {
+  for (Element e : tuple) {
+    FMTK_CHECK(e < s.domain_size()) << "tuple element outside domain";
+  }
+  std::unordered_map<RankTupleKey, TypeId, RankTupleKeyHash> cache;
+  // Iterative-deepening via explicit recursion (lambda).
+  auto compute = [&](auto&& self, const Tuple& t,
+                     std::size_t k) -> TypeId {
+    RankTupleKey key{k, t};
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      return it->second;
+    }
+    TypeId id;
+    if (k == 0) {
+      id = AtomicTypeOf(s, t);
+    } else {
+      TypeId atomic = AtomicTypeOf(s, t);
+      std::set<TypeId> extensions;
+      Tuple extended = t;
+      extended.push_back(0);
+      for (Element a = 0; a < s.domain_size(); ++a) {
+        extended.back() = a;
+        extensions.insert(self(self, extended, k - 1));
+      }
+      id = InternComposite(
+          k, atomic,
+          std::vector<TypeId>(extensions.begin(), extensions.end()));
+    }
+    cache.emplace(std::move(key), id);
+    return id;
+  };
+  return compute(compute, tuple, rank);
+}
+
+bool RankTypeIndex::EquivalentUpToRank(const Structure& a, const Structure& b,
+                                       std::size_t rank) {
+  if (!(a.signature() == b.signature())) {
+    return false;
+  }
+  return TypeOf(a, {}, rank) == TypeOf(b, {}, rank);
+}
+
+std::optional<std::size_t> RankTypeIndex::DistinguishingRank(
+    const Structure& a, const Structure& b, std::size_t max_rank) {
+  for (std::size_t k = 0; k <= max_rank; ++k) {
+    if (!EquivalentUpToRank(a, b, k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+bool RankTypeIndex::IsAtomic(TypeId id) const {
+  return atomic_info_.find(id) != atomic_info_.end();
+}
+
+const RankTypeIndex::AtomicInfo& RankTypeIndex::atomic_info(TypeId id) const {
+  auto it = atomic_info_.find(id);
+  FMTK_CHECK(it != atomic_info_.end()) << "not an atomic type id";
+  return it->second;
+}
+
+const RankTypeIndex::CompositeInfo& RankTypeIndex::composite_info(
+    TypeId id) const {
+  auto it = composite_info_.find(id);
+  FMTK_CHECK(it != composite_info_.end()) << "not a composite type id";
+  return it->second;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,94 @@
+#ifndef FMTK_CORE_TYPES_RANK_TYPE_H_
+#define FMTK_CORE_TYPES_RANK_TYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Interns rank-k types τ_k(A, ā) — the Fraïssé/Hintikka back-and-forth
+/// types:
+///
+///   τ_0(A, ā)  = the atomic type of ā (which atoms and equalities hold
+///                among ā's components and the interpreted constants),
+///   τ_k(A, ā)  = (τ_0(A, ā), { τ_{k-1}(A, ā·a) : a ∈ A }).
+///
+/// The fundamental theorem (the survey's "A ∼Gn B iff A ≡n B") becomes
+/// computable through types: A, ā and B, b̄ agree on all FO formulas of
+/// quantifier rank ≤ k iff τ_k(A, ā) = τ_k(B, b̄). Ids are comparable across
+/// structures as long as they come from the same index instance.
+///
+/// Cost: computing τ_k(A, ā) touches every extension tuple, i.e.
+/// O(Σ_{i≤k} |A|^i) atomic-type computations — exact but exponential in the
+/// rank, which is precisely the blow-up the survey warns about.
+class RankTypeIndex {
+ public:
+  using TypeId = std::uint32_t;
+
+  RankTypeIndex() = default;
+
+  /// τ_rank(s, tuple). Tuple elements must lie in the domain.
+  TypeId TypeOf(const Structure& s, const Tuple& tuple, std::size_t rank);
+
+  /// A ≡rank B (sentences of quantifier rank ≤ rank).
+  bool EquivalentUpToRank(const Structure& a, const Structure& b,
+                          std::size_t rank);
+
+  /// The least rank at which `a` and `b` disagree on some sentence, i.e. the
+  /// number of rounds the spoiler needs; nullopt when a ≡max_rank b.
+  std::optional<std::size_t> DistinguishingRank(const Structure& a,
+                                                const Structure& b,
+                                                std::size_t max_rank);
+
+  // --- Introspection for Hintikka-formula construction ---------------------
+
+  /// True when `id` is an atomic (rank-0) type.
+  bool IsAtomic(TypeId id) const;
+
+  /// For an atomic type: the tuple length and the atom truth bits in
+  /// canonical atom order (see AtomEnumeration in hintikka.cc).
+  struct AtomicInfo {
+    std::size_t tuple_length = 0;
+    std::vector<std::uint8_t> bits;
+  };
+  const AtomicInfo& atomic_info(TypeId id) const;
+
+  /// For a composite (rank >= 1) type: its rank, its atomic part, and the
+  /// sorted distinct set of one-extension types.
+  struct CompositeInfo {
+    std::size_t rank = 0;
+    TypeId atomic = 0;
+    std::vector<TypeId> extensions;
+  };
+  const CompositeInfo& composite_info(TypeId id) const;
+
+  /// Total number of interned types (for diagnostics).
+  std::size_t size() const { return next_id_; }
+
+ private:
+  TypeId InternAtomic(std::size_t tuple_length, std::vector<std::uint8_t> bits);
+  TypeId InternComposite(std::size_t rank, TypeId atomic,
+                         std::vector<TypeId> extensions);
+
+  TypeId AtomicTypeOf(const Structure& s, const Tuple& tuple);
+
+  TypeId next_id_ = 0;
+  // Atomic side.
+  std::map<std::pair<std::size_t, std::vector<std::uint8_t>>, TypeId>
+      atomic_ids_;
+  // Composite side, keyed by (rank, atomic, extensions).
+  std::map<std::vector<TypeId>, TypeId> composite_ids_;
+  // Reverse tables, indexed by id.
+  std::map<TypeId, AtomicInfo> atomic_info_;
+  std::map<TypeId, CompositeInfo> composite_info_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_TYPES_RANK_TYPE_H_

@@ -1,0 +1,293 @@
+#include "core/zeroone/almost_sure.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "base/check.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+Formula ExtensionAxiom(const ExtensionPattern& pattern) {
+  const std::size_t k = pattern.rows.size();
+  std::vector<std::string> xs;
+  for (std::size_t i = 0; i < k; ++i) {
+    xs.push_back("x" + std::to_string(i + 1));
+  }
+  std::vector<Formula> body;
+  for (std::size_t i = 0; i < k; ++i) {
+    body.push_back(Formula::Not(Formula::Equal(V("z"), V(xs[i]))));
+    Formula in = Formula::Atom("E", {V("z"), V(xs[i])});
+    Formula out = Formula::Atom("E", {V(xs[i]), V("z")});
+    body.push_back(pattern.rows[i].first ? in : Formula::Not(in));
+    body.push_back(pattern.rows[i].second ? out : Formula::Not(out));
+  }
+  Formula loop = Formula::Atom("E", {V("z"), V("z")});
+  body.push_back(pattern.loop ? loop : Formula::Not(loop));
+  Formula exists_z = Formula::Exists("z", Formula::And(std::move(body)));
+  if (k == 0) {
+    return exists_z;
+  }
+  Formula guarded =
+      Formula::Implies(Formula::AllDistinct(xs), std::move(exists_z));
+  return Formula::Forall(xs, std::move(guarded));
+}
+
+namespace {
+
+// The named-points diagram: edges[i][j] for i,j < size (loops included).
+class Diagram {
+ public:
+  std::size_t size() const { return n_; }
+
+  bool edge(std::size_t i, std::size_t j) const { return edges_[i][j]; }
+
+  // Adds a point with the given row: to[i] = edge(new, i),
+  // from[i] = edge(i, new), loop = edge(new, new).
+  void Push(const std::vector<bool>& to, const std::vector<bool>& from,
+            bool loop) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      edges_[i].push_back(from[i]);
+    }
+    std::vector<bool> row = to;
+    row.push_back(loop);
+    edges_.push_back(std::move(row));
+    ++n_;
+  }
+
+  void Pop() {
+    FMTK_CHECK(n_ > 0) << "pop on empty diagram";
+    edges_.pop_back();
+    --n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      edges_[i].pop_back();
+    }
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::vector<bool>> edges_;
+};
+
+class RandomGraphEvaluator {
+ public:
+  Result<bool> Eval(const Formula& f,
+                    std::map<std::string, std::size_t>& env) {
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kAtom: {
+        if (f.relation_name() != "E" || f.terms().size() != 2) {
+          return Status::Unsupported(
+              "almost-sure decision supports the graph vocabulary {E/2}");
+        }
+        FMTK_ASSIGN_OR_RETURN(std::size_t a, Lookup(f.terms()[0], env));
+        FMTK_ASSIGN_OR_RETURN(std::size_t b, Lookup(f.terms()[1], env));
+        return diagram_.edge(a, b);
+      }
+      case FormulaKind::kEqual: {
+        FMTK_ASSIGN_OR_RETURN(std::size_t a, Lookup(f.terms()[0], env));
+        FMTK_ASSIGN_OR_RETURN(std::size_t b, Lookup(f.terms()[1], env));
+        return a == b;
+      }
+      case FormulaKind::kNot: {
+        FMTK_ASSIGN_OR_RETURN(bool inner, Eval(f.child(0), env));
+        return !inner;
+      }
+      case FormulaKind::kAnd: {
+        for (const Formula& c : f.children()) {
+          FMTK_ASSIGN_OR_RETURN(bool v, Eval(c, env));
+          if (!v) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case FormulaKind::kOr: {
+        for (const Formula& c : f.children()) {
+          FMTK_ASSIGN_OR_RETURN(bool v, Eval(c, env));
+          if (v) {
+            return true;
+          }
+        }
+        return false;
+      }
+      case FormulaKind::kImplies: {
+        FMTK_ASSIGN_OR_RETURN(bool a, Eval(f.child(0), env));
+        if (!a) {
+          return true;
+        }
+        return Eval(f.child(1), env);
+      }
+      case FormulaKind::kIff: {
+        FMTK_ASSIGN_OR_RETURN(bool a, Eval(f.child(0), env));
+        FMTK_ASSIGN_OR_RETURN(bool b, Eval(f.child(1), env));
+        return a == b;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        // TryWitnesses already returns the truth value: it searches for an
+        // ∃-witness / ∀-counterexample and folds the polarity in.
+        const bool is_exists = f.kind() == FormulaKind::kExists;
+        return TryWitnesses(f, env, is_exists);
+      }
+      case FormulaKind::kCountExists:
+        // In the random graph each realizable 1-type over the named points
+        // is realized infinitely often, so a single fresh witness already
+        // yields >= k of them; otherwise only named points can witness.
+        return CountWitnesses(f, env);
+    }
+    return Status::Internal("unreachable formula kind");
+  }
+
+ private:
+  Result<std::size_t> Lookup(const Term& t,
+                             const std::map<std::string, std::size_t>& env) {
+    if (t.is_constant()) {
+      return Status::Unsupported(
+          "almost-sure decision does not support constants");
+    }
+    auto it = env.find(t.name);
+    if (it == env.end()) {
+      return Status::InvalidArgument("unbound variable " + t.name);
+    }
+    return it->second;
+  }
+
+  // Returns is_exists when some witness makes the body == is_exists (i.e.,
+  // finds an ∃-witness / a ∀-counterexample); otherwise !is_exists.
+  // Witness candidates: every named point, then every possible one-point
+  // diagram extension (all realized in the random graph by the extension
+  // axioms).
+  Result<bool> TryWitnesses(const Formula& f,
+                            std::map<std::string, std::size_t>& env,
+                            bool is_exists) {
+    // Save shadowed binding.
+    auto it = env.find(f.variable());
+    std::optional<std::size_t> shadowed;
+    if (it != env.end()) {
+      shadowed = it->second;
+    }
+    auto restore = [&]() {
+      if (shadowed.has_value()) {
+        env[f.variable()] = *shadowed;
+      } else {
+        env.erase(f.variable());
+      }
+    };
+    // Existing points.
+    for (std::size_t p = 0; p < diagram_.size(); ++p) {
+      env[f.variable()] = p;
+      Result<bool> v = Eval(f.body(), env);
+      if (!v.ok()) {
+        restore();
+        return v;
+      }
+      if (*v == is_exists) {
+        restore();
+        return is_exists;
+      }
+    }
+    // Fresh points: every row pattern over the current diagram.
+    const std::size_t n = diagram_.size();
+    const std::size_t combos = std::size_t{1} << (2 * n + 1);
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      std::vector<bool> to(n);
+      std::vector<bool> from(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        to[i] = (mask >> (2 * i)) & 1;
+        from[i] = (mask >> (2 * i + 1)) & 1;
+      }
+      const bool loop = (mask >> (2 * n)) & 1;
+      diagram_.Push(to, from, loop);
+      env[f.variable()] = n;
+      Result<bool> v = Eval(f.body(), env);
+      diagram_.Pop();
+      if (!v.ok()) {
+        restore();
+        return v;
+      }
+      if (*v == is_exists) {
+        restore();
+        return is_exists;
+      }
+    }
+    restore();
+    return !is_exists;
+  }
+
+  // ∃^{>=k}: named witnesses are counted individually; any satisfying
+  // fresh extension contributes infinitely many witnesses at once.
+  Result<bool> CountWitnesses(const Formula& f,
+                              std::map<std::string, std::size_t>& env) {
+    auto it = env.find(f.variable());
+    std::optional<std::size_t> shadowed;
+    if (it != env.end()) {
+      shadowed = it->second;
+    }
+    auto restore = [&]() {
+      if (shadowed.has_value()) {
+        env[f.variable()] = *shadowed;
+      } else {
+        env.erase(f.variable());
+      }
+    };
+    std::size_t named_witnesses = 0;
+    for (std::size_t p = 0; p < diagram_.size(); ++p) {
+      env[f.variable()] = p;
+      Result<bool> v = Eval(f.body(), env);
+      if (!v.ok()) {
+        restore();
+        return v;
+      }
+      if (*v) {
+        ++named_witnesses;
+      }
+    }
+    const std::size_t n = diagram_.size();
+    const std::size_t combos = std::size_t{1} << (2 * n + 1);
+    for (std::size_t mask = 0; mask < combos; ++mask) {
+      std::vector<bool> to(n);
+      std::vector<bool> from(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        to[i] = (mask >> (2 * i)) & 1;
+        from[i] = (mask >> (2 * i + 1)) & 1;
+      }
+      const bool loop = (mask >> (2 * n)) & 1;
+      diagram_.Push(to, from, loop);
+      env[f.variable()] = n;
+      Result<bool> v = Eval(f.body(), env);
+      diagram_.Pop();
+      if (!v.ok()) {
+        restore();
+        return v;
+      }
+      if (*v) {
+        restore();
+        return true;  // Infinitely many witnesses of this fresh type.
+      }
+    }
+    restore();
+    return named_witnesses >= f.count();
+  }
+
+  Diagram diagram_;
+};
+
+}  // namespace
+
+Result<bool> AlmostSurelyTrue(const Formula& sentence) {
+  if (!FreeVariables(sentence).empty()) {
+    return Status::InvalidArgument(
+        "almost-sure decision takes a sentence (no free variables)");
+  }
+  RandomGraphEvaluator evaluator;
+  std::map<std::string, std::size_t> env;
+  return evaluator.Eval(sentence, env);
+}
+
+}  // namespace fmtk

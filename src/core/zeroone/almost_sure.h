@@ -1,0 +1,41 @@
+#ifndef FMTK_CORE_ZEROONE_ALMOST_SURE_H_
+#define FMTK_CORE_ZEROONE_ALMOST_SURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+
+namespace fmtk {
+
+/// The k-th extension axioms for directed graphs (with loops): for every
+/// "row pattern" — which of E(z, x_i), E(x_i, z) hold for each of k
+/// pairwise-distinct named points, plus E(z, z) — there is a fresh z
+/// realizing exactly that pattern. Every extension axiom is almost surely
+/// true, and together they axiomatize the almost-sure theory (the theory of
+/// the random graph), which is how the 0-1 law is proved.
+struct ExtensionPattern {
+  /// Per named point: (edge z -> x_i, edge x_i -> z).
+  std::vector<std::pair<bool, bool>> rows;
+  bool loop = false;  // E(z, z).
+};
+
+/// Builds the extension axiom for `pattern` over the graph vocabulary:
+/// ∀x1..xk (distinct -> ∃z (z ≠ x_i ∧ exact pattern)).
+Formula ExtensionAxiom(const ExtensionPattern& pattern);
+
+/// Decides whether a graph sentence is ALMOST SURELY TRUE — μ(φ) = 1 — or
+/// almost surely false (the 0-1 law guarantees one of the two for FO).
+///
+/// Exact decision procedure, no sampling: the sentence is evaluated in the
+/// countable random directed graph by structural recursion. A state is the
+/// full atomic diagram of the named points; ∃z ranges over the named points
+/// plus every one-point diagram extension — all of which the extension
+/// axioms realize. Doubly exponential in the quantifier rank; meant for
+/// the survey's example sentences. Graph vocabulary {E/2} only.
+Result<bool> AlmostSurelyTrue(const Formula& sentence);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_ZEROONE_ALMOST_SURE_H_

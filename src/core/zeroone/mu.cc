@@ -1,0 +1,140 @@
+#include "core/zeroone/mu.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+#include "structures/generators.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+namespace {
+
+// All tuples over {0..n-1}^arity in odometer order (the bit layout of the
+// exact enumeration).
+std::vector<Tuple> AllTuplesOf(std::size_t n, std::size_t arity) {
+  std::vector<Tuple> out;
+  if (arity == 0) {
+    out.push_back({});
+    return out;
+  }
+  if (n == 0) {
+    return out;
+  }
+  Tuple t(arity, 0);
+  while (true) {
+    out.push_back(t);
+    std::size_t pos = arity;
+    while (pos > 0) {
+      --pos;
+      if (t[pos] + 1 < n) {
+        ++t[pos];
+        break;
+      }
+      t[pos] = 0;
+      if (pos == 0) {
+        return out;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<MuEstimate> ExactMu(const Formula& sentence,
+                           std::shared_ptr<const Signature> signature,
+                           std::size_t n, std::size_t max_bits) {
+  FMTK_CHECK(signature != nullptr) << "null signature";
+  if (!FreeVariables(sentence).empty()) {
+    return Status::InvalidArgument("mu takes a sentence");
+  }
+  // Slots: one bit per potential tuple, across relations.
+  std::vector<std::pair<std::size_t, Tuple>> slots;  // (relation, tuple)
+  for (std::size_t r = 0; r < signature->relation_count(); ++r) {
+    for (Tuple& t : AllTuplesOf(n, signature->relation(r).arity)) {
+      slots.emplace_back(r, std::move(t));
+    }
+  }
+  if (slots.size() > max_bits) {
+    return Status::Unsupported(
+        "exact enumeration needs 2^" + std::to_string(slots.size()) +
+        " structures; raise max_bits to force it");
+  }
+  if (signature->constant_count() > 0 && n == 0) {
+    return Status::InvalidArgument(
+        "constants cannot be interpreted over an empty domain");
+  }
+  // Constant assignments multiply the count.
+  std::vector<Element> constants(signature->constant_count(), 0);
+  MuEstimate estimate;
+  estimate.exact = true;
+  const std::size_t num_masks = std::size_t{1} << slots.size();
+  while (true) {
+    for (std::size_t mask = 0; mask < num_masks; ++mask) {
+      Structure s(signature, n);
+      for (std::size_t b = 0; b < slots.size(); ++b) {
+        if ((mask >> b) & 1) {
+          s.AddTuple(slots[b].first, slots[b].second);
+        }
+      }
+      for (std::size_t c = 0; c < constants.size(); ++c) {
+        s.SetConstant(c, constants[c]);
+      }
+      FMTK_ASSIGN_OR_RETURN(bool holds, Satisfies(s, sentence));
+      ++estimate.total;
+      if (holds) {
+        ++estimate.satisfied;
+      }
+    }
+    // Advance the constant odometer.
+    std::size_t pos = constants.size();
+    bool done = true;
+    while (pos > 0) {
+      --pos;
+      if (constants[pos] + 1 < n) {
+        ++constants[pos];
+        done = false;
+        break;
+      }
+      constants[pos] = 0;
+    }
+    if (done) {
+      break;
+    }
+  }
+  estimate.value = estimate.total == 0
+                       ? 0.0
+                       : static_cast<double>(estimate.satisfied) /
+                             static_cast<double>(estimate.total);
+  return estimate;
+}
+
+Result<MuEstimate> MonteCarloMu(const Formula& sentence,
+                                std::shared_ptr<const Signature> signature,
+                                std::size_t n, std::size_t samples,
+                                std::mt19937_64& rng) {
+  FMTK_CHECK(signature != nullptr) << "null signature";
+  if (!FreeVariables(sentence).empty()) {
+    return Status::InvalidArgument("mu takes a sentence");
+  }
+  MuEstimate estimate;
+  estimate.exact = false;
+  for (std::size_t i = 0; i < samples; ++i) {
+    Structure s = MakeRandomStructure(signature, n, 0.5, rng);
+    FMTK_ASSIGN_OR_RETURN(bool holds, Satisfies(s, sentence));
+    ++estimate.total;
+    if (holds) {
+      ++estimate.satisfied;
+    }
+  }
+  estimate.value = estimate.total == 0
+                       ? 0.0
+                       : static_cast<double>(estimate.satisfied) /
+                             static_cast<double>(estimate.total);
+  return estimate;
+}
+
+}  // namespace fmtk

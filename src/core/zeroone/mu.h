@@ -1,0 +1,41 @@
+#ifndef FMTK_CORE_ZEROONE_MU_H_
+#define FMTK_CORE_ZEROONE_MU_H_
+
+#include <cstddef>
+#include <memory>
+#include <random>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// μ_n(Q): the fraction of the labelled structures on {0,...,n-1} over a
+/// relational signature that satisfy the sentence — the quantity whose limit
+/// the 0-1 law constrains.
+struct MuEstimate {
+  double value = 0.0;
+  std::size_t satisfied = 0;
+  std::size_t total = 0;     // Structures counted (samples for Monte Carlo).
+  bool exact = false;
+};
+
+/// Exact μ_n by enumerating all 2^(Σ n^arity) structures (constants multiply
+/// by n^#constants). Returns Unsupported when more than `max_bits` tuple
+/// bits would have to be enumerated (default 2^24 structures).
+Result<MuEstimate> ExactMu(const Formula& sentence,
+                           std::shared_ptr<const Signature> signature,
+                           std::size_t n, std::size_t max_bits = 24);
+
+/// Monte-Carlo μ_n: samples uniformly random structures (every tuple
+/// present independently with probability 1/2 — the uniform measure on
+/// labelled structures).
+Result<MuEstimate> MonteCarloMu(const Formula& sentence,
+                                std::shared_ptr<const Signature> signature,
+                                std::size_t n, std::size_t samples,
+                                std::mt19937_64& rng);
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_ZEROONE_MU_H_

@@ -1,0 +1,269 @@
+#include "datalog/evaluator.h"
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+namespace {
+
+using Bindings = std::unordered_map<std::string, Element>;
+
+// Matches `tuple` against `atom`'s terms under `bindings`; extends them on
+// success (returns the variables newly bound so the caller can undo).
+bool MatchAtom(const DlAtom& atom, const Tuple& tuple, Bindings& bindings,
+               std::vector<std::string>& newly_bound) {
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const DlTerm& t = atom.terms[i];
+    if (!t.is_variable) {
+      if (t.value != tuple[i]) {
+        return false;
+      }
+      continue;
+    }
+    auto it = bindings.find(t.variable);
+    if (it != bindings.end()) {
+      if (it->second != tuple[i]) {
+        return false;
+      }
+      continue;
+    }
+    bindings.emplace(t.variable, tuple[i]);
+    newly_bound.push_back(t.variable);
+  }
+  return true;
+}
+
+void Unbind(Bindings& bindings, const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    bindings.erase(name);
+  }
+}
+
+class Engine {
+ public:
+  Engine(const DatalogProgram& program, const Structure& edb,
+         DatalogStrategy strategy, DatalogStats* stats)
+      : program_(program), edb_(edb), strategy_(strategy), stats_(stats) {}
+
+  Result<std::map<std::string, Relation>> Run() {
+    FMTK_RETURN_IF_ERROR(program_.Validate());
+    FMTK_RETURN_IF_ERROR(Setup());
+    FMTK_RETURN_IF_ERROR(SeedFactSchemas());
+    // Round 0's delta is everything seeded so far.
+    for (auto& [name, rel] : idb_) {
+      delta_.emplace(name, rel);
+    }
+    bool changed = true;
+    while (changed) {
+      if (stats_ != nullptr) {
+        ++stats_->iterations;
+      }
+      changed = false;
+      std::map<std::string, Relation> next_delta;
+      for (const auto& [name, rel] : idb_) {
+        next_delta.emplace(name, Relation(rel.arity()));
+      }
+      for (const DlRule& rule : program_.rules()) {
+        if (rule.body.empty()) {
+          continue;  // Facts were seeded.
+        }
+        FMTK_RETURN_IF_ERROR(ApplyRule(rule, next_delta, changed));
+      }
+      delta_ = std::move(next_delta);
+    }
+    return idb_;
+  }
+
+ private:
+  Status Setup() {
+    idb_names_ = program_.IdbPredicates();
+    // IDB predicates must not clash with the input's relations.
+    for (const std::string& name : idb_names_) {
+      if (edb_.signature().FindRelation(name).has_value()) {
+        return Status::InvalidArgument(
+            "IDB predicate " + name +
+            " collides with a relation of the input structure");
+      }
+    }
+    // Collect arities and create empty IDB relations.
+    for (const DlRule& rule : program_.rules()) {
+      idb_.emplace(rule.head.predicate,
+                   Relation(rule.head.terms.size()));
+      for (const DlAtom& atom : rule.body) {
+        if (idb_names_.find(atom.predicate) != idb_names_.end()) {
+          continue;
+        }
+        std::optional<std::size_t> rel =
+            edb_.signature().FindRelation(atom.predicate);
+        if (!rel.has_value()) {
+          return Status::SignatureMismatch(
+              "EDB predicate " + atom.predicate +
+              " is not a relation of the input structure");
+        }
+        if (edb_.signature().relation(*rel).arity != atom.terms.size()) {
+          return Status::SignatureMismatch(
+              "EDB predicate " + atom.predicate + " arity mismatch");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SeedFactSchemas() {
+    for (const DlRule& rule : program_.rules()) {
+      if (!rule.body.empty()) {
+        continue;
+      }
+      // Head variables range over the whole domain.
+      std::vector<std::string> vars;
+      std::set<std::string> seen;
+      for (const DlTerm& t : rule.head.terms) {
+        if (t.is_variable && seen.insert(t.variable).second) {
+          vars.push_back(t.variable);
+        }
+      }
+      Bindings bindings;
+      FMTK_RETURN_IF_ERROR(
+          EnumerateFacts(rule, vars, 0, bindings));
+    }
+    return Status::OK();
+  }
+
+  Status EnumerateFacts(const DlRule& rule,
+                        const std::vector<std::string>& vars,
+                        std::size_t index, Bindings& bindings) {
+    if (index == vars.size()) {
+      FMTK_ASSIGN_OR_RETURN(Tuple head, InstantiateHead(rule.head, bindings));
+      idb_.at(rule.head.predicate).Add(std::move(head));
+      return Status::OK();
+    }
+    for (Element d = 0; d < edb_.domain_size(); ++d) {
+      bindings[vars[index]] = d;
+      FMTK_RETURN_IF_ERROR(EnumerateFacts(rule, vars, index + 1, bindings));
+    }
+    bindings.erase(vars[index]);
+    return Status::OK();
+  }
+
+  Result<Tuple> InstantiateHead(const DlAtom& head,
+                                const Bindings& bindings) const {
+    Tuple out;
+    out.reserve(head.terms.size());
+    for (const DlTerm& t : head.terms) {
+      Element value;
+      if (t.is_variable) {
+        auto it = bindings.find(t.variable);
+        FMTK_CHECK(it != bindings.end())
+            << "unbound head variable " << t.variable
+            << " (program validation should have caught this)";
+        value = it->second;
+      } else {
+        value = t.value;
+      }
+      if (value >= edb_.domain_size()) {
+        return Status::InvalidArgument(
+            "constant " + std::to_string(value) +
+            " outside the structure's domain");
+      }
+      out.push_back(value);
+    }
+    return out;
+  }
+
+  // The relation a body atom scans, honoring the semi-naive delta position.
+  const Relation& RelationFor(const DlAtom& atom, bool use_delta) const {
+    if (idb_names_.find(atom.predicate) != idb_names_.end()) {
+      return use_delta ? delta_.at(atom.predicate) : idb_.at(atom.predicate);
+    }
+    return edb_.relation(*edb_.signature().FindRelation(atom.predicate));
+  }
+
+  Status ApplyRule(const DlRule& rule,
+                   std::map<std::string, Relation>& next_delta,
+                   bool& changed) {
+    // Semi-naive: run the rule once per IDB body position, with that
+    // position restricted to the last round's delta. Naive: one run, all
+    // positions full.
+    std::vector<std::optional<std::size_t>> delta_positions;
+    if (strategy_ == DatalogStrategy::kSemiNaive) {
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        if (idb_names_.find(rule.body[i].predicate) != idb_names_.end()) {
+          delta_positions.emplace_back(i);
+        }
+      }
+      if (delta_positions.empty()) {
+        // Pure-EDB rule: re-firing it each round is redundant but harmless
+        // (everything it derives is already present after round one).
+        delta_positions.emplace_back(std::nullopt);
+      }
+    } else {
+      delta_positions.emplace_back(std::nullopt);
+    }
+    for (const std::optional<std::size_t>& delta_at : delta_positions) {
+      Bindings bindings;
+      FMTK_RETURN_IF_ERROR(
+          JoinBody(rule, 0, delta_at, bindings, next_delta, changed));
+    }
+    return Status::OK();
+  }
+
+  Status JoinBody(const DlRule& rule, std::size_t index,
+                  const std::optional<std::size_t>& delta_at,
+                  Bindings& bindings,
+                  std::map<std::string, Relation>& next_delta,
+                  bool& changed) {
+    if (index == rule.body.size()) {
+      if (stats_ != nullptr) {
+        ++stats_->tuples_derived;
+      }
+      FMTK_ASSIGN_OR_RETURN(Tuple head, InstantiateHead(rule.head, bindings));
+      if (idb_.at(rule.head.predicate).Add(head)) {
+        next_delta.at(rule.head.predicate).Add(std::move(head));
+        changed = true;
+        if (stats_ != nullptr) {
+          ++stats_->tuples_new;
+        }
+      }
+      return Status::OK();
+    }
+    const DlAtom& atom = rule.body[index];
+    const bool use_delta = delta_at.has_value() && *delta_at == index;
+    const Relation& relation = RelationFor(atom, use_delta);
+    if (stats_ != nullptr) {
+      ++stats_->rule_applications;
+    }
+    for (const Tuple& tuple : relation.tuples()) {
+      std::vector<std::string> newly_bound;
+      if (MatchAtom(atom, tuple, bindings, newly_bound)) {
+        FMTK_RETURN_IF_ERROR(JoinBody(rule, index + 1, delta_at, bindings,
+                                      next_delta, changed));
+      }
+      Unbind(bindings, newly_bound);
+    }
+    return Status::OK();
+  }
+
+  const DatalogProgram& program_;
+  const Structure& edb_;
+  DatalogStrategy strategy_;
+  DatalogStats* stats_;
+  std::set<std::string> idb_names_;
+  std::map<std::string, Relation> idb_;
+  std::map<std::string, Relation> delta_;
+};
+
+}  // namespace
+
+Result<std::map<std::string, Relation>> EvaluateDatalog(
+    const DatalogProgram& program, const Structure& edb,
+    DatalogStrategy strategy, DatalogStats* stats) {
+  Engine engine(program, edb, strategy, stats);
+  return engine.Run();
+}
+
+}  // namespace fmtk

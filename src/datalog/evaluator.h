@@ -1,0 +1,38 @@
+#ifndef FMTK_DATALOG_EVALUATOR_H_
+#define FMTK_DATALOG_EVALUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "datalog/program.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Work counters for the fixed-point computation (E14 compares naive vs
+/// semi-naive iteration behaviour).
+struct DatalogStats {
+  std::size_t iterations = 0;
+  std::uint64_t rule_applications = 0;
+  std::uint64_t tuples_derived = 0;   // Including duplicates rederived.
+  std::uint64_t tuples_new = 0;       // Actually inserted.
+};
+
+/// Evaluation strategy: naive re-derives everything each round; semi-naive
+/// joins against the per-round deltas only.
+enum class DatalogStrategy { kNaive, kSemiNaive };
+
+/// Bottom-up least-fixpoint evaluation of a positive Datalog program over
+/// the EDB given by a structure's relations. Returns the IDB relations by
+/// predicate name.
+Result<std::map<std::string, Relation>> EvaluateDatalog(
+    const DatalogProgram& program, const Structure& edb,
+    DatalogStrategy strategy = DatalogStrategy::kSemiNaive,
+    DatalogStats* stats = nullptr);
+
+}  // namespace fmtk
+
+#endif  // FMTK_DATALOG_EVALUATOR_H_

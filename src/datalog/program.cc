@@ -1,0 +1,254 @@
+#include "datalog/program.h"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace fmtk {
+
+std::string DlAtom::ToString() const {
+  std::string out = predicate + "(";
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += terms[i].is_variable ? terms[i].variable
+                                : std::to_string(terms[i].value);
+  }
+  out += ")";
+  return out;
+}
+
+std::string DlRule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += body[i].ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+DatalogProgram& DatalogProgram::AddRule(DlRule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+std::set<std::string> DatalogProgram::IdbPredicates() const {
+  std::set<std::string> idb;
+  for (const DlRule& rule : rules_) {
+    idb.insert(rule.head.predicate);
+  }
+  return idb;
+}
+
+std::set<std::string> DatalogProgram::EdbPredicates() const {
+  std::set<std::string> idb = IdbPredicates();
+  std::set<std::string> edb;
+  for (const DlRule& rule : rules_) {
+    for (const DlAtom& atom : rule.body) {
+      if (idb.find(atom.predicate) == idb.end()) {
+        edb.insert(atom.predicate);
+      }
+    }
+  }
+  return edb;
+}
+
+Status DatalogProgram::Validate() const {
+  std::map<std::string, std::size_t> arities;
+  for (const DlRule& rule : rules_) {
+    // Consistent arities across all uses of a predicate.
+    auto check_arity = [&arities](const DlAtom& atom) -> Status {
+      auto [it, inserted] =
+          arities.emplace(atom.predicate, atom.terms.size());
+      if (!inserted && it->second != atom.terms.size()) {
+        return Status::InvalidArgument("predicate " + atom.predicate +
+                                       " used with inconsistent arities");
+      }
+      return Status::OK();
+    };
+    FMTK_RETURN_IF_ERROR(check_arity(rule.head));
+    for (const DlAtom& atom : rule.body) {
+      FMTK_RETURN_IF_ERROR(check_arity(atom));
+    }
+    if (rule.body.empty()) {
+      continue;  // Fact schema: head variables range over the domain.
+    }
+    std::set<std::string> body_vars;
+    for (const DlAtom& atom : rule.body) {
+      for (const DlTerm& t : atom.terms) {
+        if (t.is_variable) {
+          body_vars.insert(t.variable);
+        }
+      }
+    }
+    for (const DlTerm& t : rule.head.terms) {
+      if (t.is_variable && body_vars.find(t.variable) == body_vars.end()) {
+        return Status::InvalidArgument(
+            "head variable " + t.variable + " of rule " + rule.ToString() +
+            " does not occur in the body");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string out;
+  for (const DlRule& rule : rules_) {
+    out += rule.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+DatalogProgram DatalogProgram::TransitiveClosure() {
+  DatalogProgram p;
+  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
+             {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
+  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
+             {{"E", {DlTerm::Var("x"), DlTerm::Var("z")}},
+              {"tc", {DlTerm::Var("z"), DlTerm::Var("y")}}}});
+  return p;
+}
+
+DatalogProgram DatalogProgram::SameGeneration() {
+  DatalogProgram p;
+  p.AddRule({{"sg", {DlTerm::Var("x"), DlTerm::Var("x")}}, {}});
+  p.AddRule({{"sg", {DlTerm::Var("x"), DlTerm::Var("y")}},
+             {{"E", {DlTerm::Var("u"), DlTerm::Var("x")}},
+              {"E", {DlTerm::Var("v"), DlTerm::Var("y")}},
+              {"sg", {DlTerm::Var("u"), DlTerm::Var("v")}}}});
+  return p;
+}
+
+namespace {
+
+class DlParser {
+ public:
+  explicit DlParser(std::string_view text) : text_(text) {}
+
+  Result<DatalogProgram> Parse() {
+    DatalogProgram program;
+    SkipSpace();
+    while (pos_ < text_.size()) {
+      FMTK_ASSIGN_OR_RETURN(DlRule rule, ParseRule());
+      program.AddRule(std::move(rule));
+      SkipSpace();
+    }
+    FMTK_RETURN_IF_ERROR(program.Validate());
+    return program;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " + std::to_string(pos_));
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return Error("expected an identifier");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<DlAtom> ParseAtom() {
+    FMTK_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    if (std::isdigit(static_cast<unsigned char>(name[0]))) {
+      return Error("predicate names cannot start with a digit");
+    }
+    DlAtom atom;
+    atom.predicate = std::move(name);
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return atom;  // 0-ary atom without parentheses.
+    }
+    ++pos_;  // '('
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ')') {
+      ++pos_;
+      return atom;
+    }
+    while (true) {
+      FMTK_ASSIGN_OR_RETURN(std::string term, ParseIdentifier());
+      if (std::isdigit(static_cast<unsigned char>(term[0]))) {
+        atom.terms.push_back(
+            DlTerm::Const(static_cast<Element>(std::stoul(term))));
+      } else {
+        atom.terms.push_back(DlTerm::Var(std::move(term)));
+      }
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return Error("expected ')'");
+    }
+    ++pos_;
+    return atom;
+  }
+
+  Result<DlRule> ParseRule() {
+    DlRule rule;
+    FMTK_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    SkipSpace();
+    if (pos_ + 1 < text_.size() && text_[pos_] == ':' &&
+        text_[pos_ + 1] == '-') {
+      pos_ += 2;
+      SkipSpace();
+      // An empty body before '.' is allowed (fact schema).
+      if (pos_ < text_.size() && text_[pos_] != '.') {
+        while (true) {
+          FMTK_ASSIGN_OR_RETURN(DlAtom atom, ParseAtom());
+          rule.body.push_back(std::move(atom));
+          SkipSpace();
+          if (pos_ < text_.size() && text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+      }
+    }
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '.') {
+      return Error("expected '.' at end of rule");
+    }
+    ++pos_;
+    return rule;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text) {
+  return DlParser(text).Parse();
+}
+
+}  // namespace fmtk

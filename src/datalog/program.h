@@ -1,0 +1,98 @@
+#ifndef FMTK_DATALOG_PROGRAM_H_
+#define FMTK_DATALOG_PROGRAM_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "structures/relation.h"
+
+namespace fmtk {
+
+/// A Datalog term: a variable or a domain-element literal.
+struct DlTerm {
+  bool is_variable = true;
+  std::string variable;   // is_variable
+  Element value = 0;      // !is_variable
+
+  static DlTerm Var(std::string name) {
+    DlTerm t;
+    t.is_variable = true;
+    t.variable = std::move(name);
+    return t;
+  }
+  static DlTerm Const(Element value) {
+    DlTerm t;
+    t.is_variable = false;
+    t.value = value;
+    return t;
+  }
+
+  friend bool operator==(const DlTerm&, const DlTerm&) = default;
+};
+
+/// predicate(t1, ..., tk).
+struct DlAtom {
+  std::string predicate;
+  std::vector<DlTerm> terms;
+
+  std::string ToString() const;
+};
+
+/// head :- body1, ..., bodyn.  (n = 0 is a fact schema: true for all
+/// instantiations of the head variables over the domain.)
+struct DlRule {
+  DlAtom head;
+  std::vector<DlAtom> body;
+
+  std::string ToString() const;
+};
+
+/// A positive Datalog program: the fixed-point query language the survey
+/// contrasts with FO (same-generation, transitive closure). IDB predicates
+/// are those appearing in rule heads; everything else in bodies is EDB and
+/// must name a relation of the input structure.
+class DatalogProgram {
+ public:
+  DatalogProgram() = default;
+
+  DatalogProgram& AddRule(DlRule rule);
+
+  const std::vector<DlRule>& rules() const { return rules_; }
+
+  /// Head predicates.
+  std::set<std::string> IdbPredicates() const;
+
+  /// Body predicates that are not IDB.
+  std::set<std::string> EdbPredicates() const;
+
+  /// Range restriction: every head variable must occur in the body, except
+  /// in rules with empty bodies (their head variables range over the whole
+  /// domain, like the survey's "sg(x, x) :-" fact schema).
+  Status Validate() const;
+
+  std::string ToString() const;
+
+  /// The survey's example programs.
+  /// tc(x,y) :- E(x,y).   tc(x,y) :- E(x,z), tc(z,y).
+  static DatalogProgram TransitiveClosure();
+  /// sg(x,x) :-.   sg(x,y) :- E(u,x), E(v,y), sg(u,v).
+  static DatalogProgram SameGeneration();
+
+ private:
+  std::vector<DlRule> rules_;
+};
+
+/// Parses a program in textual form, e.g.
+///   "tc(x,y) :- e(x,y). tc(x,y) :- e(x,z), tc(z,y)."
+/// Identifiers are predicates/variables (variables are the identifiers in
+/// term positions); nonnegative integers are domain-element literals. Each
+/// rule ends with '.'; facts may omit ':-'.
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text);
+
+}  // namespace fmtk
+
+#endif  // FMTK_DATALOG_PROGRAM_H_

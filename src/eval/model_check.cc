@@ -1,0 +1,182 @@
+#include "eval/model_check.h"
+
+#include <optional>
+#include <utility>
+
+#include "base/check.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+Result<Element> ModelChecker::ResolveTerm(
+    const Term& term, const VarAssignment& assignment) const {
+  if (term.is_constant()) {
+    std::optional<std::size_t> index =
+        structure_.signature().FindConstant(term.name);
+    if (!index.has_value()) {
+      return Status::SignatureMismatch("unknown constant symbol: " +
+                                       term.name);
+    }
+    std::optional<Element> value = structure_.constant(*index);
+    if (!value.has_value()) {
+      return Status::InvalidArgument("constant " + term.name +
+                                     " is uninterpreted in this structure");
+    }
+    return *value;
+  }
+  auto it = assignment.find(term.name);
+  if (it == assignment.end()) {
+    return Status::InvalidArgument("unbound variable: " + term.name);
+  }
+  return it->second;
+}
+
+Result<bool> ModelChecker::Check(const Formula& f,
+                                 const VarAssignment& assignment) {
+  FMTK_RETURN_IF_ERROR(CheckAgainstSignature(f, structure_.signature()));
+  VarAssignment env = assignment;
+  return Eval(f, env);
+}
+
+Result<bool> ModelChecker::Eval(const Formula& f, VarAssignment& assignment) {
+  ++stats_.node_visits;
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      ++stats_.atom_lookups;
+      // Signature validity was checked up front; index lookup cannot fail.
+      std::size_t index = *structure_.signature().FindRelation(
+          f.relation_name());
+      Tuple tuple;
+      tuple.reserve(f.terms().size());
+      for (const Term& t : f.terms()) {
+        FMTK_ASSIGN_OR_RETURN(Element e, ResolveTerm(t, assignment));
+        tuple.push_back(e);
+      }
+      return structure_.relation(index).Contains(tuple);
+    }
+    case FormulaKind::kEqual: {
+      ++stats_.atom_lookups;
+      FMTK_ASSIGN_OR_RETURN(Element a, ResolveTerm(f.terms()[0], assignment));
+      FMTK_ASSIGN_OR_RETURN(Element b, ResolveTerm(f.terms()[1], assignment));
+      return a == b;
+    }
+    case FormulaKind::kNot: {
+      FMTK_ASSIGN_OR_RETURN(bool inner, Eval(f.child(0), assignment));
+      return !inner;
+    }
+    case FormulaKind::kAnd: {
+      for (const Formula& c : f.children()) {
+        FMTK_ASSIGN_OR_RETURN(bool value, Eval(c, assignment));
+        if (!value) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case FormulaKind::kOr: {
+      for (const Formula& c : f.children()) {
+        FMTK_ASSIGN_OR_RETURN(bool value, Eval(c, assignment));
+        if (value) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case FormulaKind::kImplies: {
+      FMTK_ASSIGN_OR_RETURN(bool a, Eval(f.child(0), assignment));
+      if (!a) {
+        return true;
+      }
+      return Eval(f.child(1), assignment);
+    }
+    case FormulaKind::kIff: {
+      FMTK_ASSIGN_OR_RETURN(bool a, Eval(f.child(0), assignment));
+      FMTK_ASSIGN_OR_RETURN(bool b, Eval(f.child(1), assignment));
+      return a == b;
+    }
+    case FormulaKind::kCountExists: {
+      // Count the witnesses; stop once the threshold is reached.
+      auto it = assignment.find(f.variable());
+      std::optional<Element> shadowed;
+      if (it != assignment.end()) {
+        shadowed = it->second;
+      }
+      std::size_t witnesses = 0;
+      Status error = Status::OK();
+      for (Element d = 0; d < structure_.domain_size(); ++d) {
+        ++stats_.quantifier_instantiations;
+        assignment[f.variable()] = d;
+        Result<bool> value = Eval(f.body(), assignment);
+        if (!value.ok()) {
+          error = value.status();
+          break;
+        }
+        if (*value && ++witnesses >= f.count()) {
+          break;
+        }
+      }
+      if (shadowed.has_value()) {
+        assignment[f.variable()] = *shadowed;
+      } else {
+        assignment.erase(f.variable());
+      }
+      if (!error.ok()) {
+        return error;
+      }
+      return witnesses >= f.count();
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const bool is_exists = f.kind() == FormulaKind::kExists;
+      // Save any shadowed binding.
+      auto it = assignment.find(f.variable());
+      std::optional<Element> shadowed;
+      if (it != assignment.end()) {
+        shadowed = it->second;
+      }
+      bool outcome = !is_exists;
+      Status error = Status::OK();
+      for (Element d = 0; d < structure_.domain_size(); ++d) {
+        ++stats_.quantifier_instantiations;
+        assignment[f.variable()] = d;
+        Result<bool> value = Eval(f.body(), assignment);
+        if (!value.ok()) {
+          error = value.status();
+          break;
+        }
+        if (*value == is_exists) {
+          outcome = is_exists;
+          break;
+        }
+      }
+      if (shadowed.has_value()) {
+        assignment[f.variable()] = *shadowed;
+      } else {
+        assignment.erase(f.variable());
+      }
+      if (!error.ok()) {
+        return error;
+      }
+      return outcome;
+    }
+  }
+  FMTK_CHECK(false) << "unreachable formula kind";
+  return false;
+}
+
+Result<bool> Satisfies(const Structure& structure, const Formula& sentence) {
+  ModelChecker checker(structure);
+  return checker.Check(sentence);
+}
+
+Result<bool> Satisfies(const Structure& structure, const Formula& f,
+                       const VarAssignment& assignment) {
+  ModelChecker checker(structure);
+  return checker.Check(f, assignment);
+}
+
+}  // namespace fmtk

@@ -1,0 +1,62 @@
+#ifndef FMTK_EVAL_MODEL_CHECK_H_
+#define FMTK_EVAL_MODEL_CHECK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Work counters for complexity experiments (E1): the naive recursive
+/// checker visits O(n^k) assignments, matching the survey's combined
+/// complexity discussion.
+struct EvalStats {
+  std::uint64_t node_visits = 0;
+  std::uint64_t atom_lookups = 0;
+  std::uint64_t quantifier_instantiations = 0;
+};
+
+/// A variable assignment: names to domain elements.
+using VarAssignment = std::map<std::string, Element>;
+
+/// The survey's naive recursive model-checking algorithm: time O(n^k),
+/// space O(k log n). Validates the formula against the structure's
+/// signature up front.
+class ModelChecker {
+ public:
+  /// `structure` must outlive the checker.
+  explicit ModelChecker(const Structure& structure) : structure_(structure) {}
+
+  /// Decides structure ⊨ f under `assignment`; every free variable of f
+  /// must be bound. Returns an error for signature mismatches or unbound
+  /// variables.
+  Result<bool> Check(const Formula& f,
+                     const VarAssignment& assignment = {});
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats{}; }
+
+ private:
+  Result<bool> Eval(const Formula& f, VarAssignment& assignment);
+  Result<Element> ResolveTerm(const Term& term,
+                              const VarAssignment& assignment) const;
+
+  const Structure& structure_;
+  EvalStats stats_;
+};
+
+/// One-shot convenience: structure ⊨ sentence.
+Result<bool> Satisfies(const Structure& structure, const Formula& sentence);
+
+/// One-shot with a partial assignment for the free variables.
+Result<bool> Satisfies(const Structure& structure, const Formula& f,
+                       const VarAssignment& assignment);
+
+}  // namespace fmtk
+
+#endif  // FMTK_EVAL_MODEL_CHECK_H_

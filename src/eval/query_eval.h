@@ -1,0 +1,35 @@
+#ifndef FMTK_EVAL_QUERY_EVAL_H_
+#define FMTK_EVAL_QUERY_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// ans(φ(x̄), A) — the survey's query semantics: all tuples d̄ over the
+/// domain with A ⊨ φ[x̄/d̄]. Column i of the result corresponds to
+/// output_variables[i]; the list must cover every free variable of φ
+/// (listing extra variables is allowed — they range over the whole domain,
+/// matching the definition of an n-ary query induced by a formula with
+/// fewer free variables).
+///
+/// Bottom-up relational-algebra evaluation (select/join/union/complement/
+/// project), the way a database engine would run the query.
+Result<Relation> EvaluateQuery(const Structure& structure, const Formula& f,
+                               const std::vector<std::string>& output_variables);
+
+/// The same answer relation computed by brute force: enumerate all
+/// |A|^m assignments and run the model checker. Used to cross-validate the
+/// relational evaluator and as the O(n^k) baseline in benches.
+Result<Relation> EvaluateQueryNaive(
+    const Structure& structure, const Formula& f,
+    const std::vector<std::string>& output_variables);
+
+}  // namespace fmtk
+
+#endif  // FMTK_EVAL_QUERY_EVAL_H_

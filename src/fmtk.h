@@ -1,0 +1,54 @@
+#ifndef FMTK_FMTK_H_
+#define FMTK_FMTK_H_
+
+/// Umbrella header: the whole finite-model-theory toolbox. Include the
+/// individual headers instead when compile time matters.
+
+// Substrates.
+#include "base/result.h"           // IWYU pragma: export
+#include "base/status.h"           // IWYU pragma: export
+#include "circuits/circuit.h"      // IWYU pragma: export
+#include "circuits/compile.h"      // IWYU pragma: export
+#include "datalog/evaluator.h"     // IWYU pragma: export
+#include "datalog/program.h"       // IWYU pragma: export
+#include "eval/model_check.h"      // IWYU pragma: export
+#include "eval/query_eval.h"       // IWYU pragma: export
+#include "logic/analysis.h"        // IWYU pragma: export
+#include "logic/formula.h"         // IWYU pragma: export
+#include "logic/parser.h"          // IWYU pragma: export
+#include "logic/random_formula.h"  // IWYU pragma: export
+#include "logic/transform.h"       // IWYU pragma: export
+#include "qbf/qbf.h"               // IWYU pragma: export
+#include "queries/boolean_query.h" // IWYU pragma: export
+#include "queries/relation_query.h"  // IWYU pragma: export
+#include "structures/generators.h"   // IWYU pragma: export
+#include "structures/graph.h"        // IWYU pragma: export
+#include "structures/io.h"           // IWYU pragma: export
+#include "structures/isomorphism.h"  // IWYU pragma: export
+#include "structures/signature.h"    // IWYU pragma: export
+#include "structures/structure.h"    // IWYU pragma: export
+#include "words/dfa.h"               // IWYU pragma: export
+#include "words/fo_language.h"       // IWYU pragma: export
+#include "words/word_structure.h"    // IWYU pragma: export
+
+// The toolbox.
+#include "core/algorithmic/basic_local.h"     // IWYU pragma: export
+#include "core/algorithmic/bounded_degree.h"  // IWYU pragma: export
+#include "core/algorithmic/local_formula.h"   // IWYU pragma: export
+#include "core/games/ef_game.h"               // IWYU pragma: export
+#include "core/games/hintikka.h"              // IWYU pragma: export
+#include "core/games/linear_order.h"          // IWYU pragma: export
+#include "core/games/pebble_game.h"           // IWYU pragma: export
+#include "core/games/strategy.h"              // IWYU pragma: export
+#include "core/interp/interpretation.h"       // IWYU pragma: export
+#include "core/interp/reductions.h"           // IWYU pragma: export
+#include "core/locality/bndp.h"               // IWYU pragma: export
+#include "core/locality/gaifman_local.h"      // IWYU pragma: export
+#include "core/locality/hanf.h"               // IWYU pragma: export
+#include "core/locality/neighborhood.h"       // IWYU pragma: export
+#include "core/order/order_invariance.h"      // IWYU pragma: export
+#include "core/types/rank_type.h"             // IWYU pragma: export
+#include "core/zeroone/almost_sure.h"         // IWYU pragma: export
+#include "core/zeroone/mu.h"                  // IWYU pragma: export
+
+#endif  // FMTK_FMTK_H_

@@ -1,0 +1,301 @@
+#include "logic/analysis.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+std::size_t QuantifierRank(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      return 0;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists:
+      return 1 + QuantifierRank(f.body());
+    default: {
+      std::size_t rank = 0;
+      for (const Formula& c : f.children()) {
+        rank = std::max(rank, QuantifierRank(c));
+      }
+      return rank;
+    }
+  }
+}
+
+namespace {
+
+void CollectFree(const Formula& f, std::set<std::string>& bound,
+                 std::set<std::string>& free) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      for (const Term& t : f.terms()) {
+        if (t.is_variable() && bound.find(t.name) == bound.end()) {
+          free.insert(t.name);
+        }
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists: {
+      const bool was_bound = bound.count(f.variable()) > 0;
+      bound.insert(f.variable());
+      CollectFree(f.body(), bound, free);
+      if (!was_bound) {
+        bound.erase(f.variable());
+      }
+      return;
+    }
+    default:
+      for (const Formula& c : f.children()) {
+        CollectFree(c, bound, free);
+      }
+      return;
+  }
+}
+
+void CollectAll(const Formula& f, std::set<std::string>& vars) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      for (const Term& t : f.terms()) {
+        if (t.is_variable()) {
+          vars.insert(t.name);
+        }
+      }
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists:
+      vars.insert(f.variable());
+      CollectAll(f.body(), vars);
+      return;
+    default:
+      for (const Formula& c : f.children()) {
+        CollectAll(c, vars);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> FreeVariables(const Formula& f) {
+  std::set<std::string> bound;
+  std::set<std::string> free;
+  CollectFree(f, bound, free);
+  return free;
+}
+
+std::set<std::string> AllVariables(const Formula& f) {
+  std::set<std::string> vars;
+  CollectAll(f, vars);
+  return vars;
+}
+
+std::size_t QuantifierCount(const Formula& f) {
+  std::size_t count = f.is_quantifier() ? 1 : 0;
+  for (const Formula& c : f.children()) {
+    count += QuantifierCount(c);
+  }
+  return count;
+}
+
+Status CheckAgainstSignature(const Formula& f, const Signature& signature) {
+  switch (f.kind()) {
+    case FormulaKind::kAtom: {
+      std::optional<std::size_t> index =
+          signature.FindRelation(f.relation_name());
+      if (!index.has_value()) {
+        return Status::SignatureMismatch("unknown relation symbol: " +
+                                         f.relation_name());
+      }
+      const std::size_t arity = signature.relation(*index).arity;
+      if (f.terms().size() != arity) {
+        return Status::SignatureMismatch(
+            "relation " + f.relation_name() + " has arity " +
+            std::to_string(arity) + ", atom has " +
+            std::to_string(f.terms().size()) + " terms");
+      }
+      break;
+    }
+    case FormulaKind::kEqual:
+      break;
+    default:
+      for (const Formula& c : f.children()) {
+        FMTK_RETURN_IF_ERROR(CheckAgainstSignature(c, signature));
+      }
+      return Status::OK();
+  }
+  // Shared constant check for atoms and equalities.
+  for (const Term& t : f.terms()) {
+    if (t.is_constant() && !signature.FindConstant(t.name).has_value()) {
+      return Status::SignatureMismatch("unknown constant symbol: " + t.name);
+    }
+  }
+  return Status::OK();
+}
+
+std::string FreshVariable(const std::string& stem,
+                          const std::set<std::string>& taken) {
+  if (taken.find(stem) == taken.end()) {
+    return stem;
+  }
+  for (std::size_t i = 1;; ++i) {
+    std::string candidate = stem + std::to_string(i);
+    if (taken.find(candidate) == taken.end()) {
+      return candidate;
+    }
+  }
+}
+
+Formula SubstituteVariable(const Formula& f, const std::string& name,
+                           const Term& replacement) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual: {
+      std::vector<Term> terms = f.terms();
+      bool changed = false;
+      for (Term& t : terms) {
+        if (t.is_variable() && t.name == name) {
+          t = replacement;
+          changed = true;
+        }
+      }
+      if (!changed) {
+        return f;
+      }
+      if (f.kind() == FormulaKind::kAtom) {
+        return Formula::Atom(f.relation_name(), std::move(terms));
+      }
+      return Formula::Equal(terms[0], terms[1]);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists: {
+      if (f.variable() == name) {
+        return f;  // `name` is shadowed; no free occurrences inside.
+      }
+      std::string bound = f.variable();
+      Formula body = f.body();
+      if (replacement.is_variable() && replacement.name == bound) {
+        // Capture: rename the bound variable first.
+        std::set<std::string> taken = AllVariables(body);
+        taken.insert(name);
+        taken.insert(replacement.name);
+        std::string fresh = FreshVariable(bound, taken);
+        body = SubstituteVariable(body, bound, Term::Var(fresh));
+        bound = fresh;
+      }
+      body = SubstituteVariable(body, name, replacement);
+      switch (f.kind()) {
+        case FormulaKind::kExists:
+          return Formula::Exists(std::move(bound), std::move(body));
+        case FormulaKind::kForall:
+          return Formula::Forall(std::move(bound), std::move(body));
+        default:
+          return Formula::CountExists(f.count(), std::move(bound),
+                                      std::move(body));
+      }
+    }
+    case FormulaKind::kNot:
+      return Formula::Not(SubstituteVariable(f.child(0), name, replacement));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.child_count());
+      for (const Formula& c : f.children()) {
+        children.push_back(SubstituteVariable(c, name, replacement));
+      }
+      return f.kind() == FormulaKind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kImplies:
+      return Formula::Implies(
+          SubstituteVariable(f.child(0), name, replacement),
+          SubstituteVariable(f.child(1), name, replacement));
+    case FormulaKind::kIff:
+      return Formula::Iff(SubstituteVariable(f.child(0), name, replacement),
+                          SubstituteVariable(f.child(1), name, replacement));
+  }
+  FMTK_CHECK(false) << "unreachable formula kind";
+  return f;
+}
+
+namespace {
+
+Formula RenameApart(const Formula& f, std::set<std::string>& taken) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      return f;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists: {
+      std::string fresh = FreshVariable(f.variable(), taken);
+      taken.insert(fresh);
+      Formula body = f.body();
+      if (fresh != f.variable()) {
+        body = SubstituteVariable(body, f.variable(), Term::Var(fresh));
+      }
+      body = RenameApart(body, taken);
+      switch (f.kind()) {
+        case FormulaKind::kExists:
+          return Formula::Exists(std::move(fresh), std::move(body));
+        case FormulaKind::kForall:
+          return Formula::Forall(std::move(fresh), std::move(body));
+        default:
+          return Formula::CountExists(f.count(), std::move(fresh),
+                                      std::move(body));
+      }
+    }
+    case FormulaKind::kNot:
+      return Formula::Not(RenameApart(f.child(0), taken));
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.child_count());
+      for (const Formula& c : f.children()) {
+        children.push_back(RenameApart(c, taken));
+      }
+      return f.kind() == FormulaKind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kImplies:
+      return Formula::Implies(RenameApart(f.child(0), taken),
+                              RenameApart(f.child(1), taken));
+    case FormulaKind::kIff:
+      return Formula::Iff(RenameApart(f.child(0), taken),
+                          RenameApart(f.child(1), taken));
+  }
+  FMTK_CHECK(false) << "unreachable formula kind";
+  return f;
+}
+
+}  // namespace
+
+Formula RenameBoundVariablesApart(const Formula& f) {
+  std::set<std::string> taken = FreeVariables(f);
+  return RenameApart(f, taken);
+}
+
+}  // namespace fmtk

@@ -1,0 +1,50 @@
+#ifndef FMTK_LOGIC_ANALYSIS_H_
+#define FMTK_LOGIC_ANALYSIS_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/formula.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// Quantifier rank qr(φ): the maximum nesting depth of quantifiers
+/// (the survey's Definition; qr(atom)=0, Boolean connectives take the max,
+/// quantifiers add one).
+std::size_t QuantifierRank(const Formula& f);
+
+/// Free variables of φ, sorted by name.
+std::set<std::string> FreeVariables(const Formula& f);
+
+/// All variable names occurring in φ (free or bound).
+std::set<std::string> AllVariables(const Formula& f);
+
+/// Number of quantifier nodes (not rank): size accounting for benches.
+std::size_t QuantifierCount(const Formula& f);
+
+/// Verifies that every atom of φ uses a relation symbol of `signature` with
+/// the right arity and that every constant term names a constant of
+/// `signature`.
+Status CheckAgainstSignature(const Formula& f, const Signature& signature);
+
+/// A variable name not in `taken`, derived from `stem` ("x", "x1", "x2"...).
+std::string FreshVariable(const std::string& stem,
+                          const std::set<std::string>& taken);
+
+/// Capture-avoiding substitution of `replacement` for free occurrences of
+/// variable `name`. Bound variables that would capture the replacement are
+/// renamed to fresh names.
+Formula SubstituteVariable(const Formula& f, const std::string& name,
+                           const Term& replacement);
+
+/// Alpha-renames so every quantifier binds a distinct variable that is also
+/// distinct from all free variables. Needed before prenexing.
+Formula RenameBoundVariablesApart(const Formula& f);
+
+}  // namespace fmtk
+
+#endif  // FMTK_LOGIC_ANALYSIS_H_

@@ -1,0 +1,387 @@
+#include "logic/parser.h"
+
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fmtk {
+
+namespace {
+
+enum class TokenKind {
+  kName,     // identifiers and keywords
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kAnd,      // &
+  kOr,       // |
+  kNot,      // ! or ~
+  kImplies,  // ->
+  kIff,      // <->
+  kEqual,    // =
+  kNotEqual, // !=
+  kLess,     // <
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespace();
+      const std::size_t at = pos_;
+      if (pos_ >= text_.size()) {
+        tokens.push_back({TokenKind::kEnd, "", at});
+        return tokens;
+      }
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '\'')) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kName,
+                          std::string(text_.substr(start, pos_ - start)),
+                          at});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        // Numeric names are allowed as constants/variables (e.g. parsers of
+        // generated formulas); lex them as names.
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kName,
+                          std::string(text_.substr(start, pos_ - start)),
+                          at});
+        continue;
+      }
+      switch (c) {
+        case '(':
+          tokens.push_back({TokenKind::kLParen, "(", at});
+          ++pos_;
+          continue;
+        case ')':
+          tokens.push_back({TokenKind::kRParen, ")", at});
+          ++pos_;
+          continue;
+        case ',':
+          tokens.push_back({TokenKind::kComma, ",", at});
+          ++pos_;
+          continue;
+        case '.':
+        case ':':
+          tokens.push_back({TokenKind::kDot, ".", at});
+          ++pos_;
+          continue;
+        case '&':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '&') {
+            ++pos_;
+          }
+          tokens.push_back({TokenKind::kAnd, "&", at});
+          continue;
+        case '|':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '|') {
+            ++pos_;
+          }
+          tokens.push_back({TokenKind::kOr, "|", at});
+          continue;
+        case '~':
+          tokens.push_back({TokenKind::kNot, "~", at});
+          ++pos_;
+          continue;
+        case '!':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            ++pos_;
+            tokens.push_back({TokenKind::kNotEqual, "!=", at});
+          } else {
+            tokens.push_back({TokenKind::kNot, "!", at});
+          }
+          continue;
+        case '=':
+          tokens.push_back({TokenKind::kEqual, "=", at});
+          ++pos_;
+          continue;
+        case '-':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '>') {
+            ++pos_;
+            tokens.push_back({TokenKind::kImplies, "->", at});
+            continue;
+          }
+          return Status::ParseError("stray '-' at offset " +
+                                    std::to_string(at));
+        case '<':
+          ++pos_;
+          if (pos_ + 1 < text_.size() && text_[pos_] == '-' &&
+              text_[pos_ + 1] == '>') {
+            pos_ += 2;
+            tokens.push_back({TokenKind::kIff, "<->", at});
+          } else {
+            tokens.push_back({TokenKind::kLess, "<", at});
+          }
+          continue;
+        default:
+          return Status::ParseError(std::string("unexpected character '") +
+                                    c + "' at offset " + std::to_string(at));
+      }
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool IsKeyword(const Token& t, std::string_view word) {
+  return t.kind == TokenKind::kName && t.text == word;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Signature* signature)
+      : tokens_(std::move(tokens)), signature_(signature) {}
+
+  Result<Formula> Parse() {
+    FMTK_ASSIGN_OR_RETURN(Formula f, ParseIff());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input");
+    }
+    return f;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().offset) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  Result<Formula> ParseIff() {
+    FMTK_ASSIGN_OR_RETURN(Formula left, ParseImplies());
+    while (Peek().kind == TokenKind::kIff) {
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula right, ParseImplies());
+      left = Formula::Iff(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Formula> ParseImplies() {
+    FMTK_ASSIGN_OR_RETURN(Formula left, ParseOr());
+    if (Peek().kind == TokenKind::kImplies) {
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula right, ParseImplies());
+      return Formula::Implies(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Formula> ParseOr() {
+    FMTK_ASSIGN_OR_RETURN(Formula left, ParseAnd());
+    while (Peek().kind == TokenKind::kOr || IsKeyword(Peek(), "or")) {
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula right, ParseAnd());
+      left = Formula::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Formula> ParseAnd() {
+    FMTK_ASSIGN_OR_RETURN(Formula left, ParseUnary());
+    while (Peek().kind == TokenKind::kAnd || IsKeyword(Peek(), "and")) {
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula right, ParseUnary());
+      left = Formula::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Formula> ParseUnary() {
+    if (Peek().kind == TokenKind::kNot || IsKeyword(Peek(), "not")) {
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula f, ParseUnary());
+      return Formula::Not(std::move(f));
+    }
+    if (IsKeyword(Peek(), "atleast")) {
+      // Counting quantifier: atleast <k> <var> . <formula>.
+      Advance();
+      if (Peek().kind != TokenKind::kName ||
+          !std::isdigit(static_cast<unsigned char>(Peek().text[0]))) {
+        return Error("expected a count after 'atleast'");
+      }
+      const std::size_t count = std::stoul(Advance().text);
+      if (count == 0) {
+        return Error("'atleast 0' is trivially true; use a count >= 1");
+      }
+      if (Peek().kind != TokenKind::kName) {
+        return Error("expected a variable after the count");
+      }
+      std::string variable = Advance().text;
+      if (Peek().kind != TokenKind::kDot) {
+        return Error("expected '.' after the counting quantifier");
+      }
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula body, ParseIff());
+      return Formula::CountExists(count, std::move(variable),
+                                  std::move(body));
+    }
+    const bool is_exists =
+        IsKeyword(Peek(), "exists") || IsKeyword(Peek(), "ex");
+    const bool is_forall =
+        IsKeyword(Peek(), "forall") || IsKeyword(Peek(), "all");
+    if (is_exists || is_forall) {
+      Advance();
+      std::vector<std::string> variables;
+      while (Peek().kind == TokenKind::kName && !IsKeyword(Peek(), "true") &&
+             !IsKeyword(Peek(), "false")) {
+        variables.push_back(Advance().text);
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+        }
+      }
+      if (variables.empty()) {
+        return Error("quantifier without variables");
+      }
+      if (Peek().kind != TokenKind::kDot) {
+        return Error("expected '.' after quantified variables");
+      }
+      Advance();
+      // The quantifier's scope extends as far right as possible.
+      FMTK_ASSIGN_OR_RETURN(Formula body, ParseIff());
+      return is_exists ? Formula::Exists(variables, std::move(body))
+                       : Formula::Forall(variables, std::move(body));
+    }
+    return ParsePrimary();
+  }
+
+  Term ResolveTerm(const std::string& name) const {
+    if (signature_ != nullptr && signature_->FindConstant(name).has_value()) {
+      return Term::Const(name);
+    }
+    return Term::Var(name);
+  }
+
+  Result<Formula> ParsePrimary() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      FMTK_ASSIGN_OR_RETURN(Formula f, ParseIff());
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')'");
+      }
+      Advance();
+      return f;
+    }
+    if (IsKeyword(Peek(), "true")) {
+      Advance();
+      return Formula::True();
+    }
+    if (IsKeyword(Peek(), "false")) {
+      Advance();
+      return Formula::False();
+    }
+    if (Peek().kind != TokenKind::kName) {
+      return Error("expected a formula");
+    }
+    const std::string name = Advance().text;
+    if (Peek().kind == TokenKind::kLParen) {
+      // Relation atom R(t1,...,tk).
+      Advance();
+      std::vector<Term> terms;
+      if (Peek().kind != TokenKind::kRParen) {
+        while (true) {
+          if (Peek().kind != TokenKind::kName) {
+            return Error("expected a term");
+          }
+          terms.push_back(ResolveTerm(Advance().text));
+          if (Peek().kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')' after atom arguments");
+      }
+      Advance();
+      return Formula::Atom(name, std::move(terms));
+    }
+    // `name` starts a term: equality, inequality, or infix '<'.
+    Term left = ResolveTerm(name);
+    switch (Peek().kind) {
+      case TokenKind::kEqual: {
+        Advance();
+        if (Peek().kind != TokenKind::kName) {
+          return Error("expected a term after '='");
+        }
+        Term right = ResolveTerm(Advance().text);
+        return Formula::Equal(std::move(left), std::move(right));
+      }
+      case TokenKind::kNotEqual: {
+        Advance();
+        if (Peek().kind != TokenKind::kName) {
+          return Error("expected a term after '!='");
+        }
+        Term right = ResolveTerm(Advance().text);
+        return Formula::Not(
+            Formula::Equal(std::move(left), std::move(right)));
+      }
+      case TokenKind::kLess: {
+        Advance();
+        if (Peek().kind != TokenKind::kName) {
+          return Error("expected a term after '<'");
+        }
+        Term right = ResolveTerm(Advance().text);
+        return Formula::Atom("<", {std::move(left), std::move(right)});
+      }
+      default:
+        // A bare name: a 0-ary relation atom (propositional flag).
+        return Formula::Atom(name, {});
+    }
+  }
+
+  std::vector<Token> tokens_;
+  const Signature* signature_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Formula> ParseFormula(std::string_view text,
+                             const Signature* signature) {
+  Lexer lexer(text);
+  FMTK_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens), signature);
+  return parser.Parse();
+}
+
+}  // namespace fmtk

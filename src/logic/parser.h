@@ -1,0 +1,37 @@
+#ifndef FMTK_LOGIC_PARSER_H_
+#define FMTK_LOGIC_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// Parses the toolkit's FO surface syntax:
+///
+///   formula := iff
+///   iff     := implies ("<->" implies)*
+///   implies := or ("->" implies)?                    (right-associative)
+///   or      := and (("|" | "or") and)*
+///   and     := unary (("&" | "and") unary)*
+///   unary   := ("!" | "~" | "not") unary
+///            | ("exists" | "ex" | "forall" | "all") name+ "." formula
+///            | primary
+///   primary := "true" | "false" | "(" formula ")" | atom
+///   atom    := name "(" term ("," term)* ")"         relation atom
+///            | name                                   0-ary relation atom
+///            | term "=" term | term "!=" term         (in)equality
+///            | term "<" term                          atom of relation "<"
+///
+/// A name used as a term denotes the signature's constant of that name when
+/// one exists (a signature must be supplied to use constants), and a
+/// variable otherwise. Example:
+///   "forall x. exists y. E(x,y) & !(x = y)"
+Result<Formula> ParseFormula(std::string_view text,
+                             const Signature* signature = nullptr);
+
+}  // namespace fmtk
+
+#endif  // FMTK_LOGIC_PARSER_H_

@@ -1,0 +1,110 @@
+#include "logic/random_formula.h"
+
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+namespace {
+
+std::string PoolVariable(std::size_t index) {
+  return "x" + std::to_string(index + 1);
+}
+
+Term RandomTerm(const RandomFormulaOptions& options, std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> pick(0,
+                                                  options.variable_pool - 1);
+  return Term::Var(PoolVariable(pick(rng)));
+}
+
+Formula RandomLeaf(const Signature& signature,
+                   const RandomFormulaOptions& options, std::mt19937_64& rng) {
+  // Choose among: relation atoms, equality, true, false.
+  std::uniform_int_distribution<int> kind(0, 9);
+  const int k = kind(rng);
+  if (k == 0) {
+    return Formula::True();
+  }
+  if (k == 1) {
+    return Formula::False();
+  }
+  if (k <= 3 || signature.relation_count() == 0) {
+    return Formula::Equal(RandomTerm(options, rng),
+                          RandomTerm(options, rng));
+  }
+  std::uniform_int_distribution<std::size_t> pick_rel(
+      0, signature.relation_count() - 1);
+  const std::size_t rel = pick_rel(rng);
+  std::vector<Term> terms;
+  terms.reserve(signature.relation(rel).arity);
+  for (std::size_t i = 0; i < signature.relation(rel).arity; ++i) {
+    terms.push_back(RandomTerm(options, rng));
+  }
+  return Formula::Atom(signature.relation(rel).name, std::move(terms));
+}
+
+Formula Random(const Signature& signature,
+               const RandomFormulaOptions& options, std::size_t depth,
+               std::mt19937_64& rng) {
+  std::bernoulli_distribution leaf(options.leaf_probability);
+  if (depth >= options.max_depth || leaf(rng)) {
+    return RandomLeaf(signature, options, rng);
+  }
+  std::uniform_int_distribution<int> kind(0, options.counting ? 7 : 6);
+  std::uniform_int_distribution<std::size_t> pick_var(
+      0, options.variable_pool - 1);
+  switch (kind(rng)) {
+    case 0:
+      return Formula::Not(Random(signature, options, depth + 1, rng));
+    case 1:
+      return Formula::And(Random(signature, options, depth + 1, rng),
+                          Random(signature, options, depth + 1, rng));
+    case 2:
+      return Formula::Or(Random(signature, options, depth + 1, rng),
+                         Random(signature, options, depth + 1, rng));
+    case 3:
+      return Formula::Implies(Random(signature, options, depth + 1, rng),
+                              Random(signature, options, depth + 1, rng));
+    case 4:
+      return Formula::Iff(Random(signature, options, depth + 1, rng),
+                          Random(signature, options, depth + 1, rng));
+    case 5:
+      return Formula::Exists(PoolVariable(pick_var(rng)),
+                             Random(signature, options, depth + 1, rng));
+    case 6:
+      return Formula::Forall(PoolVariable(pick_var(rng)),
+                             Random(signature, options, depth + 1, rng));
+    default: {
+      std::uniform_int_distribution<std::size_t> pick_count(1, 3);
+      return Formula::CountExists(pick_count(rng),
+                                  PoolVariable(pick_var(rng)),
+                                  Random(signature, options, depth + 1, rng));
+    }
+  }
+}
+
+}  // namespace
+
+Formula MakeRandomFormula(const Signature& signature,
+                          const RandomFormulaOptions& options,
+                          std::mt19937_64& rng) {
+  FMTK_CHECK(options.variable_pool >= 1) << "need at least one variable";
+  return Random(signature, options, 0, rng);
+}
+
+Formula MakeRandomSentence(const Signature& signature,
+                           const RandomFormulaOptions& options,
+                           std::mt19937_64& rng) {
+  Formula f = MakeRandomFormula(signature, options, rng);
+  std::bernoulli_distribution exists(0.5);
+  for (const std::string& v : FreeVariables(f)) {
+    f = exists(rng) ? Formula::Exists(v, std::move(f))
+                    : Formula::Forall(v, std::move(f));
+  }
+  return f;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,39 @@
+#ifndef FMTK_LOGIC_RANDOM_FORMULA_H_
+#define FMTK_LOGIC_RANDOM_FORMULA_H_
+
+#include <cstddef>
+#include <random>
+
+#include "logic/formula.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// Knobs for random formula generation (fuzzing the parser, printer,
+/// transforms and the two evaluators against each other).
+struct RandomFormulaOptions {
+  std::size_t max_depth = 4;
+  /// Variables are drawn from x1..xk with k = variable_pool.
+  std::size_t variable_pool = 3;
+  /// Allow ∃^{>=k} nodes (k in 1..3).
+  bool counting = false;
+  /// Probability of choosing a leaf before max_depth forces one.
+  double leaf_probability = 0.3;
+};
+
+/// A random formula over `signature`. All leaves use the signature's
+/// relations (plus equalities); free variables come from the pool, so the
+/// result is generally open — quantify or supply assignments as needed.
+Formula MakeRandomFormula(const Signature& signature,
+                          const RandomFormulaOptions& options,
+                          std::mt19937_64& rng);
+
+/// A random *sentence*: MakeRandomFormula with all free variables
+/// quantified (randomly ∃/∀) at the top.
+Formula MakeRandomSentence(const Signature& signature,
+                           const RandomFormulaOptions& options,
+                           std::mt19937_64& rng);
+
+}  // namespace fmtk
+
+#endif  // FMTK_LOGIC_RANDOM_FORMULA_H_

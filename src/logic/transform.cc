@@ -1,0 +1,224 @@
+#include "logic/transform.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+namespace {
+
+Formula Nnf(const Formula& f, bool negated);
+
+Formula NnfChildren(const Formula& f, bool negated, FormulaKind kind) {
+  std::vector<Formula> children;
+  children.reserve(f.child_count());
+  for (const Formula& c : f.children()) {
+    children.push_back(Nnf(c, negated));
+  }
+  return kind == FormulaKind::kAnd ? Formula::And(std::move(children))
+                                   : Formula::Or(std::move(children));
+}
+
+Formula Nnf(const Formula& f, bool negated) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+      return negated ? Formula::False() : Formula::True();
+    case FormulaKind::kFalse:
+      return negated ? Formula::True() : Formula::False();
+    case FormulaKind::kAtom:
+    case FormulaKind::kEqual:
+      return negated ? Formula::Not(f) : f;
+    case FormulaKind::kNot:
+      return Nnf(f.child(0), !negated);
+    case FormulaKind::kAnd:
+      return NnfChildren(f, negated,
+                         negated ? FormulaKind::kOr : FormulaKind::kAnd);
+    case FormulaKind::kOr:
+      return NnfChildren(f, negated,
+                         negated ? FormulaKind::kAnd : FormulaKind::kOr);
+    case FormulaKind::kImplies:
+      // a -> b == !a | b;  !(a -> b) == a & !b.
+      if (negated) {
+        return Formula::And(Nnf(f.child(0), false), Nnf(f.child(1), true));
+      }
+      return Formula::Or(Nnf(f.child(0), true), Nnf(f.child(1), false));
+    case FormulaKind::kIff:
+      // a <-> b == (a & b) | (!a & !b);  negation swaps one side.
+      if (negated) {
+        return Formula::Or(
+            Formula::And(Nnf(f.child(0), false), Nnf(f.child(1), true)),
+            Formula::And(Nnf(f.child(0), true), Nnf(f.child(1), false)));
+      }
+      return Formula::Or(
+          Formula::And(Nnf(f.child(0), false), Nnf(f.child(1), false)),
+          Formula::And(Nnf(f.child(0), true), Nnf(f.child(1), true)));
+    case FormulaKind::kExists:
+      return negated ? Formula::Forall(f.variable(), Nnf(f.body(), true))
+                     : Formula::Exists(f.variable(), Nnf(f.body(), false));
+    case FormulaKind::kForall:
+      return negated ? Formula::Exists(f.variable(), Nnf(f.body(), true))
+                     : Formula::Forall(f.variable(), Nnf(f.body(), false));
+    case FormulaKind::kCountExists: {
+      // No dual connective in the syntax: normalize the body positively and
+      // keep the negation (if any) in front.
+      Formula inner = Formula::CountExists(f.count(), f.variable(),
+                                           Nnf(f.body(), false));
+      return negated ? Formula::Not(std::move(inner)) : inner;
+    }
+  }
+  FMTK_CHECK(false) << "unreachable formula kind";
+  return f;
+}
+
+}  // namespace
+
+Formula NegationNormalForm(const Formula& f) { return Nnf(f, false); }
+
+Formula Simplify(const Formula& f) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kAtom:
+      return f;
+    case FormulaKind::kEqual:
+      // t = t folds to true.
+      if (f.terms()[0] == f.terms()[1]) {
+        return Formula::True();
+      }
+      return f;
+    case FormulaKind::kNot: {
+      Formula inner = Simplify(f.child(0));
+      switch (inner.kind()) {
+        case FormulaKind::kTrue:
+          return Formula::False();
+        case FormulaKind::kFalse:
+          return Formula::True();
+        case FormulaKind::kNot:
+          return inner.child(0);
+        default:
+          return Formula::Not(std::move(inner));
+      }
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const bool is_and = f.kind() == FormulaKind::kAnd;
+      const FormulaKind unit = is_and ? FormulaKind::kTrue : FormulaKind::kFalse;
+      const FormulaKind zero = is_and ? FormulaKind::kFalse : FormulaKind::kTrue;
+      std::vector<Formula> children;
+      for (const Formula& c : f.children()) {
+        Formula s = Simplify(c);
+        if (s.kind() == zero) {
+          return is_and ? Formula::False() : Formula::True();
+        }
+        if (s.kind() == unit) {
+          continue;
+        }
+        if (s.kind() == f.kind()) {
+          for (const Formula& g : s.children()) {
+            children.push_back(g);
+          }
+        } else {
+          children.push_back(std::move(s));
+        }
+      }
+      if (children.empty()) {
+        return is_and ? Formula::True() : Formula::False();
+      }
+      if (children.size() == 1) {
+        return children[0];
+      }
+      return is_and ? Formula::And(std::move(children))
+                    : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      Formula a = Simplify(f.child(0));
+      Formula b = Simplify(f.child(1));
+      if (a.kind() == FormulaKind::kFalse || b.kind() == FormulaKind::kTrue) {
+        return Formula::True();
+      }
+      if (a.kind() == FormulaKind::kTrue) {
+        return b;
+      }
+      return Formula::Implies(std::move(a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      Formula a = Simplify(f.child(0));
+      Formula b = Simplify(f.child(1));
+      if (a.kind() == FormulaKind::kTrue) {
+        return b;
+      }
+      if (b.kind() == FormulaKind::kTrue) {
+        return a;
+      }
+      if (a.kind() == FormulaKind::kFalse) {
+        return Simplify(Formula::Not(std::move(b)));
+      }
+      if (b.kind() == FormulaKind::kFalse) {
+        return Simplify(Formula::Not(std::move(a)));
+      }
+      return Formula::Iff(std::move(a), std::move(b));
+    }
+    case FormulaKind::kExists:
+      return Formula::Exists(f.variable(), Simplify(f.body()));
+    case FormulaKind::kForall:
+      return Formula::Forall(f.variable(), Simplify(f.body()));
+    case FormulaKind::kCountExists:
+      return Formula::CountExists(f.count(), f.variable(),
+                                  Simplify(f.body()));
+  }
+  FMTK_CHECK(false) << "unreachable formula kind";
+  return f;
+}
+
+namespace {
+
+struct QuantifierPrefix {
+  // (is_exists, variable) pairs, outermost first.
+  std::vector<std::pair<bool, std::string>> entries;
+};
+
+// `f` must be in NNF with bound variables renamed apart.
+Formula PullQuantifiers(const Formula& f, QuantifierPrefix& prefix) {
+  switch (f.kind()) {
+    case FormulaKind::kExists:
+      prefix.entries.emplace_back(true, f.variable());
+      return PullQuantifiers(f.body(), prefix);
+    case FormulaKind::kForall:
+      prefix.entries.emplace_back(false, f.variable());
+      return PullQuantifiers(f.body(), prefix);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.child_count());
+      for (const Formula& c : f.children()) {
+        children.push_back(PullQuantifiers(c, prefix));
+      }
+      return f.kind() == FormulaKind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kNot:  // NNF: only over atoms; no quantifiers below.
+    default:
+      return f;
+  }
+}
+
+}  // namespace
+
+Formula PrenexNormalForm(const Formula& f) {
+  Formula prepared = RenameBoundVariablesApart(NegationNormalForm(f));
+  QuantifierPrefix prefix;
+  Formula matrix = PullQuantifiers(prepared, prefix);
+  Formula out = std::move(matrix);
+  for (auto it = prefix.entries.rbegin(); it != prefix.entries.rend(); ++it) {
+    out = it->first ? Formula::Exists(it->second, std::move(out))
+                    : Formula::Forall(it->second, std::move(out));
+  }
+  return out;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,27 @@
+#ifndef FMTK_LOGIC_TRANSFORM_H_
+#define FMTK_LOGIC_TRANSFORM_H_
+
+#include "logic/formula.h"
+
+namespace fmtk {
+
+/// Negation normal form: eliminates -> and <->, pushes negations onto atoms.
+/// Preserves logical equivalence on all structures (including empty ones)
+/// and does not increase quantifier rank.
+Formula NegationNormalForm(const Formula& f);
+
+/// Bottom-up constant folding: flattens nested ∧/∨, removes true/false
+/// units, collapses double negation. Quantifiers are left untouched (∃x.true
+/// is NOT true on the empty structure, so it cannot be folded). Preserves
+/// logical equivalence on all structures.
+Formula Simplify(const Formula& f);
+
+/// Prenex normal form: all quantifiers out front. Bound variables are
+/// renamed apart first; the input is converted to NNF. Preserves logical
+/// equivalence on nonempty structures (prenexing is the one transform with
+/// the textbook nonempty-domain caveat).
+Formula PrenexNormalForm(const Formula& f);
+
+}  // namespace fmtk
+
+#endif  // FMTK_LOGIC_TRANSFORM_H_

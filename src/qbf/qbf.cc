@@ -1,0 +1,452 @@
+#include "qbf/qbf.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+Qbf Qbf::Make(Node node) {
+  return Qbf(std::make_shared<const Node>(std::move(node)));
+}
+
+Qbf Qbf::Var(std::string name) {
+  return Make({Kind::kVar, std::move(name), {}});
+}
+
+Qbf Qbf::Not(Qbf f) { return Make({Kind::kNot, {}, {std::move(f)}}); }
+
+Qbf Qbf::And(std::vector<Qbf> fs) {
+  return Make({Kind::kAnd, {}, std::move(fs)});
+}
+
+Qbf Qbf::And(Qbf a, Qbf b) {
+  return And(std::vector<Qbf>{std::move(a), std::move(b)});
+}
+
+Qbf Qbf::Or(std::vector<Qbf> fs) {
+  return Make({Kind::kOr, {}, std::move(fs)});
+}
+
+Qbf Qbf::Or(Qbf a, Qbf b) {
+  return Or(std::vector<Qbf>{std::move(a), std::move(b)});
+}
+
+Qbf Qbf::Exists(std::string variable, Qbf body) {
+  return Make({Kind::kExists, std::move(variable), {std::move(body)}});
+}
+
+Qbf Qbf::Forall(std::string variable, Qbf body) {
+  return Make({Kind::kForall, std::move(variable), {std::move(body)}});
+}
+
+namespace {
+
+int Precedence(Qbf::Kind kind) {
+  switch (kind) {
+    case Qbf::Kind::kOr:
+      return 3;
+    case Qbf::Kind::kAnd:
+      return 4;
+    case Qbf::Kind::kNot:
+    case Qbf::Kind::kExists:
+    case Qbf::Kind::kForall:
+      return 5;
+    default:
+      return 6;
+  }
+}
+
+bool ExtendsRight(const Qbf& f) {
+  switch (f.kind()) {
+    case Qbf::Kind::kExists:
+    case Qbf::Kind::kForall:
+      return true;
+    case Qbf::Kind::kNot:
+      return ExtendsRight(f.child(0));
+    default:
+      return false;
+  }
+}
+
+void Print(const Qbf& f, int parent, bool protect_right, std::string& out) {
+  const int prec = Precedence(f.kind());
+  const bool parens =
+      prec < parent || (protect_right && ExtendsRight(f));
+  if (parens) {
+    protect_right = false;
+    out += "(";
+  }
+  switch (f.kind()) {
+    case Qbf::Kind::kVar:
+      out += f.variable();
+      break;
+    case Qbf::Kind::kNot:
+      out += "!";
+      Print(f.child(0), prec + 1, protect_right, out);
+      break;
+    case Qbf::Kind::kAnd:
+    case Qbf::Kind::kOr: {
+      if (f.children().empty()) {
+        out += f.kind() == Qbf::Kind::kAnd ? "true" : "false";
+        break;
+      }
+      const char* op = f.kind() == Qbf::Kind::kAnd ? " & " : " | ";
+      for (std::size_t i = 0; i < f.children().size(); ++i) {
+        if (i > 0) {
+          out += op;
+        }
+        const bool last = (i + 1 == f.children().size());
+        Print(f.child(i), prec + 1, last ? protect_right : true, out);
+      }
+      break;
+    }
+    case Qbf::Kind::kExists:
+    case Qbf::Kind::kForall:
+      out += f.kind() == Qbf::Kind::kExists ? "exists " : "forall ";
+      out += f.variable();
+      out += ". ";
+      Print(f.child(0), prec, false, out);
+      break;
+  }
+  if (parens) {
+    out += ")";
+  }
+}
+
+}  // namespace
+
+std::string Qbf::ToString() const {
+  std::string out;
+  Print(*this, 0, false, out);
+  return out;
+}
+
+std::size_t Qbf::NodeCount() const {
+  std::size_t total = 1;
+  for (const Qbf& c : node_->children) {
+    total += c.NodeCount();
+  }
+  return total;
+}
+
+namespace {
+
+class QbfParser {
+ public:
+  explicit QbfParser(std::string_view text) : text_(text) {}
+
+  Result<Qbf> Parse() {
+    FMTK_ASSIGN_OR_RETURN(Qbf f, ParseOr());
+    SkipSpace();
+    if (pos_ < text_.size()) {
+      return Error("trailing input");
+    }
+    return f;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " + std::to_string(pos_));
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseName() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (start == pos_) {
+      return Error("expected a name");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Qbf> ParseOr() {
+    FMTK_ASSIGN_OR_RETURN(Qbf left, ParseAnd());
+    while (Eat('|')) {
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+      }
+      FMTK_ASSIGN_OR_RETURN(Qbf right, ParseAnd());
+      left = Qbf::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Qbf> ParseAnd() {
+    FMTK_ASSIGN_OR_RETURN(Qbf left, ParseUnary());
+    while (Eat('&')) {
+      if (pos_ < text_.size() && text_[pos_] == '&') {
+        ++pos_;
+      }
+      FMTK_ASSIGN_OR_RETURN(Qbf right, ParseUnary());
+      left = Qbf::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<Qbf> ParseUnary() {
+    SkipSpace();
+    if (Eat('!') || Eat('~')) {
+      FMTK_ASSIGN_OR_RETURN(Qbf f, ParseUnary());
+      return Qbf::Not(std::move(f));
+    }
+    if (Eat('(')) {
+      FMTK_ASSIGN_OR_RETURN(Qbf f, ParseOr());
+      if (!Eat(')')) {
+        return Error("expected ')'");
+      }
+      return f;
+    }
+    FMTK_ASSIGN_OR_RETURN(std::string name, ParseName());
+    if (name == "exists" || name == "forall" || name == "ex" ||
+        name == "all") {
+      std::vector<std::string> vars;
+      while (true) {
+        SkipSpace();
+        if (pos_ < text_.size() &&
+            (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+             text_[pos_] == '_')) {
+          FMTK_ASSIGN_OR_RETURN(std::string v, ParseName());
+          vars.push_back(std::move(v));
+          Eat(',');
+          continue;
+        }
+        break;
+      }
+      if (vars.empty()) {
+        return Error("quantifier without variables");
+      }
+      if (!Eat('.') && !Eat(':')) {
+        return Error("expected '.' after quantified variables");
+      }
+      FMTK_ASSIGN_OR_RETURN(Qbf body, ParseOr());
+      const bool is_exists = (name == "exists" || name == "ex");
+      for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+        body = is_exists ? Qbf::Exists(*it, std::move(body))
+                         : Qbf::Forall(*it, std::move(body));
+      }
+      return body;
+    }
+    if (name == "true") {
+      return Qbf::And({});
+    }
+    if (name == "false") {
+      return Qbf::Or({});
+    }
+    return Qbf::Var(std::move(name));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// Free propositional variables.
+void CollectFree(const Qbf& f, std::set<std::string>& bound,
+                 std::set<std::string>& free) {
+  switch (f.kind()) {
+    case Qbf::Kind::kVar:
+      if (bound.find(f.variable()) == bound.end()) {
+        free.insert(f.variable());
+      }
+      return;
+    case Qbf::Kind::kExists:
+    case Qbf::Kind::kForall: {
+      const bool was_bound = bound.count(f.variable()) > 0;
+      bound.insert(f.variable());
+      CollectFree(f.child(0), bound, free);
+      if (!was_bound) {
+        bound.erase(f.variable());
+      }
+      return;
+    }
+    default:
+      for (const Qbf& c : f.children()) {
+        CollectFree(c, bound, free);
+      }
+  }
+}
+
+Result<bool> Solve(const Qbf& f, std::map<std::string, bool>& env,
+                   QbfStats* stats) {
+  switch (f.kind()) {
+    case Qbf::Kind::kVar: {
+      auto it = env.find(f.variable());
+      if (it == env.end()) {
+        return Status::InvalidArgument("free variable " + f.variable() +
+                                       " (QBF must be closed)");
+      }
+      return it->second;
+    }
+    case Qbf::Kind::kNot: {
+      FMTK_ASSIGN_OR_RETURN(bool inner, Solve(f.child(0), env, stats));
+      return !inner;
+    }
+    case Qbf::Kind::kAnd: {
+      for (const Qbf& c : f.children()) {
+        FMTK_ASSIGN_OR_RETURN(bool v, Solve(c, env, stats));
+        if (!v) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Qbf::Kind::kOr: {
+      for (const Qbf& c : f.children()) {
+        FMTK_ASSIGN_OR_RETURN(bool v, Solve(c, env, stats));
+        if (v) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Qbf::Kind::kExists:
+    case Qbf::Kind::kForall: {
+      const bool is_exists = f.kind() == Qbf::Kind::kExists;
+      auto it = env.find(f.variable());
+      std::optional<bool> shadowed;
+      if (it != env.end()) {
+        shadowed = it->second;
+      }
+      bool outcome = !is_exists;
+      Status error = Status::OK();
+      for (bool value : {false, true}) {
+        if (stats != nullptr) {
+          ++stats->assignments_tried;
+        }
+        env[f.variable()] = value;
+        Result<bool> v = Solve(f.child(0), env, stats);
+        if (!v.ok()) {
+          error = v.status();
+          break;
+        }
+        if (*v == is_exists) {
+          outcome = is_exists;
+          break;
+        }
+      }
+      if (shadowed.has_value()) {
+        env[f.variable()] = *shadowed;
+      } else {
+        env.erase(f.variable());
+      }
+      FMTK_RETURN_IF_ERROR(error);
+      return outcome;
+    }
+  }
+  return Status::Internal("unreachable QBF kind");
+}
+
+Result<Formula> QbfToFo(const Qbf& f) {
+  switch (f.kind()) {
+    case Qbf::Kind::kVar:
+      return Formula::Atom("T", {V(f.variable())});
+    case Qbf::Kind::kNot: {
+      FMTK_ASSIGN_OR_RETURN(Formula inner, QbfToFo(f.child(0)));
+      return Formula::Not(std::move(inner));
+    }
+    case Qbf::Kind::kAnd:
+    case Qbf::Kind::kOr: {
+      std::vector<Formula> children;
+      children.reserve(f.children().size());
+      for (const Qbf& c : f.children()) {
+        FMTK_ASSIGN_OR_RETURN(Formula fc, QbfToFo(c));
+        children.push_back(std::move(fc));
+      }
+      return f.kind() == Qbf::Kind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case Qbf::Kind::kExists: {
+      FMTK_ASSIGN_OR_RETURN(Formula body, QbfToFo(f.child(0)));
+      return Formula::Exists(f.variable(), std::move(body));
+    }
+    case Qbf::Kind::kForall: {
+      FMTK_ASSIGN_OR_RETURN(Formula body, QbfToFo(f.child(0)));
+      return Formula::Forall(f.variable(), std::move(body));
+    }
+  }
+  return Status::Internal("unreachable QBF kind");
+}
+
+}  // namespace
+
+Result<Qbf> ParseQbf(std::string_view text) {
+  return QbfParser(text).Parse();
+}
+
+Result<bool> SolveQbf(const Qbf& f, QbfStats* stats) {
+  std::map<std::string, bool> env;
+  return Solve(f, env, stats);
+}
+
+Result<QbfAsModelChecking> ReduceToModelChecking(const Qbf& f) {
+  std::set<std::string> bound;
+  std::set<std::string> free;
+  CollectFree(f, bound, free);
+  if (!free.empty()) {
+    return Status::InvalidArgument("QBF must be closed, found free variable " +
+                                   *free.begin());
+  }
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("T", 1);
+  Structure two(sig, 2);
+  two.AddTuple(0, {1});
+  FMTK_ASSIGN_OR_RETURN(Formula sentence, QbfToFo(f));
+  return QbfAsModelChecking{std::move(two), std::move(sentence)};
+}
+
+Qbf MakeRandomQbf(std::size_t quantifiers, std::size_t clauses,
+                  std::mt19937_64& rng) {
+  FMTK_CHECK(quantifiers >= 1) << "need at least one variable";
+  std::vector<std::string> vars;
+  for (std::size_t i = 0; i < quantifiers; ++i) {
+    vars.push_back("p" + std::to_string(i + 1));
+  }
+  std::uniform_int_distribution<std::size_t> pick_var(0, quantifiers - 1);
+  std::bernoulli_distribution flip(0.5);
+  std::vector<Qbf> clause_list;
+  for (std::size_t c = 0; c < clauses; ++c) {
+    std::vector<Qbf> literals;
+    const std::size_t width = 3;
+    for (std::size_t l = 0; l < width; ++l) {
+      Qbf literal = Qbf::Var(vars[pick_var(rng)]);
+      if (flip(rng)) {
+        literal = Qbf::Not(std::move(literal));
+      }
+      literals.push_back(std::move(literal));
+    }
+    clause_list.push_back(Qbf::Or(std::move(literals)));
+  }
+  Qbf matrix = Qbf::And(std::move(clause_list));
+  // Alternate quantifiers ∃ p1 ∀ p2 ∃ p3 ...
+  for (std::size_t i = quantifiers; i > 0; --i) {
+    const bool exists = (i % 2) == 1;
+    matrix = exists ? Qbf::Exists(vars[i - 1], std::move(matrix))
+                    : Qbf::Forall(vars[i - 1], std::move(matrix));
+  }
+  return matrix;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,87 @@
+#ifndef FMTK_QBF_QBF_H_
+#define FMTK_QBF_QBF_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Quantified Boolean formulas — the survey's canonical PSPACE-complete
+/// problem, whose reduction to FO model checking witnesses the
+/// PSPACE-hardness of combined complexity.
+class Qbf {
+ public:
+  enum class Kind { kVar, kNot, kAnd, kOr, kExists, kForall };
+
+  Qbf() : Qbf(Var("p")) {}
+
+  Kind kind() const { return node_->kind; }
+  const std::string& variable() const { return node_->variable; }
+  const std::vector<Qbf>& children() const { return node_->children; }
+  const Qbf& child(std::size_t i) const { return node_->children[i]; }
+
+  static Qbf Var(std::string name);
+  static Qbf Not(Qbf f);
+  static Qbf And(std::vector<Qbf> fs);
+  static Qbf And(Qbf a, Qbf b);
+  static Qbf Or(std::vector<Qbf> fs);
+  static Qbf Or(Qbf a, Qbf b);
+  static Qbf Exists(std::string variable, Qbf body);
+  static Qbf Forall(std::string variable, Qbf body);
+
+  std::string ToString() const;
+  std::size_t NodeCount() const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::string variable;  // kVar / quantifiers.
+    std::vector<Qbf> children;
+  };
+  explicit Qbf(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  static Qbf Make(Node node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Parses "exists p. forall q. (p | !q) & (q | !p)" — same surface
+/// operators as the FO parser, with propositional variables as atoms.
+Result<Qbf> ParseQbf(std::string_view text);
+
+/// Work counter for the solver.
+struct QbfStats {
+  std::uint64_t assignments_tried = 0;
+};
+
+/// Decides a closed QBF by the textbook recursive PSPACE algorithm.
+/// Free (unquantified) variables are an error.
+Result<bool> SolveQbf(const Qbf& f, QbfStats* stats = nullptr);
+
+/// The survey's reduction QBF ≤ FO-MC: a fixed 2-element structure
+/// ({0,1} with T = {1}) plus an FO sentence such that the QBF is true iff
+/// the structure satisfies the sentence (propositions become first-order
+/// variables tested by T).
+struct QbfAsModelChecking {
+  Structure structure;
+  Formula sentence;
+};
+Result<QbfAsModelChecking> ReduceToModelChecking(const Qbf& f);
+
+/// A random closed QBF with `quantifiers` alternating quantifiers over that
+/// many variables and a random 3-ish-CNF style matrix — workload generator
+/// for the E2 bench.
+Qbf MakeRandomQbf(std::size_t quantifiers, std::size_t clauses,
+                  std::mt19937_64& rng);
+
+}  // namespace fmtk
+
+#endif  // FMTK_QBF_QBF_H_

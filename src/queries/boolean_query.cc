@@ -1,0 +1,67 @@
+#include "queries/boolean_query.h"
+
+#include "eval/model_check.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+
+namespace {
+
+Result<std::size_t> GraphRelation(const Structure& s) {
+  return s.RelationIndex("E");
+}
+
+}  // namespace
+
+BooleanQuery BooleanQuery::Even() {
+  return BooleanQuery("EVEN", [](const Structure& s) -> Result<bool> {
+    return s.domain_size() % 2 == 0;
+  });
+}
+
+BooleanQuery BooleanQuery::Connectivity() {
+  return BooleanQuery("CONN", [](const Structure& s) -> Result<bool> {
+    FMTK_ASSIGN_OR_RETURN(std::size_t rel, GraphRelation(s));
+    return IsConnected(UndirectedAdjacency(s, rel));
+  });
+}
+
+BooleanQuery BooleanQuery::Acyclicity() {
+  return BooleanQuery("ACYCL", [](const Structure& s) -> Result<bool> {
+    FMTK_ASSIGN_OR_RETURN(std::size_t rel, GraphRelation(s));
+    return IsAcyclicUndirected(UndirectedAdjacency(s, rel));
+  });
+}
+
+BooleanQuery BooleanQuery::DirectedAcyclicity() {
+  return BooleanQuery("DAG", [](const Structure& s) -> Result<bool> {
+    FMTK_ASSIGN_OR_RETURN(std::size_t rel, GraphRelation(s));
+    return IsAcyclicDirected(OutAdjacency(s, rel));
+  });
+}
+
+BooleanQuery BooleanQuery::Completeness() {
+  return BooleanQuery("COMPLETE", [](const Structure& s) -> Result<bool> {
+    FMTK_ASSIGN_OR_RETURN(std::size_t rel, GraphRelation(s));
+    const std::size_t n = s.domain_size();
+    return s.relation(rel).size() == n * (n - (n > 0 ? 1 : 0));
+  });
+}
+
+BooleanQuery BooleanQuery::Tree() {
+  return BooleanQuery("TREE", [](const Structure& s) -> Result<bool> {
+    FMTK_ASSIGN_OR_RETURN(std::size_t rel, GraphRelation(s));
+    Adjacency undirected = UndirectedAdjacency(s, rel);
+    return IsConnected(undirected) && IsAcyclicUndirected(undirected);
+  });
+}
+
+BooleanQuery BooleanQuery::FromSentence(std::string name, Formula sentence) {
+  return BooleanQuery(
+      std::move(name),
+      [sentence = std::move(sentence)](const Structure& s) -> Result<bool> {
+        return Satisfies(s, sentence);
+      });
+}
+
+}  // namespace fmtk

@@ -1,0 +1,58 @@
+#ifndef FMTK_QUERIES_BOOLEAN_QUERY_H_
+#define FMTK_QUERIES_BOOLEAN_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// A semantic Boolean query: a named predicate on structures. The library
+/// below holds the survey's protagonists — EVEN, connectivity, acyclicity,
+/// completeness — implemented algorithmically (they are exactly the queries
+/// proved NOT FO-definable), plus a wrapper turning any FO sentence into a
+/// BooleanQuery for the definable side of each experiment.
+class BooleanQuery {
+ public:
+  using Fn = std::function<Result<bool>(const Structure&)>;
+
+  BooleanQuery(std::string name, Fn fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  const std::string& name() const { return name_; }
+
+  Result<bool> Evaluate(const Structure& s) const { return fn_(s); }
+
+  /// EVEN(σ): |A| is even (any signature).
+  static BooleanQuery Even();
+
+  /// Connectivity of the graph relation "E" in the undirected sense.
+  static BooleanQuery Connectivity();
+
+  /// Acyclicity of "E" read undirected (the survey's acyclicity trick).
+  static BooleanQuery Acyclicity();
+
+  /// Acyclicity of "E" as a directed graph.
+  static BooleanQuery DirectedAcyclicity();
+
+  /// "E" is the complete graph (all i != j pairs).
+  static BooleanQuery Completeness();
+
+  /// "the graph is a tree": connected and acyclic (undirected reading).
+  static BooleanQuery Tree();
+
+  /// An FO sentence as a Boolean query (model checking).
+  static BooleanQuery FromSentence(std::string name, Formula sentence);
+
+ private:
+  std::string name_;
+  Fn fn_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_QUERIES_BOOLEAN_QUERY_H_

@@ -1,0 +1,56 @@
+#include "queries/relation_query.h"
+
+#include <deque>
+
+#include "eval/query_eval.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+
+RelationQuery RelationQuery::TransitiveClosure() {
+  return RelationQuery(
+      "TC", 2, [](const Structure& s) -> Result<Relation> {
+        FMTK_ASSIGN_OR_RETURN(std::size_t rel, s.RelationIndex("E"));
+        return fmtk::TransitiveClosure(s, rel);
+      });
+}
+
+RelationQuery RelationQuery::SameGeneration() {
+  return RelationQuery(
+      "SG", 2, [](const Structure& s) -> Result<Relation> {
+        FMTK_ASSIGN_OR_RETURN(std::size_t rel, s.RelationIndex("E"));
+        Adjacency children = OutAdjacency(s, rel);
+        Relation sg(2);
+        std::deque<Tuple> frontier;
+        for (Element x = 0; x < s.domain_size(); ++x) {
+          sg.Add({x, x});
+          frontier.push_back({x, x});
+        }
+        // sg(x,y) :- E(x',x), E(y',y), sg(x',y'): propagate to children.
+        while (!frontier.empty()) {
+          Tuple t = frontier.front();
+          frontier.pop_front();
+          for (Element cx : children[t[0]]) {
+            for (Element cy : children[t[1]]) {
+              if (sg.Add({cx, cy})) {
+                frontier.push_back({cx, cy});
+              }
+            }
+          }
+        }
+        return sg;
+      });
+}
+
+RelationQuery RelationQuery::FromFormula(
+    std::string name, Formula f, std::vector<std::string> output_variables) {
+  const std::size_t arity = output_variables.size();
+  return RelationQuery(
+      std::move(name), arity,
+      [f = std::move(f), vars = std::move(output_variables)](
+          const Structure& s) -> Result<Relation> {
+        return EvaluateQuery(s, f, vars);
+      });
+}
+
+}  // namespace fmtk

@@ -1,0 +1,54 @@
+#ifndef FMTK_QUERIES_RELATION_QUERY_H_
+#define FMTK_QUERIES_RELATION_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// A named query producing an answer relation over the input's domain.
+/// The library holds the survey's fixed-point examples (transitive closure,
+/// Datalog same-generation) — the queries whose non-FO-definability every
+/// tool of Section 3 demonstrates — plus an FO wrapper for the definable
+/// controls.
+class RelationQuery {
+ public:
+  using Fn = std::function<Result<Relation>(const Structure&)>;
+
+  RelationQuery(std::string name, std::size_t arity, Fn fn)
+      : name_(std::move(name)), arity_(arity), fn_(std::move(fn)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t arity() const { return arity_; }
+
+  Result<Relation> Evaluate(const Structure& s) const { return fn_(s); }
+
+  /// Transitive closure of "E": pairs joined by a path of length >= 1.
+  static RelationQuery TransitiveClosure();
+
+  /// The survey's Datalog same-generation program over parent->child "E":
+  ///   sg(x, x).
+  ///   sg(x, y) :- E(x', x), E(y', y), sg(x', y').
+  /// Computed by least-fixpoint iteration.
+  static RelationQuery SameGeneration();
+
+  /// An FO query φ(output_variables) evaluated bottom-up.
+  static RelationQuery FromFormula(std::string name, Formula f,
+                                   std::vector<std::string> output_variables);
+
+ private:
+  std::string name_;
+  std::size_t arity_;
+  Fn fn_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_QUERIES_RELATION_QUERY_H_

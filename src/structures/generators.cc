@@ -1,0 +1,184 @@
+#include "structures/generators.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+Structure MakeSet(std::size_t n) {
+  return Structure(Signature::Empty(), n);
+}
+
+Structure MakeLinearOrder(std::size_t n) {
+  Structure s(Signature::Order(), n);
+  for (Element i = 0; i < n; ++i) {
+    for (Element j = i + 1; j < n; ++j) {
+      s.AddTuple(0, {i, j});
+    }
+  }
+  return s;
+}
+
+Structure MakeDirectedPath(std::size_t n) {
+  Structure s(Signature::Graph(), n);
+  for (Element i = 0; i + 1 < n; ++i) {
+    s.AddTuple(0, {i, i + 1});
+  }
+  return s;
+}
+
+Structure MakeDirectedCycle(std::size_t m) {
+  FMTK_CHECK(m >= 1) << "cycle length must be positive";
+  Structure s(Signature::Graph(), m);
+  for (Element i = 0; i < m; ++i) {
+    s.AddTuple(0, {i, static_cast<Element>((i + 1) % m)});
+  }
+  return s;
+}
+
+Structure MakeDisjointCycles(std::size_t k, std::size_t m) {
+  FMTK_CHECK(m >= 1) << "cycle length must be positive";
+  Structure s(Signature::Graph(), k * m);
+  for (std::size_t c = 0; c < k; ++c) {
+    const Element base = static_cast<Element>(c * m);
+    for (Element i = 0; i < m; ++i) {
+      s.AddTuple(0, {static_cast<Element>(base + i),
+                     static_cast<Element>(base + (i + 1) % m)});
+    }
+  }
+  return s;
+}
+
+Structure MakePathPlusCycle(std::size_t m) {
+  FMTK_CHECK(m >= 1) << "size must be positive";
+  Structure s(Signature::Graph(), 2 * m);
+  // Path on elements 0..m-1.
+  for (Element i = 0; i + 1 < m; ++i) {
+    s.AddTuple(0, {i, i + 1});
+  }
+  // Cycle on elements m..2m-1.
+  const Element base = static_cast<Element>(m);
+  for (Element i = 0; i < m; ++i) {
+    s.AddTuple(0, {static_cast<Element>(base + i),
+                   static_cast<Element>(base + (i + 1) % m)});
+  }
+  return s;
+}
+
+Structure MakeCompleteGraph(std::size_t n) {
+  Structure s(Signature::Graph(), n);
+  for (Element i = 0; i < n; ++i) {
+    for (Element j = 0; j < n; ++j) {
+      if (i != j) {
+        s.AddTuple(0, {i, j});
+      }
+    }
+  }
+  return s;
+}
+
+Structure MakeEmptyGraph(std::size_t n) {
+  return Structure(Signature::Graph(), n);
+}
+
+Structure MakeFullBinaryTree(std::size_t depth) {
+  const std::size_t n = (std::size_t{1} << (depth + 1)) - 1;
+  Structure s(Signature::Graph(), n);
+  for (Element v = 0; v < n; ++v) {
+    const std::size_t left = 2 * static_cast<std::size_t>(v) + 1;
+    const std::size_t right = left + 1;
+    if (left < n) {
+      s.AddTuple(0, {v, static_cast<Element>(left)});
+    }
+    if (right < n) {
+      s.AddTuple(0, {v, static_cast<Element>(right)});
+    }
+  }
+  return s;
+}
+
+Structure MakeGrid(std::size_t w, std::size_t h) {
+  Structure s(Signature::Graph(), w * h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const Element v = static_cast<Element>(y * w + x);
+      if (x + 1 < w) {
+        s.AddTuple(0, {v, static_cast<Element>(v + 1)});
+      }
+      if (y + 1 < h) {
+        s.AddTuple(0, {v, static_cast<Element>(v + w)});
+      }
+    }
+  }
+  return s;
+}
+
+Structure MakeRandomGraph(std::size_t n, double p, std::mt19937_64& rng) {
+  std::bernoulli_distribution edge(p);
+  Structure s(Signature::Graph(), n);
+  for (Element i = 0; i < n; ++i) {
+    for (Element j = 0; j < n; ++j) {
+      if (i != j && edge(rng)) {
+        s.AddTuple(0, {i, j});
+      }
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// Enumerates all tuples in {0..n-1}^arity and inserts each with prob. p.
+void FillRelationRandomly(Structure& s, std::size_t rel, std::size_t arity,
+                          std::size_t n, double p, std::mt19937_64& rng) {
+  std::bernoulli_distribution include(p);
+  Tuple t(arity, 0);
+  while (true) {
+    if (include(rng)) {
+      s.AddTuple(rel, t);
+    }
+    // Advance the odometer.
+    std::size_t pos = arity;
+    while (pos > 0) {
+      --pos;
+      if (t[pos] + 1 < n) {
+        ++t[pos];
+        break;
+      }
+      t[pos] = 0;
+      if (pos == 0) {
+        return;
+      }
+    }
+    if (arity == 0) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Structure MakeRandomStructure(std::shared_ptr<const Signature> signature,
+                              std::size_t n, double p, std::mt19937_64& rng) {
+  FMTK_CHECK(signature != nullptr) << "null signature";
+  Structure s(std::move(signature), n);
+  for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
+    const std::size_t arity = s.signature().relation(r).arity;
+    if (arity > 0 && n == 0) {
+      continue;  // No tuples exist over an empty domain.
+    }
+    FillRelationRandomly(s, r, arity, n, p, rng);
+  }
+  if (n > 0) {
+    std::uniform_int_distribution<Element> pick(0,
+                                                static_cast<Element>(n - 1));
+    for (std::size_t c = 0; c < s.signature().constant_count(); ++c) {
+      s.SetConstant(c, pick(rng));
+    }
+  }
+  return s;
+}
+
+}  // namespace fmtk

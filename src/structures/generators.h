@@ -1,0 +1,65 @@
+#ifndef FMTK_STRUCTURES_GENERATORS_H_
+#define FMTK_STRUCTURES_GENERATORS_H_
+
+#include <cstddef>
+#include <memory>
+#include <random>
+
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Generators for the structure families the survey's examples are built
+/// from: sets, linear orders, successor chains, cycles, trees, grids, and
+/// random structures.
+
+/// A pure set: n elements over the empty vocabulary.
+Structure MakeSet(std::size_t n);
+
+/// The n-element linear order L_n over {</2}: i < j for all i < j.
+Structure MakeLinearOrder(std::size_t n);
+
+/// A successor chain as a graph: edges i -> i+1 for i < n-1 over {E/2}.
+/// (The survey's "successor relation" {(a1,a2),...,(a_{n-1},a_n)}.)
+Structure MakeDirectedPath(std::size_t n);
+
+/// A directed cycle of length m over {E/2}: edges i -> (i+1) mod m.
+/// m must be >= 1.
+Structure MakeDirectedCycle(std::size_t m);
+
+/// k disjoint directed cycles, each of length m, over {E/2}.
+Structure MakeDisjointCycles(std::size_t k, std::size_t m);
+
+/// The disjoint union of a path on m nodes and a cycle of length m
+/// (the survey's witness that "is a tree" is not FO-definable).
+Structure MakePathPlusCycle(std::size_t m);
+
+/// The complete directed graph (all edges i -> j, i != j) over {E/2}.
+Structure MakeCompleteGraph(std::size_t n);
+
+/// The edgeless graph over {E/2}.
+Structure MakeEmptyGraph(std::size_t n);
+
+/// A full binary tree of the given depth (a single root at element 0,
+/// depth 0 = just the root), with parent -> child edges over {E/2}.
+/// Domain size is 2^(depth+1) - 1.
+Structure MakeFullBinaryTree(std::size_t depth);
+
+/// A w x h directed grid over {E/2}: edges to the right and downward
+/// neighbors. Element (x, y) is numbered y*w + x.
+Structure MakeGrid(std::size_t w, std::size_t h);
+
+/// G(n, p): each ordered pair (i, j), i != j, is an edge independently with
+/// probability p, over {E/2}.
+Structure MakeRandomGraph(std::size_t n, double p, std::mt19937_64& rng);
+
+/// A uniform random structure over an arbitrary relational signature: each
+/// potential tuple of each relation is included independently with
+/// probability p. Constants are assigned uniformly at random (when the
+/// domain is nonempty).
+Structure MakeRandomStructure(std::shared_ptr<const Signature> signature,
+                              std::size_t n, double p, std::mt19937_64& rng);
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_GENERATORS_H_

@@ -1,0 +1,263 @@
+#include "structures/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+namespace {
+
+void CheckBinary(const Structure& s, std::size_t rel_index) {
+  FMTK_CHECK(rel_index < s.signature().relation_count())
+      << "relation index out of range";
+  FMTK_CHECK(s.signature().relation(rel_index).arity == 2)
+      << "graph view requires a binary relation, got arity "
+      << s.signature().relation(rel_index).arity;
+}
+
+void SortUnique(Adjacency& adjacency) {
+  for (std::vector<Element>& row : adjacency) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+}
+
+}  // namespace
+
+Adjacency OutAdjacency(const Structure& s, std::size_t rel_index) {
+  CheckBinary(s, rel_index);
+  Adjacency adjacency(s.domain_size());
+  for (const Tuple& t : s.relation(rel_index).tuples()) {
+    adjacency[t[0]].push_back(t[1]);
+  }
+  SortUnique(adjacency);
+  return adjacency;
+}
+
+Adjacency UndirectedAdjacency(const Structure& s, std::size_t rel_index) {
+  CheckBinary(s, rel_index);
+  Adjacency adjacency(s.domain_size());
+  for (const Tuple& t : s.relation(rel_index).tuples()) {
+    adjacency[t[0]].push_back(t[1]);
+    if (t[0] != t[1]) {
+      adjacency[t[1]].push_back(t[0]);
+    }
+  }
+  SortUnique(adjacency);
+  return adjacency;
+}
+
+std::vector<std::size_t> BfsDistances(const Adjacency& adjacency,
+                                      const std::vector<Element>& sources) {
+  std::vector<std::size_t> dist(adjacency.size(), kUnreachable);
+  std::deque<Element> queue;
+  for (Element s : sources) {
+    FMTK_CHECK(s < adjacency.size()) << "BFS source out of range";
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    Element v = queue.front();
+    queue.pop_front();
+    for (Element w : adjacency[v]) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool IsConnected(const Adjacency& undirected_adjacency) {
+  if (undirected_adjacency.empty()) {
+    return true;
+  }
+  std::vector<std::size_t> dist = BfsDistances(undirected_adjacency, {0});
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::size_t> ConnectedComponents(
+    const Adjacency& undirected_adjacency) {
+  const std::size_t n = undirected_adjacency.size();
+  std::vector<std::size_t> component(n, kUnreachable);
+  std::size_t next_id = 0;
+  for (Element start = 0; start < n; ++start) {
+    if (component[start] != kUnreachable) {
+      continue;
+    }
+    component[start] = next_id;
+    std::deque<Element> queue = {start};
+    while (!queue.empty()) {
+      Element v = queue.front();
+      queue.pop_front();
+      for (Element w : undirected_adjacency[v]) {
+        if (component[w] == kUnreachable) {
+          component[w] = next_id;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+bool IsAcyclicDirected(const Adjacency& out_adjacency) {
+  const std::size_t n = out_adjacency.size();
+  // Kahn's algorithm: the graph is acyclic iff all nodes are peeled.
+  std::vector<std::size_t> indegree(n, 0);
+  for (const std::vector<Element>& row : out_adjacency) {
+    for (Element w : row) {
+      ++indegree[w];
+    }
+  }
+  std::deque<Element> queue;
+  for (Element v = 0; v < n; ++v) {
+    if (indegree[v] == 0) {
+      queue.push_back(v);
+    }
+  }
+  std::size_t peeled = 0;
+  while (!queue.empty()) {
+    Element v = queue.front();
+    queue.pop_front();
+    ++peeled;
+    for (Element w : out_adjacency[v]) {
+      if (--indegree[w] == 0) {
+        queue.push_back(w);
+      }
+    }
+  }
+  return peeled == n;
+}
+
+bool IsAcyclicUndirected(const Adjacency& undirected_adjacency) {
+  const std::size_t n = undirected_adjacency.size();
+  std::vector<Element> parent(n, static_cast<Element>(-1));
+  std::vector<bool> seen(n, false);
+  for (Element start = 0; start < n; ++start) {
+    if (seen[start]) {
+      continue;
+    }
+    seen[start] = true;
+    std::deque<Element> queue = {start};
+    while (!queue.empty()) {
+      Element v = queue.front();
+      queue.pop_front();
+      for (Element w : undirected_adjacency[v]) {
+        if (w == v) {
+          return false;  // A self-loop is a cycle.
+        }
+        if (!seen[w]) {
+          seen[w] = true;
+          parent[w] = v;
+          queue.push_back(w);
+        } else if (parent[v] != w) {
+          return false;  // Cross/back edge closes an undirected cycle.
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Relation TransitiveClosure(const Structure& s, std::size_t rel_index) {
+  CheckBinary(s, rel_index);
+  Adjacency adjacency = OutAdjacency(s, rel_index);
+  Relation closure(2);
+  for (Element a = 0; a < s.domain_size(); ++a) {
+    // BFS over out-edges; a reaches b at distance >= 1.
+    std::vector<std::size_t> dist = BfsDistances(adjacency, adjacency[a]);
+    for (Element b = 0; b < s.domain_size(); ++b) {
+      bool direct = std::binary_search(adjacency[a].begin(),
+                                       adjacency[a].end(), b);
+      if (direct || dist[b] != kUnreachable) {
+        closure.Add({a, b});
+      }
+    }
+  }
+  return closure;
+}
+
+std::vector<std::size_t> InDegrees(const Structure& s, std::size_t rel_index) {
+  CheckBinary(s, rel_index);
+  std::vector<std::size_t> degree(s.domain_size(), 0);
+  for (const Tuple& t : s.relation(rel_index).tuples()) {
+    ++degree[t[1]];
+  }
+  return degree;
+}
+
+std::vector<std::size_t> OutDegrees(const Structure& s,
+                                    std::size_t rel_index) {
+  CheckBinary(s, rel_index);
+  std::vector<std::size_t> degree(s.domain_size(), 0);
+  for (const Tuple& t : s.relation(rel_index).tuples()) {
+    ++degree[t[0]];
+  }
+  return degree;
+}
+
+std::set<std::size_t> DegreeSet(const Structure& s, std::size_t rel_index) {
+  std::set<std::size_t> degrees;
+  for (std::size_t d : InDegrees(s, rel_index)) {
+    degrees.insert(d);
+  }
+  for (std::size_t d : OutDegrees(s, rel_index)) {
+    degrees.insert(d);
+  }
+  return degrees;
+}
+
+std::set<std::size_t> DegreeSet(const Relation& relation,
+                                std::size_t domain_size) {
+  FMTK_CHECK(relation.arity() == 2) << "degree set requires arity 2";
+  std::vector<std::size_t> in(domain_size, 0);
+  std::vector<std::size_t> out(domain_size, 0);
+  for (const Tuple& t : relation.tuples()) {
+    FMTK_CHECK(t[0] < domain_size && t[1] < domain_size)
+        << "tuple outside domain";
+    ++out[t[0]];
+    ++in[t[1]];
+  }
+  std::set<std::size_t> degrees(in.begin(), in.end());
+  degrees.insert(out.begin(), out.end());
+  return degrees;
+}
+
+Adjacency GaifmanAdjacency(const Structure& s) {
+  Adjacency adjacency(s.domain_size());
+  for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
+    for (const Tuple& t : s.relation(r).tuples()) {
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+          if (t[i] != t[j]) {
+            adjacency[t[i]].push_back(t[j]);
+            adjacency[t[j]].push_back(t[i]);
+          }
+        }
+      }
+    }
+  }
+  SortUnique(adjacency);
+  return adjacency;
+}
+
+std::size_t MaxDegree(const Structure& s, std::size_t rel_index) {
+  std::vector<std::size_t> in = InDegrees(s, rel_index);
+  std::vector<std::size_t> out = OutDegrees(s, rel_index);
+  std::size_t best = 0;
+  for (std::size_t v = 0; v < s.domain_size(); ++v) {
+    best = std::max(best, in[v] + out[v]);
+  }
+  return best;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,76 @@
+#ifndef FMTK_STRUCTURES_GRAPH_H_
+#define FMTK_STRUCTURES_GRAPH_H_
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "base/result.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Adjacency lists: adjacency[v] = neighbors of v. Directed or undirected
+/// depending on how it was built.
+using Adjacency = std::vector<std::vector<Element>>;
+
+/// Distance value for unreachable nodes in BFS results.
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+/// Out-adjacency of the binary relation `rel_index` of `s` (fatal when the
+/// relation does not have arity 2).
+Adjacency OutAdjacency(const Structure& s, std::size_t rel_index);
+
+/// Symmetric adjacency of the binary relation (edge orientation forgotten,
+/// as in the survey's definition of distance). Parallel entries are deduped.
+Adjacency UndirectedAdjacency(const Structure& s, std::size_t rel_index);
+
+/// Multi-source BFS distances from `sources`; kUnreachable where no path.
+std::vector<std::size_t> BfsDistances(const Adjacency& adjacency,
+                                      const std::vector<Element>& sources);
+
+/// True when the graph is connected in the undirected sense. The empty graph
+/// (n = 0) counts as connected; a single node always does.
+bool IsConnected(const Adjacency& undirected_adjacency);
+
+/// Weakly-connected component ids (0-based, by discovery order).
+std::vector<std::size_t> ConnectedComponents(
+    const Adjacency& undirected_adjacency);
+
+/// True when the directed graph has no directed cycle.
+bool IsAcyclicDirected(const Adjacency& out_adjacency);
+
+/// True when the *undirected* version of the graph has no cycle (the
+/// survey's acyclicity trick uses this reading: a back edge over an
+/// even-length order creates an undirected cycle). Parallel/antiparallel
+/// edge pairs are treated as a single undirected edge, not a cycle.
+bool IsAcyclicUndirected(const Adjacency& undirected_adjacency);
+
+/// Reflexive-free transitive closure of the binary relation: (a, b) included
+/// iff there is a directed path of length >= 1 from a to b.
+Relation TransitiveClosure(const Structure& s, std::size_t rel_index);
+
+/// In-degree / out-degree of every node under the binary relation.
+std::vector<std::size_t> InDegrees(const Structure& s, std::size_t rel_index);
+std::vector<std::size_t> OutDegrees(const Structure& s, std::size_t rel_index);
+
+/// degs(G) of the survey: the set of in-degrees and out-degrees realized.
+std::set<std::size_t> DegreeSet(const Structure& s, std::size_t rel_index);
+
+/// The same for a standalone binary relation over a given domain size.
+std::set<std::size_t> DegreeSet(const Relation& relation,
+                                std::size_t domain_size);
+
+/// Maximum total degree (in + out, loops counted once per side) of any node;
+/// 0 for the empty graph. Used as the k of bounded-degree classes.
+std::size_t MaxDegree(const Structure& s, std::size_t rel_index);
+
+/// The Gaifman graph of an arbitrary relational structure: a and b are
+/// adjacent iff a != b and some tuple of some relation contains both.
+/// Constants do not contribute edges.
+Adjacency GaifmanAdjacency(const Structure& s);
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_GRAPH_H_

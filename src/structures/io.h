@@ -1,0 +1,32 @@
+#ifndef FMTK_STRUCTURES_IO_H_
+#define FMTK_STRUCTURES_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Parses the toolkit's textual structure format:
+///
+///   # comments run to end of line
+///   domain 5
+///   relation E/2 { (0 1) (1 2) (2 0) }
+///   relation P/1 { (3) (4) }
+///   constant c = 2
+///
+/// `domain` must come first; relations and constants follow in any order
+/// and define the signature in order of appearance. Tuples list their
+/// elements separated by whitespace or commas.
+Result<Structure> ParseStructure(std::string_view text);
+
+/// Serializes in the same format. Round-trips exactly when every constant
+/// is interpreted (the format cannot express an uninterpreted constant, so
+/// those are emitted as comments and dropped on re-parse).
+std::string SerializeStructure(const Structure& s);
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_IO_H_

@@ -1,0 +1,49 @@
+#ifndef FMTK_STRUCTURES_ISOMORPHISM_H_
+#define FMTK_STRUCTURES_ISOMORPHISM_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// A partial map between the domains of two structures, as a list of
+/// (a, b) pairs. Repeated pairs are allowed; conflicting ones make the map
+/// non-functional.
+using PartialMap = std::vector<std::pair<Element, Element>>;
+
+/// Decides whether `map` is a partial isomorphism between `a` and `b` in the
+/// survey's sense: the induced map must be well-defined and injective, and
+/// for every relation symbol R and every tuple over dom(map),
+/// R^A(t) iff R^B(map(t)).
+///
+/// Constants: if a constant is interpreted in both structures and its
+/// interpretation appears in the map, the map must respect it. (EF-game
+/// positions add constant pairs to the position explicitly, matching the
+/// textbook convention that constants are always part of the position.)
+bool IsPartialIsomorphism(const Structure& a, const Structure& b,
+                          const PartialMap& map);
+
+/// Decides A, ā ≅ B, b̄: existence of an isomorphism h with h(ā_i) = b̄_i.
+/// With empty tuples this is plain structure isomorphism. Signatures must be
+/// equal for a positive answer. Exact backtracking search with
+/// invariant-based pruning; intended for the small structures that arise as
+/// neighborhoods and game boards.
+bool AreIsomorphic(const Structure& a, const Structure& b,
+                   const Tuple& a_distinguished = {},
+                   const Tuple& b_distinguished = {});
+
+/// An isomorphism-invariant hash of (S, t̄): equal for isomorphic pairs,
+/// and a good discriminator in practice (1-dimensional Weisfeiler-Leman
+/// color refinement over the Gaifman graph, seeded with atomic invariants
+/// and distinguished positions). Use to bucket candidates before the exact
+/// AreIsomorphic test.
+std::size_t IsomorphismInvariant(const Structure& s,
+                                 const Tuple& distinguished = {});
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_ISOMORPHISM_H_

@@ -1,0 +1,39 @@
+#include "structures/relation.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+bool Relation::Add(Tuple tuple) {
+  FMTK_CHECK(tuple.size() == arity_)
+      << "tuple of size " << tuple.size() << " added to relation of arity "
+      << arity_;
+  auto [it, inserted] = index_.insert(tuple);
+  if (inserted) {
+    tuples_.push_back(std::move(tuple));
+  }
+  return inserted;
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "(";
+    for (std::size_t j = 0; j < tuples_[i].size(); ++j) {
+      if (j > 0) {
+        out += ",";
+      }
+      out += std::to_string(tuples_[i][j]);
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace fmtk

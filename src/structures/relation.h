@@ -1,0 +1,57 @@
+#ifndef FMTK_STRUCTURES_RELATION_H_
+#define FMTK_STRUCTURES_RELATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+
+namespace fmtk {
+
+/// A domain element. Structures use the initial segment {0, ..., n-1}.
+using Element = std::uint32_t;
+
+/// A tuple of domain elements.
+using Tuple = std::vector<Element>;
+
+/// A finite relation instance: a set of fixed-arity tuples with O(1)
+/// membership tests and stable insertion-order iteration.
+class Relation {
+ public:
+  explicit Relation(std::size_t arity) : arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `tuple`; returns false when it was already present.
+  /// Arity mismatch is a fatal programming error.
+  bool Add(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return index_.find(tuple) != index_.end();
+  }
+
+  /// Tuples in insertion order.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Set equality (order-insensitive).
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.arity_ == b.arity_ && a.index_ == b.index_;
+  }
+
+  /// e.g. "{(0,1), (1,2)}".
+  std::string ToString() const;
+
+ private:
+  std::size_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, VectorHash<Element>> index_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_RELATION_H_

@@ -1,0 +1,92 @@
+#include "structures/signature.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+Signature& Signature::AddRelation(std::string name, std::size_t arity) {
+  FMTK_CHECK(relation_index_.find(name) == relation_index_.end())
+      << "duplicate relation symbol: " << name;
+  relation_index_.emplace(name, relations_.size());
+  relations_.push_back(RelationSymbol{std::move(name), arity});
+  return *this;
+}
+
+Signature& Signature::AddConstant(std::string name) {
+  FMTK_CHECK(constant_index_.find(name) == constant_index_.end())
+      << "duplicate constant symbol: " << name;
+  constant_index_.emplace(name, constants_.size());
+  constants_.push_back(std::move(name));
+  return *this;
+}
+
+const RelationSymbol& Signature::relation(std::size_t index) const {
+  FMTK_CHECK(index < relations_.size()) << "relation index out of range";
+  return relations_[index];
+}
+
+const std::string& Signature::constant_name(std::size_t index) const {
+  FMTK_CHECK(index < constants_.size()) << "constant index out of range";
+  return constants_[index];
+}
+
+std::optional<std::size_t> Signature::FindRelation(
+    std::string_view name) const {
+  auto it = relation_index_.find(std::string(name));
+  if (it == relation_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<std::size_t> Signature::FindConstant(
+    std::string_view name) const {
+  auto it = constant_index_.find(std::string(name));
+  if (it == constant_index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Signature::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += relations_[i].name;
+    out += "/";
+    out += std::to_string(relations_[i].arity);
+  }
+  if (!constants_.empty()) {
+    out += "; ";
+    for (std::size_t i = 0; i < constants_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += constants_[i];
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::shared_ptr<const Signature> Signature::Graph() {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2);
+  return sig;
+}
+
+std::shared_ptr<const Signature> Signature::Order() {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("<", 2);
+  return sig;
+}
+
+std::shared_ptr<const Signature> Signature::Empty() {
+  return std::make_shared<Signature>();
+}
+
+}  // namespace fmtk

@@ -1,0 +1,76 @@
+#ifndef FMTK_STRUCTURES_SIGNATURE_H_
+#define FMTK_STRUCTURES_SIGNATURE_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fmtk {
+
+/// A relation symbol: a name plus an arity (arity 0 is allowed and denotes a
+/// propositional flag).
+struct RelationSymbol {
+  std::string name;
+  std::size_t arity = 0;
+
+  friend bool operator==(const RelationSymbol&,
+                         const RelationSymbol&) = default;
+};
+
+/// A relational vocabulary: relation symbols plus constant symbols.
+///
+/// Following the survey's convention ("assume all structures are relational"),
+/// function symbols of positive arity are not supported; constants are the
+/// only terms besides variables. Signatures are immutable once built and are
+/// shared between structures via std::shared_ptr<const Signature>.
+class Signature {
+ public:
+  Signature() = default;
+
+  /// Builder-style mutators (use before sharing the signature).
+  /// Adding a duplicate name is a fatal programming error.
+  Signature& AddRelation(std::string name, std::size_t arity);
+  Signature& AddConstant(std::string name);
+
+  std::size_t relation_count() const { return relations_.size(); }
+  std::size_t constant_count() const { return constants_.size(); }
+
+  const RelationSymbol& relation(std::size_t index) const;
+  const std::string& constant_name(std::size_t index) const;
+  const std::vector<RelationSymbol>& relations() const { return relations_; }
+  const std::vector<std::string>& constant_names() const { return constants_; }
+
+  /// Index lookups by name; nullopt when absent.
+  std::optional<std::size_t> FindRelation(std::string_view name) const;
+  std::optional<std::size_t> FindConstant(std::string_view name) const;
+
+  /// Structural equality (same symbols in the same order).
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.relations_ == b.relations_ && a.constants_ == b.constants_;
+  }
+
+  /// e.g. "{E/2, P/1; c}".
+  std::string ToString() const;
+
+  /// Common vocabularies used throughout the toolkit.
+  /// The graph vocabulary {E/2}.
+  static std::shared_ptr<const Signature> Graph();
+  /// The linear-order vocabulary {</2}.
+  static std::shared_ptr<const Signature> Order();
+  /// The empty vocabulary (pure sets).
+  static std::shared_ptr<const Signature> Empty();
+
+ private:
+  std::vector<RelationSymbol> relations_;
+  std::vector<std::string> constants_;
+  std::unordered_map<std::string, std::size_t> relation_index_;
+  std::unordered_map<std::string, std::size_t> constant_index_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_SIGNATURE_H_

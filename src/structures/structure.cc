@@ -1,0 +1,177 @@
+#include "structures/structure.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+Structure::Structure(std::shared_ptr<const Signature> signature,
+                     std::size_t domain_size)
+    : signature_(std::move(signature)), domain_size_(domain_size) {
+  FMTK_CHECK(signature_ != nullptr) << "null signature";
+  relations_.reserve(signature_->relation_count());
+  for (std::size_t i = 0; i < signature_->relation_count(); ++i) {
+    relations_.emplace_back(signature_->relation(i).arity);
+  }
+  constants_.resize(signature_->constant_count());
+}
+
+const Relation& Structure::relation(std::size_t index) const {
+  FMTK_CHECK(index < relations_.size()) << "relation index out of range";
+  return relations_[index];
+}
+
+Result<std::size_t> Structure::RelationIndex(std::string_view name) const {
+  std::optional<std::size_t> index = signature_->FindRelation(name);
+  if (!index.has_value()) {
+    return Status::SignatureMismatch("unknown relation symbol: " +
+                                     std::string(name));
+  }
+  return *index;
+}
+
+bool Structure::AddTuple(std::size_t index, Tuple tuple) {
+  FMTK_CHECK(index < relations_.size()) << "relation index out of range";
+  for (Element e : tuple) {
+    FMTK_CHECK(e < domain_size_)
+        << "element " << e << " outside domain of size " << domain_size_;
+  }
+  return relations_[index].Add(std::move(tuple));
+}
+
+bool Structure::AddTuple(std::string_view name, Tuple tuple) {
+  Result<std::size_t> index = RelationIndex(name);
+  FMTK_CHECK(index.ok()) << index.status().ToString();
+  return AddTuple(*index, std::move(tuple));
+}
+
+Status Structure::TryAddTuple(std::string_view name, Tuple tuple) {
+  FMTK_ASSIGN_OR_RETURN(std::size_t index, RelationIndex(name));
+  if (tuple.size() != relations_[index].arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " does not match " +
+        std::string(name) + "/" + std::to_string(relations_[index].arity()));
+  }
+  for (Element e : tuple) {
+    if (e >= domain_size_) {
+      return Status::InvalidArgument(
+          "element " + std::to_string(e) + " outside domain of size " +
+          std::to_string(domain_size_));
+    }
+  }
+  relations_[index].Add(std::move(tuple));
+  return Status::OK();
+}
+
+void Structure::SetConstant(std::size_t index, Element value) {
+  FMTK_CHECK(index < constants_.size()) << "constant index out of range";
+  FMTK_CHECK(value < domain_size_) << "constant value outside domain";
+  constants_[index] = value;
+}
+
+std::optional<Element> Structure::constant(std::size_t index) const {
+  FMTK_CHECK(index < constants_.size()) << "constant index out of range";
+  return constants_[index];
+}
+
+std::size_t Structure::TupleCount() const {
+  std::size_t total = 0;
+  for (const Relation& r : relations_) {
+    total += r.size();
+  }
+  return total;
+}
+
+bool operator==(const Structure& a, const Structure& b) {
+  return a.domain_size_ == b.domain_size_ &&
+         (a.signature_ == b.signature_ || *a.signature_ == *b.signature_) &&
+         a.relations_ == b.relations_ && a.constants_ == b.constants_;
+}
+
+std::string Structure::ToString() const {
+  std::string out = "Structure(|A|=" + std::to_string(domain_size_) + ")";
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    out += "\n  " + signature_->relation(i).name + " = " +
+           relations_[i].ToString();
+  }
+  for (std::size_t i = 0; i < constants_.size(); ++i) {
+    out += "\n  " + signature_->constant_name(i) + " = ";
+    out += constants_[i].has_value() ? std::to_string(*constants_[i])
+                                     : std::string("unset");
+  }
+  return out;
+}
+
+Structure InducedSubstructure(const Structure& s,
+                              const std::vector<Element>& subdomain) {
+  std::unordered_map<Element, Element> renumber;
+  renumber.reserve(subdomain.size());
+  for (std::size_t i = 0; i < subdomain.size(); ++i) {
+    FMTK_CHECK(subdomain[i] < s.domain_size()) << "subdomain element range";
+    bool inserted =
+        renumber.emplace(subdomain[i], static_cast<Element>(i)).second;
+    FMTK_CHECK(inserted) << "duplicate element in subdomain";
+  }
+  Structure out(s.signature_ptr(), subdomain.size());
+  for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
+    for (const Tuple& t : s.relation(r).tuples()) {
+      Tuple mapped;
+      mapped.reserve(t.size());
+      bool keep = true;
+      for (Element e : t) {
+        auto it = renumber.find(e);
+        if (it == renumber.end()) {
+          keep = false;
+          break;
+        }
+        mapped.push_back(it->second);
+      }
+      if (keep) {
+        out.AddTuple(r, std::move(mapped));
+      }
+    }
+  }
+  for (std::size_t c = 0; c < s.signature().constant_count(); ++c) {
+    std::optional<Element> value = s.constant(c);
+    if (value.has_value()) {
+      auto it = renumber.find(*value);
+      if (it != renumber.end()) {
+        out.SetConstant(c, it->second);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Structure> DisjointUnion(const Structure& a, const Structure& b) {
+  if (!(a.signature() == b.signature())) {
+    return Status::SignatureMismatch(
+        "disjoint union requires equal signatures: " +
+        a.signature().ToString() + " vs " + b.signature().ToString());
+  }
+  Structure out(a.signature_ptr(), a.domain_size() + b.domain_size());
+  const Element shift = static_cast<Element>(a.domain_size());
+  for (std::size_t r = 0; r < a.signature().relation_count(); ++r) {
+    for (const Tuple& t : a.relation(r).tuples()) {
+      out.AddTuple(r, t);
+    }
+    for (const Tuple& t : b.relation(r).tuples()) {
+      Tuple shifted = t;
+      for (Element& e : shifted) {
+        e += shift;
+      }
+      out.AddTuple(r, std::move(shifted));
+    }
+  }
+  for (std::size_t c = 0; c < a.signature().constant_count(); ++c) {
+    std::optional<Element> value = a.constant(c);
+    if (value.has_value()) {
+      out.SetConstant(c, *value);
+    }
+  }
+  return out;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,86 @@
+#ifndef FMTK_STRUCTURES_STRUCTURE_H_
+#define FMTK_STRUCTURES_STRUCTURE_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "structures/relation.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// A finite relational structure (= a database instance in the survey's
+/// reading): a domain {0, ..., n-1}, one finite relation per relation symbol
+/// of the signature, and an element per constant symbol.
+class Structure {
+ public:
+  /// Creates a structure with empty relations and all constants unset.
+  /// `signature` must be non-null.
+  Structure(std::shared_ptr<const Signature> signature,
+            std::size_t domain_size);
+
+  const Signature& signature() const { return *signature_; }
+  const std::shared_ptr<const Signature>& signature_ptr() const {
+    return signature_;
+  }
+  std::size_t domain_size() const { return domain_size_; }
+
+  /// Relation access by symbol index (fatal on out-of-range).
+  const Relation& relation(std::size_t index) const;
+
+  /// Relation access by symbol name; error Status when the name is unknown.
+  Result<std::size_t> RelationIndex(std::string_view name) const;
+
+  /// Inserts `tuple` into relation `index`. Element range and arity are
+  /// CHECKed; use TryAddTuple for unvalidated input.
+  /// Returns false when the tuple was already present.
+  bool AddTuple(std::size_t index, Tuple tuple);
+
+  /// Convenience: insert by relation name.
+  bool AddTuple(std::string_view name, Tuple tuple);
+
+  /// Validated insertion for user-supplied data.
+  Status TryAddTuple(std::string_view name, Tuple tuple);
+
+  /// Constant interpretations.
+  void SetConstant(std::size_t index, Element value);
+  std::optional<Element> constant(std::size_t index) const;
+
+  /// Total number of tuples across all relations.
+  std::size_t TupleCount() const;
+
+  /// Two structures are equal when they share equal signatures, equal domain
+  /// sizes, equal relations, and equal constant interpretations.
+  friend bool operator==(const Structure& a, const Structure& b);
+
+  /// Multi-line description for debugging and examples.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const Signature> signature_;
+  std::size_t domain_size_;
+  std::vector<Relation> relations_;
+  std::vector<std::optional<Element>> constants_;
+};
+
+/// The substructure of `s` induced by `subdomain` (order gives the new
+/// element numbering: subdomain[i] becomes element i). Tuples with any
+/// component outside `subdomain` are dropped. Constants interpreted outside
+/// `subdomain` become unset. Duplicate elements in `subdomain` are a fatal
+/// error.
+Structure InducedSubstructure(const Structure& s,
+                              const std::vector<Element>& subdomain);
+
+/// Disjoint union: B's elements are shifted by A's domain size. The
+/// signatures must be equal; constants are taken from A.
+Result<Structure> DisjointUnion(const Structure& a, const Structure& b);
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_STRUCTURE_H_

@@ -1,0 +1,135 @@
+#include "words/dfa.h"
+
+#include <functional>
+#include <utility>
+
+namespace fmtk {
+
+Result<Dfa> Dfa::Create(std::string alphabet,
+                        std::vector<std::vector<std::size_t>> transitions,
+                        std::set<std::size_t> accepting) {
+  if (alphabet.empty()) {
+    return Status::InvalidArgument("alphabet must be nonempty");
+  }
+  if (transitions.empty()) {
+    return Status::InvalidArgument("a DFA needs at least one state");
+  }
+  for (const std::vector<std::size_t>& row : transitions) {
+    if (row.size() != alphabet.size()) {
+      return Status::InvalidArgument(
+          "every state needs one transition per letter");
+    }
+    for (std::size_t target : row) {
+      if (target >= transitions.size()) {
+        return Status::InvalidArgument("transition target out of range");
+      }
+    }
+  }
+  for (std::size_t state : accepting) {
+    if (state >= transitions.size()) {
+      return Status::InvalidArgument("accepting state out of range");
+    }
+  }
+  return Dfa(std::move(alphabet), std::move(transitions),
+             std::move(accepting));
+}
+
+std::map<char, std::size_t> Dfa::LetterIndex() const {
+  std::map<char, std::size_t> index;
+  for (std::size_t i = 0; i < alphabet_.size(); ++i) {
+    index[alphabet_[i]] = i;
+  }
+  return index;
+}
+
+Result<bool> Dfa::Accepts(std::string_view word) const {
+  std::map<char, std::size_t> index = LetterIndex();
+  std::size_t state = 0;
+  for (char c : word) {
+    auto it = index.find(c);
+    if (it == index.end()) {
+      return Status::InvalidArgument(std::string("letter '") + c +
+                                     "' outside the alphabet");
+    }
+    state = transitions_[state][it->second];
+  }
+  return accepting_.find(state) != accepting_.end();
+}
+
+Dfa Dfa::Complement() const {
+  std::set<std::size_t> flipped;
+  for (std::size_t s = 0; s < transitions_.size(); ++s) {
+    if (accepting_.find(s) == accepting_.end()) {
+      flipped.insert(s);
+    }
+  }
+  return Dfa(alphabet_, transitions_, std::move(flipped));
+}
+
+Dfa Dfa::StarFreeAsThenBs() {
+  // States: 0 = reading a's, 1 = reading b's, 2 = dead.
+  Result<Dfa> dfa = Create("ab",
+                           {{0, 1},   // from 0: a -> 0, b -> 1
+                            {2, 1},   // from 1: a -> dead, b -> 1
+                            {2, 2}},  // dead
+                           {0, 1});
+  return *dfa;
+}
+
+Dfa Dfa::ContainsAb() {
+  // States: 0 = nothing, 1 = just saw a, 2 = saw the factor (accepting).
+  Result<Dfa> dfa = Create("ab",
+                           {{1, 0},
+                            {1, 2},
+                            {2, 2}},
+                           {2});
+  return *dfa;
+}
+
+Dfa Dfa::EvenNumberOfAs() {
+  // States: parity of #a's; b's are neutral.
+  Result<Dfa> dfa = Create("ab",
+                           {{1, 0},
+                            {0, 1}},
+                           {0});
+  return *dfa;
+}
+
+std::size_t ForEachWord(std::string_view alphabet, std::size_t max_length,
+                        const std::function<bool(const std::string&)>& fn) {
+  std::size_t visited = 0;
+  std::string word;
+  // Iterative deepening over lengths; odometer within a length.
+  for (std::size_t length = 0; length <= max_length; ++length) {
+    std::vector<std::size_t> digits(length, 0);
+    while (true) {
+      word.clear();
+      for (std::size_t d : digits) {
+        word += alphabet[d];
+      }
+      ++visited;
+      if (!fn(word)) {
+        return visited;
+      }
+      std::size_t pos = length;
+      bool done = (length == 0);
+      while (pos > 0) {
+        --pos;
+        if (digits[pos] + 1 < alphabet.size()) {
+          ++digits[pos];
+          break;
+        }
+        digits[pos] = 0;
+        if (pos == 0) {
+          done = true;
+        }
+      }
+      if (done) {
+        break;
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace fmtk

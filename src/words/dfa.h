@@ -1,0 +1,72 @@
+#ifndef FMTK_WORDS_DFA_H_
+#define FMTK_WORDS_DFA_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fmtk {
+
+/// A deterministic finite automaton over an explicit alphabet — the
+/// automata side of the logic/automata connection. Minimal by design: the
+/// toolkit uses DFAs as ground truth for languages when checking what FO
+/// over word structures can and cannot define.
+class Dfa {
+ public:
+  /// `transitions[state][letter_index]` = next state; state 0 is initial.
+  /// Every state must have a transition for every letter.
+  static Result<Dfa> Create(std::string alphabet,
+                            std::vector<std::vector<std::size_t>> transitions,
+                            std::set<std::size_t> accepting);
+
+  const std::string& alphabet() const { return alphabet_; }
+  std::size_t state_count() const { return transitions_.size(); }
+
+  /// Runs the automaton; letters outside the alphabet are an error.
+  Result<bool> Accepts(std::string_view word) const;
+
+  /// L(this) complemented (relative to the same alphabet).
+  Dfa Complement() const;
+
+  // --- Library of example languages -----------------------------------
+
+  /// a*b* — star-free, hence FO-definable (McNaughton–Papert).
+  static Dfa StarFreeAsThenBs();
+
+  /// Words containing the factor "ab" — star-free.
+  static Dfa ContainsAb();
+
+  /// Words with an even number of a's — regular but NOT star-free, the
+  /// string guise of the survey's EVEN query. FO over word structures
+  /// cannot define it.
+  static Dfa EvenNumberOfAs();
+
+ private:
+  Dfa(std::string alphabet, std::vector<std::vector<std::size_t>> transitions,
+      std::set<std::size_t> accepting)
+      : alphabet_(std::move(alphabet)),
+        transitions_(std::move(transitions)),
+        accepting_(std::move(accepting)) {}
+
+  std::map<char, std::size_t> LetterIndex() const;
+
+  std::string alphabet_;
+  std::vector<std::vector<std::size_t>> transitions_;
+  std::set<std::size_t> accepting_;
+};
+
+/// Enumerates all words over `alphabet` of length <= max_length and calls
+/// `fn(word)`; stops early when fn returns false. Returns the number of
+/// words visited.
+std::size_t ForEachWord(std::string_view alphabet, std::size_t max_length,
+                        const std::function<bool(const std::string&)>& fn);
+
+}  // namespace fmtk
+
+#endif  // FMTK_WORDS_DFA_H_

@@ -1,0 +1,55 @@
+#include "words/fo_language.h"
+
+#include "eval/model_check.h"
+#include "logic/parser.h"
+#include "words/word_structure.h"
+
+namespace fmtk {
+
+Result<LanguageAgreement> CompareFoWithDfa(const Formula& sentence,
+                                           const Dfa& dfa,
+                                           std::string_view alphabet,
+                                           std::size_t max_length) {
+  LanguageAgreement result;
+  Status error = Status::OK();
+  result.words_checked = ForEachWord(
+      alphabet, max_length, [&](const std::string& word) {
+        Result<Structure> w = MakeWordStructure(word, alphabet);
+        if (!w.ok()) {
+          error = w.status();
+          return false;
+        }
+        Result<bool> by_logic = Satisfies(*w, sentence);
+        if (!by_logic.ok()) {
+          error = by_logic.status();
+          return false;
+        }
+        Result<bool> by_automaton = dfa.Accepts(word);
+        if (!by_automaton.ok()) {
+          error = by_automaton.status();
+          return false;
+        }
+        if (*by_logic != *by_automaton) {
+          result.agree = false;
+          result.counterexample = word;
+          return false;
+        }
+        return true;
+      });
+  FMTK_RETURN_IF_ERROR(error);
+  return result;
+}
+
+Result<Formula> AsThenBsSentence() {
+  // No position with a b strictly before a position with an a.
+  return ParseFormula("!(exists x. exists y. x < y & Pb(x) & Pa(y))");
+}
+
+Result<Formula> ContainsAbSentence() {
+  // Some a immediately followed (no position in between) by a b.
+  return ParseFormula(
+      "exists x. exists y. x < y & !(exists z. x < z & z < y)"
+      " & Pa(x) & Pb(y)");
+}
+
+}  // namespace fmtk

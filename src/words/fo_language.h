@@ -1,0 +1,40 @@
+#ifndef FMTK_WORDS_FO_LANGUAGE_H_
+#define FMTK_WORDS_FO_LANGUAGE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "logic/formula.h"
+#include "words/dfa.h"
+
+namespace fmtk {
+
+/// Bounded comparison of an FO-defined word language with a DFA: evaluates
+/// the sentence on W(w) for every word w over the alphabet with
+/// |w| <= max_length and compares against the automaton.
+struct LanguageAgreement {
+  bool agree = true;
+  std::optional<std::string> counterexample;  // First disagreeing word.
+  std::size_t words_checked = 0;
+};
+
+/// The sentence must be over WordSignature(alphabet). Exhaustive up to the
+/// bound: |Σ|^(max_length+1) evaluations, so keep max_length modest.
+Result<LanguageAgreement> CompareFoWithDfa(const Formula& sentence,
+                                           const Dfa& dfa,
+                                           std::string_view alphabet,
+                                           std::size_t max_length);
+
+/// FO sentences defining the library's star-free example languages, for
+/// tests and benches (parsed over WordSignature("ab")).
+/// a*b*: no a after a b.
+Result<Formula> AsThenBsSentence();
+/// Contains the factor "ab": an a immediately followed by a b.
+Result<Formula> ContainsAbSentence();
+
+}  // namespace fmtk
+
+#endif  // FMTK_WORDS_FO_LANGUAGE_H_

@@ -1,0 +1,56 @@
+#include "words/word_structure.h"
+
+#include <cctype>
+#include <set>
+
+namespace fmtk {
+
+std::string LetterPredicate(char letter) {
+  return std::string("P") + letter;
+}
+
+Result<std::shared_ptr<const Signature>> WordSignature(
+    std::string_view alphabet) {
+  if (alphabet.empty()) {
+    return Status::InvalidArgument("alphabet must be nonempty");
+  }
+  std::set<char> seen;
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("<", 2);
+  for (char a : alphabet) {
+    if (!std::isalnum(static_cast<unsigned char>(a))) {
+      return Status::InvalidArgument("letters must be alphanumeric");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument(std::string("duplicate letter '") + a +
+                                     "'");
+    }
+    sig->AddRelation(LetterPredicate(a), 1);
+  }
+  return std::shared_ptr<const Signature>(std::move(sig));
+}
+
+Result<Structure> MakeWordStructure(std::string_view word,
+                                    std::string_view alphabet) {
+  FMTK_ASSIGN_OR_RETURN(std::shared_ptr<const Signature> sig,
+                        WordSignature(alphabet));
+  Structure s(sig, word.size());
+  const std::size_t less = *sig->FindRelation("<");
+  for (Element i = 0; i < word.size(); ++i) {
+    for (Element j = i + 1; j < word.size(); ++j) {
+      s.AddTuple(less, {i, j});
+    }
+  }
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    std::optional<std::size_t> rel =
+        sig->FindRelation(LetterPredicate(word[i]));
+    if (!rel.has_value()) {
+      return Status::InvalidArgument(std::string("letter '") + word[i] +
+                                     "' not in the alphabet");
+    }
+    s.AddTuple(*rel, {static_cast<Element>(i)});
+  }
+  return s;
+}
+
+}  // namespace fmtk

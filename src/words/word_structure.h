@@ -1,0 +1,35 @@
+#ifndef FMTK_WORDS_WORD_STRUCTURE_H_
+#define FMTK_WORDS_WORD_STRUCTURE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Büchi's encoding of words as finite structures — the bridge between the
+/// survey's logic toolbox and automata: a word w over alphabet Σ becomes
+/// the structure W(w) with domain {0, ..., |w|-1}, the position order <,
+/// and one unary predicate P_a per letter. FO sentences over this
+/// vocabulary define exactly the star-free regular languages
+/// (McNaughton–Papert); MSO would give all regular languages.
+
+/// The word vocabulary for `alphabet`: "<"/2 plus P_a/1 for each letter.
+/// Letters must be distinct alphanumeric characters.
+Result<std::shared_ptr<const Signature>> WordSignature(
+    std::string_view alphabet);
+
+/// W(word) over the given alphabet. Every letter of `word` must come from
+/// `alphabet`.
+Result<Structure> MakeWordStructure(std::string_view word,
+                                    std::string_view alphabet);
+
+/// The predicate name for a letter: 'a' -> "Pa".
+std::string LetterPredicate(char letter);
+
+}  // namespace fmtk
+
+#endif  // FMTK_WORDS_WORD_STRUCTURE_H_

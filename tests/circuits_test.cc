@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/circuit.h"
+#include "circuits/compile.h"
+#include "eval/model_check.h"
+#include "logic/parser.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+TEST(CircuitTest, BasicGates) {
+  Circuit c;
+  Circuit::GateId p = c.AddInput("p");
+  Circuit::GateId q = c.AddInput("q");
+  // (!p | q) & (p & !q)  — the slide's example shape.
+  Circuit::GateId left = c.AddOr({c.AddNot(p), q});
+  Circuit::GateId right = c.AddAnd({p, c.AddNot(q)});
+  c.SetOutput(c.AddAnd({left, right}));
+  EXPECT_EQ(c.input_count(), 2u);
+  // Contradictory: false on all inputs.
+  for (bool bp : {false, true}) {
+    for (bool bq : {false, true}) {
+      EXPECT_FALSE(*c.Evaluate({bp, bq}));
+    }
+  }
+}
+
+TEST(CircuitTest, EmptyFanIn) {
+  Circuit c;
+  c.SetOutput(c.AddAnd({}));
+  EXPECT_TRUE(*c.Evaluate({}));
+  Circuit d;
+  d.SetOutput(d.AddOr({}));
+  EXPECT_FALSE(*d.Evaluate({}));
+}
+
+TEST(CircuitTest, DepthIgnoresNots) {
+  Circuit c;
+  Circuit::GateId p = c.AddInput("p");
+  Circuit::GateId q = c.AddInput("q");
+  c.SetOutput(c.AddAnd({c.AddNot(p), c.AddOr({q, c.AddNot(p)})}));
+  EXPECT_EQ(c.Depth(), 2u);  // OR then AND; NOTs are wires.
+}
+
+TEST(CircuitTest, InputCountMismatch) {
+  Circuit c;
+  c.AddInput("p");
+  c.SetOutput(c.AddConst(true));
+  EXPECT_FALSE(c.Evaluate({}).ok());
+  EXPECT_FALSE(c.Evaluate({true, false}).ok());
+}
+
+TEST(CircuitTest, InputLabels) {
+  Circuit c;
+  c.AddInput("E#0");
+  c.AddInput("E#1");
+  EXPECT_EQ(c.input_label(0), "E#0");
+  EXPECT_EQ(c.input_label(1), "E#1");
+}
+
+TEST(CompileTest, InputBitCount) {
+  EXPECT_EQ(InputBitCount(*Signature::Graph(), 3), 9u);
+  Signature sig;
+  sig.AddRelation("R", 3).AddRelation("P", 1);
+  EXPECT_EQ(InputBitCount(sig, 2), 8u + 2u);
+  EXPECT_EQ(InputBitCount(*Signature::Empty(), 5), 0u);
+}
+
+TEST(CompileTest, EncodeRoundTrip) {
+  Structure p = MakeDirectedPath(3);
+  Result<std::vector<bool>> bits = EncodeStructure(p);
+  ASSERT_TRUE(bits.ok());
+  ASSERT_EQ(bits->size(), 9u);
+  // Edge (0,1) = index 0*3+1 = 1; edge (1,2) = index 1*3+2 = 5.
+  EXPECT_TRUE((*bits)[1]);
+  EXPECT_TRUE((*bits)[5]);
+  EXPECT_EQ(std::count(bits->begin(), bits->end(), true), 2);
+}
+
+TEST(CompileTest, SentencesOnly) {
+  Result<Circuit> c =
+      CompileSentence(*ParseFormula("E(x,y)"), *Signature::Graph(), 3);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(CompileTest, AgreementWithModelChecker) {
+  const char* sentences[] = {
+      "exists x. E(x,x)",
+      "forall x. exists y. E(x,y)",
+      "exists x. forall y. E(x,y) -> E(y,x)",
+      "forall x y. E(x,y) <-> E(y,x)",
+      "exists x y. x != y & E(x,y) & E(y,x)",
+      "true",
+      "false",
+  };
+  std::mt19937_64 rng(5);
+  for (const char* text : sentences) {
+    Formula f = *ParseFormula(text);
+    for (std::size_t n = 0; n <= 4; ++n) {
+      Result<Circuit> circuit = CompileSentence(f, *Signature::Graph(), n);
+      ASSERT_TRUE(circuit.ok()) << text << " n=" << n << ": "
+                                << circuit.status().ToString();
+      for (int trial = 0; trial < 6; ++trial) {
+        Structure g = MakeRandomStructure(Signature::Graph(), n, 0.4, rng);
+        Result<std::vector<bool>> bits = EncodeStructure(g);
+        ASSERT_TRUE(bits.ok());
+        Result<bool> via_circuit = circuit->Evaluate(*bits);
+        Result<bool> direct = Satisfies(g, f);
+        ASSERT_TRUE(via_circuit.ok() && direct.ok());
+        EXPECT_EQ(*via_circuit, *direct) << text << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(CompileTest, DepthIsConstantInN) {
+  // The AC0 claim: for a fixed sentence, depth does not grow with n.
+  Formula f = *ParseFormula("forall x. exists y. E(x,y) & !E(y,x)");
+  std::size_t depth4 = 0;
+  for (std::size_t n : {2, 4, 8, 16}) {
+    Result<Circuit> circuit = CompileSentence(f, *Signature::Graph(), n);
+    ASSERT_TRUE(circuit.ok());
+    if (n == 4) {
+      depth4 = circuit->Depth();
+    }
+    if (n > 4) {
+      EXPECT_EQ(circuit->Depth(), depth4) << "n=" << n;
+    }
+  }
+}
+
+TEST(CompileTest, SizeIsPolynomialInN) {
+  // Gate count grows polynomially (here ~n^2 for a rank-2 sentence), not
+  // exponentially.
+  Formula f = *ParseFormula("forall x. exists y. E(x,y)");
+  std::size_t size8 = 0;
+  std::size_t size16 = 0;
+  for (std::size_t n : {8, 16}) {
+    Result<Circuit> circuit = CompileSentence(f, *Signature::Graph(), n);
+    ASSERT_TRUE(circuit.ok());
+    (n == 8 ? size8 : size16) = circuit->gate_count();
+  }
+  // Quadratic-ish: quadrupling allowed, anything near 2^8 x is not.
+  EXPECT_LE(size16, size8 * 8);
+}
+
+TEST(CompileTest, MemoizationSharesSubcircuits) {
+  // (φ ∧ φ) compiles with shared gates: barely larger than φ alone.
+  Formula f = *ParseFormula("forall x. exists y. E(x,y)");
+  Formula ff = Formula::And(f, f);
+  Result<Circuit> one = CompileSentence(f, *Signature::Graph(), 6);
+  Result<Circuit> two = CompileSentence(ff, *Signature::Graph(), 6);
+  ASSERT_TRUE(one.ok() && two.ok());
+  EXPECT_LE(two->gate_count(), one->gate_count() + 2);
+}
+
+TEST(CompileTest, ConstantsUnsupported) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Result<Circuit> c =
+      CompileSentence(*ParseFormula("exists x. E(x,x)"), *sig, 3);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CompileTest, EmptyDomain) {
+  Formula f = *ParseFormula("exists x. E(x,x)");
+  Result<Circuit> circuit = CompileSentence(f, *Signature::Graph(), 0);
+  ASSERT_TRUE(circuit.ok());
+  EXPECT_FALSE(*circuit->Evaluate({}));
+}
+
+}  // namespace
+}  // namespace fmtk

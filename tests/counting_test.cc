@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/compile.h"
+#include "core/zeroone/almost_sure.h"
+#include "eval/model_check.h"
+#include "eval/query_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+#include "logic/transform.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+TEST(CountingFormulaTest, FactoryAndAccessors) {
+  Formula f = Formula::CountExists(3, "x", Formula::Atom("P", {V("x")}));
+  EXPECT_EQ(f.kind(), FormulaKind::kCountExists);
+  EXPECT_EQ(f.count(), 3u);
+  EXPECT_EQ(f.variable(), "x");
+  EXPECT_TRUE(f.is_quantifier());
+  EXPECT_EQ(QuantifierRank(f), 1u);
+  EXPECT_TRUE(FreeVariables(f).empty());
+}
+
+TEST(CountingFormulaTest, EqualityComparesCount) {
+  Formula a = Formula::CountExists(2, "x", Formula::True());
+  Formula b = Formula::CountExists(3, "x", Formula::True());
+  Formula c = Formula::CountExists(2, "x", Formula::True());
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(CountingParserTest, RoundTrip) {
+  Result<Formula> f = ParseFormula("atleast 3 x. E(x,x)");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f->kind(), FormulaKind::kCountExists);
+  EXPECT_EQ(f->count(), 3u);
+  Result<Formula> again = ParseFormula(f->ToString());
+  ASSERT_TRUE(again.ok()) << f->ToString();
+  EXPECT_EQ(*f, *again);
+}
+
+TEST(CountingParserTest, ScopeExtendsRight) {
+  Result<Formula> f = ParseFormula("atleast 2 x. P(x) & Q(x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->body().kind(), FormulaKind::kAnd);
+  // Nested in a conjunction it gets parenthesized on print.
+  Formula nested = Formula::And(*f, Formula::Atom("R", {}));
+  Result<Formula> reparsed = ParseFormula(nested.ToString());
+  ASSERT_TRUE(reparsed.ok()) << nested.ToString();
+  EXPECT_EQ(nested, *reparsed);
+}
+
+TEST(CountingParserTest, Errors) {
+  EXPECT_FALSE(ParseFormula("atleast x. P(x)").ok());
+  EXPECT_FALSE(ParseFormula("atleast 0 x. P(x)").ok());
+  EXPECT_FALSE(ParseFormula("atleast 2. P(x)").ok());
+  EXPECT_FALSE(ParseFormula("atleast 2 x P(x)").ok());
+}
+
+TEST(CountingEvalTest, ThresholdSemantics) {
+  // The 5-cycle has exactly 5 edges.
+  Structure c = MakeDirectedCycle(5);
+  EXPECT_TRUE(*Satisfies(c, *ParseFormula("atleast 5 x. exists y. E(x,y)")));
+  EXPECT_FALSE(
+      *Satisfies(c, *ParseFormula("atleast 6 x. exists y. E(x,y)")));
+  // λ_n via counting: rank drops from n to 1.
+  Formula at_least_4 = *ParseFormula("atleast 4 x. true");
+  EXPECT_EQ(QuantifierRank(at_least_4), 1u);
+  EXPECT_TRUE(*Satisfies(MakeSet(4), at_least_4));
+  EXPECT_FALSE(*Satisfies(MakeSet(3), at_least_4));
+}
+
+TEST(CountingEvalTest, CountOneEqualsExists) {
+  std::mt19937_64 rng(3);
+  Formula counted = *ParseFormula("atleast 1 x. E(x,x)");
+  Formula plain = *ParseFormula("exists x. E(x,x)");
+  for (int i = 0; i < 10; ++i) {
+    Structure g = MakeRandomStructure(Signature::Graph(), 4, 0.3, rng);
+    EXPECT_EQ(*Satisfies(g, counted), *Satisfies(g, plain));
+  }
+}
+
+TEST(CountingEvalTest, FreeVariablesInBody) {
+  // "x has at least 2 out-neighbors": true for the root of a binary tree.
+  Structure tree = MakeFullBinaryTree(2);
+  Formula f = *ParseFormula("atleast 2 y. E(x,y)");
+  EXPECT_TRUE(*Satisfies(tree, f, {{"x", 0}}));
+  EXPECT_FALSE(*Satisfies(tree, f, {{"x", 3}}));  // A leaf.
+}
+
+TEST(CountingQueryEvalTest, BottomUpMatchesNaive) {
+  std::mt19937_64 rng(17);
+  const char* queries[] = {
+      "atleast 2 y. E(x,y)",
+      "atleast 2 y. E(x,y) | E(y,x)",
+      "atleast 3 x. E(x,y)",
+      "!(atleast 2 y. E(x,y))",
+  };
+  for (const char* text : queries) {
+    Formula f = *ParseFormula(text);
+    std::set<std::string> free = FreeVariables(f);
+    std::vector<std::string> vars(free.begin(), free.end());
+    for (int trial = 0; trial < 6; ++trial) {
+      Structure g = MakeRandomGraph(5, 0.4, rng);
+      Result<Relation> fast = EvaluateQuery(g, f, vars);
+      Result<Relation> slow = EvaluateQueryNaive(g, f, vars);
+      ASSERT_TRUE(fast.ok() && slow.ok()) << text;
+      EXPECT_TRUE(*fast == *slow) << text;
+    }
+  }
+}
+
+TEST(CountingQueryEvalTest, VacuousCountingVariable) {
+  // x not free in the body: at least k domain elements must exist.
+  Structure s = MakeDirectedPath(3);
+  Formula f = *ParseFormula("atleast 3 z. E(x,y)");
+  Result<Relation> ans = EvaluateQuery(s, f, {"x", "y"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 2u);  // Same as E(x,y): domain has >= 3 elements.
+  Formula g = *ParseFormula("atleast 4 z. E(x,y)");
+  Result<Relation> none = EvaluateQuery(s, g, {"x", "y"});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(CountingTransformTest, NnfKeepsNegationOutside) {
+  Formula f = *ParseFormula("!(atleast 2 x. P(x) -> Q(x))");
+  Formula nnf = NegationNormalForm(f);
+  EXPECT_EQ(nnf.kind(), FormulaKind::kNot);
+  EXPECT_EQ(nnf.child(0).kind(), FormulaKind::kCountExists);
+  // The body was normalized (no implications left).
+  EXPECT_EQ(nnf.child(0).body().kind(), FormulaKind::kOr);
+}
+
+TEST(CountingTransformTest, NnfPreservesMeaning) {
+  std::mt19937_64 rng(23);
+  Formula f = *ParseFormula("!(atleast 2 x. exists y. E(x,y) -> E(y,x))");
+  Formula nnf = NegationNormalForm(f);
+  for (int i = 0; i < 8; ++i) {
+    Structure g = MakeRandomGraph(4, 0.4, rng);
+    EXPECT_EQ(*Satisfies(g, f), *Satisfies(g, nnf));
+  }
+}
+
+TEST(CountingTransformTest, SubstitutionAndRenaming) {
+  Formula f = *ParseFormula("atleast 2 y. E(x,y)");
+  Formula g = SubstituteVariable(f, "x", Term::Var("z"));
+  EXPECT_EQ(g, *ParseFormula("atleast 2 y. E(z,y)"));
+  // Capture avoidance.
+  Formula h = SubstituteVariable(f, "x", Term::Var("y"));
+  EXPECT_EQ(h.kind(), FormulaKind::kCountExists);
+  EXPECT_NE(h.variable(), "y");
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(CountingCircuitTest, Unsupported) {
+  Result<Circuit> c = CompileSentence(*ParseFormula("atleast 2 x. E(x,x)"),
+                                      *Signature::Graph(), 3);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(CountingAlmostSureTest, FreshTypesGiveInfinitelyManyWitnesses) {
+  // "At least 5 loops" is almost surely true (loops keep appearing).
+  EXPECT_TRUE(*AlmostSurelyTrue(*ParseFormula("atleast 5 x. E(x,x)")));
+  // "At least 2 elements equal to x" is always false.
+  EXPECT_FALSE(*AlmostSurelyTrue(
+      *ParseFormula("exists x. atleast 2 y. y = x")));
+  // "At least 1 element" is trivially true in the infinite random graph.
+  EXPECT_TRUE(*AlmostSurelyTrue(*ParseFormula("atleast 1 x. true")));
+}
+
+TEST(CountingAlmostSureTest, NamedWitnessesCounted) {
+  // ∃x∃y (x≠y ∧ at least 2 z with z=x or z=y): exactly the two named
+  // points witness, so the count threshold 2 passes and 3 fails.
+  EXPECT_TRUE(*AlmostSurelyTrue(
+      *ParseFormula("exists x y. x != y & (atleast 2 z. z = x | z = y)")));
+  EXPECT_FALSE(*AlmostSurelyTrue(
+      *ParseFormula("exists x y. x != y & (atleast 3 z. z = x | z = y)")));
+}
+
+}  // namespace
+}  // namespace fmtk

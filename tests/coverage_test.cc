@@ -1,0 +1,110 @@
+// Coverage for introspection and bookkeeping surfaces not exercised by the
+// main behavioural suites.
+
+#include <gtest/gtest.h>
+
+#include "core/games/linear_order.h"
+#include "core/locality/neighborhood.h"
+#include "core/types/atom_enumeration.h"
+#include "core/types/rank_type.h"
+#include "structures/generators.h"
+#include "structures/graph.h"
+#include "structures/io.h"
+
+namespace fmtk {
+namespace {
+
+TEST(RankTypeIntrospectionTest, AtomicAndCompositeInfo) {
+  RankTypeIndex index;
+  Structure p = MakeDirectedPath(3);
+  RankTypeIndex::TypeId atomic = index.TypeOf(p, {0, 1}, 0);
+  ASSERT_TRUE(index.IsAtomic(atomic));
+  const RankTypeIndex::AtomicInfo& info = index.atomic_info(atomic);
+  EXPECT_EQ(info.tuple_length, 2u);
+  // Graph signature, extended length 2: 4 relation slots + 1 equality.
+  EXPECT_EQ(info.bits.size(), 5u);
+
+  RankTypeIndex::TypeId composite = index.TypeOf(p, {0}, 2);
+  ASSERT_FALSE(index.IsAtomic(composite));
+  const RankTypeIndex::CompositeInfo& cinfo =
+      index.composite_info(composite);
+  EXPECT_EQ(cinfo.rank, 2u);
+  EXPECT_GE(cinfo.extensions.size(), 2u);
+  EXPECT_TRUE(index.IsAtomic(cinfo.atomic));
+  EXPECT_GT(index.size(), 0u);
+}
+
+TEST(AtomEnumerationTest, SlotLayout) {
+  Signature sig;
+  sig.AddRelation("E", 2).AddRelation("P", 1).AddRelation("flag", 0);
+  std::vector<AtomSlot> slots = EnumerateAtomSlots(sig, 2);
+  // E: 4 position pairs; P: 2 positions; flag: 1; equalities: 1.
+  EXPECT_EQ(slots.size(), 4u + 2u + 1u + 1u);
+  EXPECT_EQ(slots[0].kind, AtomSlot::Kind::kRelation);
+  EXPECT_EQ(slots.back().kind, AtomSlot::Kind::kEquality);
+  // Zero extended length: only 0-ary relation slots survive.
+  std::vector<AtomSlot> empty_slots = EnumerateAtomSlots(sig, 0);
+  EXPECT_EQ(empty_slots.size(), 1u);
+}
+
+TEST(LinearOrderGameTableTest, MemoGrowsAndIsReused) {
+  LinearOrderGameTable table;
+  EXPECT_EQ(table.memo_size(), 0u);
+  EXPECT_TRUE(table.Equivalent(7, 8, 3));
+  const std::size_t after_first = table.memo_size();
+  EXPECT_GT(after_first, 0u);
+  // Re-asking reuses the memo without growth.
+  EXPECT_TRUE(table.Equivalent(7, 8, 3));
+  EXPECT_EQ(table.memo_size(), after_first);
+  // A smaller query is largely contained in the memo already.
+  EXPECT_FALSE(table.Equivalent(5, 6, 3));
+}
+
+TEST(NeighborhoodRepresentativeTest, StableAcrossGrowth) {
+  // Representatives must stay valid as the index's buckets grow.
+  NeighborhoodTypeIndex index;
+  std::vector<NeighborhoodTypeIndex::TypeId> ids;
+  for (std::size_t n : {3, 4, 5, 6, 7}) {
+    Structure c = MakeDirectedCycle(n);
+    Adjacency g = GaifmanAdjacency(c);
+    ids.push_back(index.TypeOf(NeighborhoodOf(c, g, {0}, n / 2)));
+  }
+  for (NeighborhoodTypeIndex::TypeId id : ids) {
+    // Round-trip: the representative's own type is itself.
+    EXPECT_EQ(index.TypeOf(index.representative(id)), id);
+  }
+}
+
+TEST(SerializeTest, UninterpretedConstantBecomesComment) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure s(sig, 2);
+  std::string text = SerializeStructure(s);
+  EXPECT_NE(text.find("# constant c is uninterpreted"), std::string::npos);
+  // Re-parsing drops the constant (documented behaviour).
+  Result<Structure> back = ParseStructure(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->signature().constant_count(), 0u);
+}
+
+TEST(DegreeSetTest, RelationOverloadMatchesStructureOverload) {
+  Structure tree = MakeFullBinaryTree(3);
+  EXPECT_EQ(DegreeSet(tree, 0),
+            DegreeSet(tree.relation(0), tree.domain_size()));
+}
+
+TEST(StructureToStringTest, MentionsEverything) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure s(sig, 2);
+  s.AddTuple(0, {0, 1});
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("|A|=2"), std::string::npos);
+  EXPECT_NE(text.find("(0,1)"), std::string::npos);
+  EXPECT_NE(text.find("c = unset"), std::string::npos);
+  s.SetConstant(0, 1);
+  EXPECT_NE(s.ToString().find("c = 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "queries/relation_query.h"
+#include "structures/generators.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+namespace {
+
+TEST(DatalogProgramTest, BuiltinsValidate) {
+  EXPECT_TRUE(DatalogProgram::TransitiveClosure().Validate().ok());
+  EXPECT_TRUE(DatalogProgram::SameGeneration().Validate().ok());
+}
+
+TEST(DatalogProgramTest, IdbEdbSplit) {
+  DatalogProgram tc = DatalogProgram::TransitiveClosure();
+  EXPECT_EQ(tc.IdbPredicates(), (std::set<std::string>{"tc"}));
+  EXPECT_EQ(tc.EdbPredicates(), (std::set<std::string>{"E"}));
+}
+
+TEST(DatalogProgramTest, RangeRestrictionEnforced) {
+  DatalogProgram bad;
+  bad.AddRule({{"p", {DlTerm::Var("x"), DlTerm::Var("y")}},
+               {{"E", {DlTerm::Var("x"), DlTerm::Var("x")}}}});
+  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatalogProgramTest, ArityConsistencyEnforced) {
+  DatalogProgram bad;
+  bad.AddRule({{"p", {DlTerm::Var("x")}},
+               {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
+  bad.AddRule({{"p", {DlTerm::Var("x"), DlTerm::Var("y")}},
+               {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(DatalogParserTest, ParsesTransitiveClosure) {
+  Result<DatalogProgram> p = ParseDatalogProgram(
+      "tc(x,y) :- E(x,y). tc(x,y) :- E(x,z), tc(z,y).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules().size(), 2u);
+  EXPECT_EQ(p->rules()[1].body.size(), 2u);
+  EXPECT_EQ(p->ToString(), DatalogProgram::TransitiveClosure().ToString());
+}
+
+TEST(DatalogParserTest, FactsAndConstants) {
+  Result<DatalogProgram> p = ParseDatalogProgram(
+      "start(0).  reach(x) :- start(x). reach(y) :- reach(x), E(x,y).");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules().size(), 3u);
+  EXPECT_FALSE(p->rules()[0].head.terms[0].is_variable);
+  EXPECT_EQ(p->rules()[0].head.terms[0].value, 0u);
+}
+
+TEST(DatalogParserTest, FactSchemaWithEmptyBody) {
+  Result<DatalogProgram> p = ParseDatalogProgram("sg(x,x) :- .");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->rules()[0].body.empty());
+}
+
+TEST(DatalogParserTest, Errors) {
+  EXPECT_FALSE(ParseDatalogProgram("tc(x,y)").ok());     // Missing '.'.
+  EXPECT_FALSE(ParseDatalogProgram("tc(x, :- .").ok());
+  EXPECT_FALSE(ParseDatalogProgram("p(x) :- q(x. ").ok());
+  // Range restriction via parser validation.
+  EXPECT_FALSE(ParseDatalogProgram("p(x) :- q(y).").ok());
+}
+
+TEST(DatalogEvalTest, TransitiveClosureMatchesGraphAlgorithm) {
+  for (std::size_t n : {2, 5, 9}) {
+    Structure chain = MakeDirectedPath(n);
+    Result<std::map<std::string, Relation>> out =
+        EvaluateDatalog(DatalogProgram::TransitiveClosure(), chain);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_TRUE(out->at("tc") == TransitiveClosure(chain, 0));
+  }
+  Structure cycle = MakeDirectedCycle(6);
+  Result<std::map<std::string, Relation>> out =
+      EvaluateDatalog(DatalogProgram::TransitiveClosure(), cycle);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->at("tc") == TransitiveClosure(cycle, 0));
+}
+
+TEST(DatalogEvalTest, NaiveAndSemiNaiveAgree) {
+  Structure tree = MakeFullBinaryTree(3);
+  DatalogStats naive_stats;
+  DatalogStats semi_stats;
+  Result<std::map<std::string, Relation>> naive =
+      EvaluateDatalog(DatalogProgram::SameGeneration(), tree,
+                      DatalogStrategy::kNaive, &naive_stats);
+  Result<std::map<std::string, Relation>> semi =
+      EvaluateDatalog(DatalogProgram::SameGeneration(), tree,
+                      DatalogStrategy::kSemiNaive, &semi_stats);
+  ASSERT_TRUE(naive.ok() && semi.ok());
+  EXPECT_TRUE(naive->at("sg") == semi->at("sg"));
+  // Semi-naive derives strictly fewer duplicate tuples.
+  EXPECT_LT(semi_stats.tuples_derived, naive_stats.tuples_derived);
+}
+
+TEST(DatalogEvalTest, SameGenerationMatchesQueryLibrary) {
+  Structure tree = MakeFullBinaryTree(3);
+  Result<std::map<std::string, Relation>> dl =
+      EvaluateDatalog(DatalogProgram::SameGeneration(), tree);
+  Result<Relation> direct = RelationQuery::SameGeneration().Evaluate(tree);
+  ASSERT_TRUE(dl.ok() && direct.ok());
+  EXPECT_TRUE(dl->at("sg") == *direct);
+}
+
+TEST(DatalogEvalTest, SameGenerationOnTreeIsLevelEquality) {
+  Structure tree = MakeFullBinaryTree(2);  // 7 nodes, levels {0},{1,2},{3..6}
+  Result<Relation> sg = RelationQuery::SameGeneration().Evaluate(tree);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_TRUE(sg->Contains({1, 2}));
+  EXPECT_TRUE(sg->Contains({3, 6}));
+  EXPECT_FALSE(sg->Contains({0, 1}));
+  EXPECT_FALSE(sg->Contains({2, 3}));
+  EXPECT_EQ(sg->size(), 1u + 4u + 16u);
+}
+
+TEST(DatalogEvalTest, UnknownEdbPredicateIsError) {
+  Result<DatalogProgram> p = ParseDatalogProgram("p(x) :- R(x,y).");
+  ASSERT_TRUE(p.ok());
+  Structure chain = MakeDirectedPath(3);
+  Result<std::map<std::string, Relation>> out = EvaluateDatalog(*p, chain);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kSignatureMismatch);
+}
+
+TEST(DatalogEvalTest, IdbEdbNameCollisionIsError) {
+  Result<DatalogProgram> p = ParseDatalogProgram("E(x,y) :- E(y,x).");
+  ASSERT_TRUE(p.ok());
+  Structure chain = MakeDirectedPath(3);
+  Result<std::map<std::string, Relation>> out = EvaluateDatalog(*p, chain);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatalogEvalTest, ConstantOutsideDomainIsError) {
+  Result<DatalogProgram> p =
+      ParseDatalogProgram("p(9). q(x) :- p(x), E(x,x).");
+  ASSERT_TRUE(p.ok());
+  Structure chain = MakeDirectedPath(3);
+  Result<std::map<std::string, Relation>> out = EvaluateDatalog(*p, chain);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatalogEvalTest, EmptyDomain) {
+  Structure empty = MakeEmptyGraph(0);
+  Result<std::map<std::string, Relation>> out =
+      EvaluateDatalog(DatalogProgram::SameGeneration(), empty);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at("sg").size(), 0u);
+}
+
+TEST(DatalogEvalTest, ReachabilityWithConstant) {
+  Result<DatalogProgram> p = ParseDatalogProgram(
+      "reach(0). reach(y) :- reach(x), E(x,y).");
+  ASSERT_TRUE(p.ok());
+  Structure chain = MakeDirectedPath(5);
+  Result<std::map<std::string, Relation>> out = EvaluateDatalog(*p, chain);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->at("reach").size(), 5u);
+  Structure two = MakeDisjointCycles(2, 3);
+  out = EvaluateDatalog(*p, two);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->at("reach").size(), 3u);  // Only the first cycle.
+}
+
+TEST(DatalogEvalTest, StatsTrackIterations) {
+  Structure chain = MakeDirectedPath(8);
+  DatalogStats stats;
+  ASSERT_TRUE(EvaluateDatalog(DatalogProgram::TransitiveClosure(), chain,
+                              DatalogStrategy::kSemiNaive, &stats)
+                  .ok());
+  // A chain of 8 nodes needs ~7 rounds to close paths of length 7.
+  EXPECT_GE(stats.iterations, 7u);
+  EXPECT_GT(stats.tuples_new, 0u);
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+#include "eval/query_eval.h"
+#include "logic/parser.h"
+#include "logic/transform.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+Formula Parse(const char* text, const Signature* sig = nullptr) {
+  Result<Formula> f = ParseFormula(text, sig);
+  EXPECT_TRUE(f.ok()) << text << ": " << f.status().ToString();
+  return *f;
+}
+
+bool Holds(const Structure& s, const char* text) {
+  Result<bool> r = Satisfies(s, Parse(text, &s.signature()));
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return *r;
+}
+
+TEST(ModelCheckTest, AtomsAndBooleans) {
+  Structure p = MakeDirectedPath(3);
+  EXPECT_TRUE(Holds(p, "exists x y. E(x,y)"));
+  EXPECT_FALSE(Holds(p, "exists x. E(x,x)"));
+  EXPECT_TRUE(Holds(p, "true"));
+  EXPECT_FALSE(Holds(p, "false"));
+  EXPECT_TRUE(Holds(p, "forall x y. E(x,y) -> !E(y,x)"));
+}
+
+TEST(ModelCheckTest, SurveyLambdaN) {
+  // λ_n: "there are at least n elements".
+  Structure s = MakeSet(3);
+  EXPECT_TRUE(Holds(s, "exists x y. x != y"));
+  EXPECT_TRUE(Holds(s, "exists x y z. x != y & x != z & y != z"));
+  EXPECT_FALSE(Holds(
+      s, "exists x y z w. x != y & x != z & x != w & y != z & y != w & z != w"));
+}
+
+TEST(ModelCheckTest, ExactlyOneSuccessorInCycle) {
+  Structure c = MakeDirectedCycle(5);
+  EXPECT_TRUE(Holds(c, "forall x. exists y. E(x,y)"));
+  EXPECT_TRUE(
+      Holds(c, "forall x y z. E(x,y) & E(x,z) -> y = z"));
+}
+
+TEST(ModelCheckTest, LinearOrderAxioms) {
+  Structure l = MakeLinearOrder(5);
+  EXPECT_TRUE(Holds(l, "forall x. !(x < x)"));
+  EXPECT_TRUE(Holds(l, "forall x y z. x < y & y < z -> x < z"));
+  EXPECT_TRUE(Holds(l, "forall x y. x < y | y < x | x = y"));
+  // There is a least element.
+  EXPECT_TRUE(Holds(l, "exists x. forall y. x = y | x < y"));
+}
+
+TEST(ModelCheckTest, EmptyDomainSemantics) {
+  Structure empty = MakeEmptyGraph(0);
+  EXPECT_FALSE(Holds(empty, "exists x. true"));
+  EXPECT_TRUE(Holds(empty, "forall x. false"));
+}
+
+TEST(ModelCheckTest, ConstantsResolve) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("root");
+  Structure s(sig, 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {0, 2});
+  s.SetConstant(0, 0);
+  EXPECT_TRUE(Holds(s, "forall x. x = root | E(root,x)"));
+  EXPECT_FALSE(Holds(s, "exists x. E(x,root)"));
+}
+
+TEST(ModelCheckTest, UninterpretedConstantIsError) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure s(sig, 2);
+  Result<bool> r = Satisfies(s, Parse("exists x. E(x,c)", sig.get()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelCheckTest, SignatureMismatchIsError) {
+  Structure p = MakeDirectedPath(3);
+  Result<bool> r = Satisfies(p, Parse("exists x. F(x,x)"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kSignatureMismatch);
+}
+
+TEST(ModelCheckTest, FreeVariablesViaAssignment) {
+  Structure p = MakeDirectedPath(4);
+  Formula f = Parse("E(x,y)");
+  EXPECT_TRUE(*Satisfies(p, f, {{"x", 0}, {"y", 1}}));
+  EXPECT_FALSE(*Satisfies(p, f, {{"x", 1}, {"y", 0}}));
+  // Unbound free variable is an error.
+  Result<bool> r = Satisfies(p, f, {{"x", 0}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ModelCheckTest, ShadowingRestoresOuterBinding) {
+  Structure p = MakeDirectedPath(3);
+  // Outer x = 0; inner quantifier rebinds x; afterwards outer x applies.
+  Formula f = Parse("(exists x. E(x,x)) | E(x,y)");
+  EXPECT_TRUE(*Satisfies(p, f, {{"x", 0}, {"y", 1}}));
+}
+
+TEST(ModelCheckTest, StatsCountWork) {
+  Structure c = MakeDirectedCycle(10);
+  ModelChecker checker(c);
+  ASSERT_TRUE(checker.Check(Parse("forall x. exists y. E(x,y)")).ok());
+  EXPECT_GE(checker.stats().quantifier_instantiations, 10u);
+  EXPECT_GE(checker.stats().atom_lookups, 10u);
+  checker.ResetStats();
+  EXPECT_EQ(checker.stats().node_visits, 0u);
+}
+
+TEST(QueryEvalTest, AnswerRelationOfEdgeQuery) {
+  Structure p = MakeDirectedPath(3);
+  Result<Relation> ans = EvaluateQuery(p, Parse("E(x,y)"), {"x", "y"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 2u);
+  EXPECT_TRUE(ans->Contains({0, 1}));
+  EXPECT_TRUE(ans->Contains({1, 2}));
+}
+
+TEST(QueryEvalTest, JoinQuery) {
+  // Two-step reachability on a path.
+  Structure p = MakeDirectedPath(4);
+  Result<Relation> ans =
+      EvaluateQuery(p, Parse("exists z. E(x,z) & E(z,y)"), {"x", "y"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 2u);
+  EXPECT_TRUE(ans->Contains({0, 2}));
+  EXPECT_TRUE(ans->Contains({1, 3}));
+}
+
+TEST(QueryEvalTest, NegationUsesFullDomain) {
+  Structure p = MakeDirectedPath(3);
+  Result<Relation> ans = EvaluateQuery(p, Parse("!E(x,y)"), {"x", "y"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 9u - 2u);
+}
+
+TEST(QueryEvalTest, BooleanQueryZeroArity) {
+  Structure p = MakeDirectedPath(3);
+  Result<Relation> yes = EvaluateQuery(p, Parse("exists x y. E(x,y)"), {});
+  ASSERT_TRUE(yes.ok());
+  EXPECT_EQ(yes->size(), 1u);  // {()} = true.
+  Result<Relation> no = EvaluateQuery(p, Parse("exists x. E(x,x)"), {});
+  ASSERT_TRUE(no.ok());
+  EXPECT_EQ(no->size(), 0u);  // {} = false.
+}
+
+TEST(QueryEvalTest, ExtraOutputVariablesRangeOverDomain) {
+  Structure p = MakeDirectedPath(3);
+  Result<Relation> ans = EvaluateQuery(p, Parse("E(x,y)"), {"x", "y", "z"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 2u * 3u);
+}
+
+TEST(QueryEvalTest, MissingFreeVariableIsError) {
+  Structure p = MakeDirectedPath(3);
+  Result<Relation> r = EvaluateQuery(p, Parse("E(x,y)"), {"x"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEvalTest, DuplicateOutputVariableIsError) {
+  Structure p = MakeDirectedPath(3);
+  Result<Relation> r = EvaluateQuery(p, Parse("E(x,y)"), {"x", "y", "x"});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QueryEvalTest, RepeatedVariableInAtom) {
+  Structure c = MakeDirectedCycle(1);  // single loop
+  Result<Relation> ans = EvaluateQuery(c, Parse("E(x,x)"), {"x"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 1u);
+}
+
+TEST(QueryEvalTest, ConstantInAtom) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure s(sig, 3);
+  s.AddTuple(0, {0, 1});
+  s.AddTuple(0, {2, 1});
+  s.SetConstant(0, 1);
+  Result<Relation> ans =
+      EvaluateQuery(s, Parse("E(x,c)", sig.get()), {"x"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 2u);
+  EXPECT_TRUE(ans->Contains({0}));
+  EXPECT_TRUE(ans->Contains({2}));
+}
+
+TEST(QueryEvalTest, ForallInsideQuery) {
+  // Elements with edges to all others: complete graph centers.
+  Structure k = MakeCompleteGraph(4);
+  Result<Relation> ans = EvaluateQuery(
+      k, Parse("forall y. y = x | E(x,y)"), {"x"});
+  ASSERT_TRUE(ans.ok());
+  EXPECT_EQ(ans->size(), 4u);
+}
+
+// Property sweep: the bottom-up evaluator agrees with the naive one on
+// random graphs for a panel of queries.
+class EvaluatorAgreementTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EvaluatorAgreementTest, BottomUpMatchesNaive) {
+  std::mt19937_64 rng(42);
+  Formula f = Parse(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    Structure g = MakeRandomGraph(5, 0.35, rng);
+    std::vector<std::string> vars;
+    for (const std::string& v : FreeVariables(f)) {
+      vars.push_back(v);
+    }
+    Result<Relation> a = EvaluateQuery(g, f, vars);
+    Result<Relation> b = EvaluateQueryNaive(g, f, vars);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_TRUE(*a == *b) << GetParam() << "\nbottom-up: " << a->ToString()
+                          << "\nnaive:     " << b->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryPanel, EvaluatorAgreementTest,
+    ::testing::Values(
+        "E(x,y)", "!E(x,y)", "E(x,y) & E(y,x)", "E(x,y) | E(y,x)",
+        "E(x,y) -> E(y,x)", "E(x,y) <-> E(y,z)",
+        "exists z. E(x,z) & E(z,y)", "forall z. E(x,z) -> E(z,y)",
+        "exists y. E(x,y) & !(exists z. E(y,z))",
+        "x = y | exists z. E(x,z) & E(z,y) & x != z",
+        "forall y. exists z. E(y,z) | E(x,x)",
+        "exists x. E(x,x)", "forall x y. E(x,y) -> E(y,x)"));
+
+TEST(EvaluatorTransformConsistencyTest, NnfAndPrenexPreserveMeaning) {
+  std::mt19937_64 rng(7);
+  const char* sentences[] = {
+      "forall x. exists y. E(x,y) -> E(y,x)",
+      "!(exists x. forall y. E(x,y) <-> E(y,x))",
+      "(exists x. E(x,x)) -> (forall y. exists z. E(y,z))",
+  };
+  for (const char* text : sentences) {
+    Formula f = Parse(text);
+    Formula nnf = NegationNormalForm(f);
+    Formula prenex = PrenexNormalForm(f);
+    for (int trial = 0; trial < 6; ++trial) {
+      Structure g = MakeRandomGraph(1 + trial, 0.4, rng);
+      Result<bool> a = Satisfies(g, f);
+      Result<bool> b = Satisfies(g, nnf);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << text << " NNF mismatch, n=" << g.domain_size();
+      if (g.domain_size() > 0) {  // Prenex caveat: nonempty domains.
+        Result<bool> c = Satisfies(g, prenex);
+        ASSERT_TRUE(c.ok());
+        EXPECT_EQ(*a, *c) << text << " prenex mismatch";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "structures/generators.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+namespace {
+
+TEST(AdjacencyTest, OutAdjacency) {
+  Structure p = MakeDirectedPath(4);
+  Adjacency adj = OutAdjacency(p, 0);
+  ASSERT_EQ(adj.size(), 4u);
+  EXPECT_EQ(adj[0], (std::vector<Element>{1}));
+  EXPECT_TRUE(adj[3].empty());
+}
+
+TEST(AdjacencyTest, UndirectedAdjacencySymmetrizes) {
+  Structure p = MakeDirectedPath(3);
+  Adjacency adj = UndirectedAdjacency(p, 0);
+  EXPECT_EQ(adj[1], (std::vector<Element>{0, 2}));
+  EXPECT_EQ(adj[0], (std::vector<Element>{1}));
+}
+
+TEST(AdjacencyTest, LoopsAreKeptOnce) {
+  Structure s = MakeDirectedCycle(1);
+  Adjacency adj = UndirectedAdjacency(s, 0);
+  EXPECT_EQ(adj[0], (std::vector<Element>{0}));
+}
+
+TEST(BfsTest, Distances) {
+  Structure p = MakeDirectedPath(5);
+  std::vector<std::size_t> d = BfsDistances(UndirectedAdjacency(p, 0), {0});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[4], 4u);
+}
+
+TEST(BfsTest, MultiSource) {
+  Structure p = MakeDirectedPath(5);
+  std::vector<std::size_t> d =
+      BfsDistances(UndirectedAdjacency(p, 0), {0, 4});
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 1u);
+}
+
+TEST(BfsTest, Unreachable) {
+  Structure g = MakeEmptyGraph(3);
+  std::vector<std::size_t> d = BfsDistances(UndirectedAdjacency(g, 0), {0});
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], kUnreachable);
+}
+
+TEST(ConnectivityTest, PathIsConnected) {
+  EXPECT_TRUE(IsConnected(UndirectedAdjacency(MakeDirectedPath(6), 0)));
+}
+
+TEST(ConnectivityTest, TwoCyclesAreNot) {
+  EXPECT_FALSE(
+      IsConnected(UndirectedAdjacency(MakeDisjointCycles(2, 4), 0)));
+  EXPECT_TRUE(IsConnected(UndirectedAdjacency(MakeDirectedCycle(8), 0)));
+}
+
+TEST(ConnectivityTest, EdgeCases) {
+  EXPECT_TRUE(IsConnected(UndirectedAdjacency(MakeEmptyGraph(0), 0)));
+  EXPECT_TRUE(IsConnected(UndirectedAdjacency(MakeEmptyGraph(1), 0)));
+  EXPECT_FALSE(IsConnected(UndirectedAdjacency(MakeEmptyGraph(2), 0)));
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  std::vector<std::size_t> comp =
+      ConnectedComponents(UndirectedAdjacency(MakeDisjointCycles(3, 3), 0));
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[6]);
+}
+
+TEST(AcyclicityTest, DirectedPathIsAcyclic) {
+  EXPECT_TRUE(IsAcyclicDirected(OutAdjacency(MakeDirectedPath(5), 0)));
+  EXPECT_FALSE(IsAcyclicDirected(OutAdjacency(MakeDirectedCycle(5), 0)));
+}
+
+TEST(AcyclicityTest, UndirectedReading) {
+  // A directed path is acyclic undirected; a cycle is not.
+  EXPECT_TRUE(IsAcyclicUndirected(UndirectedAdjacency(MakeDirectedPath(5), 0)));
+  EXPECT_FALSE(
+      IsAcyclicUndirected(UndirectedAdjacency(MakeDirectedCycle(5), 0)));
+  // Trees are acyclic.
+  EXPECT_TRUE(
+      IsAcyclicUndirected(UndirectedAdjacency(MakeFullBinaryTree(3), 0)));
+  // Self loop.
+  EXPECT_FALSE(
+      IsAcyclicUndirected(UndirectedAdjacency(MakeDirectedCycle(1), 0)));
+}
+
+TEST(TransitiveClosureTest, Path) {
+  Structure p = MakeDirectedPath(4);
+  Relation tc = TransitiveClosure(p, 0);
+  EXPECT_EQ(tc.size(), 6u);  // all i<j pairs
+  EXPECT_TRUE(tc.Contains({0, 3}));
+  EXPECT_FALSE(tc.Contains({3, 0}));
+  EXPECT_FALSE(tc.Contains({0, 0}));
+}
+
+TEST(TransitiveClosureTest, CycleIsCompleteWithLoops) {
+  Relation tc = TransitiveClosure(MakeDirectedCycle(3), 0);
+  EXPECT_EQ(tc.size(), 9u);
+  EXPECT_TRUE(tc.Contains({1, 1}));
+}
+
+TEST(DegreeTest, PathDegrees) {
+  Structure p = MakeDirectedPath(4);
+  std::vector<std::size_t> in = InDegrees(p, 0);
+  std::vector<std::size_t> out = OutDegrees(p, 0);
+  EXPECT_EQ(in[0], 0u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(out[3], 0u);
+  std::set<std::size_t> degs = DegreeSet(p, 0);
+  EXPECT_EQ(degs, (std::set<std::size_t>{0, 1}));
+}
+
+TEST(DegreeTest, ClosureOfPathRealizesManyDegrees) {
+  // The survey's BNDP warm-up: TC of an n-chain realizes degrees 0..n-1.
+  const std::size_t n = 6;
+  Relation tc = TransitiveClosure(MakeDirectedPath(n), 0);
+  std::set<std::size_t> degs = DegreeSet(tc, n);
+  EXPECT_EQ(degs.size(), n);
+}
+
+TEST(DegreeTest, MaxDegree) {
+  EXPECT_EQ(MaxDegree(MakeDirectedPath(5), 0), 2u);
+  EXPECT_EQ(MaxDegree(MakeFullBinaryTree(2), 0), 3u);
+  EXPECT_EQ(MaxDegree(MakeEmptyGraph(3), 0), 0u);
+}
+
+TEST(GaifmanTest, GraphGaifmanMatchesUndirected) {
+  Structure c = MakeDirectedCycle(5);
+  EXPECT_EQ(GaifmanAdjacency(c), UndirectedAdjacency(c, 0));
+}
+
+TEST(GaifmanTest, TernaryRelationMakesCliques) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("R", 3);
+  Structure s(sig, 4);
+  s.AddTuple(0, {0, 1, 2});
+  Adjacency adj = GaifmanAdjacency(s);
+  EXPECT_EQ(adj[0], (std::vector<Element>{1, 2}));
+  EXPECT_EQ(adj[1], (std::vector<Element>{0, 2}));
+  EXPECT_TRUE(adj[3].empty());
+}
+
+TEST(GaifmanTest, RepeatedElementsNoSelfLoop) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("R", 2);
+  Structure s(sig, 2);
+  s.AddTuple(0, {1, 1});
+  Adjacency adj = GaifmanAdjacency(s);
+  EXPECT_TRUE(adj[1].empty());
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/games/hintikka.h"
+#include "eval/model_check.h"
+#include "logic/analysis.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+TEST(HintikkaTest, AtomicFormulaDescribesTuple) {
+  RankTypeIndex index;
+  Structure p = MakeDirectedPath(3);
+  RankTypeIndex::TypeId t = index.TypeOf(p, {0, 1}, 0);
+  Result<Formula> f = HintikkaFormula(index, t, p.signature());
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(QuantifierRank(*f), 0u);
+  // (0,1) satisfies its own atomic diagram; (1,0) does not.
+  EXPECT_TRUE(*Satisfies(p, *f, {{"x1", 0}, {"x2", 1}}));
+  EXPECT_FALSE(*Satisfies(p, *f, {{"x1", 1}, {"x2", 0}}));
+  EXPECT_TRUE(*Satisfies(p, *f, {{"x1", 1}, {"x2", 2}}));
+}
+
+TEST(HintikkaTest, FormulaRankEqualsTypeRank) {
+  RankTypeIndex index;
+  Structure c = MakeDirectedCycle(3);
+  for (std::size_t rank = 0; rank <= 2; ++rank) {
+    RankTypeIndex::TypeId t = index.TypeOf(c, {}, rank);
+    Result<Formula> f = HintikkaFormula(index, t, c.signature());
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(QuantifierRank(*f), rank);
+    EXPECT_TRUE(FreeVariables(*f).empty());
+    // The structure satisfies its own Hintikka sentence.
+    EXPECT_TRUE(*Satisfies(c, *f));
+  }
+}
+
+TEST(HintikkaTest, SentenceCharacterizesRankEquivalence) {
+  // B ⊨ φ^n_A iff A ≡n B — checked on a small panel.
+  RankTypeIndex index;
+  std::vector<Structure> panel;
+  panel.push_back(MakeSet(1));
+  panel.push_back(MakeSet(2));
+  panel.push_back(MakeSet(3));
+  // Sets: same signature required, so keep one signature per comparison
+  // group.
+  for (std::size_t i = 0; i < panel.size(); ++i) {
+    for (std::size_t j = 0; j < panel.size(); ++j) {
+      for (std::size_t rank = 0; rank <= 2; ++rank) {
+        RankTypeIndex::TypeId ti = index.TypeOf(panel[i], {}, rank);
+        Result<Formula> f =
+            HintikkaFormula(index, ti, panel[i].signature());
+        ASSERT_TRUE(f.ok());
+        Result<bool> holds = Satisfies(panel[j], *f);
+        ASSERT_TRUE(holds.ok()) << holds.status().ToString();
+        EXPECT_EQ(*holds,
+                  index.EquivalentUpToRank(panel[i], panel[j], rank))
+            << "i=" << i << " j=" << j << " rank=" << rank;
+      }
+    }
+  }
+}
+
+TEST(HintikkaTest, GraphPanelCharacterization) {
+  RankTypeIndex index;
+  std::vector<Structure> panel;
+  panel.push_back(MakeDirectedPath(2));
+  panel.push_back(MakeDirectedPath(3));
+  panel.push_back(MakeDirectedCycle(3));
+  panel.push_back(MakeEmptyGraph(2));
+  for (std::size_t i = 0; i < panel.size(); ++i) {
+    RankTypeIndex::TypeId ti = index.TypeOf(panel[i], {}, 2);
+    Result<Formula> f = HintikkaFormula(index, ti, panel[i].signature());
+    ASSERT_TRUE(f.ok());
+    for (std::size_t j = 0; j < panel.size(); ++j) {
+      Result<bool> holds = Satisfies(panel[j], *f);
+      ASSERT_TRUE(holds.ok());
+      EXPECT_EQ(*holds, index.EquivalentUpToRank(panel[i], panel[j], 2))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(DistinguishingSentenceTest, SeparatesDistinguishableStructures) {
+  RankTypeIndex index;
+  Structure a = MakeSet(2);
+  Structure b = MakeSet(3);
+  // Rank 3 separates the sets.
+  Result<std::optional<Formula>> f = DistinguishingSentence(a, b, 3, index);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->has_value());
+  EXPECT_LE(QuantifierRank(**f), 3u);
+  EXPECT_TRUE(*Satisfies(a, **f));
+  EXPECT_FALSE(*Satisfies(b, **f));
+}
+
+TEST(DistinguishingSentenceTest, NulloptWhenEquivalent) {
+  RankTypeIndex index;
+  Result<std::optional<Formula>> f =
+      DistinguishingSentence(MakeSet(2), MakeSet(3), 2, index);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->has_value());
+}
+
+TEST(DistinguishingSentenceTest, GraphsAtRankTwo) {
+  RankTypeIndex index;
+  Structure cycle = MakeDirectedCycle(3);
+  Structure path = MakeDirectedPath(3);
+  Result<std::optional<Formula>> f =
+      DistinguishingSentence(cycle, path, 2, index);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f->has_value());
+  EXPECT_TRUE(*Satisfies(cycle, **f));
+  EXPECT_FALSE(*Satisfies(path, **f));
+}
+
+TEST(DistinguishingSentenceTest, SignatureMismatchIsError) {
+  RankTypeIndex index;
+  Result<std::optional<Formula>> f =
+      DistinguishingSentence(MakeSet(2), MakeDirectedPath(2), 1, index);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kSignatureMismatch);
+}
+
+TEST(HintikkaTest, ConstantsSupportedWhenInterpreted) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure a(sig, 2);
+  a.AddTuple(0, {0, 1});
+  a.SetConstant(0, 0);
+  RankTypeIndex index;
+  RankTypeIndex::TypeId t = index.TypeOf(a, {}, 1);
+  Result<Formula> f = HintikkaFormula(index, t, *sig);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_TRUE(*Satisfies(a, *f));
+  // A structure with the constant on the other end fails the sentence.
+  Structure b(sig, 2);
+  b.AddTuple(0, {0, 1});
+  b.SetConstant(0, 1);
+  EXPECT_FALSE(*Satisfies(b, *f));
+}
+
+TEST(HintikkaTest, UninterpretedConstantUnsupported) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure a(sig, 2);
+  RankTypeIndex index;
+  RankTypeIndex::TypeId t = index.TypeOf(a, {}, 0);
+  Result<Formula> f = HintikkaFormula(index, t, *sig);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace fmtk

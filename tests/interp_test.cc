@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/interp/interpretation.h"
+#include "core/interp/reductions.h"
+#include "logic/parser.h"
+#include "queries/boolean_query.h"
+#include "structures/generators.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+namespace {
+
+TEST(InterpretationTest, IdentityOnGraphs) {
+  Interpretation id(Signature::Graph());
+  ASSERT_TRUE(id.DefineRelation("E", *ParseFormula("E(x,y)"), {"x", "y"})
+                  .ok());
+  Structure c = MakeDirectedCycle(5);
+  Result<Structure> out = id.Apply(c);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*out == c);
+}
+
+TEST(InterpretationTest, EdgeReversal) {
+  Interpretation reverse(Signature::Graph());
+  ASSERT_TRUE(
+      reverse.DefineRelation("E", *ParseFormula("E(y,x)"), {"x", "y"}).ok());
+  Structure p = MakeDirectedPath(3);
+  Result<Structure> out = reverse.Apply(p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->relation(0).Contains({1, 0}));
+  EXPECT_TRUE(out->relation(0).Contains({2, 1}));
+  EXPECT_EQ(out->relation(0).size(), 2u);
+}
+
+TEST(InterpretationTest, DomainRestriction) {
+  // Keep only elements with an outgoing edge.
+  Interpretation interp(Signature::Graph());
+  ASSERT_TRUE(
+      interp.DefineRelation("E", *ParseFormula("E(x,y)"), {"x", "y"}).ok());
+  interp.SetDomainFormula(*ParseFormula("exists y. E(x,y)"), "x");
+  Structure p = MakeDirectedPath(4);  // Node 3 has no out-edge.
+  Result<Structure> out = interp.Apply(p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->domain_size(), 3u);
+  // Edge 2->3 is dropped (3 left the domain); edges 0->1, 1->2 survive.
+  EXPECT_EQ(out->relation(0).size(), 2u);
+}
+
+TEST(InterpretationTest, UndefinedRelationIsError) {
+  Interpretation interp(Signature::Graph());
+  Result<Structure> out = interp.Apply(MakeDirectedPath(3));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InterpretationTest, DefinitionValidation) {
+  Interpretation interp(Signature::Graph());
+  EXPECT_EQ(interp.DefineRelation("F", *ParseFormula("E(x,y)"), {"x", "y"})
+                .code(),
+            StatusCode::kSignatureMismatch);
+  EXPECT_EQ(
+      interp.DefineRelation("E", *ParseFormula("E(x,y)"), {"x"}).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(interp.DefineRelation("E", *ParseFormula("E(x,y)"), {"x", "x"})
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(interp
+                .DefineRelation("E", *ParseFormula("E(x,y) & E(y,z)"),
+                                {"x", "y"})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InterpretationTest, SignatureChange) {
+  // Orders to graphs: successor relation.
+  Interpretation interp(Signature::Graph());
+  ASSERT_TRUE(interp
+                  .DefineRelation(
+                      "E", *ParseFormula("x < y & !(exists z. x < z & z < y)"),
+                      {"x", "y"})
+                  .ok());
+  Result<Structure> out = interp.Apply(MakeLinearOrder(5));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(*out == MakeDirectedPath(5));
+}
+
+// --- The survey's reductions (E6) -------------------------------------------
+
+TEST(ReductionsTest, EvenToConnectivityParity) {
+  // Connected iff the order size is odd (for n >= 2, per the construction).
+  Interpretation interp = EvenToConnectivity();
+  BooleanQuery conn = BooleanQuery::Connectivity();
+  for (std::size_t n = 2; n <= 24; ++n) {
+    Structure order = MakeLinearOrder(n);
+    Result<Structure> graph = interp.Apply(order);
+    ASSERT_TRUE(graph.ok()) << n;
+    Result<bool> connected = conn.Evaluate(*graph);
+    ASSERT_TRUE(connected.ok());
+    EXPECT_EQ(*connected, n % 2 == 1) << "n=" << n;
+  }
+}
+
+TEST(ReductionsTest, EvenToConnectivityComponentCount) {
+  // Even orders give exactly two components.
+  Interpretation interp = EvenToConnectivity();
+  for (std::size_t n = 4; n <= 12; n += 2) {
+    Result<Structure> graph = interp.Apply(MakeLinearOrder(n));
+    ASSERT_TRUE(graph.ok());
+    std::vector<std::size_t> comp =
+        ConnectedComponents(UndirectedAdjacency(*graph, 0));
+    std::set<std::size_t> ids(comp.begin(), comp.end());
+    EXPECT_EQ(ids.size(), 2u) << "n=" << n;
+  }
+}
+
+TEST(ReductionsTest, SurveyFigureFiveAndSix) {
+  // The paper's picture: orders of size 5 (connected) and 6 (two
+  // components).
+  Interpretation interp = EvenToConnectivity();
+  Result<Structure> g5 = interp.Apply(MakeLinearOrder(5));
+  Result<Structure> g6 = interp.Apply(MakeLinearOrder(6));
+  ASSERT_TRUE(g5.ok() && g6.ok());
+  EXPECT_TRUE(*BooleanQuery::Connectivity().Evaluate(*g5));
+  EXPECT_FALSE(*BooleanQuery::Connectivity().Evaluate(*g6));
+  // Each node has out-degree 1 under the construction (2nd successor or a
+  // wrap edge).
+  for (std::size_t d : OutDegrees(*g5, 0)) {
+    EXPECT_EQ(d, 1u);
+  }
+}
+
+TEST(ReductionsTest, EvenToAcyclicityParity) {
+  // Acyclic (as a directed graph) iff the order size is even: odd orders
+  // close the even-elements chain into a directed cycle via the back edge.
+  Interpretation interp = EvenToAcyclicity();
+  BooleanQuery dag = BooleanQuery::DirectedAcyclicity();
+  for (std::size_t n = 2; n <= 24; ++n) {
+    Result<Structure> graph = interp.Apply(MakeLinearOrder(n));
+    ASSERT_TRUE(graph.ok());
+    Result<bool> acyclic = dag.Evaluate(*graph);
+    ASSERT_TRUE(acyclic.ok());
+    EXPECT_EQ(*acyclic, n % 2 == 0) << "n=" << n;
+  }
+  // The undirected reading agrees from n = 4 on (n = 3 yields just an
+  // antiparallel pair, which is not an undirected cycle).
+  BooleanQuery undirected = BooleanQuery::Acyclicity();
+  for (std::size_t n = 4; n <= 24; ++n) {
+    Result<Structure> graph = interp.Apply(MakeLinearOrder(n));
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(*undirected.Evaluate(*graph), n % 2 == 0) << "n=" << n;
+  }
+}
+
+TEST(ReductionsTest, SymmetricClosure) {
+  Interpretation sym = SymmetricClosure();
+  Result<Structure> out = sym.Apply(MakeDirectedPath(3));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->relation(0).size(), 4u);
+  EXPECT_TRUE(out->relation(0).Contains({1, 0}));
+}
+
+TEST(ReductionsTest, ConnectivityViaTcAgreesWithDirectQuery) {
+  std::vector<Structure> panel;
+  panel.push_back(MakeDirectedCycle(7));
+  panel.push_back(MakeDisjointCycles(2, 4));
+  panel.push_back(MakeDirectedPath(6));
+  panel.push_back(MakePathPlusCycle(4));
+  panel.push_back(MakeEmptyGraph(3));
+  panel.push_back(MakeEmptyGraph(1));
+  panel.push_back(MakeFullBinaryTree(3));
+  BooleanQuery conn = BooleanQuery::Connectivity();
+  for (const Structure& g : panel) {
+    Result<bool> via_tc = ConnectivityViaTransitiveClosure(g);
+    Result<bool> direct = conn.Evaluate(g);
+    ASSERT_TRUE(via_tc.ok() && direct.ok());
+    EXPECT_EQ(*via_tc, *direct);
+  }
+}
+
+}  // namespace
+}  // namespace fmtk

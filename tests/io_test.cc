@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "structures/generators.h"
+#include "structures/io.h"
+
+namespace fmtk {
+namespace {
+
+TEST(StructureIoTest, ParseBasic) {
+  Result<Structure> s = ParseStructure(R"(
+    # a triangle
+    domain 3
+    relation E/2 { (0 1) (1 2) (2 0) }
+  )");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->domain_size(), 3u);
+  EXPECT_EQ(s->relation(0).size(), 3u);
+  EXPECT_TRUE(s->relation(0).Contains({2, 0}));
+}
+
+TEST(StructureIoTest, ParseWithConstantsAndMultipleRelations) {
+  Result<Structure> s = ParseStructure(
+      "domain 4\n"
+      "relation E/2 { (0 1) }\n"
+      "relation P/1 { (2) (3) }\n"
+      "constant root = 0\n");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->signature().relation_count(), 2u);
+  EXPECT_EQ(s->signature().constant_count(), 1u);
+  EXPECT_EQ(*s->constant(0), 0u);
+  EXPECT_TRUE(s->relation(1).Contains({3}));
+}
+
+TEST(StructureIoTest, CommasInTuples) {
+  Result<Structure> s =
+      ParseStructure("domain 3 relation R/3 { (0, 1, 2) (2,1,0) }");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ(s->relation(0).size(), 2u);
+}
+
+TEST(StructureIoTest, EmptyRelationAndEmptyDomain) {
+  Result<Structure> s = ParseStructure("domain 0 relation E/2 { }");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->domain_size(), 0u);
+  EXPECT_TRUE(s->relation(0).empty());
+}
+
+TEST(StructureIoTest, ZeroAryRelation) {
+  Result<Structure> s = ParseStructure("domain 2 relation flag/0 { () }");
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE(s->relation(0).Contains({}));
+}
+
+TEST(StructureIoTest, Errors) {
+  EXPECT_FALSE(ParseStructure("relation E/2 { }").ok());      // No domain.
+  EXPECT_FALSE(ParseStructure("domain 2 relation E/2 { (0 1").ok());
+  EXPECT_FALSE(ParseStructure("domain 2 relation E/2 { (0 5) }").ok());
+  EXPECT_FALSE(ParseStructure("domain 2 relation E/2 { (0) }").ok());
+  EXPECT_FALSE(ParseStructure("domain 2 constant c = 7").ok());
+  EXPECT_FALSE(ParseStructure("domain 2 banana").ok());
+  EXPECT_FALSE(
+      ParseStructure("domain 2 relation E/2 {} relation E/2 {}").ok());
+}
+
+TEST(StructureIoTest, RoundTripGenerators) {
+  std::vector<Structure> panel;
+  panel.push_back(MakeDirectedCycle(5));
+  panel.push_back(MakeLinearOrder(4));
+  panel.push_back(MakeFullBinaryTree(2));
+  panel.push_back(MakeSet(3));
+  for (const Structure& s : panel) {
+    std::string text = SerializeStructure(s);
+    Result<Structure> back = ParseStructure(text);
+    ASSERT_TRUE(back.ok()) << text << "\n" << back.status().ToString();
+    EXPECT_TRUE(*back == s) << text;
+  }
+}
+
+TEST(StructureIoTest, RoundTripWithConstant) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure s(sig, 3);
+  s.AddTuple(0, {0, 2});
+  s.SetConstant(0, 1);
+  Result<Structure> back = ParseStructure(SerializeStructure(s));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == s);
+}
+
+TEST(StructureIoTest, OrderRelationNameSerializes) {
+  // "<" must survive serialization (ParseWord accepts it).
+  Structure order = MakeLinearOrder(3);
+  Result<Structure> back = ParseStructure(SerializeStructure(order));
+  ASSERT_TRUE(back.ok()) << SerializeStructure(order);
+  EXPECT_TRUE(*back == order);
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "structures/generators.h"
+#include "structures/isomorphism.h"
+
+namespace fmtk {
+namespace {
+
+TEST(PartialIsoTest, EmptyMapIsPartialIso) {
+  EXPECT_TRUE(IsPartialIsomorphism(MakeDirectedPath(3), MakeDirectedCycle(4),
+                                   {}));
+}
+
+TEST(PartialIsoTest, RespectsEdges) {
+  Structure p = MakeDirectedPath(3);  // 0->1->2
+  Structure q = MakeDirectedPath(3);
+  EXPECT_TRUE(IsPartialIsomorphism(p, q, {{0, 0}, {1, 1}}));
+  // Mapping an edge to a non-edge fails.
+  EXPECT_FALSE(IsPartialIsomorphism(p, q, {{0, 0}, {1, 2}}));
+  // Order-reversing map on a directed path fails.
+  EXPECT_FALSE(IsPartialIsomorphism(p, q, {{0, 1}, {1, 0}}));
+}
+
+TEST(PartialIsoTest, InjectivityRequired) {
+  Structure s = MakeSet(3);
+  Structure t = MakeSet(3);
+  EXPECT_FALSE(IsPartialIsomorphism(s, t, {{0, 0}, {1, 0}}));
+  EXPECT_FALSE(IsPartialIsomorphism(s, t, {{0, 0}, {0, 1}}));
+  // Repeating the same pair is fine.
+  EXPECT_TRUE(IsPartialIsomorphism(s, t, {{0, 0}, {0, 0}}));
+}
+
+TEST(PartialIsoTest, SetsAlwaysMatch) {
+  EXPECT_TRUE(IsPartialIsomorphism(MakeSet(5), MakeSet(9),
+                                   {{0, 3}, {1, 7}, {4, 0}}));
+}
+
+TEST(PartialIsoTest, LinearOrderPreservesOrderOnly) {
+  Structure a = MakeLinearOrder(5);
+  Structure b = MakeLinearOrder(7);
+  EXPECT_TRUE(IsPartialIsomorphism(a, b, {{0, 2}, {3, 5}}));
+  EXPECT_FALSE(IsPartialIsomorphism(a, b, {{0, 5}, {3, 2}}));
+}
+
+TEST(IsoTest, IdenticalStructures) {
+  Structure c = MakeDirectedCycle(6);
+  EXPECT_TRUE(AreIsomorphic(c, c));
+}
+
+TEST(IsoTest, CyclesOfDifferentLengths) {
+  EXPECT_FALSE(AreIsomorphic(MakeDirectedCycle(6), MakeDirectedCycle(5)));
+}
+
+TEST(IsoTest, SameSizeDifferentShape) {
+  // 6-cycle vs two 3-cycles: same node and edge counts.
+  EXPECT_FALSE(
+      AreIsomorphic(MakeDirectedCycle(6), MakeDisjointCycles(2, 3)));
+}
+
+TEST(IsoTest, RelabelledGraphIsIsomorphic) {
+  // Build a path with scrambled labels.
+  Structure p = MakeDirectedPath(5);
+  Structure q(Signature::Graph(), 5);
+  // 3->0->4->1->2 is a path under the relabeling.
+  q.AddTuple(0, {3, 0});
+  q.AddTuple(0, {0, 4});
+  q.AddTuple(0, {4, 1});
+  q.AddTuple(0, {1, 2});
+  EXPECT_TRUE(AreIsomorphic(p, q));
+}
+
+TEST(IsoTest, DistinguishedTuplesConstrain) {
+  Structure p = MakeDirectedPath(3);
+  // The path has an automorphism only as identity; mapping endpoint 0 to
+  // endpoint 2 is impossible (orientation).
+  EXPECT_TRUE(AreIsomorphic(p, p, {0}, {0}));
+  EXPECT_FALSE(AreIsomorphic(p, p, {0}, {2}));
+  EXPECT_FALSE(AreIsomorphic(p, p, {0}, {1}));
+}
+
+TEST(IsoTest, DistinguishedTupleSymmetry) {
+  // On a cycle every node looks alike: any node can map to any node.
+  Structure c = MakeDirectedCycle(5);
+  for (Element i = 0; i < 5; ++i) {
+    EXPECT_TRUE(AreIsomorphic(c, c, {0}, {i}));
+  }
+  // Pairs: rotation must preserve distance along the cycle.
+  EXPECT_TRUE(AreIsomorphic(c, c, {0, 2}, {1, 3}));
+  EXPECT_FALSE(AreIsomorphic(c, c, {0, 2}, {1, 4}));
+}
+
+TEST(IsoTest, DistinguishedTuplesWithRepeats) {
+  Structure c = MakeDirectedCycle(4);
+  EXPECT_TRUE(AreIsomorphic(c, c, {0, 0}, {2, 2}));
+  EXPECT_FALSE(AreIsomorphic(c, c, {0, 0}, {2, 3}));
+}
+
+TEST(IsoTest, SizeMismatch) {
+  EXPECT_FALSE(AreIsomorphic(MakeSet(3), MakeSet(4)));
+}
+
+TEST(IsoTest, SignatureMismatch) {
+  EXPECT_FALSE(AreIsomorphic(MakeLinearOrder(3), MakeDirectedPath(3)));
+}
+
+TEST(IsoTest, ConstantsMustCorrespond) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure a(sig, 3);
+  a.AddTuple(0, {0, 1});
+  a.SetConstant(0, 0);
+  Structure b(sig, 3);
+  b.AddTuple(0, {0, 1});
+  b.SetConstant(0, 1);
+  // a's constant is the edge source, b's is the target: not isomorphic.
+  EXPECT_FALSE(AreIsomorphic(a, b));
+  b.SetConstant(0, 0);
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(IsoTest, TreesVsPaths) {
+  EXPECT_FALSE(AreIsomorphic(MakeFullBinaryTree(2), MakeDirectedPath(7)));
+}
+
+TEST(IsoTest, RandomGraphSelfIsomorphicUnderPermutation) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Structure g = MakeRandomGraph(7, 0.3, rng);
+    // Apply a random permutation.
+    std::vector<Element> perm(7);
+    for (Element i = 0; i < 7; ++i) {
+      perm[i] = i;
+    }
+    std::shuffle(perm.begin(), perm.end(), rng);
+    Structure h(Signature::Graph(), 7);
+    for (const Tuple& t : g.relation(0).tuples()) {
+      h.AddTuple(0, {perm[t[0]], perm[t[1]]});
+    }
+    EXPECT_TRUE(AreIsomorphic(g, h));
+  }
+}
+
+TEST(IsoTest, PerturbedRandomGraphNotIsomorphic) {
+  std::mt19937_64 rng(5);
+  Structure g = MakeRandomGraph(7, 0.3, rng);
+  Structure h = g;
+  // Add one extra edge.
+  for (Element i = 0; i < 7; ++i) {
+    bool added = false;
+    for (Element j = 0; j < 7; ++j) {
+      if (i != j && !h.relation(0).Contains({i, j})) {
+        h.AddTuple(0, {i, j});
+        added = true;
+        break;
+      }
+    }
+    if (added) {
+      break;
+    }
+  }
+  EXPECT_FALSE(AreIsomorphic(g, h));
+}
+
+TEST(InvariantTest, IsomorphicPairsAgree) {
+  Structure p = MakeDirectedPath(5);
+  Structure q(Signature::Graph(), 5);
+  q.AddTuple(0, {3, 0});
+  q.AddTuple(0, {0, 4});
+  q.AddTuple(0, {4, 1});
+  q.AddTuple(0, {1, 2});
+  EXPECT_EQ(IsomorphismInvariant(p), IsomorphismInvariant(q));
+  EXPECT_EQ(IsomorphismInvariant(p, {0}), IsomorphismInvariant(q, {3}));
+}
+
+TEST(InvariantTest, DiscriminatesBasicFamilies) {
+  EXPECT_NE(IsomorphismInvariant(MakeDirectedCycle(6)),
+            IsomorphismInvariant(MakeDisjointCycles(2, 3)));
+  EXPECT_NE(IsomorphismInvariant(MakeDirectedPath(4)),
+            IsomorphismInvariant(MakeDirectedPath(5)));
+}
+
+TEST(InvariantTest, DistinguishedPositionMatters) {
+  Structure p = MakeDirectedPath(5);
+  EXPECT_NE(IsomorphismInvariant(p, {0}), IsomorphismInvariant(p, {2}));
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/order/order_invariance.h"
+#include "eval/model_check.h"
+#include "logic/parser.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+TEST(ExpandWithOrderTest, AddsLinearOrder) {
+  Structure g = MakeDirectedCycle(3);
+  Result<Structure> ordered = ExpandWithOrder(g, {2, 0, 1});
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_TRUE(ordered->signature().FindRelation("<").has_value());
+  std::size_t less = *ordered->signature().FindRelation("<");
+  // Order: 2 < 0 < 1.
+  EXPECT_TRUE(ordered->relation(less).Contains({2, 0}));
+  EXPECT_TRUE(ordered->relation(less).Contains({0, 1}));
+  EXPECT_TRUE(ordered->relation(less).Contains({2, 1}));
+  EXPECT_FALSE(ordered->relation(less).Contains({1, 0}));
+  // Original edges preserved.
+  EXPECT_TRUE(ordered->relation(0).Contains({0, 1}));
+}
+
+TEST(ExpandWithOrderTest, Validation) {
+  Structure g = MakeDirectedCycle(3);
+  EXPECT_FALSE(ExpandWithOrder(g, {0, 1}).ok());        // Wrong size.
+  EXPECT_FALSE(ExpandWithOrder(g, {0, 1, 1}).ok());     // Not injective.
+  EXPECT_FALSE(ExpandWithOrder(g, {0, 1, 5}).ok());     // Out of range.
+  Structure order = MakeLinearOrder(3);
+  EXPECT_FALSE(ExpandWithOrder(order, {0, 1, 2}).ok()); // Already has <.
+}
+
+TEST(ExpandWithOrderTest, EmptyStructure) {
+  Structure empty = MakeSet(0);
+  Result<Structure> ordered = ExpandWithOrder(empty, {});
+  ASSERT_TRUE(ordered.ok());
+  EXPECT_EQ(ordered->domain_size(), 0u);
+}
+
+TEST(OrderInvarianceTest, PureSigmaSentencesAreInvariant) {
+  // A sentence not mentioning < cannot depend on it.
+  std::mt19937_64 rng(1);
+  Structure g = MakeDirectedCycle(4);
+  Result<OrderInvarianceReport> report = CheckOrderInvariance(
+      g, *ParseFormula("exists x y. E(x,y)"), rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->invariant);
+  EXPECT_TRUE(report->value);
+  EXPECT_EQ(report->orders_checked, 24u);  // 4! orders, exhaustive.
+}
+
+TEST(OrderInvarianceTest, OrderDependentSentenceCaught) {
+  // "The minimum has a loop" depends on which element is minimal.
+  std::mt19937_64 rng(2);
+  Structure g(Signature::Graph(), 3);
+  g.AddTuple(0, {0, 0});  // Loop on 0 only.
+  Formula min_loop = *ParseFormula(
+      "exists x. (!(exists y. y < x)) & E(x,x)");
+  Result<OrderInvarianceReport> report =
+      CheckOrderInvariance(g, min_loop, rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->invariant);
+  ASSERT_TRUE(report->witness.has_value());
+  // The witness orders genuinely disagree.
+  Result<Structure> w1 = ExpandWithOrder(g, report->witness->first);
+  Result<Structure> w2 = ExpandWithOrder(g, report->witness->second);
+  ASSERT_TRUE(w1.ok() && w2.ok());
+  EXPECT_NE(*Satisfies(*w1, min_loop), *Satisfies(*w2, min_loop));
+}
+
+TEST(OrderInvarianceTest, InvariantUseOfOrder) {
+  // "Some element is smaller than some other" = "there are >= 2 elements":
+  // order-invariant despite mentioning <.
+  std::mt19937_64 rng(3);
+  Formula two = *ParseFormula("exists x y. x < y");
+  Structure one = MakeSet(1);
+  Structure three = MakeSet(3);
+  Result<OrderInvarianceReport> r1 = CheckOrderInvariance(one, two, rng);
+  Result<OrderInvarianceReport> r3 = CheckOrderInvariance(three, two, rng);
+  ASSERT_TRUE(r1.ok() && r3.ok());
+  EXPECT_TRUE(r1->invariant);
+  EXPECT_FALSE(r1->value);
+  EXPECT_TRUE(r3->invariant);
+  EXPECT_TRUE(r3->value);
+}
+
+TEST(OrderInvarianceTest, SamplingModeOnLargerStructures) {
+  std::mt19937_64 rng(4);
+  Structure g = MakeDirectedCycle(9);
+  Result<OrderInvarianceReport> report = CheckOrderInvariance(
+      g, *ParseFormula("forall x. exists y. E(x,y)"), rng,
+      /*max_exhaustive=*/6, /*samples=*/10);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->invariant);
+  EXPECT_EQ(report->orders_checked, 11u);  // Identity + 10 samples.
+}
+
+TEST(OrderInvarianceTest, EvenStillOutOfReachWithOrder) {
+  // The §3.6 point: even with an order available, FO-style symmetric
+  // sentences cannot define EVEN. Spot-check: a sentence that tries to
+  // pair up elements via the order ("every element has a distinct partner"
+  // — successor flipping) is order-dependent or wrong. Here we verify the
+  // natural candidate "the maximum is at an odd position" is order-
+  // invariant on no structure of size >= 2... i.e., it IS order-dependent.
+  std::mt19937_64 rng(5);
+  // "There is an element with exactly one smaller element" — position 2
+  // exists iff n >= 2; invariant. Positions are order-dependent in general
+  // but their existence is cardinality information.
+  Formula second = *ParseFormula(
+      "exists x. atleast 1 y. y < x & !(atleast 2 z. z < x)");
+  Structure s2 = MakeSet(2);
+  Structure s1 = MakeSet(1);
+  Result<OrderInvarianceReport> r2 = CheckOrderInvariance(s2, second, rng);
+  Result<OrderInvarianceReport> r1 = CheckOrderInvariance(s1, second, rng);
+  ASSERT_TRUE(r2.ok() && r1.ok());
+  EXPECT_TRUE(r2->invariant);
+  EXPECT_TRUE(r2->value);
+  EXPECT_FALSE(r1->value);
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,174 @@
+// Cross-cutting property sweeps: random-formula fuzzing of the parser,
+// printer, transforms and evaluators against each other, plus the
+// composition properties the survey's "library of winning strategies"
+// idea is built on.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/games/ef_game.h"
+#include "core/locality/hanf.h"
+#include "core/types/rank_type.h"
+#include "eval/model_check.h"
+#include "eval/query_eval.h"
+#include "logic/analysis.h"
+#include "logic/parser.h"
+#include "logic/random_formula.h"
+#include "logic/transform.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+TEST(FuzzTest, PrinterParserRoundTrip) {
+  std::mt19937_64 rng(1001);
+  RandomFormulaOptions options;
+  options.counting = true;
+  for (int i = 0; i < 300; ++i) {
+    Formula f = MakeRandomFormula(*Signature::Graph(), options, rng);
+    Result<Formula> reparsed = ParseFormula(f.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << f.ToString() << ": " << reparsed.status().ToString();
+    EXPECT_EQ(f, *reparsed) << f.ToString() << "\nvs\n"
+                            << reparsed->ToString();
+  }
+}
+
+TEST(FuzzTest, NnfAndSimplifyPreserveMeaning) {
+  std::mt19937_64 rng(1002);
+  RandomFormulaOptions options;
+  options.counting = true;
+  options.max_depth = 3;
+  for (int i = 0; i < 60; ++i) {
+    Formula f = MakeRandomSentence(*Signature::Graph(), options, rng);
+    Formula nnf = NegationNormalForm(f);
+    Formula simplified = Simplify(f);
+    EXPECT_LE(QuantifierRank(nnf), QuantifierRank(f) + 0) << f.ToString();
+    for (std::size_t n = 0; n <= 3; ++n) {
+      Structure g = MakeRandomGraph(n, 0.5, rng);
+      Result<bool> a = Satisfies(g, f);
+      Result<bool> b = Satisfies(g, nnf);
+      Result<bool> c = Satisfies(g, simplified);
+      ASSERT_TRUE(a.ok() && b.ok() && c.ok()) << f.ToString();
+      EXPECT_EQ(*a, *b) << "NNF broke: " << f.ToString();
+      EXPECT_EQ(*a, *c) << "Simplify broke: " << f.ToString();
+    }
+  }
+}
+
+TEST(FuzzTest, PrenexPreservesMeaningOnNonemptyStructures) {
+  std::mt19937_64 rng(1003);
+  RandomFormulaOptions options;
+  options.counting = false;  // Counting quantifiers do not prenex.
+  options.max_depth = 3;
+  for (int i = 0; i < 60; ++i) {
+    Formula f = MakeRandomSentence(*Signature::Graph(), options, rng);
+    Formula prenex = PrenexNormalForm(f);
+    for (std::size_t n = 1; n <= 3; ++n) {
+      Structure g = MakeRandomGraph(n, 0.5, rng);
+      Result<bool> a = Satisfies(g, f);
+      Result<bool> b = Satisfies(g, prenex);
+      ASSERT_TRUE(a.ok() && b.ok()) << f.ToString();
+      EXPECT_EQ(*a, *b) << "Prenex broke: " << f.ToString() << "\n -> "
+                        << prenex.ToString();
+    }
+  }
+}
+
+TEST(FuzzTest, BottomUpMatchesNaiveOnRandomFormulas) {
+  std::mt19937_64 rng(1004);
+  RandomFormulaOptions options;
+  options.counting = true;
+  options.max_depth = 3;
+  options.variable_pool = 2;
+  for (int i = 0; i < 60; ++i) {
+    Formula f = MakeRandomFormula(*Signature::Graph(), options, rng);
+    std::set<std::string> free = FreeVariables(f);
+    std::vector<std::string> vars(free.begin(), free.end());
+    Structure g = MakeRandomGraph(4, 0.4, rng);
+    Result<Relation> fast = EvaluateQuery(g, f, vars);
+    Result<Relation> slow = EvaluateQueryNaive(g, f, vars);
+    ASSERT_TRUE(fast.ok() && slow.ok()) << f.ToString();
+    EXPECT_TRUE(*fast == *slow) << f.ToString();
+  }
+}
+
+TEST(CompositionTest, DisjointUnionPreservesGameEquivalence) {
+  // The composition lemma behind the "library of strategies": if
+  // A1 ≡n B1 and A2 ≡n B2 then A1 ⊎ A2 ≡n B1 ⊎ B2. Checked exactly on
+  // small pairs via rank types.
+  RankTypeIndex index;
+  struct Pair {
+    Structure a;
+    Structure b;
+  };
+  std::vector<Pair> equivalent_pairs;
+  // Sets of size >= n are n-equivalent; cycles of length >= 4 are
+  // 1-equivalent; etc. Use pairs known to be 2-equivalent:
+  equivalent_pairs.push_back({MakeSet(2), MakeSet(3)});      // ≡2.
+  equivalent_pairs.push_back({MakeEmptyGraph(2), MakeEmptyGraph(3)});
+  const std::size_t n = 2;
+  for (const Pair& p : equivalent_pairs) {
+    ASSERT_TRUE(index.EquivalentUpToRank(p.a, p.b, n));
+  }
+  for (const Pair& p : equivalent_pairs) {
+    for (const Pair& q : equivalent_pairs) {
+      if (!(p.a.signature() == q.a.signature())) {
+        continue;
+      }
+      Result<Structure> left = DisjointUnion(p.a, q.a);
+      Result<Structure> right = DisjointUnion(p.b, q.b);
+      ASSERT_TRUE(left.ok() && right.ok());
+      EXPECT_TRUE(index.EquivalentUpToRank(*left, *right, n));
+    }
+  }
+}
+
+TEST(CompositionTest, GameMonotoneInRounds) {
+  // Duplicator winning n rounds implies winning any fewer rounds.
+  std::vector<std::pair<Structure, Structure>> pairs;
+  pairs.emplace_back(MakeDirectedCycle(4), MakeDirectedCycle(5));
+  pairs.emplace_back(MakeDirectedPath(3), MakeDirectedPath(4));
+  pairs.emplace_back(MakeSet(3), MakeSet(4));
+  for (const auto& [a, b] : pairs) {
+    EfGameSolver solver(a, b);
+    bool previous = true;
+    for (std::size_t n = 0; n <= 4; ++n) {
+      bool wins = *solver.DuplicatorWins(n);
+      EXPECT_TRUE(previous || !wins)
+          << "monotonicity violated at n=" << n;
+      previous = wins;
+    }
+  }
+}
+
+TEST(HanfImpliesRankEquivalenceTest, CyclePairs) {
+  // The Hanf locality theorem in executable form: G1 ⇆r G2 with
+  // r >= (3^n - 1)/2 implies G1 ≡n G2. For n = 2, r = 4 needs m > 9.
+  RankTypeIndex index;
+  for (std::size_t m : {11, 13}) {
+    Structure g1 = MakeDisjointCycles(2, m);
+    Structure g2 = MakeDirectedCycle(2 * m);
+    ASSERT_TRUE(HanfEquivalent(g1, g2, 4)) << m;
+    EXPECT_TRUE(index.EquivalentUpToRank(g1, g2, 2)) << m;
+  }
+  // And a negative control: at m = 3 the pair is distinguishable at rank 2
+  // (a rank-2 sentence sees the 3-cycle's wrap).
+  Structure small1 = MakeDisjointCycles(2, 3);
+  Structure small2 = MakeDirectedCycle(6);
+  EXPECT_FALSE(index.EquivalentUpToRank(small1, small2, 3));
+}
+
+TEST(RandomSentenceTest, SentencesAreClosed) {
+  std::mt19937_64 rng(1005);
+  RandomFormulaOptions options;
+  options.counting = true;
+  for (int i = 0; i < 100; ++i) {
+    Formula f = MakeRandomSentence(*Signature::Graph(), options, rng);
+    EXPECT_TRUE(FreeVariables(f).empty()) << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "eval/model_check.h"
+#include "qbf/qbf.h"
+
+namespace fmtk {
+namespace {
+
+TEST(QbfParseTest, SlidesExamples) {
+  // ∃p∃q p ∧ q is satisfiable; ∃p p ∧ ¬p is not.
+  Result<Qbf> sat = ParseQbf("exists p. exists q. p & q");
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*SolveQbf(*sat));
+  Result<Qbf> unsat = ParseQbf("exists p. p & !p");
+  ASSERT_TRUE(unsat.ok());
+  EXPECT_FALSE(*SolveQbf(*unsat));
+}
+
+TEST(QbfParseTest, MultiVariableQuantifier) {
+  Result<Qbf> f = ParseQbf("exists p q. p | q");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(*SolveQbf(*f));
+}
+
+TEST(QbfParseTest, RoundTrip) {
+  const char* inputs[] = {
+      "exists p. p",
+      "forall p. exists q. p & q | !p",
+      "exists p. (forall q. p | q) & p",
+      "true",
+      "false",
+  };
+  for (const char* text : inputs) {
+    Result<Qbf> f = ParseQbf(text);
+    ASSERT_TRUE(f.ok()) << text << ": " << f.status().ToString();
+    Result<Qbf> again = ParseQbf(f->ToString());
+    ASSERT_TRUE(again.ok()) << f->ToString();
+    EXPECT_EQ(f->ToString(), again->ToString());
+  }
+}
+
+TEST(QbfParseTest, Errors) {
+  EXPECT_FALSE(ParseQbf("exists . p").ok());
+  EXPECT_FALSE(ParseQbf("(p").ok());
+  EXPECT_FALSE(ParseQbf("p q").ok());
+  EXPECT_FALSE(ParseQbf("").ok());
+}
+
+TEST(QbfSolveTest, QuantifierSemantics) {
+  EXPECT_TRUE(*SolveQbf(*ParseQbf("forall p. p | !p")));
+  EXPECT_FALSE(*SolveQbf(*ParseQbf("forall p. p")));
+  EXPECT_TRUE(*SolveQbf(*ParseQbf("exists p. p")));
+  EXPECT_FALSE(*SolveQbf(*ParseQbf("exists p. p & !p")));
+}
+
+TEST(QbfSolveTest, AlternationMatters) {
+  // ∀p ∃q (p <-> q) is true; ∃q ∀p (p <-> q) is false.
+  Qbf inner_match = *ParseQbf("forall p. exists q. (p & q) | (!p & !q)");
+  EXPECT_TRUE(*SolveQbf(inner_match));
+  Qbf outer_match = *ParseQbf("exists q. forall p. (p & q) | (!p & !q)");
+  EXPECT_FALSE(*SolveQbf(outer_match));
+}
+
+TEST(QbfSolveTest, FreeVariableIsError) {
+  Result<bool> v = SolveQbf(*ParseQbf("p & exists q. q"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QbfSolveTest, StatsCountAssignments) {
+  QbfStats stats;
+  ASSERT_TRUE(SolveQbf(*ParseQbf("forall p. forall q. p | !p"), &stats).ok());
+  EXPECT_GE(stats.assignments_tried, 4u);
+}
+
+TEST(QbfReductionTest, ClosedQbfOnly) {
+  Result<QbfAsModelChecking> r = ReduceToModelChecking(*ParseQbf("p"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QbfReductionTest, StructureShape) {
+  Result<QbfAsModelChecking> r =
+      ReduceToModelChecking(*ParseQbf("exists p. p"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->structure.domain_size(), 2u);
+  EXPECT_EQ(r->structure.relation(0).size(), 1u);
+  EXPECT_TRUE(r->structure.relation(0).Contains({1}));
+}
+
+TEST(QbfReductionTest, AgreesWithSolverOnHandPickedFormulas) {
+  const char* formulas[] = {
+      "exists p. exists q. p & q",
+      "exists p. p & !p",
+      "forall p. exists q. (p & q) | (!p & !q)",
+      "exists q. forall p. (p & q) | (!p & !q)",
+      "forall p. p | !p",
+      "exists p. forall q. p | q",
+  };
+  for (const char* text : formulas) {
+    Qbf f = *ParseQbf(text);
+    Result<bool> solved = SolveQbf(f);
+    Result<QbfAsModelChecking> reduced = ReduceToModelChecking(f);
+    ASSERT_TRUE(solved.ok() && reduced.ok()) << text;
+    Result<bool> checked = Satisfies(reduced->structure, reduced->sentence);
+    ASSERT_TRUE(checked.ok()) << checked.status().ToString();
+    EXPECT_EQ(*solved, *checked) << text;
+  }
+}
+
+TEST(QbfReductionTest, AgreesOnRandomQbfs) {
+  std::mt19937_64 rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    Qbf f = MakeRandomQbf(4, 6, rng);
+    Result<bool> solved = SolveQbf(f);
+    Result<QbfAsModelChecking> reduced = ReduceToModelChecking(f);
+    ASSERT_TRUE(solved.ok() && reduced.ok());
+    Result<bool> checked = Satisfies(reduced->structure, reduced->sentence);
+    ASSERT_TRUE(checked.ok());
+    EXPECT_EQ(*solved, *checked) << f.ToString();
+  }
+}
+
+TEST(RandomQbfTest, ShapeIsClosedAndAlternating) {
+  std::mt19937_64 rng(1);
+  Qbf f = MakeRandomQbf(3, 5, rng);
+  EXPECT_EQ(f.kind(), Qbf::Kind::kExists);
+  EXPECT_EQ(f.child(0).kind(), Qbf::Kind::kForall);
+  EXPECT_EQ(f.child(0).child(0).kind(), Qbf::Kind::kExists);
+  EXPECT_TRUE(SolveQbf(f).ok());  // Closed: no free-variable error.
+}
+
+}  // namespace
+}  // namespace fmtk

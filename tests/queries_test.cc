@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "queries/boolean_query.h"
+#include "queries/relation_query.h"
+#include "structures/generators.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+namespace {
+
+TEST(BooleanQueryTest, Even) {
+  BooleanQuery even = BooleanQuery::Even();
+  EXPECT_EQ(even.name(), "EVEN");
+  EXPECT_TRUE(*even.Evaluate(MakeSet(0)));
+  EXPECT_FALSE(*even.Evaluate(MakeSet(3)));
+  EXPECT_TRUE(*even.Evaluate(MakeLinearOrder(4)));
+}
+
+TEST(BooleanQueryTest, Connectivity) {
+  BooleanQuery conn = BooleanQuery::Connectivity();
+  EXPECT_TRUE(*conn.Evaluate(MakeDirectedCycle(8)));
+  EXPECT_FALSE(*conn.Evaluate(MakeDisjointCycles(2, 4)));
+  EXPECT_TRUE(*conn.Evaluate(MakeEmptyGraph(1)));
+  EXPECT_FALSE(*conn.Evaluate(MakeEmptyGraph(2)));
+  // Wrong signature: error, not crash.
+  EXPECT_FALSE(conn.Evaluate(MakeLinearOrder(3)).ok());
+}
+
+TEST(BooleanQueryTest, Acyclicity) {
+  BooleanQuery acycl = BooleanQuery::Acyclicity();
+  EXPECT_TRUE(*acycl.Evaluate(MakeDirectedPath(6)));
+  EXPECT_FALSE(*acycl.Evaluate(MakeDirectedCycle(6)));
+  EXPECT_TRUE(*acycl.Evaluate(MakeFullBinaryTree(3)));
+
+  BooleanQuery dag = BooleanQuery::DirectedAcyclicity();
+  EXPECT_TRUE(*dag.Evaluate(MakeDirectedPath(6)));
+  EXPECT_TRUE(*dag.Evaluate(MakeGrid(3, 3)));   // Grid is a DAG...
+  EXPECT_FALSE(*acycl.Evaluate(MakeGrid(3, 3)));  // ...but not a tree shape.
+}
+
+TEST(BooleanQueryTest, Completeness) {
+  BooleanQuery complete = BooleanQuery::Completeness();
+  EXPECT_TRUE(*complete.Evaluate(MakeCompleteGraph(5)));
+  EXPECT_FALSE(*complete.Evaluate(MakeDirectedCycle(5)));
+  EXPECT_TRUE(*complete.Evaluate(MakeCompleteGraph(0)));
+  EXPECT_TRUE(*complete.Evaluate(MakeCompleteGraph(1)));
+}
+
+TEST(BooleanQueryTest, Tree) {
+  BooleanQuery tree = BooleanQuery::Tree();
+  EXPECT_TRUE(*tree.Evaluate(MakeFullBinaryTree(3)));
+  EXPECT_TRUE(*tree.Evaluate(MakeDirectedPath(7)));
+  EXPECT_FALSE(*tree.Evaluate(MakeDirectedCycle(7)));
+  EXPECT_FALSE(*tree.Evaluate(MakePathPlusCycle(5)));  // Disconnected+cycle.
+}
+
+TEST(BooleanQueryTest, FromSentence) {
+  BooleanQuery has_loop = BooleanQuery::FromSentence(
+      "has-loop", *ParseFormula("exists x. E(x,x)"));
+  EXPECT_TRUE(*has_loop.Evaluate(MakeDirectedCycle(1)));
+  EXPECT_FALSE(*has_loop.Evaluate(MakeDirectedCycle(5)));
+}
+
+TEST(RelationQueryTest, TransitiveClosureMetadata) {
+  RelationQuery tc = RelationQuery::TransitiveClosure();
+  EXPECT_EQ(tc.name(), "TC");
+  EXPECT_EQ(tc.arity(), 2u);
+  Result<Relation> out = tc.Evaluate(MakeDirectedPath(4));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 6u);
+}
+
+TEST(RelationQueryTest, SameGenerationOnDag) {
+  // SG follows the Datalog semantics on arbitrary graphs, not just trees:
+  // diamond 0->1, 0->2, 1->3, 2->3.
+  Structure dag(Signature::Graph(), 4);
+  dag.AddTuple(0, {0, 1});
+  dag.AddTuple(0, {0, 2});
+  dag.AddTuple(0, {1, 3});
+  dag.AddTuple(0, {2, 3});
+  Result<Relation> sg = RelationQuery::SameGeneration().Evaluate(dag);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_TRUE(sg->Contains({1, 2}));
+  EXPECT_TRUE(sg->Contains({3, 3}));
+  EXPECT_FALSE(sg->Contains({0, 3}));
+}
+
+TEST(RelationQueryTest, SameGenerationOnCycleSaturates) {
+  // On a cycle the generations wrap: sg becomes pairs at equal distance
+  // mod gcd considerations; on a 3-cycle every pair eventually appears at
+  // the same generation iff reachable with equal-length paths.
+  Structure c = MakeDirectedCycle(3);
+  Result<Relation> sg = RelationQuery::SameGeneration().Evaluate(c);
+  ASSERT_TRUE(sg.ok());
+  // Only the diagonal: equal-length paths from the diagonal seeds stay
+  // aligned (children are unique successors).
+  EXPECT_EQ(sg->size(), 3u);
+}
+
+TEST(RelationQueryTest, FromFormula) {
+  RelationQuery q = RelationQuery::FromFormula(
+      "sym-edge", *ParseFormula("E(x,y) & E(y,x)"), {"x", "y"});
+  EXPECT_EQ(q.arity(), 2u);
+  Structure two = MakeDirectedCycle(2);  // 0->1, 1->0.
+  Result<Relation> out = q.Evaluate(two);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  Result<Relation> chain_out = q.Evaluate(MakeDirectedPath(4));
+  ASSERT_TRUE(chain_out.ok());
+  EXPECT_TRUE(chain_out->empty());
+}
+
+TEST(RelationQueryTest, MissingRelationIsError) {
+  Result<Relation> out =
+      RelationQuery::TransitiveClosure().Evaluate(MakeLinearOrder(3));
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kSignatureMismatch);
+}
+
+}  // namespace
+}  // namespace fmtk

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "structures/generators.h"
+#include "structures/relation.h"
+#include "structures/signature.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+namespace {
+
+TEST(SignatureTest, BuildAndLookup) {
+  Signature sig;
+  sig.AddRelation("E", 2).AddRelation("P", 1).AddConstant("c");
+  EXPECT_EQ(sig.relation_count(), 2u);
+  EXPECT_EQ(sig.constant_count(), 1u);
+  EXPECT_EQ(sig.relation(0).name, "E");
+  EXPECT_EQ(sig.relation(1).arity, 1u);
+  EXPECT_EQ(*sig.FindRelation("P"), 1u);
+  EXPECT_FALSE(sig.FindRelation("Q").has_value());
+  EXPECT_EQ(*sig.FindConstant("c"), 0u);
+  EXPECT_FALSE(sig.FindConstant("d").has_value());
+}
+
+TEST(SignatureTest, Equality) {
+  Signature a;
+  a.AddRelation("E", 2);
+  Signature b;
+  b.AddRelation("E", 2);
+  EXPECT_TRUE(a == b);
+  b.AddConstant("c");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SignatureTest, ToString) {
+  Signature sig;
+  sig.AddRelation("E", 2).AddConstant("c");
+  EXPECT_EQ(sig.ToString(), "{E/2; c}");
+  EXPECT_EQ(Signature::Empty()->ToString(), "{}");
+}
+
+TEST(SignatureTest, CommonSignatures) {
+  EXPECT_EQ(Signature::Graph()->relation(0).name, "E");
+  EXPECT_EQ(Signature::Order()->relation(0).name, "<");
+  EXPECT_EQ(Signature::Empty()->relation_count(), 0u);
+}
+
+TEST(RelationTest, AddAndContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Add({0, 1}));
+  EXPECT_FALSE(r.Add({0, 1}));  // Duplicate.
+  EXPECT_TRUE(r.Add({1, 0}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({0, 1}));
+  EXPECT_FALSE(r.Contains({1, 1}));
+}
+
+TEST(RelationTest, ZeroArity) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Add({}));
+  EXPECT_TRUE(r.Contains({}));
+  EXPECT_FALSE(r.Add({}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, EqualityIsOrderInsensitive) {
+  Relation a(1);
+  a.Add({0});
+  a.Add({1});
+  Relation b(1);
+  b.Add({1});
+  b.Add({0});
+  EXPECT_TRUE(a == b);
+}
+
+TEST(StructureTest, EmptyStructure) {
+  Structure s(Signature::Empty(), 0);
+  EXPECT_EQ(s.domain_size(), 0u);
+  EXPECT_EQ(s.TupleCount(), 0u);
+}
+
+TEST(StructureTest, AddTupleByName) {
+  Structure s(Signature::Graph(), 3);
+  EXPECT_TRUE(s.AddTuple("E", {0, 1}));
+  EXPECT_FALSE(s.AddTuple("E", {0, 1}));
+  EXPECT_TRUE(s.relation(0).Contains({0, 1}));
+}
+
+TEST(StructureTest, TryAddTupleValidates) {
+  Structure s(Signature::Graph(), 3);
+  EXPECT_TRUE(s.TryAddTuple("E", {0, 2}).ok());
+  EXPECT_EQ(s.TryAddTuple("F", {0, 1}).code(),
+            StatusCode::kSignatureMismatch);
+  EXPECT_EQ(s.TryAddTuple("E", {0, 1, 2}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.TryAddTuple("E", {0, 3}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StructureTest, Constants) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("E", 2).AddConstant("c");
+  Structure s(sig, 4);
+  EXPECT_FALSE(s.constant(0).has_value());
+  s.SetConstant(0, 2);
+  EXPECT_EQ(*s.constant(0), 2u);
+}
+
+TEST(StructureTest, Equality) {
+  Structure a(Signature::Graph(), 2);
+  a.AddTuple(0, {0, 1});
+  Structure b(Signature::Graph(), 2);
+  b.AddTuple(0, {0, 1});
+  EXPECT_TRUE(a == b);
+  b.AddTuple(0, {1, 0});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(InducedSubstructureTest, KeepsInternalTuples) {
+  Structure path = MakeDirectedPath(5);  // 0->1->2->3->4
+  Structure sub = InducedSubstructure(path, {1, 2, 3});
+  EXPECT_EQ(sub.domain_size(), 3u);
+  // Edges 1->2 and 2->3 survive as 0->1, 1->2.
+  EXPECT_EQ(sub.relation(0).size(), 2u);
+  EXPECT_TRUE(sub.relation(0).Contains({0, 1}));
+  EXPECT_TRUE(sub.relation(0).Contains({1, 2}));
+}
+
+TEST(InducedSubstructureTest, RenumbersByPosition) {
+  Structure path = MakeDirectedPath(4);
+  Structure sub = InducedSubstructure(path, {2, 1});  // reversed order
+  // Edge 1->2 becomes 1->0 in the new numbering.
+  EXPECT_TRUE(sub.relation(0).Contains({1, 0}));
+  EXPECT_EQ(sub.relation(0).size(), 1u);
+}
+
+TEST(DisjointUnionTest, ShiftsSecondOperand) {
+  Structure a = MakeDirectedCycle(3);
+  Structure b = MakeDirectedCycle(4);
+  Result<Structure> u = DisjointUnion(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->domain_size(), 7u);
+  EXPECT_EQ(u->relation(0).size(), 7u);
+  EXPECT_TRUE(u->relation(0).Contains({0, 1}));
+  EXPECT_TRUE(u->relation(0).Contains({3, 4}));
+  EXPECT_TRUE(u->relation(0).Contains({6, 3}));  // b's wrap edge shifted.
+}
+
+TEST(DisjointUnionTest, RejectsSignatureMismatch) {
+  Result<Structure> u = DisjointUnion(MakeDirectedCycle(3), MakeLinearOrder(3));
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kSignatureMismatch);
+}
+
+TEST(GeneratorsTest, LinearOrder) {
+  Structure l = MakeLinearOrder(4);
+  EXPECT_EQ(l.domain_size(), 4u);
+  EXPECT_EQ(l.relation(0).size(), 6u);  // C(4,2)
+  EXPECT_TRUE(l.relation(0).Contains({0, 3}));
+  EXPECT_FALSE(l.relation(0).Contains({3, 0}));
+  EXPECT_FALSE(l.relation(0).Contains({2, 2}));
+}
+
+TEST(GeneratorsTest, DirectedPathAndCycle) {
+  EXPECT_EQ(MakeDirectedPath(5).relation(0).size(), 4u);
+  EXPECT_EQ(MakeDirectedPath(1).relation(0).size(), 0u);
+  EXPECT_EQ(MakeDirectedCycle(5).relation(0).size(), 5u);
+  EXPECT_TRUE(MakeDirectedCycle(5).relation(0).Contains({4, 0}));
+  // A 1-cycle is a loop.
+  EXPECT_TRUE(MakeDirectedCycle(1).relation(0).Contains({0, 0}));
+}
+
+TEST(GeneratorsTest, DisjointCyclesAndPathPlusCycle) {
+  Structure two = MakeDisjointCycles(2, 5);
+  EXPECT_EQ(two.domain_size(), 10u);
+  EXPECT_EQ(two.relation(0).size(), 10u);
+  EXPECT_TRUE(two.relation(0).Contains({4, 0}));
+  EXPECT_TRUE(two.relation(0).Contains({9, 5}));
+  EXPECT_FALSE(two.relation(0).Contains({4, 5}));
+
+  Structure pc = MakePathPlusCycle(4);
+  EXPECT_EQ(pc.domain_size(), 8u);
+  EXPECT_EQ(pc.relation(0).size(), 3u + 4u);
+}
+
+TEST(GeneratorsTest, CompleteAndEmpty) {
+  EXPECT_EQ(MakeCompleteGraph(4).relation(0).size(), 12u);
+  EXPECT_EQ(MakeEmptyGraph(4).relation(0).size(), 0u);
+  EXPECT_EQ(MakeCompleteGraph(0).domain_size(), 0u);
+}
+
+TEST(GeneratorsTest, FullBinaryTree) {
+  Structure t = MakeFullBinaryTree(3);
+  EXPECT_EQ(t.domain_size(), 15u);
+  EXPECT_EQ(t.relation(0).size(), 14u);  // n-1 edges.
+  EXPECT_TRUE(t.relation(0).Contains({0, 1}));
+  EXPECT_TRUE(t.relation(0).Contains({0, 2}));
+  EXPECT_TRUE(t.relation(0).Contains({6, 14}));
+}
+
+TEST(GeneratorsTest, Grid) {
+  Structure g = MakeGrid(3, 2);
+  EXPECT_EQ(g.domain_size(), 6u);
+  // Horizontal: 2 per row * 2 rows; vertical: 3.
+  EXPECT_EQ(g.relation(0).size(), 7u);
+}
+
+TEST(GeneratorsTest, RandomGraphRespectsProbabilityExtremes) {
+  std::mt19937_64 rng(1);
+  EXPECT_EQ(MakeRandomGraph(6, 0.0, rng).relation(0).size(), 0u);
+  EXPECT_EQ(MakeRandomGraph(6, 1.0, rng).relation(0).size(), 30u);
+}
+
+TEST(GeneratorsTest, RandomStructureCoversSignature) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("R", 3).AddRelation("P", 1).AddConstant("c");
+  std::mt19937_64 rng(7);
+  Structure s = MakeRandomStructure(sig, 4, 1.0, rng);
+  EXPECT_EQ(s.relation(0).size(), 64u);
+  EXPECT_EQ(s.relation(1).size(), 4u);
+  EXPECT_TRUE(s.constant(0).has_value());
+}
+
+TEST(GeneratorsTest, RandomStructureEmptyDomain) {
+  std::mt19937_64 rng(7);
+  Structure s = MakeRandomStructure(Signature::Graph(), 0, 0.5, rng);
+  EXPECT_EQ(s.domain_size(), 0u);
+  EXPECT_EQ(s.relation(0).size(), 0u);
+}
+
+TEST(GeneratorsTest, ZeroAryRelationRandom) {
+  auto sig = std::make_shared<Signature>();
+  sig->AddRelation("flag", 0);
+  std::mt19937_64 rng(3);
+  Structure s = MakeRandomStructure(sig, 3, 1.0, rng);
+  EXPECT_TRUE(s.relation(0).Contains({}));
+}
+
+}  // namespace
+}  // namespace fmtk

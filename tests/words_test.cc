@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/types/rank_type.h"
+#include "eval/model_check.h"
+#include "logic/parser.h"
+#include "words/dfa.h"
+#include "words/fo_language.h"
+#include "words/word_structure.h"
+
+namespace fmtk {
+namespace {
+
+TEST(WordStructureTest, BuchiEncoding) {
+  Result<Structure> w = MakeWordStructure("aba", "ab");
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_EQ(w->domain_size(), 3u);
+  std::size_t less = *w->signature().FindRelation("<");
+  std::size_t pa = *w->signature().FindRelation("Pa");
+  std::size_t pb = *w->signature().FindRelation("Pb");
+  EXPECT_TRUE(w->relation(less).Contains({0, 2}));
+  EXPECT_TRUE(w->relation(pa).Contains({0}));
+  EXPECT_TRUE(w->relation(pb).Contains({1}));
+  EXPECT_TRUE(w->relation(pa).Contains({2}));
+  EXPECT_EQ(w->relation(pa).size(), 2u);
+}
+
+TEST(WordStructureTest, EmptyWord) {
+  Result<Structure> w = MakeWordStructure("", "ab");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->domain_size(), 0u);
+}
+
+TEST(WordStructureTest, Validation) {
+  EXPECT_FALSE(MakeWordStructure("abc", "ab").ok());  // c not in alphabet.
+  EXPECT_FALSE(WordSignature("").ok());
+  EXPECT_FALSE(WordSignature("aa").ok());
+  EXPECT_FALSE(WordSignature("a!").ok());
+}
+
+TEST(DfaTest, LibraryLanguages) {
+  Dfa asbs = Dfa::StarFreeAsThenBs();
+  EXPECT_TRUE(*asbs.Accepts(""));
+  EXPECT_TRUE(*asbs.Accepts("aaabbb"));
+  EXPECT_TRUE(*asbs.Accepts("bbb"));
+  EXPECT_FALSE(*asbs.Accepts("aba"));
+
+  Dfa contains = Dfa::ContainsAb();
+  EXPECT_TRUE(*contains.Accepts("ab"));
+  EXPECT_TRUE(*contains.Accepts("bbabb"));
+  EXPECT_FALSE(*contains.Accepts("ba"));
+  EXPECT_FALSE(*contains.Accepts(""));
+
+  Dfa even = Dfa::EvenNumberOfAs();
+  EXPECT_TRUE(*even.Accepts(""));
+  EXPECT_TRUE(*even.Accepts("bb"));
+  EXPECT_TRUE(*even.Accepts("aab"));
+  EXPECT_FALSE(*even.Accepts("abb"));  // One a.
+}
+
+TEST(DfaTest, EvenAsParityExact) {
+  Dfa even = Dfa::EvenNumberOfAs();
+  EXPECT_TRUE(*even.Accepts("aba"));   // 2 a's.
+  EXPECT_FALSE(*even.Accepts("a"));
+  EXPECT_FALSE(*even.Accepts("baab" "a"));  // 3 a's.
+}
+
+TEST(DfaTest, Complement) {
+  Dfa odd = Dfa::EvenNumberOfAs().Complement();
+  EXPECT_FALSE(*odd.Accepts(""));
+  EXPECT_TRUE(*odd.Accepts("a"));
+}
+
+TEST(DfaTest, Validation) {
+  EXPECT_FALSE(Dfa::Create("ab", {}, {}).ok());
+  EXPECT_FALSE(Dfa::Create("ab", {{0}}, {}).ok());       // Missing letter.
+  EXPECT_FALSE(Dfa::Create("ab", {{0, 5}}, {}).ok());    // Bad target.
+  EXPECT_FALSE(Dfa::Create("ab", {{0, 0}}, {3}).ok());   // Bad accepting.
+  EXPECT_FALSE(Dfa::Create("", {{}}, {}).ok());
+  Dfa ok = *Dfa::Create("ab", {{0, 0}}, {0});
+  EXPECT_FALSE(ok.Accepts("abc").ok());  // Letter outside alphabet.
+}
+
+TEST(ForEachWordTest, CountsWords) {
+  std::size_t count = ForEachWord("ab", 3, [](const std::string&) {
+    return true;
+  });
+  EXPECT_EQ(count, 1u + 2u + 4u + 8u);
+  // Early stop.
+  std::size_t stopped = ForEachWord("ab", 3, [](const std::string& w) {
+    return w != "aa";
+  });
+  EXPECT_LT(stopped, count);
+}
+
+TEST(FoLanguageTest, StarFreeLanguagesAreFoDefinable) {
+  // McNaughton–Papert, the positive direction, verified on all words up to
+  // length 10 (2047 words each).
+  Result<LanguageAgreement> asbs = CompareFoWithDfa(
+      *AsThenBsSentence(), Dfa::StarFreeAsThenBs(), "ab", 10);
+  ASSERT_TRUE(asbs.ok()) << asbs.status().ToString();
+  EXPECT_TRUE(asbs->agree) << *asbs->counterexample;
+  EXPECT_EQ(asbs->words_checked, 2047u);
+
+  Result<LanguageAgreement> contains = CompareFoWithDfa(
+      *ContainsAbSentence(), Dfa::ContainsAb(), "ab", 10);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(contains->agree) << *contains->counterexample;
+}
+
+TEST(FoLanguageTest, DisagreementReportsCounterexample) {
+  // The a*b* sentence does not define "contains ab"; the comparison finds
+  // the first disagreeing word.
+  Result<LanguageAgreement> mixed = CompareFoWithDfa(
+      *AsThenBsSentence(), Dfa::ContainsAb(), "ab", 6);
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_FALSE(mixed->agree);
+  ASSERT_TRUE(mixed->counterexample.has_value());
+  // "" is in a*b* but contains no "ab": first counterexample immediately.
+  EXPECT_EQ(*mixed->counterexample, "");
+}
+
+TEST(FoLanguageTest, ParityIsNotFoTheGameArgument) {
+  // The survey's EVEN argument transported to words: a^m and a^(m+1) are
+  // rank-n equivalent for m >= 2^n - 1 (the unary predicate is uniform, so
+  // the order argument carries over), yet they differ on even-#a. So no FO
+  // sentence of rank n defines the parity language.
+  RankTypeIndex index;
+  for (std::size_t n = 1; n <= 3; ++n) {
+    const std::size_t m = (std::size_t{1} << n) - 1;
+    Structure a = *MakeWordStructure(std::string(m, 'a'), "ab");
+    Structure b = *MakeWordStructure(std::string(m + 1, 'a'), "ab");
+    EXPECT_TRUE(index.EquivalentUpToRank(a, b, n)) << "m=" << m;
+    Dfa even = Dfa::EvenNumberOfAs();
+    EXPECT_NE(*even.Accepts(std::string(m, 'a')),
+              *even.Accepts(std::string(m + 1, 'a')));
+  }
+  // Sharpness: below the threshold the words are distinguishable.
+  Structure two = *MakeWordStructure("aa", "ab");
+  Structure three = *MakeWordStructure("aaa", "ab");
+  EXPECT_FALSE(index.EquivalentUpToRank(two, three, 2));
+}
+
+TEST(FoLanguageTest, FirstAndLastLetterSentences) {
+  // "The first letter is a": ∃x (∀y ¬(y<x)) ∧ Pa(x).
+  Formula first_a =
+      *ParseFormula("exists x. (!(exists y. y < x)) & Pa(x)");
+  Structure ab = *MakeWordStructure("ab", "ab");
+  Structure ba = *MakeWordStructure("ba", "ab");
+  EXPECT_TRUE(*Satisfies(ab, first_a));
+  EXPECT_FALSE(*Satisfies(ba, first_a));
+  Structure empty = *MakeWordStructure("", "ab");
+  EXPECT_FALSE(*Satisfies(empty, first_a));
+}
+
+}  // namespace
+}  // namespace fmtk
