@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ac0_circuits.cc" "bench/CMakeFiles/bench_ac0_circuits.dir/bench_ac0_circuits.cc.o" "gcc" "bench/CMakeFiles/bench_ac0_circuits.dir/bench_ac0_circuits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuits/CMakeFiles/fmtk_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fmtk_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fmtk_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/fmtk_structures.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fmtk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bndp.dir/bench_bndp.cc.o"
+  "CMakeFiles/bench_bndp.dir/bench_bndp.cc.o.d"
+  "bench_bndp"
+  "bench_bndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

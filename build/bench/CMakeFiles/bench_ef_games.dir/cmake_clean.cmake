@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ef_games.dir/bench_ef_games.cc.o"
+  "CMakeFiles/bench_ef_games.dir/bench_ef_games.cc.o.d"
+  "bench_ef_games"
+  "bench_ef_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ef_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gaifman_locality.dir/bench_gaifman_locality.cc.o"
+  "CMakeFiles/bench_gaifman_locality.dir/bench_gaifman_locality.cc.o.d"
+  "bench_gaifman_locality"
+  "bench_gaifman_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gaifman_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hanf_locality.dir/bench_hanf_locality.cc.o"
+  "CMakeFiles/bench_hanf_locality.dir/bench_hanf_locality.cc.o.d"
+  "bench_hanf_locality"
+  "bench_hanf_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hanf_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

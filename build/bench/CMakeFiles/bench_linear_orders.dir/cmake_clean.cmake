@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear_orders.dir/bench_linear_orders.cc.o"
+  "CMakeFiles/bench_linear_orders.dir/bench_linear_orders.cc.o.d"
+  "bench_linear_orders"
+  "bench_linear_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_local_sentences.dir/bench_local_sentences.cc.o"
+  "CMakeFiles/bench_local_sentences.dir/bench_local_sentences.cc.o.d"
+  "bench_local_sentences"
+  "bench_local_sentences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_sentences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_locality_hierarchy.dir/bench_locality_hierarchy.cc.o"
+  "CMakeFiles/bench_locality_hierarchy.dir/bench_locality_hierarchy.cc.o.d"
+  "bench_locality_hierarchy"
+  "bench_locality_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_locality_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

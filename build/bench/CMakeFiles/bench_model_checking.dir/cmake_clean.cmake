@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_checking.dir/bench_model_checking.cc.o"
+  "CMakeFiles/bench_model_checking.dir/bench_model_checking.cc.o.d"
+  "bench_model_checking"
+  "bench_model_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_words.dir/bench_words.cc.o"
+  "CMakeFiles/bench_words.dir/bench_words.cc.o.d"
+  "bench_words"
+  "bench_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

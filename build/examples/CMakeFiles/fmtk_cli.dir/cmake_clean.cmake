@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_cli.dir/fmtk_cli.cc.o"
+  "CMakeFiles/fmtk_cli.dir/fmtk_cli.cc.o.d"
+  "fmtk_cli"
+  "fmtk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inexpressibility_of_even.dir/inexpressibility_of_even.cc.o"
+  "CMakeFiles/inexpressibility_of_even.dir/inexpressibility_of_even.cc.o.d"
+  "inexpressibility_of_even"
+  "inexpressibility_of_even.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inexpressibility_of_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for inexpressibility_of_even.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_toolbox.dir/locality_toolbox.cc.o"
+  "CMakeFiles/locality_toolbox.dir/locality_toolbox.cc.o.d"
+  "locality_toolbox"
+  "locality_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

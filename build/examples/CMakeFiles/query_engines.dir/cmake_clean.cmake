@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_engines.dir/query_engines.cc.o"
+  "CMakeFiles/query_engines.dir/query_engines.cc.o.d"
+  "query_engines"
+  "query_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_one_law.dir/zero_one_law.cc.o"
+  "CMakeFiles/zero_one_law.dir/zero_one_law.cc.o.d"
+  "zero_one_law"
+  "zero_one_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_one_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_base.dir/status.cc.o"
+  "CMakeFiles/fmtk_base.dir/status.cc.o.d"
+  "CMakeFiles/fmtk_base.dir/string_util.cc.o"
+  "CMakeFiles/fmtk_base.dir/string_util.cc.o.d"
+  "libfmtk_base.a"
+  "libfmtk_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

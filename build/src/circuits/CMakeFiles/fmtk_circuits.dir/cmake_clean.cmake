@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_circuits.dir/circuit.cc.o"
+  "CMakeFiles/fmtk_circuits.dir/circuit.cc.o.d"
+  "CMakeFiles/fmtk_circuits.dir/compile.cc.o"
+  "CMakeFiles/fmtk_circuits.dir/compile.cc.o.d"
+  "libfmtk_circuits.a"
+  "libfmtk_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

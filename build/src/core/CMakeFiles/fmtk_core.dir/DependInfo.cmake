@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithmic/basic_local.cc" "src/core/CMakeFiles/fmtk_core.dir/algorithmic/basic_local.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/algorithmic/basic_local.cc.o.d"
+  "/root/repo/src/core/algorithmic/bounded_degree.cc" "src/core/CMakeFiles/fmtk_core.dir/algorithmic/bounded_degree.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/algorithmic/bounded_degree.cc.o.d"
+  "/root/repo/src/core/algorithmic/local_formula.cc" "src/core/CMakeFiles/fmtk_core.dir/algorithmic/local_formula.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/algorithmic/local_formula.cc.o.d"
+  "/root/repo/src/core/games/ef_game.cc" "src/core/CMakeFiles/fmtk_core.dir/games/ef_game.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/games/ef_game.cc.o.d"
+  "/root/repo/src/core/games/hintikka.cc" "src/core/CMakeFiles/fmtk_core.dir/games/hintikka.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/games/hintikka.cc.o.d"
+  "/root/repo/src/core/games/linear_order.cc" "src/core/CMakeFiles/fmtk_core.dir/games/linear_order.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/games/linear_order.cc.o.d"
+  "/root/repo/src/core/games/pebble_game.cc" "src/core/CMakeFiles/fmtk_core.dir/games/pebble_game.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/games/pebble_game.cc.o.d"
+  "/root/repo/src/core/games/strategy.cc" "src/core/CMakeFiles/fmtk_core.dir/games/strategy.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/games/strategy.cc.o.d"
+  "/root/repo/src/core/interp/interpretation.cc" "src/core/CMakeFiles/fmtk_core.dir/interp/interpretation.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/interp/interpretation.cc.o.d"
+  "/root/repo/src/core/interp/reductions.cc" "src/core/CMakeFiles/fmtk_core.dir/interp/reductions.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/interp/reductions.cc.o.d"
+  "/root/repo/src/core/locality/bndp.cc" "src/core/CMakeFiles/fmtk_core.dir/locality/bndp.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/locality/bndp.cc.o.d"
+  "/root/repo/src/core/locality/gaifman_local.cc" "src/core/CMakeFiles/fmtk_core.dir/locality/gaifman_local.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/locality/gaifman_local.cc.o.d"
+  "/root/repo/src/core/locality/hanf.cc" "src/core/CMakeFiles/fmtk_core.dir/locality/hanf.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/locality/hanf.cc.o.d"
+  "/root/repo/src/core/locality/neighborhood.cc" "src/core/CMakeFiles/fmtk_core.dir/locality/neighborhood.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/locality/neighborhood.cc.o.d"
+  "/root/repo/src/core/order/order_invariance.cc" "src/core/CMakeFiles/fmtk_core.dir/order/order_invariance.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/order/order_invariance.cc.o.d"
+  "/root/repo/src/core/types/atom_enumeration.cc" "src/core/CMakeFiles/fmtk_core.dir/types/atom_enumeration.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/types/atom_enumeration.cc.o.d"
+  "/root/repo/src/core/types/rank_type.cc" "src/core/CMakeFiles/fmtk_core.dir/types/rank_type.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/types/rank_type.cc.o.d"
+  "/root/repo/src/core/zeroone/almost_sure.cc" "src/core/CMakeFiles/fmtk_core.dir/zeroone/almost_sure.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/zeroone/almost_sure.cc.o.d"
+  "/root/repo/src/core/zeroone/mu.cc" "src/core/CMakeFiles/fmtk_core.dir/zeroone/mu.cc.o" "gcc" "src/core/CMakeFiles/fmtk_core.dir/zeroone/mu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fmtk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/fmtk_structures.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/fmtk_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fmtk_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/queries/CMakeFiles/fmtk_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/fmtk_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

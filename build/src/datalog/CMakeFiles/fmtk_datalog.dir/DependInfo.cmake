@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/evaluator.cc" "src/datalog/CMakeFiles/fmtk_datalog.dir/evaluator.cc.o" "gcc" "src/datalog/CMakeFiles/fmtk_datalog.dir/evaluator.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/datalog/CMakeFiles/fmtk_datalog.dir/program.cc.o" "gcc" "src/datalog/CMakeFiles/fmtk_datalog.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fmtk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/fmtk_structures.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

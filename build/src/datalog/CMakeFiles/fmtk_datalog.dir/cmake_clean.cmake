@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_datalog.dir/evaluator.cc.o"
+  "CMakeFiles/fmtk_datalog.dir/evaluator.cc.o.d"
+  "CMakeFiles/fmtk_datalog.dir/program.cc.o"
+  "CMakeFiles/fmtk_datalog.dir/program.cc.o.d"
+  "libfmtk_datalog.a"
+  "libfmtk_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_eval.dir/model_check.cc.o"
+  "CMakeFiles/fmtk_eval.dir/model_check.cc.o.d"
+  "CMakeFiles/fmtk_eval.dir/query_eval.cc.o"
+  "CMakeFiles/fmtk_eval.dir/query_eval.cc.o.d"
+  "libfmtk_eval.a"
+  "libfmtk_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/analysis.cc" "src/logic/CMakeFiles/fmtk_logic.dir/analysis.cc.o" "gcc" "src/logic/CMakeFiles/fmtk_logic.dir/analysis.cc.o.d"
+  "/root/repo/src/logic/formula.cc" "src/logic/CMakeFiles/fmtk_logic.dir/formula.cc.o" "gcc" "src/logic/CMakeFiles/fmtk_logic.dir/formula.cc.o.d"
+  "/root/repo/src/logic/parser.cc" "src/logic/CMakeFiles/fmtk_logic.dir/parser.cc.o" "gcc" "src/logic/CMakeFiles/fmtk_logic.dir/parser.cc.o.d"
+  "/root/repo/src/logic/random_formula.cc" "src/logic/CMakeFiles/fmtk_logic.dir/random_formula.cc.o" "gcc" "src/logic/CMakeFiles/fmtk_logic.dir/random_formula.cc.o.d"
+  "/root/repo/src/logic/transform.cc" "src/logic/CMakeFiles/fmtk_logic.dir/transform.cc.o" "gcc" "src/logic/CMakeFiles/fmtk_logic.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fmtk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/fmtk_structures.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

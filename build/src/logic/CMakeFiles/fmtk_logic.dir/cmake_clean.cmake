@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_logic.dir/analysis.cc.o"
+  "CMakeFiles/fmtk_logic.dir/analysis.cc.o.d"
+  "CMakeFiles/fmtk_logic.dir/formula.cc.o"
+  "CMakeFiles/fmtk_logic.dir/formula.cc.o.d"
+  "CMakeFiles/fmtk_logic.dir/parser.cc.o"
+  "CMakeFiles/fmtk_logic.dir/parser.cc.o.d"
+  "CMakeFiles/fmtk_logic.dir/random_formula.cc.o"
+  "CMakeFiles/fmtk_logic.dir/random_formula.cc.o.d"
+  "CMakeFiles/fmtk_logic.dir/transform.cc.o"
+  "CMakeFiles/fmtk_logic.dir/transform.cc.o.d"
+  "libfmtk_logic.a"
+  "libfmtk_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_qbf.dir/qbf.cc.o"
+  "CMakeFiles/fmtk_qbf.dir/qbf.cc.o.d"
+  "libfmtk_qbf.a"
+  "libfmtk_qbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_qbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

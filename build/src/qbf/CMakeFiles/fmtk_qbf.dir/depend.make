@@ -1,0 +1,2 @@
+# Empty dependencies file for fmtk_qbf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_queries.dir/boolean_query.cc.o"
+  "CMakeFiles/fmtk_queries.dir/boolean_query.cc.o.d"
+  "CMakeFiles/fmtk_queries.dir/relation_query.cc.o"
+  "CMakeFiles/fmtk_queries.dir/relation_query.cc.o.d"
+  "libfmtk_queries.a"
+  "libfmtk_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structures/generators.cc" "src/structures/CMakeFiles/fmtk_structures.dir/generators.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/generators.cc.o.d"
+  "/root/repo/src/structures/graph.cc" "src/structures/CMakeFiles/fmtk_structures.dir/graph.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/graph.cc.o.d"
+  "/root/repo/src/structures/io.cc" "src/structures/CMakeFiles/fmtk_structures.dir/io.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/io.cc.o.d"
+  "/root/repo/src/structures/isomorphism.cc" "src/structures/CMakeFiles/fmtk_structures.dir/isomorphism.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/isomorphism.cc.o.d"
+  "/root/repo/src/structures/relation.cc" "src/structures/CMakeFiles/fmtk_structures.dir/relation.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/relation.cc.o.d"
+  "/root/repo/src/structures/signature.cc" "src/structures/CMakeFiles/fmtk_structures.dir/signature.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/signature.cc.o.d"
+  "/root/repo/src/structures/structure.cc" "src/structures/CMakeFiles/fmtk_structures.dir/structure.cc.o" "gcc" "src/structures/CMakeFiles/fmtk_structures.dir/structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fmtk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_structures.dir/generators.cc.o"
+  "CMakeFiles/fmtk_structures.dir/generators.cc.o.d"
+  "CMakeFiles/fmtk_structures.dir/graph.cc.o"
+  "CMakeFiles/fmtk_structures.dir/graph.cc.o.d"
+  "CMakeFiles/fmtk_structures.dir/io.cc.o"
+  "CMakeFiles/fmtk_structures.dir/io.cc.o.d"
+  "CMakeFiles/fmtk_structures.dir/isomorphism.cc.o"
+  "CMakeFiles/fmtk_structures.dir/isomorphism.cc.o.d"
+  "CMakeFiles/fmtk_structures.dir/relation.cc.o"
+  "CMakeFiles/fmtk_structures.dir/relation.cc.o.d"
+  "CMakeFiles/fmtk_structures.dir/signature.cc.o"
+  "CMakeFiles/fmtk_structures.dir/signature.cc.o.d"
+  "CMakeFiles/fmtk_structures.dir/structure.cc.o"
+  "CMakeFiles/fmtk_structures.dir/structure.cc.o.d"
+  "libfmtk_structures.a"
+  "libfmtk_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

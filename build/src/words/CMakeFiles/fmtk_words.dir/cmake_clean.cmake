@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmtk_words.dir/dfa.cc.o"
+  "CMakeFiles/fmtk_words.dir/dfa.cc.o.d"
+  "CMakeFiles/fmtk_words.dir/fo_language.cc.o"
+  "CMakeFiles/fmtk_words.dir/fo_language.cc.o.d"
+  "CMakeFiles/fmtk_words.dir/word_structure.cc.o"
+  "CMakeFiles/fmtk_words.dir/word_structure.cc.o.d"
+  "libfmtk_words.a"
+  "libfmtk_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmtk_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

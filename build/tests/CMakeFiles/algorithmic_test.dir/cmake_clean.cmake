@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithmic_test.dir/algorithmic_test.cc.o"
+  "CMakeFiles/algorithmic_test.dir/algorithmic_test.cc.o.d"
+  "algorithmic_test"
+  "algorithmic_test.pdb"
+  "algorithmic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithmic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintikka_test.dir/hintikka_test.cc.o"
+  "CMakeFiles/hintikka_test.dir/hintikka_test.cc.o.d"
+  "hintikka_test"
+  "hintikka_test.pdb"
+  "hintikka_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintikka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

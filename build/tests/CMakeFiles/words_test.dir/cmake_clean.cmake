@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/words_test.dir/words_test.cc.o"
+  "CMakeFiles/words_test.dir/words_test.cc.o.d"
+  "words_test"
+  "words_test.pdb"
+  "words_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/words_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

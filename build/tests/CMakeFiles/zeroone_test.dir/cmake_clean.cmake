@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_test.dir/zeroone_test.cc.o"
+  "CMakeFiles/zeroone_test.dir/zeroone_test.cc.o.d"
+  "zeroone_test"
+  "zeroone_test.pdb"
+  "zeroone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/structures_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/isomorphism_test[1]_include.cmake")
+include("/root/repo/build/tests/logic_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/games_test[1]_include.cmake")
+include("/root/repo/build/tests/hintikka_test[1]_include.cmake")
+include("/root/repo/build/tests/locality_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/queries_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithmic_test[1]_include.cmake")
+include("/root/repo/build/tests/zeroone_test[1]_include.cmake")
+include("/root/repo/build/tests/circuits_test[1]_include.cmake")
+include("/root/repo/build/tests/qbf_test[1]_include.cmake")
+include("/root/repo/build/tests/counting_test[1]_include.cmake")
+include("/root/repo/build/tests/order_invariance_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/words_test[1]_include.cmake")
