@@ -5,7 +5,7 @@
 
 #include "core/algorithmic/local_formula.h"
 #include "core/locality/neighborhood.h"
-#include "eval/model_check.h"
+#include "eval/compiled_eval.h"
 #include "logic/analysis.h"
 #include "structures/graph.h"
 
@@ -61,14 +61,19 @@ Result<std::vector<Element>> LocallySatisfyingElements(
     const Structure& s, const BasicLocalSentence& sentence) {
   FMTK_RETURN_IF_ERROR(ValidateSentence(sentence));
   Adjacency gaifman = GaifmanAdjacency(s);
+  // ψ is checked once per element against its r-ball: compile it once
+  // against the shared signature and rebind per neighborhood structure.
+  FMTK_ASSIGN_OR_RETURN(
+      CompiledFormula plan,
+      CompiledFormula::Compile(sentence.local, s.signature()));
   std::vector<Element> satisfying;
   for (Element a = 0; a < s.domain_size(); ++a) {
     Neighborhood n = NeighborhoodOf(s, gaifman, {a}, sentence.radius);
-    ModelChecker checker(n.structure);
+    FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                          CompiledEvaluator::Bind(plan, n.structure));
     FMTK_ASSIGN_OR_RETURN(
         bool holds,
-        checker.Check(sentence.local,
-                      {{sentence.variable, n.distinguished[0]}}));
+        eval.Evaluate({{sentence.variable, n.distinguished[0]}}));
     if (holds) {
       satisfying.push_back(a);
     }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <utility>
 
-#include "eval/model_check.h"
+#include "eval/compiled_eval.h"
 #include "logic/analysis.h"
 
 namespace fmtk {
@@ -50,7 +50,10 @@ Result<bool> BoundedDegreeEvaluator::Evaluate(const Structure& g) {
     return it->second;
   }
   ++misses_;
-  FMTK_ASSIGN_OR_RETURN(bool verdict, Satisfies(g, sentence_));
+  // Cache miss: fall back to full compiled model checking on this graph.
+  FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                        CompiledEvaluator::Compile(g, sentence_));
+  FMTK_ASSIGN_OR_RETURN(bool verdict, eval.Evaluate());
   cache_.emplace(std::move(key), verdict);
   return verdict;
 }

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <utility>
 
-#include "eval/model_check.h"
+#include "eval/compiled_eval.h"
 
 namespace fmtk {
 
@@ -66,14 +66,22 @@ Result<OrderInvarianceReport> CheckOrderInvariance(
   OrderInvarianceReport report;
   std::vector<Element> first_order = IdentityOrder(s);
   FMTK_ASSIGN_OR_RETURN(Structure first, ExpandWithOrder(s, first_order));
-  FMTK_ASSIGN_OR_RETURN(bool baseline, Satisfies(first, sentence));
+  // Every order expansion shares the same (σ ∪ {<}) signature, so the
+  // sentence compiles once and is rebound per expanded structure.
+  FMTK_ASSIGN_OR_RETURN(CompiledFormula plan,
+                        CompiledFormula::Compile(sentence, first.signature()));
+  FMTK_ASSIGN_OR_RETURN(CompiledEvaluator first_eval,
+                        CompiledEvaluator::Bind(plan, first));
+  FMTK_ASSIGN_OR_RETURN(bool baseline, first_eval.Evaluate());
   report.value = baseline;
   report.orders_checked = 1;
 
   auto check_order =
       [&](const std::vector<Element>& order) -> Result<bool> {
     FMTK_ASSIGN_OR_RETURN(Structure expanded, ExpandWithOrder(s, order));
-    FMTK_ASSIGN_OR_RETURN(bool verdict, Satisfies(expanded, sentence));
+    FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                          CompiledEvaluator::Bind(plan, expanded));
+    FMTK_ASSIGN_OR_RETURN(bool verdict, eval.Evaluate());
     ++report.orders_checked;
     if (verdict != baseline) {
       report.invariant = false;

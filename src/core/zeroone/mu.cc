@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "base/check.h"
-#include "eval/model_check.h"
+#include "eval/compiled_eval.h"
 #include "logic/analysis.h"
 #include "structures/generators.h"
 #include "structures/structure.h"
@@ -69,6 +69,10 @@ Result<MuEstimate> ExactMu(const Formula& sentence,
   }
   // Constant assignments multiply the count.
   std::vector<Element> constants(signature->constant_count(), 0);
+  // The sentence is fixed across the 2^bits structures: compile it once and
+  // rebind the plan to each enumerated structure.
+  FMTK_ASSIGN_OR_RETURN(CompiledFormula plan,
+                        CompiledFormula::Compile(sentence, *signature));
   MuEstimate estimate;
   estimate.exact = true;
   const std::size_t num_masks = std::size_t{1} << slots.size();
@@ -83,7 +87,9 @@ Result<MuEstimate> ExactMu(const Formula& sentence,
       for (std::size_t c = 0; c < constants.size(); ++c) {
         s.SetConstant(c, constants[c]);
       }
-      FMTK_ASSIGN_OR_RETURN(bool holds, Satisfies(s, sentence));
+      FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                            CompiledEvaluator::Bind(plan, s));
+      FMTK_ASSIGN_OR_RETURN(bool holds, eval.Evaluate());
       ++estimate.total;
       if (holds) {
         ++estimate.satisfied;
@@ -120,11 +126,15 @@ Result<MuEstimate> MonteCarloMu(const Formula& sentence,
   if (!FreeVariables(sentence).empty()) {
     return Status::InvalidArgument("mu takes a sentence");
   }
+  FMTK_ASSIGN_OR_RETURN(CompiledFormula plan,
+                        CompiledFormula::Compile(sentence, *signature));
   MuEstimate estimate;
   estimate.exact = false;
   for (std::size_t i = 0; i < samples; ++i) {
     Structure s = MakeRandomStructure(signature, n, 0.5, rng);
-    FMTK_ASSIGN_OR_RETURN(bool holds, Satisfies(s, sentence));
+    FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                          CompiledEvaluator::Bind(plan, s));
+    FMTK_ASSIGN_OR_RETURN(bool holds, eval.Evaluate());
     ++estimate.total;
     if (holds) {
       ++estimate.satisfied;

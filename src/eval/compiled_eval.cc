@@ -1,0 +1,611 @@
+#include "eval/compiled_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "base/check.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+namespace internal_eval {
+
+// A term with its symbol pre-resolved: either an environment slot (variable)
+// or a constant index into the signature. The name is kept only for error
+// messages on the cold path.
+struct CompiledTerm {
+  bool is_slot = true;
+  std::uint32_t index = 0;
+  std::string name;
+};
+
+constexpr std::uint32_t kNoPrune = 0xFFFFFFFFu;
+
+struct PlanNode {
+  FormulaKind kind = FormulaKind::kTrue;
+  std::uint32_t relation = 0;          // kAtom: signature relation index.
+  std::vector<CompiledTerm> terms;     // kAtom (arity many), kEqual (2).
+  std::vector<std::uint32_t> children;
+  std::uint32_t slot = 0;              // quantifiers: environment slot.
+  std::uint32_t count = 0;             // kCountExists threshold.
+  // Quantifier pruning guard: when != kNoPrune, the quantified variable must
+  // occur at prune_column of relation prune_relation for the body to hold,
+  // so enumeration can be restricted to that column's distinct values.
+  std::uint32_t prune_relation = kNoPrune;
+  std::uint32_t prune_column = 0;
+};
+
+struct Plan {
+  std::vector<PlanNode> nodes;  // Post-order; root is nodes[root].
+  std::uint32_t root = 0;
+  std::vector<std::string> free_vars;  // Sorted; free_vars[i] has slot i.
+  std::size_t slot_count = 0;
+  Signature signature;  // The signature compiled against (for Bind checks).
+};
+
+struct Binding {
+  const Structure* structure = nullptr;
+  std::size_t domain = 0;
+  std::size_t free_count = 0;
+  std::vector<const Relation*> relations;          // By signature index.
+  std::vector<std::optional<Element>> constants;   // By signature index.
+  std::vector<const Relation::ColumnIndex*> prune;  // Per plan node.
+};
+
+namespace {
+
+// Compiles a signature-validated Formula into a Plan. Cannot fail: every
+// symbol was checked by CheckAgainstSignature and every variable is either
+// quantified or appears in the precomputed free-variable list.
+class Compiler {
+ public:
+  explicit Compiler(const Signature& signature) : signature_(signature) {}
+
+  std::shared_ptr<const Plan> Run(const Formula& f) {
+    auto plan = std::make_shared<Plan>();
+    plan_ = plan.get();
+    plan_->signature = signature_;
+    std::set<std::string> free = FreeVariables(f);
+    plan_->free_vars.assign(free.begin(), free.end());
+    for (std::size_t i = 0; i < plan_->free_vars.size(); ++i) {
+      free_slots_[plan_->free_vars[i]] = static_cast<std::uint32_t>(i);
+    }
+    slot_count_ = plan_->free_vars.size();
+    plan_->root = CompileNode(f);
+    plan_->slot_count = slot_count_;
+    return plan;
+  }
+
+ private:
+  std::uint32_t ResolveVariable(const std::string& name) const {
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->first == name) {
+        return it->second;
+      }
+    }
+    auto it = free_slots_.find(name);
+    FMTK_CHECK(it != free_slots_.end()) << "variable " << name
+                                        << " missing from free-variable list";
+    return it->second;
+  }
+
+  bool IsBoundInScope(const std::string& name) const {
+    for (const auto& [bound_name, unused] : scope_) {
+      if (bound_name == name) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  CompiledTerm CompileTerm(const Term& t) const {
+    CompiledTerm out;
+    out.name = t.name;
+    if (t.is_constant()) {
+      out.is_slot = false;
+      out.index = static_cast<std::uint32_t>(*signature_.FindConstant(t.name));
+    } else {
+      out.is_slot = true;
+      out.index = ResolveVariable(t.name);
+    }
+    return out;
+  }
+
+  // Finds the atom evaluated first inside the quantifier body (descending
+  // the left spine of conjunctions; for ∀ the left spine of the antecedent
+  // of a top-level implication). When that atom contains the quantified
+  // variable and every other term is bound by an enclosing quantifier, the
+  // quantifier can enumerate the atom's column values instead of the whole
+  // domain: elements outside the column make the guard atom — and with it
+  // the body (∃/∃^{≥k}) or the antecedent (∀) — evaluate the same way a full
+  // scan would, without errors, so verdicts and error classification are
+  // preserved exactly.
+  void AnalyzePrune(const Formula& f, PlanNode* node) const {
+    const Formula* g = &f.body();
+    if (f.kind() == FormulaKind::kForall) {
+      if (g->kind() != FormulaKind::kImplies) {
+        return;
+      }
+      g = &g->child(0);
+    }
+    while (g->kind() == FormulaKind::kAnd && g->child_count() > 0) {
+      g = &g->child(0);
+    }
+    if (g->kind() != FormulaKind::kAtom) {
+      return;
+    }
+    const std::string& v = f.variable();
+    std::optional<std::size_t> column;
+    for (std::size_t i = 0; i < g->terms().size(); ++i) {
+      const Term& term = g->terms()[i];
+      // Constants could be uninterpreted and free variables unbound at
+      // evaluation time; both would make a skipped element error-free here
+      // but error-producing in a full scan, so only enclosing-quantifier
+      // variables (and v itself) are allowed.
+      if (term.is_constant()) {
+        return;
+      }
+      if (term.name == v) {
+        if (!column.has_value()) {
+          column = i;
+        }
+      } else if (!IsBoundInScope(term.name)) {
+        return;
+      }
+    }
+    if (!column.has_value()) {
+      return;
+    }
+    node->prune_relation =
+        static_cast<std::uint32_t>(*signature_.FindRelation(g->relation_name()));
+    node->prune_column = static_cast<std::uint32_t>(*column);
+  }
+
+  std::uint32_t Emit(PlanNode node) {
+    plan_->nodes.push_back(std::move(node));
+    return static_cast<std::uint32_t>(plan_->nodes.size() - 1);
+  }
+
+  std::uint32_t CompileNode(const Formula& f) {
+    PlanNode node;
+    node.kind = f.kind();
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        return Emit(std::move(node));
+      case FormulaKind::kAtom:
+        node.relation = static_cast<std::uint32_t>(
+            *signature_.FindRelation(f.relation_name()));
+        node.terms.reserve(f.terms().size());
+        for (const Term& t : f.terms()) {
+          node.terms.push_back(CompileTerm(t));
+        }
+        return Emit(std::move(node));
+      case FormulaKind::kEqual:
+        node.terms.push_back(CompileTerm(f.terms()[0]));
+        node.terms.push_back(CompileTerm(f.terms()[1]));
+        return Emit(std::move(node));
+      case FormulaKind::kNot:
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+      case FormulaKind::kImplies:
+      case FormulaKind::kIff:
+        node.children.reserve(f.child_count());
+        for (const Formula& c : f.children()) {
+          node.children.push_back(CompileNode(c));
+        }
+        return Emit(std::move(node));
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+      case FormulaKind::kCountExists: {
+        node.slot = static_cast<std::uint32_t>(free_slots_.size() +
+                                               scope_.size());
+        slot_count_ = std::max(slot_count_, std::size_t{node.slot} + 1);
+        if (f.kind() == FormulaKind::kCountExists) {
+          node.count = static_cast<std::uint32_t>(f.count());
+        }
+        AnalyzePrune(f, &node);
+        scope_.emplace_back(f.variable(), node.slot);
+        node.children.push_back(CompileNode(f.body()));
+        scope_.pop_back();
+        return Emit(std::move(node));
+      }
+    }
+    FMTK_CHECK(false) << "unreachable formula kind";
+    return 0;
+  }
+
+  const Signature& signature_;
+  Plan* plan_ = nullptr;
+  std::vector<std::pair<std::string, std::uint32_t>> scope_;
+  std::unordered_map<std::string, std::uint32_t> free_slots_;
+  std::size_t slot_count_ = 0;
+};
+
+// Mutable per-evaluation (and per-thread) state: the flat slot environment,
+// which free slots carry a value, a reusable tuple buffer for atom lookups,
+// and local work counters.
+struct EvalState {
+  const Plan* plan;
+  const Binding* binding;
+  std::vector<Element> env;
+  std::vector<unsigned char> has_value;  // Indexed by free-variable slot.
+  Tuple scratch;
+  EvalStats stats;
+};
+
+Status ResolveTerm(EvalState& st, const CompiledTerm& t, Element& out) {
+  if (t.is_slot) {
+    if (t.index < st.binding->free_count && !st.has_value[t.index]) {
+      return Status::InvalidArgument("unbound variable: " + t.name);
+    }
+    out = st.env[t.index];
+    return Status::OK();
+  }
+  const std::optional<Element>& value = st.binding->constants[t.index];
+  if (!value.has_value()) {
+    return Status::InvalidArgument("constant " + t.name +
+                                   " is uninterpreted in this structure");
+  }
+  out = *value;
+  return Status::OK();
+}
+
+Result<bool> EvalNode(EvalState& st, std::uint32_t idx) {
+  ++st.stats.node_visits;
+  const PlanNode& n = st.plan->nodes[idx];
+  switch (n.kind) {
+    case FormulaKind::kTrue:
+      return true;
+    case FormulaKind::kFalse:
+      return false;
+    case FormulaKind::kAtom: {
+      ++st.stats.atom_lookups;
+      st.scratch.clear();
+      for (const CompiledTerm& t : n.terms) {
+        Element e;
+        Status s = ResolveTerm(st, t, e);
+        if (!s.ok()) {
+          return s;
+        }
+        st.scratch.push_back(e);
+      }
+      return st.binding->relations[n.relation]->Contains(st.scratch);
+    }
+    case FormulaKind::kEqual: {
+      ++st.stats.atom_lookups;
+      Element a;
+      Status s = ResolveTerm(st, n.terms[0], a);
+      if (!s.ok()) {
+        return s;
+      }
+      Element b;
+      s = ResolveTerm(st, n.terms[1], b);
+      if (!s.ok()) {
+        return s;
+      }
+      return a == b;
+    }
+    case FormulaKind::kNot: {
+      FMTK_ASSIGN_OR_RETURN(bool inner, EvalNode(st, n.children[0]));
+      return !inner;
+    }
+    case FormulaKind::kAnd: {
+      const std::size_t count = n.children.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        FMTK_ASSIGN_OR_RETURN(bool value, EvalNode(st, n.children[i]));
+        if (!value) {
+          if (i + 1 < count) {
+            ++st.stats.short_circuits;
+          }
+          return false;
+        }
+      }
+      return true;
+    }
+    case FormulaKind::kOr: {
+      const std::size_t count = n.children.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        FMTK_ASSIGN_OR_RETURN(bool value, EvalNode(st, n.children[i]));
+        if (value) {
+          if (i + 1 < count) {
+            ++st.stats.short_circuits;
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    case FormulaKind::kImplies: {
+      FMTK_ASSIGN_OR_RETURN(bool a, EvalNode(st, n.children[0]));
+      if (!a) {
+        ++st.stats.short_circuits;
+        return true;
+      }
+      return EvalNode(st, n.children[1]);
+    }
+    case FormulaKind::kIff: {
+      FMTK_ASSIGN_OR_RETURN(bool a, EvalNode(st, n.children[0]));
+      FMTK_ASSIGN_OR_RETURN(bool b, EvalNode(st, n.children[1]));
+      return a == b;
+    }
+    case FormulaKind::kCountExists: {
+      const Relation::ColumnIndex* ci = st.binding->prune[idx];
+      std::size_t witnesses = 0;
+      auto try_element = [&](Element d,
+                             std::optional<Result<bool>>& decided) {
+        ++st.stats.quantifier_instantiations;
+        st.env[n.slot] = d;
+        Result<bool> r = EvalNode(st, n.children[0]);
+        if (!r.ok()) {
+          decided = std::move(r);
+          return;
+        }
+        if (*r && ++witnesses >= n.count) {
+          decided = true;
+        }
+      };
+      std::optional<Result<bool>> decided;
+      if (ci != nullptr) {
+        ++st.stats.index_hits;
+        for (Element d : ci->values) {
+          try_element(d, decided);
+          if (decided.has_value()) {
+            return *std::move(decided);
+          }
+        }
+      } else {
+        for (std::size_t d = 0; d < st.binding->domain; ++d) {
+          try_element(static_cast<Element>(d), decided);
+          if (decided.has_value()) {
+            return *std::move(decided);
+          }
+        }
+      }
+      return witnesses >= n.count;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const bool is_exists = n.kind == FormulaKind::kExists;
+      const Relation::ColumnIndex* ci = st.binding->prune[idx];
+      auto try_element = [&](Element d,
+                             std::optional<Result<bool>>& decided) {
+        ++st.stats.quantifier_instantiations;
+        st.env[n.slot] = d;
+        Result<bool> r = EvalNode(st, n.children[0]);
+        if (!r.ok()) {
+          decided = std::move(r);
+          return;
+        }
+        if (*r == is_exists) {
+          decided = is_exists;
+        }
+      };
+      std::optional<Result<bool>> decided;
+      if (ci != nullptr) {
+        ++st.stats.index_hits;
+        for (Element d : ci->values) {
+          try_element(d, decided);
+          if (decided.has_value()) {
+            return *std::move(decided);
+          }
+        }
+      } else {
+        for (std::size_t d = 0; d < st.binding->domain; ++d) {
+          try_element(static_cast<Element>(d), decided);
+          if (decided.has_value()) {
+            return *std::move(decided);
+          }
+        }
+      }
+      return !is_exists;
+    }
+  }
+  FMTK_CHECK(false) << "unreachable formula kind";
+  return false;
+}
+
+std::shared_ptr<const Binding> MakeBinding(const Plan& plan,
+                                           const Structure& structure) {
+  auto binding = std::make_shared<Binding>();
+  binding->structure = &structure;
+  binding->domain = structure.domain_size();
+  binding->free_count = plan.free_vars.size();
+  const Signature& sig = structure.signature();
+  binding->relations.reserve(sig.relation_count());
+  for (std::size_t i = 0; i < sig.relation_count(); ++i) {
+    binding->relations.push_back(&structure.relation(i));
+  }
+  binding->constants.reserve(sig.constant_count());
+  for (std::size_t i = 0; i < sig.constant_count(); ++i) {
+    binding->constants.push_back(structure.constant(i));
+  }
+  binding->prune.assign(plan.nodes.size(), nullptr);
+  for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.prune_relation != kNoPrune) {
+      // Built here, once, so parallel evaluation reads lock-free.
+      binding->prune[i] =
+          &binding->relations[node.prune_relation]->column_index(
+              node.prune_column);
+    }
+  }
+  return binding;
+}
+
+}  // namespace
+
+}  // namespace internal_eval
+
+using internal_eval::Binding;
+using internal_eval::EvalState;
+using internal_eval::Plan;
+using internal_eval::PlanNode;
+
+Result<CompiledFormula> CompiledFormula::Compile(const Formula& f,
+                                                 const Signature& signature) {
+  FMTK_RETURN_IF_ERROR(CheckAgainstSignature(f, signature));
+  internal_eval::Compiler compiler(signature);
+  return CompiledFormula(compiler.Run(f));
+}
+
+const std::vector<std::string>& CompiledFormula::free_variables() const {
+  return plan_->free_vars;
+}
+
+std::size_t CompiledFormula::slot_count() const { return plan_->slot_count; }
+
+Result<CompiledEvaluator> CompiledEvaluator::Bind(CompiledFormula plan,
+                                                  const Structure& structure,
+                                                  ParallelPolicy policy) {
+  if (!(structure.signature() == plan.plan_->signature)) {
+    return Status::SignatureMismatch(
+        "structure signature differs from the signature the formula was "
+        "compiled against");
+  }
+  std::shared_ptr<const Binding> binding =
+      internal_eval::MakeBinding(*plan.plan_, structure);
+  return CompiledEvaluator(std::move(plan), std::move(binding), policy);
+}
+
+Result<CompiledEvaluator> CompiledEvaluator::Compile(const Structure& structure,
+                                                     const Formula& f,
+                                                     ParallelPolicy policy) {
+  FMTK_ASSIGN_OR_RETURN(CompiledFormula plan,
+                        CompiledFormula::Compile(f, structure.signature()));
+  std::shared_ptr<const Binding> binding =
+      internal_eval::MakeBinding(*plan.plan_, structure);
+  return CompiledEvaluator(std::move(plan), std::move(binding), policy);
+}
+
+const std::vector<std::string>& CompiledEvaluator::free_variables() const {
+  return plan_.free_variables();
+}
+
+Result<bool> CompiledEvaluator::Evaluate(const VarAssignment& assignment) {
+  const Plan& plan = *plan_.plan_;
+  std::vector<Element> env(plan.slot_count, 0);
+  std::vector<unsigned char> has_value(plan.free_vars.size(), 0);
+  for (std::size_t i = 0; i < plan.free_vars.size(); ++i) {
+    auto it = assignment.find(plan.free_vars[i]);
+    if (it != assignment.end()) {
+      env[i] = it->second;
+      has_value[i] = 1;
+    }
+  }
+  return Run(std::move(env), std::move(has_value));
+}
+
+Result<bool> CompiledEvaluator::EvaluateRow(const std::vector<Element>& row) {
+  const Plan& plan = *plan_.plan_;
+  FMTK_CHECK(row.size() == plan.free_vars.size())
+      << "row size " << row.size() << " does not match "
+      << plan.free_vars.size() << " free variables";
+  std::vector<Element> env(plan.slot_count, 0);
+  std::copy(row.begin(), row.end(), env.begin());
+  std::vector<unsigned char> has_value(plan.free_vars.size(), 1);
+  return Run(std::move(env), std::move(has_value));
+}
+
+Result<bool> CompiledEvaluator::Run(std::vector<Element> env,
+                                    std::vector<unsigned char> has_value) {
+  const Plan& plan = *plan_.plan_;
+  const Binding& binding = *binding_;
+  const PlanNode& root = plan.nodes[plan.root];
+
+  const bool parallel_shape =
+      policy_.enabled && plan.free_vars.empty() &&
+      (root.kind == FormulaKind::kExists ||
+       root.kind == FormulaKind::kForall);
+  if (parallel_shape) {
+    const Relation::ColumnIndex* ci = binding.prune[plan.root];
+    const std::size_t candidate_count =
+        ci != nullptr ? ci->values.size() : binding.domain;
+    std::size_t threads = policy_.num_threads != 0
+                              ? policy_.num_threads
+                              : std::max<std::size_t>(
+                                    1, std::thread::hardware_concurrency());
+    threads = std::min(threads, candidate_count);
+    if (candidate_count >= policy_.min_domain && threads > 1) {
+      const bool is_exists = root.kind == FormulaKind::kExists;
+      ++stats_.node_visits;
+      if (ci != nullptr) {
+        ++stats_.index_hits;
+      }
+
+      // Each worker scans a contiguous chunk in ascending order and records
+      // its first decisive element (witness/counterexample or error). The
+      // globally smallest decisive index wins, reproducing the sequential
+      // left-to-right semantics; `best` lets workers abandon elements that
+      // can no longer matter.
+      struct Outcome {
+        std::size_t index = SIZE_MAX;
+        std::optional<Result<bool>> result;
+        EvalStats stats;
+      };
+      std::vector<Outcome> outcomes(threads);
+      std::atomic<std::size_t> best{SIZE_MAX};
+      const std::size_t chunk = (candidate_count + threads - 1) / threads;
+      std::vector<std::thread> workers;
+      workers.reserve(threads);
+      for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          EvalState st{&plan, &binding, env, has_value, {}, {}};
+          const std::size_t begin = t * chunk;
+          const std::size_t end = std::min(begin + chunk, candidate_count);
+          for (std::size_t k = begin; k < end; ++k) {
+            if (best.load(std::memory_order_relaxed) < k) {
+              break;
+            }
+            const Element d =
+                ci != nullptr ? ci->values[k] : static_cast<Element>(k);
+            ++st.stats.quantifier_instantiations;
+            st.env[root.slot] = d;
+            Result<bool> r = internal_eval::EvalNode(st, root.children[0]);
+            if (!r.ok() || *r == is_exists) {
+              outcomes[t].index = k;
+              outcomes[t].result = std::move(r);
+              std::size_t current = best.load();
+              while (k < current &&
+                     !best.compare_exchange_weak(current, k)) {
+              }
+              break;
+            }
+          }
+          outcomes[t].stats = st.stats;
+        });
+      }
+      for (std::thread& w : workers) {
+        w.join();
+      }
+      const Outcome* decisive = nullptr;
+      for (const Outcome& o : outcomes) {
+        stats_ += o.stats;
+        if (o.result.has_value() &&
+            (decisive == nullptr || o.index < decisive->index)) {
+          decisive = &o;
+        }
+      }
+      if (decisive == nullptr) {
+        return !is_exists;
+      }
+      if (!decisive->result->ok()) {
+        return decisive->result->status();
+      }
+      return is_exists;
+    }
+  }
+
+  EvalState st{&plan, &binding, std::move(env), std::move(has_value), {}, {}};
+  Result<bool> result = internal_eval::EvalNode(st, plan.root);
+  stats_ += st.stats;
+  return result;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,122 @@
+#ifndef FMTK_EVAL_COMPILED_EVAL_H_
+#define FMTK_EVAL_COMPILED_EVAL_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "eval/model_check.h"
+#include "logic/formula.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Controls the optional std::thread fan-out over domain chunks for the
+/// outermost quantifier of a compiled *sentence*. Off by default; evaluation
+/// is then fully deterministic and allocation-free per call. When enabled,
+/// verdicts and error classification still match the sequential evaluator
+/// (the decisive element with the smallest index wins, as in a sequential
+/// left-to-right scan).
+struct ParallelPolicy {
+  bool enabled = false;
+  /// 0 = std::thread::hardware_concurrency().
+  std::size_t num_threads = 0;
+  /// Fan out only when the outermost quantifier enumerates at least this
+  /// many candidates; smaller blocks run sequentially.
+  std::size_t min_domain = 64;
+};
+
+namespace internal_eval {
+struct Plan;
+struct Binding;
+}  // namespace internal_eval
+
+/// A Formula compiled against a Signature: variable names are resolved to
+/// de Bruijn-style integer slots, relation and constant symbols to signature
+/// indices, and each quantifier is annotated with a posting-list pruning
+/// guard when one can be derived. Compilation validates the formula against
+/// the signature exactly like ModelChecker::Check (unknown symbols and arity
+/// mismatches are SignatureMismatch errors).
+///
+/// CompiledFormula is structure-independent: compile once, then Bind to any
+/// structure over an equal signature (the zero-one-law enumerator binds one
+/// plan to 2^k structures). Cheap to copy (shared representation).
+class CompiledFormula {
+ public:
+  static Result<CompiledFormula> Compile(const Formula& f,
+                                         const Signature& signature);
+
+  /// Free variables of the source formula, sorted by name. Slot i of an
+  /// evaluation row corresponds to free_variables()[i].
+  const std::vector<std::string>& free_variables() const;
+
+  /// Total environment slots (free variables + max quantifier nesting).
+  std::size_t slot_count() const;
+
+ private:
+  friend class CompiledEvaluator;
+  explicit CompiledFormula(std::shared_ptr<const internal_eval::Plan> plan)
+      : plan_(std::move(plan)) {}
+
+  std::shared_ptr<const internal_eval::Plan> plan_;
+};
+
+/// A CompiledFormula bound to one Structure: relation symbols become
+/// Relation pointers, constants become resolved elements, and pruning
+/// guards become pointers into the relation's per-column posting lists
+/// (built once at bind time). Evaluation runs on a flat
+/// std::vector<Element> environment — no maps, no string hashing, no
+/// per-node allocation.
+///
+/// The structure must outlive the evaluator and must not be mutated while
+/// it is in use (Add invalidates the bound column indexes).
+class CompiledEvaluator {
+ public:
+  /// Binds `plan` to `structure`. SignatureMismatch when the structure's
+  /// signature differs from the one the plan was compiled against.
+  static Result<CompiledEvaluator> Bind(CompiledFormula plan,
+                                        const Structure& structure,
+                                        ParallelPolicy policy = {});
+
+  /// One-shot: compile `f` against structure's signature and bind.
+  static Result<CompiledEvaluator> Compile(const Structure& structure,
+                                           const Formula& f,
+                                           ParallelPolicy policy = {});
+
+  /// Decides structure ⊨ f under `assignment`. Verdicts and error
+  /// classification are identical to ModelChecker::Check: free variables
+  /// left unbound only fail (InvalidArgument) if actually evaluated, and
+  /// uninterpreted constants likewise.
+  Result<bool> Evaluate(const VarAssignment& assignment = {});
+
+  /// Fast path for repeated evaluation: `row[i]` binds free_variables()[i].
+  /// The row size must equal the number of free variables.
+  Result<bool> EvaluateRow(const std::vector<Element>& row);
+
+  const std::vector<std::string>& free_variables() const;
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats{}; }
+
+ private:
+  CompiledEvaluator(CompiledFormula plan,
+                    std::shared_ptr<const internal_eval::Binding> binding,
+                    ParallelPolicy policy)
+      : plan_(std::move(plan)),
+        binding_(std::move(binding)),
+        policy_(policy) {}
+
+  Result<bool> Run(std::vector<Element> env,
+                   std::vector<unsigned char> has_value);
+
+  CompiledFormula plan_;
+  std::shared_ptr<const internal_eval::Binding> binding_;
+  ParallelPolicy policy_;
+  EvalStats stats_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_EVAL_COMPILED_EVAL_H_

@@ -1,12 +1,32 @@
 #include "eval/model_check.h"
 
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "base/check.h"
+#include "eval/compiled_eval.h"
 #include "logic/analysis.h"
 
 namespace fmtk {
+
+EvalStats& EvalStats::operator+=(const EvalStats& other) {
+  node_visits += other.node_visits;
+  atom_lookups += other.atom_lookups;
+  quantifier_instantiations += other.quantifier_instantiations;
+  short_circuits += other.short_circuits;
+  index_hits += other.index_hits;
+  return *this;
+}
+
+std::string EvalStats::ToString() const {
+  return "node_visits=" + std::to_string(node_visits) +
+         " atom_lookups=" + std::to_string(atom_lookups) +
+         " quantifier_instantiations=" +
+         std::to_string(quantifier_instantiations) +
+         " short_circuits=" + std::to_string(short_circuits) +
+         " index_hits=" + std::to_string(index_hits);
+}
 
 Result<Element> ModelChecker::ResolveTerm(
     const Term& term, const VarAssignment& assignment) const {
@@ -69,18 +89,26 @@ Result<bool> ModelChecker::Eval(const Formula& f, VarAssignment& assignment) {
       return !inner;
     }
     case FormulaKind::kAnd: {
-      for (const Formula& c : f.children()) {
-        FMTK_ASSIGN_OR_RETURN(bool value, Eval(c, assignment));
+      const std::size_t n = f.child_count();
+      for (std::size_t i = 0; i < n; ++i) {
+        FMTK_ASSIGN_OR_RETURN(bool value, Eval(f.child(i), assignment));
         if (!value) {
+          if (i + 1 < n) {
+            ++stats_.short_circuits;
+          }
           return false;
         }
       }
       return true;
     }
     case FormulaKind::kOr: {
-      for (const Formula& c : f.children()) {
-        FMTK_ASSIGN_OR_RETURN(bool value, Eval(c, assignment));
+      const std::size_t n = f.child_count();
+      for (std::size_t i = 0; i < n; ++i) {
+        FMTK_ASSIGN_OR_RETURN(bool value, Eval(f.child(i), assignment));
         if (value) {
+          if (i + 1 < n) {
+            ++stats_.short_circuits;
+          }
           return true;
         }
       }
@@ -89,6 +117,7 @@ Result<bool> ModelChecker::Eval(const Formula& f, VarAssignment& assignment) {
     case FormulaKind::kImplies: {
       FMTK_ASSIGN_OR_RETURN(bool a, Eval(f.child(0), assignment));
       if (!a) {
+        ++stats_.short_circuits;
         return true;
       }
       return Eval(f.child(1), assignment);
@@ -169,14 +198,16 @@ Result<bool> ModelChecker::Eval(const Formula& f, VarAssignment& assignment) {
 }
 
 Result<bool> Satisfies(const Structure& structure, const Formula& sentence) {
-  ModelChecker checker(structure);
-  return checker.Check(sentence);
+  FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                        CompiledEvaluator::Compile(structure, sentence));
+  return eval.Evaluate();
 }
 
 Result<bool> Satisfies(const Structure& structure, const Formula& f,
                        const VarAssignment& assignment) {
-  ModelChecker checker(structure);
-  return checker.Check(f, assignment);
+  FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
+                        CompiledEvaluator::Compile(structure, f));
+  return eval.Evaluate(assignment);
 }
 
 }  // namespace fmtk

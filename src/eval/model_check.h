@@ -14,11 +14,22 @@ namespace fmtk {
 
 /// Work counters for complexity experiments (E1): the naive recursive
 /// checker visits O(n^k) assignments, matching the survey's combined
-/// complexity discussion.
+/// complexity discussion. Shared by the interpreting ModelChecker and the
+/// compiled evaluator (eval/compiled_eval.h).
 struct EvalStats {
   std::uint64_t node_visits = 0;
   std::uint64_t atom_lookups = 0;
   std::uint64_t quantifier_instantiations = 0;
+  /// Early exits of kAnd/kOr/kImplies that skipped unevaluated children.
+  std::uint64_t short_circuits = 0;
+  /// Quantifier blocks that enumerated a posting-list candidate set instead
+  /// of the full domain (compiled evaluator only).
+  std::uint64_t index_hits = 0;
+
+  EvalStats& operator+=(const EvalStats& other);
+
+  /// e.g. "node_visits=12 atom_lookups=4 ... index_hits=0".
+  std::string ToString() const;
 };
 
 /// A variable assignment: names to domain elements.
@@ -27,6 +38,12 @@ using VarAssignment = std::map<std::string, Element>;
 /// The survey's naive recursive model-checking algorithm: time O(n^k),
 /// space O(k log n). Validates the formula against the structure's
 /// signature up front.
+///
+/// This is the reference interpreter, kept as the differential-testing
+/// oracle. Production call sites (Satisfies, EvaluateQueryNaive, the core
+/// subsystems) go through the compiled evaluator in eval/compiled_eval.h,
+/// which produces identical verdicts and error classifications on flat
+/// integer state.
 class ModelChecker {
  public:
   /// `structure` must outlive the checker.
@@ -50,7 +67,8 @@ class ModelChecker {
   EvalStats stats_;
 };
 
-/// One-shot convenience: structure ⊨ sentence.
+/// One-shot convenience: structure ⊨ sentence. Runs the compiled evaluator
+/// (eval/compiled_eval.h); semantics match ModelChecker::Check exactly.
 Result<bool> Satisfies(const Structure& structure, const Formula& sentence);
 
 /// One-shot with a partial assignment for the free variables.

@@ -9,7 +9,7 @@
 
 #include "base/check.h"
 #include "base/hash.h"
-#include "eval/model_check.h"
+#include "eval/compiled_eval.h"
 #include "logic/analysis.h"
 
 namespace fmtk {
@@ -72,13 +72,20 @@ Table ExtendTo(const Table& t, const std::vector<std::string>& target_vars,
   if (t.vars == target_vars) {
     return t;
   }
-  // Positions of t.vars inside target_vars, and the missing positions.
-  std::vector<std::size_t> old_pos;
+  // One hash map over t.vars instead of a std::find per target variable.
+  std::unordered_map<std::string, std::size_t> source_pos;
+  source_pos.reserve(t.vars.size());
+  for (std::size_t i = 0; i < t.vars.size(); ++i) {
+    source_pos.emplace(t.vars[i], i);
+  }
+  // (position in target, position in t.vars) for shared variables, plus the
+  // target positions to fill from the domain.
+  std::vector<std::pair<std::size_t, std::size_t>> old_pos;
   std::vector<std::size_t> new_pos;
   for (std::size_t i = 0; i < target_vars.size(); ++i) {
-    auto it = std::find(t.vars.begin(), t.vars.end(), target_vars[i]);
-    if (it != t.vars.end()) {
-      old_pos.push_back(i);
+    auto it = source_pos.find(target_vars[i]);
+    if (it != source_pos.end()) {
+      old_pos.emplace_back(i, it->second);
     } else {
       new_pos.push_back(i);
     }
@@ -90,8 +97,8 @@ Table ExtendTo(const Table& t, const std::vector<std::string>& target_vars,
   for (const Tuple& row : t.rows) {
     ForEachDomainTuple(domain, new_pos.size(), [&](const Tuple& extra) {
       Tuple extended(target_vars.size(), 0);
-      for (std::size_t i = 0; i < old_pos.size(); ++i) {
-        extended[old_pos[i]] = row[i];
+      for (const auto& [target, source] : old_pos) {
+        extended[target] = row[source];
       }
       for (std::size_t i = 0; i < new_pos.size(); ++i) {
         extended[new_pos[i]] = extra[i];
@@ -503,20 +510,32 @@ Result<Relation> EvaluateQueryNaive(
                                      " missing from output variables");
     }
   }
-  ModelChecker checker(structure);
+  // Compile once, then evaluate each candidate tuple on flat slot state —
+  // no per-candidate signature validation or string-keyed environment.
+  FMTK_ASSIGN_OR_RETURN(CompiledEvaluator compiled,
+                        CompiledEvaluator::Compile(structure, f));
+  const std::vector<std::string>& free_vars = compiled.free_variables();
+  // free_vars[i] = output_variables[row_source[i]] (free vars are a subset).
+  std::vector<std::size_t> row_source;
+  row_source.reserve(free_vars.size());
+  for (const std::string& v : free_vars) {
+    row_source.push_back(static_cast<std::size_t>(
+        std::find(output_variables.begin(), output_variables.end(), v) -
+        output_variables.begin()));
+  }
   Relation answers(output_variables.size());
   Status error = Status::OK();
+  std::vector<Element> row(free_vars.size(), 0);
   ForEachDomainTuple(
       structure.domain_size(), output_variables.size(),
       [&](const Tuple& candidate) {
         if (!error.ok()) {
           return;
         }
-        VarAssignment assignment;
-        for (std::size_t i = 0; i < output_variables.size(); ++i) {
-          assignment[output_variables[i]] = candidate[i];
+        for (std::size_t i = 0; i < row_source.size(); ++i) {
+          row[i] = candidate[row_source[i]];
         }
-        Result<bool> holds = checker.Check(f, assignment);
+        Result<bool> holds = compiled.EvaluateRow(row);
         if (!holds.ok()) {
           error = holds.status();
           return;

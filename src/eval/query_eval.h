@@ -24,8 +24,10 @@ Result<Relation> EvaluateQuery(const Structure& structure, const Formula& f,
                                const std::vector<std::string>& output_variables);
 
 /// The same answer relation computed by brute force: enumerate all
-/// |A|^m assignments and run the model checker. Used to cross-validate the
-/// relational evaluator and as the O(n^k) baseline in benches.
+/// |A|^m assignments and run the compiled model checker
+/// (eval/compiled_eval.h; the formula is compiled once, each candidate is a
+/// flat slot row). Used to cross-validate the relational evaluator and as
+/// the O(n^k) baseline in benches.
 Result<Relation> EvaluateQueryNaive(
     const Structure& structure, const Formula& f,
     const std::vector<std::string>& output_variables);

@@ -1,10 +1,41 @@
 #include "structures/relation.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/check.h"
 
 namespace fmtk {
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_), tuples_(other.tuples_), index_(other.index_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    arity_ = other.arity_;
+    tuples_ = other.tuples_;
+    index_ = other.index_;
+    std::lock_guard<std::mutex> lock(column_mutex_);
+    column_indexes_.clear();
+  }
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      tuples_(std::move(other.tuples_)),
+      index_(std::move(other.index_)) {}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this != &other) {
+    arity_ = other.arity_;
+    tuples_ = std::move(other.tuples_);
+    index_ = std::move(other.index_);
+    std::lock_guard<std::mutex> lock(column_mutex_);
+    column_indexes_.clear();
+  }
+  return *this;
+}
 
 bool Relation::Add(Tuple tuple) {
   FMTK_CHECK(tuple.size() == arity_)
@@ -13,8 +44,41 @@ bool Relation::Add(Tuple tuple) {
   auto [it, inserted] = index_.insert(tuple);
   if (inserted) {
     tuples_.push_back(std::move(tuple));
+    std::lock_guard<std::mutex> lock(column_mutex_);
+    column_indexes_.clear();
   }
   return inserted;
+}
+
+const Relation::ColumnIndex& Relation::column_index(std::size_t column) const {
+  FMTK_CHECK(column < arity_)
+      << "column " << column << " out of range for arity " << arity_;
+  std::lock_guard<std::mutex> lock(column_mutex_);
+  if (column_indexes_.size() != arity_) {
+    column_indexes_.assign(arity_, nullptr);
+  }
+  if (column_indexes_[column] == nullptr) {
+    auto built = std::make_shared<ColumnIndex>();
+    for (std::size_t i = 0; i < tuples_.size(); ++i) {
+      built->postings[tuples_[i][column]].push_back(i);
+    }
+    built->values.reserve(built->postings.size());
+    for (const auto& [element, unused] : built->postings) {
+      built->values.push_back(element);
+    }
+    std::sort(built->values.begin(), built->values.end());
+    column_indexes_[column] = std::move(built);
+  }
+  return *column_indexes_[column];
+}
+
+const std::vector<std::size_t>& Relation::MatchesAt(std::size_t column,
+                                                    Element e) const {
+  static const std::vector<std::size_t>* const kEmpty =
+      new std::vector<std::size_t>();
+  const ColumnIndex& index = column_index(column);
+  auto it = index.postings.find(e);
+  return it == index.postings.end() ? *kEmpty : it->second;
 }
 
 std::string Relation::ToString() const {

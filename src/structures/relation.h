@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -21,14 +24,32 @@ using Tuple = std::vector<Element>;
 /// membership tests and stable insertion-order iteration.
 class Relation {
  public:
+  /// Per-column posting lists, built lazily on first use. Quantifier
+  /// pruning in the compiled evaluator uses `values` to enumerate only the
+  /// elements that can possibly satisfy a positive atom, and `postings` to
+  /// jump from an element to the tuples containing it at that column.
+  struct ColumnIndex {
+    /// Distinct elements occurring at the column, ascending.
+    std::vector<Element> values;
+    /// element -> indices into tuples() of the tuples with that element at
+    /// the column, in insertion order.
+    std::unordered_map<Element, std::vector<std::size_t>> postings;
+  };
+
   explicit Relation(std::size_t arity) : arity_(arity) {}
+
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   std::size_t arity() const { return arity_; }
   std::size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
   /// Inserts `tuple`; returns false when it was already present.
-  /// Arity mismatch is a fatal programming error.
+  /// Arity mismatch is a fatal programming error. Invalidates any column
+  /// indexes previously returned by column_index()/MatchesAt().
   bool Add(Tuple tuple);
 
   bool Contains(const Tuple& tuple) const {
@@ -37,6 +58,20 @@ class Relation {
 
   /// Tuples in insertion order.
   const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// The posting-list index for `column` (< arity). Built on first call and
+  /// cached; concurrent calls are safe. The reference stays valid until the
+  /// next Add().
+  const ColumnIndex& column_index(std::size_t column) const;
+
+  /// Indices of the tuples with `e` at `column` (empty when none).
+  const std::vector<std::size_t>& MatchesAt(std::size_t column,
+                                            Element e) const;
+
+  /// Distinct elements occurring at `column`, ascending.
+  const std::vector<Element>& ColumnValues(std::size_t column) const {
+    return column_index(column).values;
+  }
 
   /// Set equality (order-insensitive).
   friend bool operator==(const Relation& a, const Relation& b) {
@@ -50,6 +85,12 @@ class Relation {
   std::size_t arity_;
   std::vector<Tuple> tuples_;
   std::unordered_set<Tuple, VectorHash<Element>> index_;
+
+  // Lazily built per-column posting lists. The vector is sized to arity_ on
+  // first use; entries are published once and never reallocated, so
+  // references handed out stay stable until Add() clears the cache.
+  mutable std::mutex column_mutex_;
+  mutable std::vector<std::shared_ptr<const ColumnIndex>> column_indexes_;
 };
 
 }  // namespace fmtk
