@@ -7,9 +7,17 @@
 // magnitude cheaper than solving the game exactly — one duplicator reply
 // per spoiler line instead of minimax over all replies.
 
+// `--json` skips the google-benchmark harness and emits one
+// {"bench":...,"n":...,"wall_ms":...,"nodes":...} line per run: the
+// strategy referee's visited positions vs the exact solver's, on the same
+// linear-order instances.
+
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "core/games/ef_game.h"
 #include "core/games/linear_order.h"
@@ -50,16 +58,17 @@ void PrintTable() {
       "size 2^n - 1 --\n");
   std::printf("%4s %20s %20s\n", "n", "referee (positions)",
               "solver (positions)");
+  OrderGapStrategy referee_gap;
   for (std::size_t n = 2; n <= 4; ++n) {
     const std::size_t m = (std::size_t{1} << n) - 1;
     Structure a = MakeLinearOrder(m);
     Structure b = MakeLinearOrder(m + 1);
-    // Referee: count spoiler lines via a node-capped run (it stores the
-    // count in nodes; easiest proxy here is timing below, so print the
-    // solver side and "1 reply/line" note).
+    std::uint64_t referee_nodes = 0;
+    (void)*StrategySurvives(a, b, n, referee_gap, 20'000'000, &referee_nodes);
     EfGameSolver solver(a, b);
     (void)*solver.DuplicatorWins(n);
-    std::printf("%4zu %20s %20llu\n", n, "1 reply per line",
+    std::printf("%4zu %20llu %20llu\n", n,
+                static_cast<unsigned long long>(referee_nodes),
                 static_cast<unsigned long long>(solver.nodes_explored()));
   }
   std::printf(
@@ -103,9 +112,58 @@ void BM_SetMirror(benchmark::State& state) {
 }
 BENCHMARK(BM_SetMirror)->DenseRange(1, 4);
 
+void EmitJsonLine(const char* bench, std::size_t n, double wall_ms,
+                  unsigned long long nodes) {
+  std::printf("{\"bench\":\"%s\",\"n\":%zu,\"wall_ms\":%.3f,\"nodes\":%llu}\n",
+              bench, n, wall_ms, nodes);
+}
+
+template <typename Fn>
+double TimedMs(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+void RunJsonSuite() {
+  // Referee vs exact solver on the sharp-threshold linear orders.
+  OrderGapStrategy gap;
+  for (std::size_t n = 2; n <= 4; ++n) {
+    const std::size_t m = (std::size_t{1} << n) - 1;
+    Structure a = MakeLinearOrder(m);
+    Structure b = MakeLinearOrder(m + 1);
+    std::uint64_t referee_nodes = 0;
+    const double referee_ms = TimedMs(
+        [&] { (void)*StrategySurvives(a, b, n, gap, 20'000'000,
+                                      &referee_nodes); });
+    EmitJsonLine("referee_linear_order", n, referee_ms, referee_nodes);
+    EfGameSolver solver(a, b);
+    const double solver_ms = TimedMs([&] { (void)*solver.DuplicatorWins(n); });
+    EmitJsonLine("solver_linear_order", n, solver_ms,
+                 solver.nodes_explored());
+  }
+  SetMirrorStrategy mirror;
+  for (std::size_t n = 2; n <= 4; ++n) {
+    Structure a = MakeSet(2 * n);
+    Structure b = MakeSet(2 * n + 1);
+    std::uint64_t referee_nodes = 0;
+    const double ms = TimedMs(
+        [&] { (void)*StrategySurvives(a, b, n, mirror, 20'000'000,
+                                      &referee_nodes); });
+    EmitJsonLine("referee_sets", n, ms, referee_nodes);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      RunJsonSuite();
+      return 0;
+    }
+  }
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,8 @@
 #include "core/games/ef_game.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "base/check.h"
@@ -8,29 +10,6 @@
 namespace fmtk {
 
 namespace {
-
-// Adds the constant pairs to the initial position, per the textbook
-// convention that constants always count as played. Returns false when the
-// structures interpret constants incompatibly (spoiler wins outright).
-bool SeedConstants(const Structure& a, const Structure& b, PartialMap& map) {
-  for (std::size_t c = 0; c < a.signature().constant_count(); ++c) {
-    std::optional<Element> ca = a.constant(c);
-    std::optional<Element> cb = b.constant(c);
-    if (ca.has_value() != cb.has_value()) {
-      return false;
-    }
-    if (ca.has_value()) {
-      map.emplace_back(*ca, *cb);
-    }
-  }
-  return true;
-}
-
-PartialMap Canonical(PartialMap map) {
-  std::sort(map.begin(), map.end());
-  map.erase(std::unique(map.begin(), map.end()), map.end());
-  return map;
-}
 
 bool Pinned(const PartialMap& map, bool in_a, Element e) {
   for (const auto& [x, y] : map) {
@@ -45,74 +24,231 @@ bool Pinned(const PartialMap& map, bool in_a, Element e) {
 
 EfGameSolver::EfGameSolver(const Structure& a, const Structure& b,
                            EfOptions options)
-    : a_(a), b_(b), options_(options) {
+    : a_(a),
+      b_(b),
+      options_(options),
+      occ_a_(game_engine::BuildOccurrenceLists(a)),
+      occ_b_(game_engine::BuildOccurrenceLists(b)),
+      sig_a_(game_engine::ElementSignatures(a)),
+      sig_b_(game_engine::ElementSignatures(b)),
+      zobrist_(a.domain_size(), b.domain_size()),
+      nullary_ok_(game_engine::NullaryRelationsAgree(a, b)) {
   FMTK_CHECK(a.signature() == b.signature())
       << "EF games require equal signatures";
+  // Assigned in the body: the class counts are out-parameters and their
+  // default member initializers would re-zero them after a mem-initializer.
+  swap_class_a_ = game_engine::SwapClasses(a, occ_a_, &num_classes_a_);
+  swap_class_b_ = game_engine::SwapClasses(b, occ_b_, &num_classes_b_);
 }
 
-std::string EfGameSolver::MemoKey(std::size_t rounds,
-                                  const PartialMap& position) {
-  std::string key;
-  key.reserve(1 + position.size() * 8);
-  key += static_cast<char>(rounds);
-  for (const auto& [x, y] : position) {
-    key.append(reinterpret_cast<const char*>(&x), sizeof(x));
-    key.append(reinterpret_cast<const char*>(&y), sizeof(y));
-  }
-  return key;
+EfGameSolver::SearchContext EfGameSolver::MakeContext(
+    std::unordered_map<std::uint64_t, bool>* table) {
+  return SearchContext{
+      game_engine::PositionState(a_, b_, &occ_a_, &occ_b_, &zobrist_), table,
+      GameStats{}};
 }
 
-Result<bool> EfGameSolver::Wins(std::size_t rounds, PartialMap position) {
-  if (++nodes_ > options_.max_nodes) {
-    return Status::ResourceExhausted(
-        "EF game search exceeded " + std::to_string(options_.max_nodes) +
-        " positions");
-  }
-  position = Canonical(std::move(position));
-  // A broken position can never be repaired: the final map extends it.
-  if (!IsPartialIsomorphism(a_, b_, position)) {
-    return false;
-  }
-  if (rounds == 0) {
-    return true;
-  }
-  std::string key = MemoKey(rounds, position);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) {
-    return it->second;
-  }
-  bool duplicator_wins = true;
-  // Spoiler never gains by replaying a pinned element (the position would
-  // not change), so those moves are skipped.
-  for (int side = 0; side < 2 && duplicator_wins; ++side) {
-    const bool in_a = (side == 0);
-    const Structure& from = in_a ? a_ : b_;
-    const Structure& to = in_a ? b_ : a_;
-    for (Element s = 0; s < from.domain_size() && duplicator_wins; ++s) {
-      if (Pinned(position, in_a, s)) {
-        continue;
-      }
-      bool has_response = false;
-      for (Element d = 0; d < to.domain_size() && !has_response; ++d) {
-        PartialMap next = position;
-        next.emplace_back(in_a ? s : d, in_a ? d : s);
-        FMTK_ASSIGN_OR_RETURN(bool wins, Wins(rounds - 1, std::move(next)));
-        has_response = wins;
-      }
-      duplicator_wins = has_response;
+void EfGameSolver::MergeStats(const SearchContext& ctx) {
+  stats_.table_hits += ctx.local.table_hits;
+  stats_.moves_pruned += ctx.local.moves_pruned;
+  stats_.nodes_explored = node_count_.load(std::memory_order_relaxed);
+}
+
+bool EfGameSolver::BuildPosition(SearchContext& ctx,
+                                 const PartialMap& initial) const {
+  // Constants count as always-played pairs (textbook convention); a
+  // mismatch, like any broken initial pair, loses for the duplicator
+  // outright since the final map extends the initial one.
+  for (std::size_t c = 0; c < a_.signature().constant_count(); ++c) {
+    std::optional<Element> ca = a_.constant(c);
+    std::optional<Element> cb = b_.constant(c);
+    if (ca.has_value() != cb.has_value()) {
+      return false;
+    }
+    if (ca.has_value() && !ctx.position.TryAdd(*ca, *cb)) {
+      return false;
     }
   }
-  memo_.emplace(std::move(key), duplicator_wins);
+  for (const auto& [x, y] : initial) {
+    if (!ctx.position.TryAdd(x, y)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> EfGameSolver::Wins(SearchContext& ctx, std::size_t rounds) {
+  if (rounds == 0) {
+    return true;  // ctx.position is maintained as a partial isomorphism.
+  }
+  const std::uint64_t key =
+      game_engine::TranspositionKey(ctx.position.hash(), rounds);
+  if (auto it = ctx.table->find(key); it != ctx.table->end()) {
+    ++ctx.local.table_hits;
+    return it->second;
+  }
+  if (node_count_.fetch_add(1, std::memory_order_relaxed) + 1 >
+      options_.max_nodes) {
+    return Status::ResourceExhausted("EF game search exceeded " +
+                                     std::to_string(options_.max_nodes) +
+                                     " positions");
+  }
+  bool duplicator_wins = true;
+  for (int side = 0; side < 2 && duplicator_wins; ++side) {
+    const bool in_a = side == 0;
+    const std::size_t n = in_a ? a_.domain_size() : b_.domain_size();
+    const std::vector<std::uint32_t>& cls =
+        in_a ? swap_class_a_ : swap_class_b_;
+    std::vector<bool> seen(in_a ? num_classes_a_ : num_classes_b_, false);
+    for (Element s = 0; s < n && duplicator_wins; ++s) {
+      // Replaying a pinned element changes nothing; and of any two unpinned
+      // elements swapped by an automorphism (which fixes every pinned
+      // element), one representative decides both moves.
+      if (in_a ? ctx.position.PinnedInA(s) : ctx.position.PinnedInB(s)) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      if (seen[cls[s]]) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      seen[cls[s]] = true;
+      FMTK_ASSIGN_OR_RETURN(bool survivable,
+                            MoveSurvivable(ctx, rounds - 1, in_a, s));
+      duplicator_wins = survivable;
+    }
+  }
+  ctx.table->emplace(key, duplicator_wins);
+  return duplicator_wins;
+}
+
+Result<bool> EfGameSolver::MoveSurvivable(SearchContext& ctx,
+                                          std::size_t rounds_left, bool in_a,
+                                          Element s) {
+  const std::size_t n_to = in_a ? b_.domain_size() : a_.domain_size();
+  const std::vector<std::uint32_t>& cls_to =
+      in_a ? swap_class_b_ : swap_class_a_;
+  const std::vector<std::size_t>& sig_to = in_a ? sig_b_ : sig_a_;
+  const std::size_t want = (in_a ? sig_a_ : sig_b_)[s];
+  std::vector<bool> seen(in_a ? num_classes_b_ : num_classes_a_, false);
+  // Signature-matching candidates first: when a winning response exists it
+  // usually looks like the spoiler's element, so it is found before the
+  // losing candidates burn nodes. Swap classes are signature-homogeneous,
+  // so the two passes never split a class.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Element d = 0; d < n_to; ++d) {
+      if ((sig_to[d] == want) != (pass == 0)) {
+        continue;
+      }
+      // A pinned response breaks injectivity; an already-seen class is
+      // decided by its representative (same automorphism argument as for
+      // spoiler moves); a TryAdd failure is a broken (losing) response.
+      if (in_a ? ctx.position.PinnedInB(d) : ctx.position.PinnedInA(d)) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      if (seen[cls_to[d]]) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      seen[cls_to[d]] = true;
+      const Element x = in_a ? s : d;
+      const Element y = in_a ? d : s;
+      if (!ctx.position.TryAdd(x, y)) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      Result<bool> wins = Wins(ctx, rounds_left);
+      ctx.position.Remove(x, y);
+      if (!wins.ok()) {
+        return wins;
+      }
+      if (*wins) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<bool, Element>> EfGameSolver::SpoilerRepresentatives(
+    SearchContext& ctx) const {
+  std::vector<std::pair<bool, Element>> moves;
+  for (int side = 0; side < 2; ++side) {
+    const bool in_a = side == 0;
+    const std::size_t n = in_a ? a_.domain_size() : b_.domain_size();
+    const std::vector<std::uint32_t>& cls =
+        in_a ? swap_class_a_ : swap_class_b_;
+    std::vector<bool> seen(in_a ? num_classes_a_ : num_classes_b_, false);
+    for (Element s = 0; s < n; ++s) {
+      if (in_a ? ctx.position.PinnedInA(s) : ctx.position.PinnedInB(s)) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      if (seen[cls[s]]) {
+        ++ctx.local.moves_pruned;
+        continue;
+      }
+      seen[cls[s]] = true;
+      moves.emplace_back(in_a, s);
+    }
+  }
+  return moves;
+}
+
+Result<bool> EfGameSolver::SolveRoot(SearchContext& ctx, std::size_t rounds) {
+  if (rounds == 0 || !options_.parallel.enabled) {
+    return Wins(ctx, rounds);
+  }
+  const std::vector<std::pair<bool, Element>> moves =
+      SpoilerRepresentatives(ctx);
+  const std::size_t threads = game_engine::ResolveThreadCount(
+      options_.parallel.num_threads, moves.size());
+  if (moves.size() < options_.parallel.min_domain || threads <= 1) {
+    return Wins(ctx, rounds);
+  }
+  // Workers search against private tables (no lock on the hot path) and
+  // merge completed subgame results back on join; valid regardless of how
+  // a worker stopped.
+  struct WorkerContext {
+    std::unordered_map<std::uint64_t, bool> table;
+    SearchContext search;
+  };
+  FMTK_ASSIGN_OR_RETURN(
+      bool duplicator_wins,
+      (game_engine::FanOutFirstRound<std::unique_ptr<WorkerContext>>(
+          moves.size(), threads,
+          [&] {
+            auto worker = std::make_unique<WorkerContext>(WorkerContext{
+                {}, SearchContext{ctx.position, nullptr, GameStats{}}});
+            worker->search.table = &worker->table;
+            return worker;
+          },
+          [&](std::unique_ptr<WorkerContext>& worker, std::size_t j) {
+            return MoveSurvivable(worker->search, rounds - 1, moves[j].first,
+                                  moves[j].second);
+          },
+          [&](std::unique_ptr<WorkerContext>& worker) {
+            ctx.table->insert(worker->table.begin(), worker->table.end());
+            ctx.local.table_hits += worker->search.local.table_hits;
+            ctx.local.moves_pruned += worker->search.local.moves_pruned;
+          })));
+  ctx.table->emplace(
+      game_engine::TranspositionKey(ctx.position.hash(), rounds),
+      duplicator_wins);
   return duplicator_wins;
 }
 
 Result<bool> EfGameSolver::DuplicatorWins(std::size_t rounds,
                                           const PartialMap& initial) {
-  PartialMap position = initial;
-  if (!SeedConstants(a_, b_, position)) {
+  SearchContext ctx = MakeContext(&table_);
+  if (!nullary_ok_ || !BuildPosition(ctx, initial)) {
+    MergeStats(ctx);
     return false;
   }
-  return Wins(rounds, std::move(position));
+  Result<bool> verdict = SolveRoot(ctx, rounds);
+  MergeStats(ctx);
+  return verdict;
 }
 
 Result<std::optional<std::size_t>> EfGameSolver::SpoilerNeeds(
@@ -136,8 +272,18 @@ Result<EfGameSolver::BestResponse> EfGameSolver::RespondTo(
     PartialMap next = position;
     next.emplace_back(spoiler_in_a ? spoiler_element : d,
                       spoiler_in_a ? d : spoiler_element);
-    const bool survives = IsPartialIsomorphism(a_, b_, next);
-    FMTK_ASSIGN_OR_RETURN(bool wins, Wins(rounds_left, std::move(next)));
+    SearchContext ctx = MakeContext(&table_);
+    const bool survives = nullary_ok_ && BuildPosition(ctx, next);
+    bool wins = false;
+    if (survives) {
+      Result<bool> sub = Wins(ctx, rounds_left);
+      if (!sub.ok()) {
+        MergeStats(ctx);
+        return sub.status();
+      }
+      wins = *sub;
+    }
+    MergeStats(ctx);
     if (wins) {
       return BestResponse{d, true};
     }
@@ -155,8 +301,18 @@ Result<std::vector<EfGameSolver::PlayStep>> EfGameSolver::AdversarialPlay(
     std::size_t rounds) {
   std::vector<PlayStep> transcript;
   PartialMap position;
-  if (!SeedConstants(a_, b_, position)) {
+  if (!nullary_ok_) {
     return transcript;  // Already broken before any move.
+  }
+  for (std::size_t c = 0; c < a_.signature().constant_count(); ++c) {
+    std::optional<Element> ca = a_.constant(c);
+    std::optional<Element> cb = b_.constant(c);
+    if (ca.has_value() != cb.has_value()) {
+      return transcript;  // Already broken before any move.
+    }
+    if (ca.has_value()) {
+      position.emplace_back(*ca, *cb);
+    }
   }
   for (std::size_t round = 0; round < rounds; ++round) {
     const std::size_t remaining = rounds - round;

@@ -1,13 +1,15 @@
 #ifndef FMTK_CORE_GAMES_EF_GAME_H_
 #define FMTK_CORE_GAMES_EF_GAME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/result.h"
+#include "core/games/game_engine.h"
 #include "structures/isomorphism.h"
 #include "structures/structure.h"
 
@@ -17,10 +19,17 @@ namespace fmtk {
 struct EfOptions {
   /// Abort with ResourceExhausted after this many game positions.
   std::uint64_t max_nodes = 20'000'000;
+  /// Optional fan-out of the first-round spoiler moves across threads.
+  /// Verdicts match the sequential search; per-thread transposition tables
+  /// are merged into the solver's shared table on join, and the node cap is
+  /// enforced globally via one shared counter. When the cap is hit in
+  /// parallel mode, ResourceExhausted may race a concurrently found
+  /// refutation — run sequentially for bit-exact error reproduction.
+  ParallelPolicy parallel;
 };
 
 /// The n-round Ehrenfeucht–Fraïssé game G_n(A, B) of the survey, solved
-/// exactly by memoized search over game positions.
+/// exactly by memoized minimax search over game positions.
 ///
 /// Rules: each round the spoiler picks a structure and an element of it; the
 /// duplicator picks an element of the other structure. The duplicator wins
@@ -29,7 +38,18 @@ struct EfOptions {
 /// fundamental theorem equals A ≡n B (cross-validated against
 /// RankTypeIndex in the test suite).
 ///
-/// Exact game solving is exponential in the number of rounds — the
+/// The search core (shared with PebbleGameSolver via game_engine.h):
+///  - a transposition table keyed by packed 64-bit (Zobrist position hash,
+///    rounds) keys, persistent across queries so SpoilerNeeds' iterative
+///    deepening reuses shallow results;
+///  - incremental partial-isomorphism maintenance — only the tuples touching
+///    the newly played pair are validated, and pinned-element lookup is O(1);
+///  - type-based pruning — spoiler moves that differ by an automorphism
+///    (swap classes) collapse to one representative, and duplicator
+///    responses are tried signature-matching candidates first;
+///  - optional first-round parallel fan-out (EfOptions::parallel).
+///
+/// Exact game solving is still exponential in the number of rounds — the
 /// "combinatorially heavy" cost the survey warns about; use
 /// LinearOrdersEquivalent / RankTypeIndex for the structured shortcuts.
 class EfGameSolver {
@@ -64,14 +84,45 @@ class EfGameSolver {
   /// winning responses are shown.
   Result<std::vector<PlayStep>> AdversarialPlay(std::size_t rounds);
 
-  std::uint64_t nodes_explored() const { return nodes_; }
+  std::uint64_t nodes_explored() const { return stats_.nodes_explored; }
+
+  /// Cumulative search counters (nodes, transposition hits, pruned moves).
+  const GameStats& stats() const { return stats_; }
 
  private:
-  // Decides the game value from `position` with `rounds` remaining.
-  Result<bool> Wins(std::size_t rounds, PartialMap position);
+  // Per-search mutable state: the incrementally maintained position, the
+  // transposition table to consult (the solver's own, or a thread-local one
+  // during parallel fan-out), and local prune/hit counters merged into
+  // stats_ when the search returns.
+  struct SearchContext {
+    game_engine::PositionState position;
+    std::unordered_map<std::uint64_t, bool>* table;
+    GameStats local;
+  };
+
+  SearchContext MakeContext(std::unordered_map<std::uint64_t, bool>* table);
+  // Folds a finished context's counters into stats_.
+  void MergeStats(const SearchContext& ctx);
+  // Seeds constants and the initial pairs into ctx.position; false when the
+  // resulting board is already broken (spoiler wins outright).
+  bool BuildPosition(SearchContext& ctx, const PartialMap& initial) const;
+
+  // Decides the game value of ctx.position with `rounds` remaining.
+  Result<bool> Wins(SearchContext& ctx, std::size_t rounds);
+  // Can the duplicator answer the spoiler move (in_a, s) and win the rest?
+  Result<bool> MoveSurvivable(SearchContext& ctx, std::size_t rounds_left,
+                              bool in_a, Element s);
+  // First-round fan-out across threads; falls back to Wins when the policy
+  // or move count says sequential.
+  Result<bool> SolveRoot(SearchContext& ctx, std::size_t rounds);
+
+  // All spoiler first-move representatives from ctx.position: unpinned, one
+  // per swap class per side.
+  std::vector<std::pair<bool, Element>> SpoilerRepresentatives(
+      SearchContext& ctx) const;
 
   // Finds the duplicator response to a spoiler move that survives longest;
-  // wins==true responses preferred.
+  // wins==true responses preferred. (Transcript construction only.)
   struct BestResponse {
     std::optional<Element> element;
     bool wins = false;
@@ -80,13 +131,26 @@ class EfGameSolver {
                                  Element spoiler_element,
                                  const PartialMap& position);
 
-  static std::string MemoKey(std::size_t rounds, const PartialMap& position);
-
   const Structure& a_;
   const Structure& b_;
   EfOptions options_;
-  std::uint64_t nodes_ = 0;
-  std::unordered_map<std::string, bool> memo_;
+
+  // Immutable per-solver search tables.
+  game_engine::OccurrenceLists occ_a_;
+  game_engine::OccurrenceLists occ_b_;
+  std::vector<std::uint32_t> swap_class_a_;
+  std::vector<std::uint32_t> swap_class_b_;
+  std::uint32_t num_classes_a_ = 0;
+  std::uint32_t num_classes_b_ = 0;
+  std::vector<std::size_t> sig_a_;
+  std::vector<std::size_t> sig_b_;
+  game_engine::ZobristTable zobrist_;
+  bool nullary_ok_ = true;
+
+  // Shared across queries: iterative deepening in SpoilerNeeds reuses it.
+  std::unordered_map<std::uint64_t, bool> table_;
+  std::atomic<std::uint64_t> node_count_{0};
+  GameStats stats_;
 };
 
 }  // namespace fmtk

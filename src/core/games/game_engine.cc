@@ -1,0 +1,241 @@
+#include "core/games/game_engine.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "base/hash.h"
+
+namespace fmtk {
+namespace game_engine {
+
+namespace {
+
+// splitmix64: the standard 64-bit finalizer/sequence generator. Fixed seed
+// keeps Zobrist codes (and hence table behavior) reproducible run to run.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Is the transposition (u v) an automorphism of s? It suffices to check the
+// tuples containing u or v: all other tuples are fixed pointwise.
+bool SwapIsAutomorphism(const Structure& s, const OccurrenceLists& occ,
+                        Element u, Element v) {
+  for (std::size_t r = 0; r < occ.size(); ++r) {
+    for (const std::vector<const Tuple*>* lists :
+         {&occ[r][u], &occ[r][v]}) {
+      for (const Tuple* t : *lists) {
+        Tuple swapped = *t;
+        for (Element& e : swapped) {
+          e = e == u ? v : (e == v ? u : e);
+        }
+        if (!s.relation(r).Contains(swapped)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+OccurrenceLists BuildOccurrenceLists(const Structure& s) {
+  OccurrenceLists occ(s.signature().relation_count());
+  for (std::size_t r = 0; r < occ.size(); ++r) {
+    occ[r].resize(s.domain_size());
+    for (const Tuple& t : s.relation(r).tuples()) {
+      Tuple sorted = t;
+      std::sort(sorted.begin(), sorted.end());
+      Element last = kUnmapped;
+      for (Element e : sorted) {
+        if (e != last) {
+          occ[r][e].push_back(&t);
+          last = e;
+        }
+      }
+    }
+  }
+  return occ;
+}
+
+std::vector<std::size_t> ElementSignatures(const Structure& s) {
+  std::vector<std::size_t> sig(s.domain_size());
+  for (Element e = 0; e < s.domain_size(); ++e) {
+    std::size_t h = 0x243f6a8885a308d3ULL;
+    for (std::size_t v : AtomicInvariantOf(s, e)) {
+      HashCombine(h, v);
+    }
+    sig[e] = h;
+  }
+  return sig;
+}
+
+std::vector<std::uint32_t> SwapClasses(const Structure& s,
+                                       const OccurrenceLists& occ,
+                                       std::uint32_t* num_classes) {
+  const std::size_t n = s.domain_size();
+  std::vector<bool> is_constant(n, false);
+  for (std::size_t c = 0; c < s.signature().constant_count(); ++c) {
+    if (std::optional<Element> e = s.constant(c)) {
+      is_constant[*e] = true;
+    }
+  }
+  const std::vector<std::size_t> sig = ElementSignatures(s);
+  std::vector<std::uint32_t> cls(n, 0);
+  std::vector<Element> representatives;  // class id -> first element
+  for (Element e = 0; e < n; ++e) {
+    std::uint32_t assigned = static_cast<std::uint32_t>(-1);
+    if (!is_constant[e]) {
+      for (std::size_t c = 0; c < representatives.size(); ++c) {
+        const Element rep = representatives[c];
+        if (is_constant[rep] || sig[rep] != sig[e]) {
+          continue;
+        }
+        if (SwapIsAutomorphism(s, occ, rep, e)) {
+          assigned = static_cast<std::uint32_t>(c);
+          break;
+        }
+      }
+    }
+    if (assigned == static_cast<std::uint32_t>(-1)) {
+      assigned = static_cast<std::uint32_t>(representatives.size());
+      representatives.push_back(e);
+    }
+    cls[e] = assigned;
+  }
+  if (num_classes != nullptr) {
+    *num_classes = static_cast<std::uint32_t>(representatives.size());
+  }
+  return cls;
+}
+
+ZobristTable::ZobristTable(std::size_t a_domain, std::size_t b_domain)
+    : b_domain_(b_domain), codes_(a_domain * b_domain) {
+  std::uint64_t state = 0x8d1f5c1e0d3a2b4cULL;
+  for (std::uint64_t& code : codes_) {
+    code = SplitMix64(state);
+  }
+}
+
+std::uint64_t TranspositionKey(std::uint64_t position_hash,
+                               std::size_t rounds) {
+  std::uint64_t state =
+      position_hash + 0xbf58476d1ce4e5b9ULL * (rounds + 1);
+  return SplitMix64(state);
+}
+
+PositionState::PositionState(const Structure& a, const Structure& b,
+                             const OccurrenceLists* occ_a,
+                             const OccurrenceLists* occ_b,
+                             const ZobristTable* zobrist)
+    : a_(&a),
+      b_(&b),
+      occ_a_(occ_a),
+      occ_b_(occ_b),
+      zobrist_(zobrist),
+      a_map_(a.domain_size(), kUnmapped),
+      b_map_(b.domain_size(), kUnmapped),
+      a_count_(a.domain_size(), 0),
+      b_count_(b.domain_size(), 0) {}
+
+bool PositionState::NewPairRespectsRelations(Element x, Element y) const {
+  // Any tuple made fully mapped by adding (x, y) contains x (resp. its
+  // mirror contains y), so checking the occurrence lists of x and y is
+  // complete. Tuples already fully mapped were validated earlier.
+  for (std::size_t r = 0; r < occ_a_->size(); ++r) {
+    for (const Tuple* t : (*occ_a_)[r][x]) {
+      Tuple mapped;
+      mapped.reserve(t->size());
+      bool complete = true;
+      for (Element e : *t) {
+        const Element img = e == x ? y : a_map_[e];
+        if (img == kUnmapped) {
+          complete = false;
+          break;
+        }
+        mapped.push_back(img);
+      }
+      if (complete && !b_->relation(r).Contains(mapped)) {
+        return false;
+      }
+    }
+    for (const Tuple* t : (*occ_b_)[r][y]) {
+      Tuple mapped;
+      mapped.reserve(t->size());
+      bool complete = true;
+      for (Element e : *t) {
+        const Element pre = e == y ? x : b_map_[e];
+        if (pre == kUnmapped) {
+          complete = false;
+          break;
+        }
+        mapped.push_back(pre);
+      }
+      if (complete && !a_->relation(r).Contains(mapped)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool PositionState::TryAdd(Element x, Element y) {
+  if (x >= a_map_.size() || y >= b_map_.size()) {
+    return false;
+  }
+  if (a_map_[x] != kUnmapped) {
+    if (a_map_[x] != y) {
+      return false;  // Not a function.
+    }
+    ++a_count_[x];
+    ++b_count_[y];
+    return true;
+  }
+  if (b_map_[y] != kUnmapped) {
+    return false;  // Not injective.
+  }
+  if (!NewPairRespectsRelations(x, y)) {
+    return false;
+  }
+  a_map_[x] = y;
+  b_map_[y] = x;
+  a_count_[x] = 1;
+  b_count_[y] = 1;
+  hash_ += zobrist_->PairCode(x, y);
+  ++distinct_;
+  return true;
+}
+
+void PositionState::Remove(Element x, Element y) {
+  FMTK_CHECK(x < a_map_.size() && a_map_[x] == y)
+      << "Remove of a pair that is not on the board";
+  --a_count_[x];
+  --b_count_[y];
+  if (a_count_[x] == 0) {
+    a_map_[x] = kUnmapped;
+    b_map_[y] = kUnmapped;
+    hash_ -= zobrist_->PairCode(x, y);
+    --distinct_;
+  }
+}
+
+bool NullaryRelationsAgree(const Structure& a, const Structure& b) {
+  const std::size_t num_relations = std::min(
+      a.signature().relation_count(), b.signature().relation_count());
+  for (std::size_t r = 0; r < num_relations; ++r) {
+    if (a.signature().relation(r).arity != 0) {
+      continue;
+    }
+    if ((a.relation(r).size() > 0) != (b.relation(r).size() > 0)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace game_engine
+}  // namespace fmtk

@@ -1,0 +1,207 @@
+#ifndef FMTK_CORE_GAMES_GAME_ENGINE_H_
+#define FMTK_CORE_GAMES_GAME_ENGINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/result.h"
+#include "structures/isomorphism.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Search counters shared by the EF and pebble game solvers. Cumulative
+/// across queries on one solver (like nodes_explored always was).
+struct GameStats {
+  /// Game positions actually expanded by the minimax search. Transposition
+  /// hits and moves rejected before expansion are counted separately.
+  std::uint64_t nodes_explored = 0;
+  /// Positions answered from the transposition table.
+  std::uint64_t table_hits = 0;
+  /// Moves skipped without expanding a child: symmetry-collapsed spoiler
+  /// moves and duplicator responses, replays of pinned elements, and
+  /// responses rejected by the incremental partial-isomorphism check.
+  std::uint64_t moves_pruned = 0;
+};
+
+namespace game_engine {
+
+inline constexpr Element kUnmapped = static_cast<Element>(-1);
+
+/// occ[r][e] = pointers into relation r's tuple store for the tuples
+/// containing element e (each tuple listed once per distinct element).
+/// Pointers stay valid while the structure is unmodified.
+using OccurrenceLists = std::vector<std::vector<std::vector<const Tuple*>>>;
+OccurrenceLists BuildOccurrenceLists(const Structure& s);
+
+/// Hash of AtomicInvariantOf(s, e) per element: equal for elements matched
+/// by any isomorphism, comparable across structures over one signature.
+std::vector<std::size_t> ElementSignatures(const Structure& s);
+
+/// Partitions the domain into *swap classes*: e and f share a class iff the
+/// transposition (e f) is an automorphism of `s` and neither element
+/// interprets a constant. Transpositions conjugate — (a c) = (a b)(b c)(a b)
+/// — so this is a genuine equivalence relation. Elements interpreting
+/// constants get singleton classes. Returns class ids in [0, class count);
+/// `num_classes` (when non-null) receives the count.
+std::vector<std::uint32_t> SwapClasses(const Structure& s,
+                                       const OccurrenceLists& occ,
+                                       std::uint32_t* num_classes = nullptr);
+
+/// Deterministic per-pair 64-bit hash codes (Zobrist table) for positions of
+/// a game on structures of the given domain sizes. Position hashes are the
+/// *sum* of the codes of the distinct pairs on the board, so they are
+/// insensitive to play order and cheap to update incrementally. (Sum, not
+/// xor: the pebble game also needs "multiset with duplicates collapsed"
+/// semantics, and additive hashing composes with reference counting.)
+class ZobristTable {
+ public:
+  ZobristTable(std::size_t a_domain, std::size_t b_domain);
+
+  std::uint64_t PairCode(Element x, Element y) const {
+    return codes_[static_cast<std::size_t>(x) * b_domain_ + y];
+  }
+
+ private:
+  std::size_t b_domain_;
+  std::vector<std::uint64_t> codes_;
+};
+
+/// Packs (position hash, rounds remaining) into one well-mixed 64-bit
+/// transposition-table key. Rounds participate in full width — the seed
+/// solver's one-char key famously wrapped at 256 rounds.
+std::uint64_t TranspositionKey(std::uint64_t position_hash,
+                               std::size_t rounds);
+
+/// A game position (partial map A → B) maintained incrementally: O(1)
+/// pinned-element lookup, reference counts for replayed pairs, a running
+/// Zobrist hash, and pair insertion that validates only the tuples touching
+/// the new pair (everything else was checked when it was added).
+///
+/// Nullary relations are invisible to the incremental check (no tuple
+/// contains a new element); solvers must pre-check them once via
+/// NullaryRelationsAgree. Copyable — parallel workers copy the root
+/// position and diverge.
+class PositionState {
+ public:
+  /// All referenced objects must outlive the state.
+  PositionState(const Structure& a, const Structure& b,
+                const OccurrenceLists* occ_a, const OccurrenceLists* occ_b,
+                const ZobristTable* zobrist);
+
+  /// Adds one instance of the pair (x, y) if the extended map is still a
+  /// partial isomorphism; returns false (state unchanged) otherwise.
+  /// Replaying an existing pair always succeeds and only bumps its count.
+  bool TryAdd(Element x, Element y);
+
+  /// Removes one instance of (x, y); the pair must be present.
+  void Remove(Element x, Element y);
+
+  bool PinnedInA(Element x) const { return a_map_[x] != kUnmapped; }
+  bool PinnedInB(Element y) const { return b_map_[y] != kUnmapped; }
+  /// kUnmapped when x is not pinned.
+  Element ImageOf(Element x) const { return a_map_[x]; }
+  Element PreimageOf(Element y) const { return b_map_[y]; }
+  /// How many instances of the pair containing x (on the A side) are on the
+  /// board; 0 when x is unpinned.
+  std::uint32_t CountOfA(Element x) const { return a_count_[x]; }
+
+  /// Order-insensitive hash of the distinct-pair set.
+  std::uint64_t hash() const { return hash_; }
+  std::size_t distinct_pairs() const { return distinct_; }
+
+ private:
+  bool NewPairRespectsRelations(Element x, Element y) const;
+
+  const Structure* a_;
+  const Structure* b_;
+  const OccurrenceLists* occ_a_;
+  const OccurrenceLists* occ_b_;
+  const ZobristTable* zobrist_;
+  std::vector<Element> a_map_;   // a_map_[x] = image of x, or kUnmapped
+  std::vector<Element> b_map_;   // b_map_[y] = preimage of y, or kUnmapped
+  std::vector<std::uint32_t> a_count_;  // instances of x's pair
+  std::vector<std::uint32_t> b_count_;  // instances of y's pair
+  std::uint64_t hash_ = 0;
+  std::size_t distinct_ = 0;
+};
+
+/// True when every nullary (arity-0) relation holds in `a` iff it holds in
+/// `b`. A mismatch breaks *every* position, including the empty one; the
+/// incremental check above cannot see it, so solvers test this once.
+bool NullaryRelationsAgree(const Structure& a, const Structure& b);
+
+/// Resolves a requested thread count against the number of work items:
+/// 0 means hardware_concurrency, and never more threads than items.
+inline std::size_t ResolveThreadCount(std::size_t requested,
+                                      std::size_t num_items) {
+  std::size_t threads =
+      requested != 0 ? requested : std::thread::hardware_concurrency();
+  threads = std::max<std::size_t>(threads, 1);
+  return std::min(threads, num_items);
+}
+
+/// Fans `num_moves` first-round spoiler moves across `num_threads` workers
+/// (strided assignment). make_ctx() builds one worker's search context,
+/// eval_move(ctx, i) decides whether move i is survivable for the
+/// duplicator, merge_ctx(ctx) folds the worker's table and counters back
+/// into the caller — it runs under the fan-out mutex. Workers stop early
+/// once any move is refuted or any error is recorded; completed subgame
+/// results are still merged. Returns true iff every move evaluated
+/// survivable; the first recorded error wins over a racing refutation.
+template <typename Ctx, typename MakeCtx, typename EvalMove,
+          typename MergeCtx>
+Result<bool> FanOutFirstRound(std::size_t num_moves, std::size_t num_threads,
+                              MakeCtx&& make_ctx, EvalMove&& eval_move,
+                              MergeCtx&& merge_ctx) {
+  std::atomic<bool> spoiler_wins{false};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  Status first_error = Status::OK();
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      Ctx ctx = make_ctx();
+      for (std::size_t j = t; j < num_moves; j += num_threads) {
+        if (spoiler_wins.load(std::memory_order_relaxed) ||
+            failed.load(std::memory_order_relaxed)) {
+          break;
+        }
+        Result<bool> survivable = eval_move(ctx, j);
+        if (!survivable.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.ok()) {
+            first_error = survivable.status();
+          }
+          failed.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (!*survivable) {
+          spoiler_wins.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      merge_ctx(ctx);
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return !spoiler_wins.load(std::memory_order_relaxed);
+}
+
+}  // namespace game_engine
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_GAMES_GAME_ENGINE_H_

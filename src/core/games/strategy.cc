@@ -151,7 +151,8 @@ Result<bool> Explore(const Structure& a, const Structure& b,
 Result<bool> StrategySurvives(const Structure& a, const Structure& b,
                               std::size_t rounds,
                               DuplicatorStrategy& strategy,
-                              std::uint64_t max_nodes) {
+                              std::uint64_t max_nodes,
+                              std::uint64_t* nodes_explored) {
   FMTK_CHECK(a.signature() == b.signature())
       << "strategy verification requires equal signatures";
   PartialMap position;
@@ -166,7 +167,12 @@ Result<bool> StrategySurvives(const Structure& a, const Structure& b,
     }
   }
   std::uint64_t nodes = 0;
-  return Explore(a, b, strategy, position, rounds, nodes, max_nodes);
+  Result<bool> verdict =
+      Explore(a, b, strategy, position, rounds, nodes, max_nodes);
+  if (nodes_explored != nullptr) {
+    *nodes_explored = nodes;
+  }
+  return verdict;
 }
 
 }  // namespace fmtk

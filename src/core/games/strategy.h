@@ -64,11 +64,14 @@ class OrderGapStrategy : public DuplicatorStrategy {
 /// Returns true when every reachable final position is a partial
 /// isomorphism — i.e. the strategy certifies A ≡rounds B. Cost is
 /// O((|A| + |B|)^rounds) spoiler lines but only one duplicator reply each,
-/// far below the solver's minimax.
+/// far below the solver's minimax. When `nodes_explored` is non-null it
+/// receives the number of referee positions visited (for benchmarking
+/// against the solver's node counts).
 Result<bool> StrategySurvives(const Structure& a, const Structure& b,
                               std::size_t rounds,
                               DuplicatorStrategy& strategy,
-                              std::uint64_t max_nodes = 20'000'000);
+                              std::uint64_t max_nodes = 20'000'000,
+                              std::uint64_t* nodes_explored = nullptr);
 
 }  // namespace fmtk
 

@@ -1,12 +1,74 @@
 #include "core/locality/neighborhood.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "base/check.h"
+#include "base/hash.h"
 #include "structures/isomorphism.h"
 
 namespace fmtk {
+
+namespace {
+
+// Caps total exemplar storage in the exact-content cache; correctness does
+// not depend on it (missed contents fall through to the invariant path).
+constexpr std::size_t kMaxExemplars = 4096;
+
+// Hash of the literal content of a neighborhood. Tuples are folded
+// additively so the hash is insertion-order independent, matching
+// Structure's set-semantics equality.
+std::size_t ContentHash(const Neighborhood& n) {
+  std::size_t h = n.structure.domain_size();
+  VectorHash<Element> tuple_hash;
+  for (std::size_t r = 0; r < n.structure.signature().relation_count(); ++r) {
+    std::size_t folded = n.structure.relation(r).size();
+    for (const Tuple& t : n.structure.relation(r).tuples()) {
+      folded += tuple_hash(t);
+    }
+    HashCombine(h, folded);
+  }
+  for (std::size_t c = 0; c < n.structure.signature().constant_count(); ++c) {
+    std::optional<Element> e = n.structure.constant(c);
+    HashCombine(h, e.has_value() ? static_cast<std::size_t>(*e) + 1 : 0);
+  }
+  HashCombine(h, tuple_hash(n.distinguished));
+  return h;
+}
+
+bool IdenticalContent(const Neighborhood& a, const Neighborhood& b) {
+  return a.distinguished == b.distinguished && a.structure == b.structure;
+}
+
+// Cheap isomorphism-invariant signature: sizes, the atomic invariants of
+// the distinguished elements in order, and the sorted multiset of all
+// per-element atomic-invariant hashes. Much cheaper than the WL refinement
+// inside IsomorphismInvariant and independent of it, so it catches
+// different collisions.
+std::vector<std::size_t> CheapSignature(const Neighborhood& n) {
+  const Structure& s = n.structure;
+  std::vector<std::size_t> sig;
+  sig.push_back(s.domain_size());
+  sig.push_back(n.distinguished.size());
+  for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
+    sig.push_back(s.relation(r).size());
+  }
+  std::vector<std::size_t> element_hashes(s.domain_size());
+  for (Element e = 0; e < s.domain_size(); ++e) {
+    std::size_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t v : AtomicInvariantOf(s, e)) {
+      HashCombine(h, v);
+    }
+    element_hashes[e] = h;
+  }
+  for (Element d : n.distinguished) {
+    sig.push_back(d < s.domain_size() ? element_hashes[d] : 0);
+  }
+  std::sort(element_hashes.begin(), element_hashes.end());
+  sig.insert(sig.end(), element_hashes.begin(), element_hashes.end());
+  return sig;
+}
+
+}  // namespace
 
 std::vector<Element> Ball(const Adjacency& gaifman, const Tuple& center,
                           std::size_t radius) {
@@ -48,29 +110,50 @@ bool NeighborhoodsIsomorphic(const Neighborhood& a, const Neighborhood& b) {
 
 NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::TypeOf(
     const Neighborhood& n) {
-  const std::size_t invariant =
-      IsomorphismInvariant(n.structure, n.distinguished);
-  std::vector<std::pair<Neighborhood, TypeId>>& bucket = buckets_[invariant];
-  for (const auto& [rep, id] : bucket) {
-    if (NeighborhoodsIsomorphic(rep, n)) {
+  // Level 1: literal-content hits skip all isomorphism machinery.
+  const std::size_t content = ContentHash(n);
+  std::vector<std::pair<const Neighborhood*, TypeId>>& exact_row =
+      exact_cache_[content];
+  for (const auto& [exemplar, id] : exact_row) {
+    if (IdenticalContent(*exemplar, n)) {
+      ++stats_.exact_hits;
       return id;
     }
   }
-  TypeId id = count_++;
-  bucket.emplace_back(n, id);
-  representatives_.emplace(id, &bucket.back().first);
-  // Note: vector growth may invalidate pointers from this bucket; refresh
-  // all entries of this bucket in the map.
-  for (const auto& [rep, rep_id] : bucket) {
-    representatives_[rep_id] = &rep;
+  // Level 2: bucket by the expensive invariant, pre-filter candidates by
+  // the cheap signature. Level 3: exact isomorphism test.
+  const std::size_t invariant =
+      IsomorphismInvariant(n.structure, n.distinguished);
+  std::vector<std::size_t> signature = CheapSignature(n);
+  std::vector<BucketEntry>& bucket = buckets_[invariant];
+  TypeId resolved = reps_.size();
+  bool found = false;
+  for (const BucketEntry& entry : bucket) {
+    if (entry.signature != signature) {
+      ++stats_.signature_rejects;
+      continue;
+    }
+    ++stats_.iso_tests;
+    if (NeighborhoodsIsomorphic(reps_[entry.id], n)) {
+      resolved = entry.id;
+      found = true;
+      break;
+    }
   }
-  return id;
+  if (!found) {
+    reps_.push_back(n);
+    bucket.push_back(BucketEntry{resolved, std::move(signature)});
+  }
+  if (exemplars_.size() < kMaxExemplars) {
+    exemplars_.push_back(n);
+    exact_row.emplace_back(&exemplars_.back(), resolved);
+  }
+  return resolved;
 }
 
 const Neighborhood& NeighborhoodTypeIndex::representative(TypeId id) const {
-  auto it = representatives_.find(id);
-  FMTK_CHECK(it != representatives_.end()) << "unknown neighborhood type id";
-  return *it->second;
+  FMTK_CHECK(id < reps_.size()) << "unknown neighborhood type id";
+  return reps_[id];
 }
 
 std::map<NeighborhoodTypeIndex::TypeId, std::size_t>

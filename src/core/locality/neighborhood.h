@@ -2,8 +2,11 @@
 #define FMTK_CORE_LOCALITY_NEIGHBORHOOD_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "structures/graph.h"
@@ -30,9 +33,16 @@ Neighborhood NeighborhoodOf(const Structure& s, const Adjacency& gaifman,
 bool NeighborhoodsIsomorphic(const Neighborhood& a, const Neighborhood& b);
 
 /// Interns isomorphism types of neighborhoods: equal ids iff isomorphic
-/// (exact — candidates are bucketed by IsomorphismInvariant, then confirmed
-/// with the exact search). Ids are comparable across structures through the
-/// same index instance.
+/// (exact). Ids are comparable across structures through the same index
+/// instance.
+///
+/// TypeOf resolves through three levels, each strictly cheaper than the
+/// next: (1) an exact-content cache answering literally identical
+/// neighborhoods (histograms produce many — e.g. every interior point of a
+/// path) without any isomorphism work; (2) buckets keyed by
+/// IsomorphismInvariant whose entries carry a cheap atomic-signature
+/// pre-filter, rejecting most non-isomorphic hash collisions without the
+/// exact search; (3) the exact AreIsomorphic test.
 class NeighborhoodTypeIndex {
  public:
   using TypeId = std::size_t;
@@ -42,17 +52,41 @@ class NeighborhoodTypeIndex {
   TypeId TypeOf(const Neighborhood& n);
 
   /// Number of distinct types seen.
-  std::size_t size() const { return count_; }
+  std::size_t size() const { return reps_.size(); }
 
-  /// A representative neighborhood of a type.
+  /// A representative neighborhood of a type. The reference stays valid for
+  /// the lifetime of the index (representatives live in a deque, which
+  /// never relocates elements as it grows).
   const Neighborhood& representative(TypeId id) const;
 
+  /// Counters for the three-level TypeOf pipeline.
+  struct Stats {
+    std::uint64_t exact_hits = 0;         // answered by the content cache
+    std::uint64_t signature_rejects = 0;  // pre-filtered bucket candidates
+    std::uint64_t iso_tests = 0;          // exact AreIsomorphic runs
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
-  std::size_t count_ = 0;
-  // Invariant hash -> representatives in that bucket.
-  std::unordered_map<std::size_t, std::vector<std::pair<Neighborhood, TypeId>>>
-      buckets_;
-  std::map<TypeId, const Neighborhood*> representatives_;
+  struct BucketEntry {
+    TypeId id;
+    // Cheap isomorphism-invariant signature of the representative; a
+    // mismatch disproves isomorphism without the exact search.
+    std::vector<std::size_t> signature;
+  };
+
+  // TypeId -> representative, indexed positionally.
+  std::deque<Neighborhood> reps_;
+  // IsomorphismInvariant hash -> candidate types.
+  std::unordered_map<std::size_t, std::vector<BucketEntry>> buckets_;
+  // Exact-content fast path: content hash -> exemplars seen with that
+  // content and their resolved types. Exemplar storage is capped; past the
+  // cap lookups still work but new contents are not cached.
+  std::deque<Neighborhood> exemplars_;
+  std::unordered_map<std::size_t,
+                     std::vector<std::pair<const Neighborhood*, TypeId>>>
+      exact_cache_;
+  Stats stats_;
 };
 
 /// Multiset of the r-neighborhood types of all single points of `s`

@@ -237,7 +237,13 @@ class Engine {
     if (stats_ != nullptr) {
       ++stats_->rule_applications;
     }
-    for (const Tuple& tuple : relation.tuples()) {
+    // The recursive call can derive into this very relation when the rule's
+    // head predicate also appears in its body (e.g. naive TC), reallocating
+    // the tuple store — so walk a fixed prefix by index and re-fetch the
+    // buffer each step instead of holding iterators across the recursion.
+    const std::size_t count = relation.tuples().size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const Tuple& tuple = relation.tuples()[i];
       std::vector<std::string> newly_bound;
       if (MatchAtom(atom, tuple, bindings, newly_bound)) {
         FMTK_RETURN_IF_ERROR(JoinBody(rule, index + 1, delta_at, bindings,

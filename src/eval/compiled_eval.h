@@ -6,27 +6,13 @@
 #include <string>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/result.h"
 #include "eval/model_check.h"
 #include "logic/formula.h"
 #include "structures/structure.h"
 
 namespace fmtk {
-
-/// Controls the optional std::thread fan-out over domain chunks for the
-/// outermost quantifier of a compiled *sentence*. Off by default; evaluation
-/// is then fully deterministic and allocation-free per call. When enabled,
-/// verdicts and error classification still match the sequential evaluator
-/// (the decisive element with the smallest index wins, as in a sequential
-/// left-to-right scan).
-struct ParallelPolicy {
-  bool enabled = false;
-  /// 0 = std::thread::hardware_concurrency().
-  std::size_t num_threads = 0;
-  /// Fan out only when the outermost quantifier enumerates at least this
-  /// many candidates; smaller blocks run sequentially.
-  std::size_t min_domain = 64;
-};
 
 namespace internal_eval {
 struct Plan;

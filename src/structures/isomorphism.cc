@@ -320,6 +320,10 @@ class IsoSearch {
 
 }  // namespace
 
+std::vector<std::size_t> AtomicInvariantOf(const Structure& s, Element e) {
+  return AtomicInvariant(s, e);
+}
+
 bool IsPartialIsomorphism(const Structure& a, const Structure& b,
                           const PartialMap& map) {
   std::optional<std::unordered_map<Element, Element>> forward =

@@ -36,6 +36,14 @@ bool AreIsomorphic(const Structure& a, const Structure& b,
                    const Tuple& a_distinguished = {},
                    const Tuple& b_distinguished = {});
 
+/// The atomic invariant of element `e` in `s`: tuple-occurrence counts per
+/// (relation, position) plus a repeated-entry marker per relation. Equal
+/// for elements matched by any isomorphism, and comparable across
+/// structures over the same signature — the cheap per-element signature
+/// behind the game engine's move pruning and the neighborhood index's
+/// candidate pre-filter. Cost: one pass over every tuple of `s`.
+std::vector<std::size_t> AtomicInvariantOf(const Structure& s, Element e);
+
 /// An isomorphism-invariant hash of (S, t̄): equal for isomorphic pairs,
 /// and a good discriminator in practice (1-dimensional Weisfeiler-Leman
 /// color refinement over the Gaifman graph, seeded with atomic invariants

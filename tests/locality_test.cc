@@ -84,6 +84,46 @@ TEST(HistogramTest, CycleIsHomogeneous) {
   EXPECT_EQ(histogram.begin()->second, 9u);
 }
 
+TEST(NeighborhoodTypeIndexTest, RepresentativeReferencesStayStable) {
+  // Regression: representatives used to live in a std::vector, so a
+  // reference returned by representative() dangled after enough TypeOf
+  // calls reallocated the store. The deque-backed index must keep them
+  // valid for the index's lifetime.
+  Structure p = MakeDirectedPath(40);
+  Adjacency g = GaifmanAdjacency(p);
+  NeighborhoodTypeIndex index;
+  auto first_id = index.TypeOf(NeighborhoodOf(p, g, {0}, 1));
+  const Neighborhood& first = index.representative(first_id);
+  const std::size_t domain_before = first.structure.domain_size();
+  // Interning many distinct radius-r types forces growth of the store.
+  for (std::size_t r = 1; r <= 6; ++r) {
+    for (Element v = 0; v < p.domain_size(); ++v) {
+      (void)index.TypeOf(NeighborhoodOf(p, g, {v}, r));
+    }
+  }
+  EXPECT_GT(index.size(), 10u);
+  // The old reference still points at the same, intact neighborhood.
+  EXPECT_EQ(first.structure.domain_size(), domain_before);
+  EXPECT_TRUE(
+      NeighborhoodsIsomorphic(first, NeighborhoodOf(p, g, {0}, 1)));
+  EXPECT_EQ(index.TypeOf(NeighborhoodOf(p, g, {0}, 1)), first_id);
+}
+
+TEST(NeighborhoodTypeIndexTest, TypeOfFastPathsKickIn) {
+  // Re-classifying the same points hits the exact-content cache; fresh
+  // isomorphic copies at most pay the invariant + signature pre-filters.
+  Structure c = MakeDirectedCycle(12);
+  NeighborhoodTypeIndex index;
+  (void)NeighborhoodTypeHistogram(c, 2, index);
+  const auto& stats = index.stats();
+  EXPECT_GT(stats.exact_hits, 0u);  // Interior points share literal content.
+  // One type total, so at most a handful of full isomorphism tests ran.
+  EXPECT_EQ(index.size(), 1u);
+  const auto before = stats.exact_hits;
+  (void)NeighborhoodTypeHistogram(c, 2, index);
+  EXPECT_GT(index.stats().exact_hits, before);
+}
+
 // --- Hanf locality: the survey's cycle example (E9) ------------------------
 
 TEST(HanfTest, TwoCyclesVsOneBigCycle) {
