@@ -44,11 +44,11 @@ bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
     }
   }
   for (const auto& [id, cb] : hb) {
-    if (ha.find(id) == ha.end() && cb > 0) {
-      // Realized in b only: counts are cb vs 0.
-      if (cb < threshold || threshold > 0) {
-        return false;
-      }
+    // A type realized in b only has counts cb (>= 1 by construction of the
+    // histogram) vs 0, and min(cb, 0) = 0 clears the threshold only when
+    // it is 0 — so the whole check collapses to `threshold > 0`.
+    if (threshold > 0 && ha.find(id) == ha.end()) {
+      return false;
     }
   }
   return true;

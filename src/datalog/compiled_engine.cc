@@ -1,0 +1,785 @@
+#include "datalog/compiled_engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+namespace internal_datalog {
+
+// A term compiled to an integer slot or an inline constant.
+struct SlotTerm {
+  bool is_const = false;
+  Element value = 0;  // is_const
+  int slot = -1;      // !is_const
+};
+
+// Which prefix of the IDB tuple store a body atom reads in the standard
+// semi-naive decomposition.
+enum class AtomRole {
+  kEdb,    // EDB relation, whole extent.
+  kFull,   // IDB before the delta position: [0, delta_end).
+  kOld,    // IDB after the delta position: [0, delta_begin).
+  kDelta,  // The delta position itself: [delta_begin, delta_end).
+};
+
+// How one join step treats one column of its atom, decided at compile time
+// from the statically known set of slots bound by earlier steps.
+struct PosAction {
+  enum Kind { kCheckConst, kCheckSlot, kBind } kind = kBind;
+  Element value = 0;  // kCheckConst
+  int slot = -1;      // kCheckSlot / kBind
+};
+
+struct JoinStep {
+  bool is_idb = false;
+  std::size_t pred = 0;  // IDB id, or EDB relation index in the signature.
+  AtomRole role = AtomRole::kEdb;
+  std::vector<PosAction> actions;       // One per column.
+  std::vector<std::size_t> probe_cols;  // Columns bound before this step.
+  // EDB steps: per-column ColumnIndex, bound once at Create (the structure
+  // is immutable while the engine is in use). IDB steps use the per-round
+  // pointers in RunState instead — never Relation::column_index() mid-
+  // round, which would resync the index while an outer recursion frame is
+  // iterating one of its posting lists.
+  std::vector<const Relation::ColumnIndex*> edb_index;
+};
+
+// One (rule, delta position) execution plan with its own join order.
+struct Variant {
+  std::optional<std::size_t> delta_step;  // Index into steps (always 0).
+  std::vector<JoinStep> steps;
+};
+
+struct RuleExec {
+  std::size_t head_pred = 0;  // IDB id.
+  std::vector<SlotTerm> head;
+  std::size_t slot_count = 0;
+  bool pure_edb = false;  // No IDB body atom: fire in round 1 only.
+  bool is_fact = false;   // Empty body: seeded before round 1.
+  std::vector<Variant> variants;
+  // Distinct head-variable slots of a fact rule, first-occurrence order.
+  std::vector<int> fact_slots;
+};
+
+}  // namespace internal_datalog
+
+using internal_datalog::AtomRole;
+using internal_datalog::EngineImpl;
+using internal_datalog::JoinStep;
+using internal_datalog::PosAction;
+using internal_datalog::RuleExec;
+using internal_datalog::SlotTerm;
+using internal_datalog::Variant;
+
+namespace {
+
+// Thread-mergeable subset of DatalogStats (everything the join recursion
+// itself touches; rule_applications and tuples_new stay on the main
+// thread).
+struct StatsAcc {
+  std::uint64_t atom_visits = 0;
+  std::uint64_t tuples_derived = 0;
+  std::uint64_t index_probes = 0;
+  std::uint64_t tuples_scanned = 0;
+
+  void MergeFrom(const StatsAcc& other) {
+    atom_visits += other.atom_visits;
+    tuples_derived += other.tuples_derived;
+    index_probes += other.index_probes;
+    tuples_scanned += other.tuples_scanned;
+  }
+};
+
+std::uint64_t SaturatingPow(std::uint64_t base, std::size_t exp) {
+  constexpr std::uint64_t kCap = 1000ULL * 1000ULL * 1000ULL * 1000ULL;
+  std::uint64_t out = 1;
+  for (std::size_t i = 0; i < exp; ++i) {
+    if (base != 0 && out > kCap / base) {
+      return kCap;
+    }
+    out *= base;
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal_datalog {
+
+struct EngineImpl {
+  const DatalogProgram* program = nullptr;
+  const Structure* edb = nullptr;
+
+  std::vector<std::string> idb_names;  // id -> name
+  std::vector<std::size_t> idb_arity;  // id -> arity
+  std::unordered_map<std::string, std::size_t> idb_id;
+
+  std::vector<RuleExec> rules;
+  // Per IDB id: columns probed by some step (synced once per round).
+  std::vector<std::vector<std::size_t>> probed_cols;
+  std::vector<std::string> join_orders;
+
+  // ---- Compilation -------------------------------------------------------
+
+  Status Compile() {
+    FMTK_RETURN_IF_ERROR(program->Validate());
+    for (const std::string& name : program->IdbPredicates()) {
+      if (edb->signature().FindRelation(name).has_value()) {
+        return Status::InvalidArgument(
+            "IDB predicate " + name +
+            " collides with a relation of the input structure");
+      }
+      idb_id.emplace(name, idb_names.size());
+      idb_names.push_back(name);
+      idb_arity.push_back(0);  // Filled from the first head below.
+    }
+    for (const DlRule& rule : program->rules()) {
+      idb_arity[idb_id.at(rule.head.predicate)] = rule.head.terms.size();
+    }
+    probed_cols.resize(idb_names.size());
+    for (const DlRule& rule : program->rules()) {
+      FMTK_RETURN_IF_ERROR(CompileRule(rule));
+    }
+    // Dedup + sort the per-predicate probe column sets.
+    for (std::vector<std::size_t>& cols : probed_cols) {
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    }
+    return Status::OK();
+  }
+
+  Status CompileRule(const DlRule& rule) {
+    RuleExec exec;
+    exec.head_pred = idb_id.at(rule.head.predicate);
+
+    // Slots: one per distinct variable, first occurrence (body, then head)
+    // wins. Head variables of non-fact rules always occur in the body
+    // (range restriction), so only fact rules allocate slots from heads.
+    std::unordered_map<std::string, int> slot_of;
+    auto slot_for = [&slot_of](const std::string& var) {
+      auto [it, inserted] =
+          slot_of.emplace(var, static_cast<int>(slot_of.size()));
+      (void)inserted;
+      return it->second;
+    };
+    auto compile_terms = [&slot_for](const DlAtom& atom) {
+      std::vector<SlotTerm> out;
+      out.reserve(atom.terms.size());
+      for (const DlTerm& t : atom.terms) {
+        SlotTerm st;
+        if (t.is_variable) {
+          st.slot = slot_for(t.variable);
+        } else {
+          st.is_const = true;
+          st.value = t.value;
+        }
+        out.push_back(st);
+      }
+      return out;
+    };
+
+    std::vector<std::vector<SlotTerm>> body_terms;
+    std::vector<bool> body_is_idb;
+    std::vector<std::size_t> body_pred;
+    std::vector<std::size_t> idb_positions;
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      const DlAtom& atom = rule.body[i];
+      body_terms.push_back(compile_terms(atom));
+      auto it = idb_id.find(atom.predicate);
+      if (it != idb_id.end()) {
+        body_is_idb.push_back(true);
+        body_pred.push_back(it->second);
+        idb_positions.push_back(i);
+        continue;
+      }
+      std::optional<std::size_t> rel =
+          edb->signature().FindRelation(atom.predicate);
+      if (!rel.has_value()) {
+        return Status::SignatureMismatch(
+            "EDB predicate " + atom.predicate +
+            " is not a relation of the input structure");
+      }
+      if (edb->signature().relation(*rel).arity != atom.terms.size()) {
+        return Status::SignatureMismatch("EDB predicate " + atom.predicate +
+                                         " arity mismatch");
+      }
+      body_is_idb.push_back(false);
+      body_pred.push_back(*rel);
+    }
+    exec.head = compile_terms(rule.head);
+    exec.is_fact = rule.body.empty();
+    exec.pure_edb = !exec.is_fact && idb_positions.empty();
+
+    if (exec.is_fact) {
+      std::set<int> seen;
+      for (const SlotTerm& t : exec.head) {
+        if (!t.is_const && seen.insert(t.slot).second) {
+          exec.fact_slots.push_back(t.slot);
+        }
+      }
+      exec.slot_count = slot_of.size();
+      rules.push_back(std::move(exec));
+      return Status::OK();
+    }
+
+    // One variant per IDB body position (the standard decomposition), or a
+    // single delta-free variant for pure-EDB rules.
+    std::vector<std::optional<std::size_t>> delta_choices;
+    if (idb_positions.empty()) {
+      delta_choices.emplace_back(std::nullopt);
+    } else {
+      for (std::size_t p : idb_positions) {
+        delta_choices.emplace_back(p);
+      }
+    }
+    for (const std::optional<std::size_t>& delta_at : delta_choices) {
+      Variant variant;
+      std::vector<std::size_t> order =
+          ChooseJoinOrder(body_terms, body_is_idb, body_pred, delta_at);
+      std::vector<bool> bound(slot_of.size(), false);
+      std::string desc = rule.ToString();
+      desc += delta_at.has_value()
+                  ? " [d@" + std::to_string(*delta_at + 1) + "]"
+                  : " [edb-only]";
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        const std::size_t i = order[k];
+        // Probe columns must be bound before the atom is scanned: constants,
+        // or slots bound by earlier steps. A repeated variable first bound by
+        // an earlier column of this same atom still checks (kCheckSlot runs
+        // after that column binds), but cannot drive an index probe.
+        const std::vector<bool> bound_before = bound;
+        JoinStep step;
+        step.is_idb = body_is_idb[i];
+        step.pred = body_pred[i];
+        if (!step.is_idb) {
+          step.role = AtomRole::kEdb;
+        } else if (delta_at.has_value() && i == *delta_at) {
+          step.role = AtomRole::kDelta;
+          variant.delta_step = k;
+        } else if (i < *delta_at) {
+          step.role = AtomRole::kFull;
+        } else {
+          step.role = AtomRole::kOld;
+        }
+        for (std::size_t c = 0; c < body_terms[i].size(); ++c) {
+          const SlotTerm& t = body_terms[i][c];
+          PosAction action;
+          if (t.is_const) {
+            action.kind = PosAction::kCheckConst;
+            action.value = t.value;
+            step.probe_cols.push_back(c);
+          } else if (bound[t.slot]) {
+            action.kind = PosAction::kCheckSlot;
+            action.slot = t.slot;
+            if (bound_before[t.slot]) {
+              step.probe_cols.push_back(c);
+            }
+          } else {
+            action.kind = PosAction::kBind;
+            action.slot = t.slot;
+            bound[t.slot] = true;
+          }
+          step.actions.push_back(action);
+        }
+        if (step.is_idb) {
+          std::vector<std::size_t>& cols = probed_cols[step.pred];
+          cols.insert(cols.end(), step.probe_cols.begin(),
+                      step.probe_cols.end());
+        } else {
+          // Bind the EDB posting lists now; they are immutable for the
+          // engine's lifetime, so probes skip the per-call sync + lock.
+          step.edb_index.assign(step.actions.size(), nullptr);
+          for (std::size_t c : step.probe_cols) {
+            step.edb_index[c] = &edb->relation(step.pred).column_index(c);
+          }
+        }
+        desc += k == 0 ? " " : ", ";
+        desc += rule.body[i].ToString();
+        switch (step.role) {
+          case AtomRole::kEdb:
+            break;
+          case AtomRole::kFull:
+            desc += ":full";
+            break;
+          case AtomRole::kOld:
+            desc += ":old";
+            break;
+          case AtomRole::kDelta:
+            desc += ":delta";
+            break;
+        }
+        if (!step.probe_cols.empty()) {
+          desc += ":probe(";
+          for (std::size_t c = 0; c < step.probe_cols.size(); ++c) {
+            desc += (c > 0 ? "," : "") + std::to_string(step.probe_cols[c]);
+          }
+          desc += ")";
+        }
+        variant.steps.push_back(std::move(step));
+      }
+      join_orders.push_back(std::move(desc));
+      exec.variants.push_back(std::move(variant));
+    }
+    exec.slot_count = slot_of.size();
+    rules.push_back(std::move(exec));
+    return Status::OK();
+  }
+
+  // Greedy join order: the delta atom leads (semi-naive drives from the
+  // delta); afterwards the atom with the most bound positions wins, with
+  // smaller estimated extent as the tie-break (EDB sizes are exact; IDB
+  // extents are estimated as |domain|^arity since they can grow that far).
+  std::vector<std::size_t> ChooseJoinOrder(
+      const std::vector<std::vector<SlotTerm>>& body_terms,
+      const std::vector<bool>& body_is_idb,
+      const std::vector<std::size_t>& body_pred,
+      const std::optional<std::size_t>& delta_at) const {
+    const std::size_t m = body_terms.size();
+    std::vector<bool> used(m, false);
+    std::vector<bool> bound;  // By slot; sized lazily below.
+    for (const std::vector<SlotTerm>& terms : body_terms) {
+      for (const SlotTerm& t : terms) {
+        if (!t.is_const && static_cast<std::size_t>(t.slot) >= bound.size()) {
+          bound.resize(t.slot + 1, false);
+        }
+      }
+    }
+    std::vector<std::size_t> order;
+    order.reserve(m);
+    auto take = [&](std::size_t i) {
+      used[i] = true;
+      order.push_back(i);
+      for (const SlotTerm& t : body_terms[i]) {
+        if (!t.is_const) {
+          bound[t.slot] = true;
+        }
+      }
+    };
+    if (delta_at.has_value()) {
+      take(*delta_at);
+    }
+    while (order.size() < m) {
+      std::size_t best = m;
+      std::size_t best_bound = 0;
+      std::uint64_t best_size = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (used[i]) {
+          continue;
+        }
+        std::size_t bound_count = 0;
+        for (const SlotTerm& t : body_terms[i]) {
+          if (t.is_const || bound[t.slot]) {
+            ++bound_count;
+          }
+        }
+        const std::uint64_t size =
+            body_is_idb[i]
+                ? SaturatingPow(edb->domain_size(), body_terms[i].size())
+                : edb->relation(body_pred[i]).size();
+        if (best == m || bound_count > best_bound ||
+            (bound_count == best_bound && size < best_size)) {
+          best = i;
+          best_bound = bound_count;
+          best_size = size;
+        }
+      }
+      take(best);
+    }
+    return order;
+  }
+};
+
+}  // namespace internal_datalog
+
+namespace {
+
+// Per-Evaluate mutable state: the IDB relations plus the delta ranges of
+// the round in flight. "old" = [0, delta_begin), "full-new" =
+// [0, delta_end), "delta" = [delta_begin, delta_end); tuples derived
+// during the round land at indices >= delta_end and stay invisible until
+// the next promotion.
+struct RunState {
+  std::vector<Relation> idb;
+  std::vector<std::size_t> delta_begin;
+  std::vector<std::size_t> delta_end;
+  // Per (IDB id, column): the generation-tagged ColumnIndex, synced at the
+  // round start to cover exactly [0, delta_end); nullptr for unprobed
+  // columns. Frozen for the rest of the round.
+  std::vector<std::vector<const Relation::ColumnIndex*>> idb_index;
+};
+
+// One in-flight execution of a rule variant: either inserting directly
+// into the IDB (sequential) or buffering derivations (parallel worker).
+class VariantRun {
+ public:
+  VariantRun(const EngineImpl& impl, const RuleExec& rule,
+             const Variant& variant, RunState& rs, StatsAcc& acc)
+      : impl_(impl),
+        rule_(rule),
+        variant_(variant),
+        rs_(rs),
+        acc_(acc),
+        env_(rule.slot_count, 0) {}
+
+  void set_buffer(std::vector<Tuple>* buffer) { buffer_ = buffer; }
+  void set_step0_range(std::size_t begin, std::size_t end) {
+    step0_range_ = {begin, end};
+  }
+
+  bool changed() const { return changed_; }
+  std::uint64_t tuples_new() const { return tuples_new_; }
+
+  Status Execute() { return Step(0); }
+
+ private:
+  Status Step(std::size_t depth) {
+    if (depth == variant_.steps.size()) {
+      return Derive();
+    }
+    const JoinStep& s = variant_.steps[depth];
+    // A chunked worker runs one slice of the variant's single delta scan;
+    // the driver counts that scan's atom visit (and probe) once so the
+    // counters match the sequential execution exactly.
+    const bool chunked_scan = depth == 0 && step0_range_.has_value();
+    if (!chunked_scan) {
+      ++acc_.atom_visits;
+    }
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    const Relation* rel = nullptr;
+    if (s.is_idb) {
+      rel = &rs_.idb[s.pred];
+      switch (s.role) {
+        case AtomRole::kFull:
+          end = rs_.delta_end[s.pred];
+          break;
+        case AtomRole::kOld:
+          end = rs_.delta_begin[s.pred];
+          break;
+        case AtomRole::kDelta:
+          begin = rs_.delta_begin[s.pred];
+          end = rs_.delta_end[s.pred];
+          break;
+        case AtomRole::kEdb:
+          FMTK_CHECK(false) << "EDB role on IDB step";
+      }
+    } else {
+      rel = &impl_.edb->relation(s.pred);
+      end = rel->size();
+    }
+    if (depth == 0 && step0_range_.has_value()) {
+      begin = step0_range_->first;
+      end = step0_range_->second;
+    }
+    if (begin >= end) {
+      return Status::OK();
+    }
+    // Probe the most selective bound column's posting list; fall back to a
+    // range scan when no column is bound. The posting lists consulted here
+    // are frozen for the round (EDB relations are immutable, IDB indexes
+    // are synced only at round starts), so iterating them is safe even
+    // though the recursion below may Add into the same relation.
+    const std::vector<std::size_t>* best_list = nullptr;
+    if (!s.probe_cols.empty()) {
+      if (!chunked_scan) {
+        ++acc_.index_probes;
+      }
+      for (std::size_t c : s.probe_cols) {
+        const PosAction& a = s.actions[c];
+        const Element value =
+            a.kind == PosAction::kCheckConst ? a.value : env_[a.slot];
+        const Relation::ColumnIndex* index =
+            s.is_idb ? rs_.idb_index[s.pred][c] : s.edb_index[c];
+        auto it = index->postings.find(value);
+        if (it == index->postings.end()) {
+          // No tuple with the bound value at this column anywhere in the
+          // synced prefix — and the ranges below never exceed it.
+          return Status::OK();
+        }
+        if (best_list == nullptr || it->second.size() < best_list->size()) {
+          best_list = &it->second;
+        }
+      }
+    }
+    if (best_list != nullptr) {
+      auto it = std::lower_bound(best_list->begin(), best_list->end(), begin);
+      for (; it != best_list->end() && *it < end; ++it) {
+        FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, *it));
+      }
+    } else {
+      // Fixed [begin, end) prefix by index: the recursion can Add into this
+      // very relation (head predicate in its own body), reallocating the
+      // tuple buffer — so re-fetch tuples() each step, never hold
+      // iterators.
+      for (std::size_t i = begin; i < end; ++i) {
+        FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, i));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status TryTuple(std::size_t depth, const JoinStep& s, const Relation& rel,
+                  std::size_t tuple_index) {
+    ++acc_.tuples_scanned;
+    {
+      // Scope the reference: Add() during the recursion may reallocate the
+      // tuple store, so it must not be held across Step().
+      const Tuple& t = rel.tuples()[tuple_index];
+      for (std::size_t c = 0; c < s.actions.size(); ++c) {
+        const PosAction& a = s.actions[c];
+        switch (a.kind) {
+          case PosAction::kCheckConst:
+            if (t[c] != a.value) {
+              return Status::OK();
+            }
+            break;
+          case PosAction::kCheckSlot:
+            if (t[c] != env_[a.slot]) {
+              return Status::OK();
+            }
+            break;
+          case PosAction::kBind:
+            env_[a.slot] = t[c];
+            break;
+        }
+      }
+    }
+    return Step(depth + 1);
+  }
+
+  Status Derive() {
+    ++acc_.tuples_derived;
+    Tuple out;
+    out.reserve(rule_.head.size());
+    for (const SlotTerm& t : rule_.head) {
+      if (t.is_const) {
+        if (t.value >= impl_.edb->domain_size()) {
+          return Status::InvalidArgument("constant " +
+                                         std::to_string(t.value) +
+                                         " outside the structure's domain");
+        }
+        out.push_back(t.value);
+      } else {
+        out.push_back(env_[t.slot]);
+      }
+    }
+    if (buffer_ != nullptr) {
+      buffer_->push_back(std::move(out));
+    } else if (rs_.idb[rule_.head_pred].Add(std::move(out))) {
+      changed_ = true;
+      ++tuples_new_;
+    }
+    return Status::OK();
+  }
+
+  const EngineImpl& impl_;
+  const RuleExec& rule_;
+  const Variant& variant_;
+  RunState& rs_;
+  StatsAcc& acc_;
+  std::vector<Element> env_;
+  std::vector<Tuple>* buffer_ = nullptr;
+  std::optional<std::pair<std::size_t, std::size_t>> step0_range_;
+  bool changed_ = false;
+  std::uint64_t tuples_new_ = 0;
+};
+
+}  // namespace
+
+Result<CompiledDatalogEngine> CompiledDatalogEngine::Create(
+    const DatalogProgram& program, const Structure& edb) {
+  auto impl = std::make_shared<EngineImpl>();
+  impl->program = &program;
+  impl->edb = &edb;
+  FMTK_RETURN_IF_ERROR(impl->Compile());
+  return CompiledDatalogEngine(std::move(impl));
+}
+
+const std::vector<std::string>& CompiledDatalogEngine::join_orders() const {
+  return impl_->join_orders;
+}
+
+Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
+    DatalogStats* stats, ParallelPolicy policy) {
+  EngineImpl& impl = *impl_;
+  const std::size_t n = impl.edb->domain_size();
+  RunState rs;
+  rs.idb.reserve(impl.idb_names.size());
+  for (std::size_t arity : impl.idb_arity) {
+    rs.idb.emplace_back(arity);
+  }
+  rs.delta_begin.assign(rs.idb.size(), 0);
+  rs.delta_end.assign(rs.idb.size(), 0);
+  rs.idb_index.resize(rs.idb.size());
+  for (std::size_t p = 0; p < rs.idb.size(); ++p) {
+    rs.idb_index[p].assign(rs.idb[p].arity(), nullptr);
+  }
+
+  // Seed fact schemas: head variables range over the whole domain, exactly
+  // like the interpreter (not counted as derivations there either).
+  for (const RuleExec& rule : impl.rules) {
+    if (!rule.is_fact) {
+      continue;
+    }
+    std::vector<Element> env(rule.slot_count, 0);
+    Tuple out(rule.head.size(), 0);
+    // Odometer over the distinct head-variable slots.
+    std::vector<Element> counters(rule.fact_slots.size(), 0);
+    bool exhausted = n == 0 && !rule.fact_slots.empty();
+    while (!exhausted) {
+      for (std::size_t i = 0; i < rule.fact_slots.size(); ++i) {
+        env[rule.fact_slots[i]] = counters[i];
+      }
+      for (std::size_t c = 0; c < rule.head.size(); ++c) {
+        const SlotTerm& t = rule.head[c];
+        if (t.is_const) {
+          if (t.value >= n) {
+            return Status::InvalidArgument(
+                "constant " + std::to_string(t.value) +
+                " outside the structure's domain");
+          }
+          out[c] = t.value;
+        } else {
+          out[c] = env[t.slot];
+        }
+      }
+      rs.idb[rule.head_pred].Add(out);
+      // Advance the odometer (most significant digit first, matching the
+      // interpreter's recursion order).
+      exhausted = true;
+      for (std::size_t i = counters.size(); i-- > 0;) {
+        if (++counters[i] < n) {
+          exhausted = false;
+          break;
+        }
+        counters[i] = 0;
+      }
+      if (counters.empty()) {
+        break;  // Variable-free fact: exactly one instantiation.
+      }
+    }
+  }
+
+  StatsAcc acc;
+  std::uint64_t rule_applications = 0;
+  std::uint64_t tuples_new = 0;
+  std::size_t iterations = 0;
+  std::size_t round = 0;
+  bool changed = true;
+  while (changed) {
+    ++round;
+    ++iterations;
+    changed = false;
+    // Promote last round's additions to this round's delta, then sync the
+    // generation-tagged indexes so every probed column covers exactly
+    // [0, delta_end) — an O(new tuples) append, not a rebuild.
+    // Round 1's delta is everything seeded so far (delta_begin stays 0).
+    for (std::size_t p = 0; p < rs.idb.size(); ++p) {
+      rs.delta_begin[p] = rs.delta_end[p];
+      rs.delta_end[p] = rs.idb[p].size();
+      for (std::size_t c : impl.probed_cols[p]) {
+        rs.idb_index[p][c] = &rs.idb[p].column_index(c);
+      }
+    }
+    for (const RuleExec& rule : impl.rules) {
+      if (rule.is_fact || (rule.pure_edb && round > 1)) {
+        continue;  // Facts are seeded; pure-EDB rules cannot derive more.
+      }
+      for (const Variant& variant : rule.variants) {
+        ++rule_applications;
+        const bool parallel_eligible =
+            policy.enabled && variant.delta_step.has_value() &&
+            !variant.steps.empty();
+        std::size_t delta_size = 0;
+        if (parallel_eligible) {
+          const JoinStep& s0 = variant.steps.front();
+          delta_size = rs.delta_end[s0.pred] - rs.delta_begin[s0.pred];
+        }
+        std::size_t threads =
+            policy.num_threads != 0
+                ? policy.num_threads
+                : std::max<std::size_t>(
+                      1, std::thread::hardware_concurrency());
+        threads = std::min(threads, delta_size);
+        if (parallel_eligible && delta_size >= policy.min_domain &&
+            threads > 1) {
+          // Fan the delta partition out in contiguous chunks. Derivations
+          // within a round never feed back into the round's (frozen)
+          // views, so per-thread buffers merged in chunk order reproduce
+          // the sequential insertion order, counters included.
+          const JoinStep& s0 = variant.steps.front();
+          const std::size_t begin = rs.delta_begin[s0.pred];
+          const std::size_t chunk = (delta_size + threads - 1) / threads;
+          std::vector<StatsAcc> worker_acc(threads);
+          std::vector<std::vector<Tuple>> worker_out(threads);
+          std::vector<Status> worker_status(threads, Status::OK());
+          std::vector<std::thread> workers;
+          workers.reserve(threads);
+          for (std::size_t t = 0; t < threads; ++t) {
+            workers.emplace_back([&, t] {
+              const std::size_t lo = begin + t * chunk;
+              const std::size_t hi =
+                  std::min(begin + (t + 1) * chunk, begin + delta_size);
+              VariantRun run(impl, rule, variant, rs, worker_acc[t]);
+              run.set_buffer(&worker_out[t]);
+              run.set_step0_range(lo, hi);
+              worker_status[t] = run.Execute();
+            });
+          }
+          for (std::thread& w : workers) {
+            w.join();
+          }
+          for (std::size_t t = 0; t < threads; ++t) {
+            FMTK_RETURN_IF_ERROR(worker_status[t]);
+            acc.MergeFrom(worker_acc[t]);
+            for (Tuple& tuple : worker_out[t]) {
+              if (rs.idb[rule.head_pred].Add(std::move(tuple))) {
+                changed = true;
+                ++tuples_new;
+              }
+            }
+          }
+          // The workers split one delta scan between them; count its atom
+          // visit (and probe, if any) once, like the sequential path does.
+          ++acc.atom_visits;
+          if (!s0.probe_cols.empty()) {
+            ++acc.index_probes;
+          }
+        } else {
+          VariantRun run(impl, rule, variant, rs, acc);
+          FMTK_RETURN_IF_ERROR(run.Execute());
+          changed = changed || run.changed();
+          tuples_new += run.tuples_new();
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->iterations += iterations;
+    stats->rule_applications += rule_applications;
+    stats->atom_visits += acc.atom_visits;
+    stats->tuples_derived += acc.tuples_derived;
+    stats->tuples_new += tuples_new;
+    stats->index_probes += acc.index_probes;
+    stats->tuples_scanned += acc.tuples_scanned;
+    stats->join_orders = impl.join_orders;
+  }
+
+  std::map<std::string, Relation> out;
+  for (std::size_t p = 0; p < rs.idb.size(); ++p) {
+    out.emplace(impl.idb_names[p], std::move(rs.idb[p]));
+  }
+  return out;
+}
+
+}  // namespace fmtk

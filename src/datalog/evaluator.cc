@@ -2,12 +2,24 @@
 
 #include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/check.h"
+#include "datalog/compiled_engine.h"
 
 namespace fmtk {
+
+std::string DatalogStats::ToString() const {
+  return "iterations=" + std::to_string(iterations) +
+         " rule_applications=" + std::to_string(rule_applications) +
+         " atom_visits=" + std::to_string(atom_visits) +
+         " tuples_derived=" + std::to_string(tuples_derived) +
+         " tuples_new=" + std::to_string(tuples_new) +
+         " index_probes=" + std::to_string(index_probes) +
+         " tuples_scanned=" + std::to_string(tuples_scanned);
+}
 
 namespace {
 
@@ -59,7 +71,9 @@ class Engine {
       delta_.emplace(name, rel);
     }
     bool changed = true;
+    std::size_t round = 0;
     while (changed) {
+      ++round;
       if (stats_ != nullptr) {
         ++stats_->iterations;
       }
@@ -72,7 +86,7 @@ class Engine {
         if (rule.body.empty()) {
           continue;  // Facts were seeded.
         }
-        FMTK_RETURN_IF_ERROR(ApplyRule(rule, next_delta, changed));
+        FMTK_RETURN_IF_ERROR(ApplyRule(rule, round, next_delta, changed));
       }
       delta_ = std::move(next_delta);
     }
@@ -183,28 +197,38 @@ class Engine {
     return edb_.relation(*edb_.signature().FindRelation(atom.predicate));
   }
 
-  Status ApplyRule(const DlRule& rule,
+  Status ApplyRule(const DlRule& rule, std::size_t round,
                    std::map<std::string, Relation>& next_delta,
                    bool& changed) {
-    // Semi-naive: run the rule once per IDB body position, with that
-    // position restricted to the last round's delta. Naive: one run, all
-    // positions full.
+    // Seed semi-naive: run the rule once per IDB body position, with that
+    // position restricted to the last round's delta and every other IDB
+    // position joining the FULL current relation (the per-position
+    // over-derivation the compiled engine's standard decomposition
+    // removes). Naive: one run, all positions full.
     std::vector<std::optional<std::size_t>> delta_positions;
-    if (strategy_ == DatalogStrategy::kSemiNaive) {
+    if (strategy_ == DatalogStrategy::kSeedSemiNaive) {
       for (std::size_t i = 0; i < rule.body.size(); ++i) {
         if (idb_names_.find(rule.body[i].predicate) != idb_names_.end()) {
           delta_positions.emplace_back(i);
         }
       }
       if (delta_positions.empty()) {
-        // Pure-EDB rule: re-firing it each round is redundant but harmless
-        // (everything it derives is already present after round one).
+        // Pure-EDB rule: its body never changes, so everything it can
+        // derive is present after round one — skip it afterwards (on large
+        // EDBs the re-fire is a full join per round, measurably not
+        // harmless).
+        if (round > 1) {
+          return Status::OK();
+        }
         delta_positions.emplace_back(std::nullopt);
       }
     } else {
       delta_positions.emplace_back(std::nullopt);
     }
     for (const std::optional<std::size_t>& delta_at : delta_positions) {
+      if (stats_ != nullptr) {
+        ++stats_->rule_applications;
+      }
       Bindings bindings;
       FMTK_RETURN_IF_ERROR(
           JoinBody(rule, 0, delta_at, bindings, next_delta, changed));
@@ -234,14 +258,15 @@ class Engine {
     const DlAtom& atom = rule.body[index];
     const bool use_delta = delta_at.has_value() && *delta_at == index;
     const Relation& relation = RelationFor(atom, use_delta);
-    if (stats_ != nullptr) {
-      ++stats_->rule_applications;
-    }
     // The recursive call can derive into this very relation when the rule's
     // head predicate also appears in its body (e.g. naive TC), reallocating
     // the tuple store — so walk a fixed prefix by index and re-fetch the
     // buffer each step instead of holding iterators across the recursion.
     const std::size_t count = relation.tuples().size();
+    if (stats_ != nullptr) {
+      ++stats_->atom_visits;
+      stats_->tuples_scanned += count;
+    }
     for (std::size_t i = 0; i < count; ++i) {
       const Tuple& tuple = relation.tuples()[i];
       std::vector<std::string> newly_bound;
@@ -267,7 +292,12 @@ class Engine {
 
 Result<std::map<std::string, Relation>> EvaluateDatalog(
     const DatalogProgram& program, const Structure& edb,
-    DatalogStrategy strategy, DatalogStats* stats) {
+    DatalogStrategy strategy, DatalogStats* stats, ParallelPolicy policy) {
+  if (strategy == DatalogStrategy::kSemiNaive) {
+    FMTK_ASSIGN_OR_RETURN(CompiledDatalogEngine engine,
+                          CompiledDatalogEngine::Create(program, edb));
+    return engine.Evaluate(stats, policy);
+  }
   Engine engine(program, edb, strategy, stats);
   return engine.Run();
 }

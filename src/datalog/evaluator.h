@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "base/parallel.h"
 #include "base/result.h"
 #include "datalog/program.h"
 #include "structures/relation.h"
@@ -12,26 +14,56 @@
 
 namespace fmtk {
 
-/// Work counters for the fixed-point computation (E14 compares naive vs
-/// semi-naive iteration behaviour).
+/// Work counters for the fixed-point computation (E14 compares naive,
+/// seed semi-naive and compiled-indexed semi-naive iteration behaviour).
 struct DatalogStats {
   std::size_t iterations = 0;
+  /// Rule firings: one per execution of a rule body (per delta variant per
+  /// round). NOT body-atom visits — those are atom_visits.
   std::uint64_t rule_applications = 0;
+  /// Body-atom visits inside the join (one per atom reached with some
+  /// prefix binding).
+  std::uint64_t atom_visits = 0;
   std::uint64_t tuples_derived = 0;   // Including duplicates rederived.
   std::uint64_t tuples_new = 0;       // Actually inserted.
+  /// Posting-list probes issued by the compiled engine (a bound column
+  /// looked up in a ColumnIndex instead of scanning the relation).
+  std::uint64_t index_probes = 0;
+  /// Candidate tuples examined across all scans and probes.
+  std::uint64_t tuples_scanned = 0;
+  /// Compiled engine only: one human-readable line per (rule, delta
+  /// variant) describing the chosen join order, e.g.
+  /// "tc(x,y) :- E(x,z), tc(z,y). [d@2] tc(z,y):delta, E(x,z):probe(1)".
+  std::vector<std::string> join_orders;
+
+  /// Counters on one line (join_orders omitted).
+  std::string ToString() const;
 };
 
-/// Evaluation strategy: naive re-derives everything each round; semi-naive
-/// joins against the per-round deltas only.
-enum class DatalogStrategy { kNaive, kSemiNaive };
+/// Evaluation strategy.
+enum class DatalogStrategy {
+  /// Seed interpreter, full re-derivation each round. The differential
+  /// oracle; nothing performance-critical should use it.
+  kNaive,
+  /// Seed interpreter with the per-position delta restriction (every other
+  /// IDB position joins the FULL current relation). Kept as the before
+  /// point for E14 and the differential suite.
+  kSeedSemiNaive,
+  /// Compiled, index-driven engine with the standard semi-naive delta
+  /// decomposition (full-new before the delta position, pre-round
+  /// snapshots after it). The default.
+  kSemiNaive,
+};
 
 /// Bottom-up least-fixpoint evaluation of a positive Datalog program over
 /// the EDB given by a structure's relations. Returns the IDB relations by
-/// predicate name.
+/// predicate name. `policy` (used by kSemiNaive only) optionally fans the
+/// per-round delta partition out over threads; results and counters are
+/// identical to the sequential run.
 Result<std::map<std::string, Relation>> EvaluateDatalog(
     const DatalogProgram& program, const Structure& edb,
     DatalogStrategy strategy = DatalogStrategy::kSemiNaive,
-    DatalogStats* stats = nullptr);
+    DatalogStats* stats = nullptr, ParallelPolicy policy = {});
 
 }  // namespace fmtk
 

@@ -118,6 +118,16 @@ DatalogProgram DatalogProgram::TransitiveClosure() {
   return p;
 }
 
+DatalogProgram DatalogProgram::NonlinearTransitiveClosure() {
+  DatalogProgram p;
+  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
+             {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
+  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
+             {{"tc", {DlTerm::Var("x"), DlTerm::Var("z")}},
+              {"tc", {DlTerm::Var("z"), DlTerm::Var("y")}}}});
+  return p;
+}
+
 DatalogProgram DatalogProgram::SameGeneration() {
   DatalogProgram p;
   p.AddRule({{"sg", {DlTerm::Var("x"), DlTerm::Var("x")}}, {}});

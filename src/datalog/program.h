@@ -81,6 +81,11 @@ class DatalogProgram {
   static DatalogProgram TransitiveClosure();
   /// sg(x,x) :-.   sg(x,y) :- E(u,x), E(v,y), sg(u,v).
   static DatalogProgram SameGeneration();
+  /// The nonlinear (divide-and-conquer) variant with TWO recursive body
+  /// atoms — the shape where the per-position delta scheme re-derives
+  /// tuples once per position and the standard decomposition does not:
+  /// tc(x,y) :- E(x,y).   tc(x,y) :- tc(x,z), tc(z,y).
+  static DatalogProgram NonlinearTransitiveClosure();
 
  private:
   std::vector<DlRule> rules_;

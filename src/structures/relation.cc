@@ -43,9 +43,9 @@ bool Relation::Add(Tuple tuple) {
       << arity_;
   auto [it, inserted] = index_.insert(tuple);
   if (inserted) {
+    // Column indexes are left as-is (generation-tagged at indexed_upto);
+    // the next column_index() call appends postings for the new suffix.
     tuples_.push_back(std::move(tuple));
-    std::lock_guard<std::mutex> lock(column_mutex_);
-    column_indexes_.clear();
   }
   return inserted;
 }
@@ -58,18 +58,30 @@ const Relation::ColumnIndex& Relation::column_index(std::size_t column) const {
     column_indexes_.assign(arity_, nullptr);
   }
   if (column_indexes_[column] == nullptr) {
-    auto built = std::make_shared<ColumnIndex>();
-    for (std::size_t i = 0; i < tuples_.size(); ++i) {
-      built->postings[tuples_[i][column]].push_back(i);
-    }
-    built->values.reserve(built->postings.size());
-    for (const auto& [element, unused] : built->postings) {
-      built->values.push_back(element);
-    }
-    std::sort(built->values.begin(), built->values.end());
-    column_indexes_[column] = std::move(built);
+    column_indexes_[column] = std::make_shared<ColumnIndex>();
   }
-  return *column_indexes_[column];
+  ColumnIndex& built = *column_indexes_[column];
+  if (built.indexed_upto < tuples_.size()) {
+    // Incremental sync: append postings for the tuples added since the last
+    // sync and merge any first-seen elements into the sorted value list.
+    std::vector<Element> fresh;
+    for (std::size_t i = built.indexed_upto; i < tuples_.size(); ++i) {
+      std::vector<std::size_t>& list = built.postings[tuples_[i][column]];
+      if (list.empty()) {
+        fresh.push_back(tuples_[i][column]);
+      }
+      list.push_back(i);
+    }
+    if (!fresh.empty()) {
+      std::sort(fresh.begin(), fresh.end());
+      const std::size_t mid = built.values.size();
+      built.values.insert(built.values.end(), fresh.begin(), fresh.end());
+      std::inplace_merge(built.values.begin(), built.values.begin() + mid,
+                         built.values.end());
+    }
+    built.indexed_upto = tuples_.size();
+  }
+  return built;
 }
 
 const std::vector<std::size_t>& Relation::MatchesAt(std::size_t column,

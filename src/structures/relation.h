@@ -24,16 +24,24 @@ using Tuple = std::vector<Element>;
 /// membership tests and stable insertion-order iteration.
 class Relation {
  public:
-  /// Per-column posting lists, built lazily on first use. Quantifier
-  /// pruning in the compiled evaluator uses `values` to enumerate only the
-  /// elements that can possibly satisfy a positive atom, and `postings` to
-  /// jump from an element to the tuples containing it at that column.
+  /// Per-column posting lists, built lazily on first use and maintained
+  /// incrementally afterwards. Quantifier pruning in the compiled FO
+  /// evaluator uses `values` to enumerate only the elements that can
+  /// possibly satisfy a positive atom, and `postings` to jump from an
+  /// element to the tuples containing it at that column; the Datalog
+  /// fixpoint engine additionally relies on `indexed_upto` to read a
+  /// consistent prefix of the index while tuples are being appended.
   struct ColumnIndex {
     /// Distinct elements occurring at the column, ascending.
     std::vector<Element> values;
     /// element -> indices into tuples() of the tuples with that element at
-    /// the column, in insertion order.
+    /// the column, ascending (= insertion order).
     std::unordered_map<Element, std::vector<std::size_t>> postings;
+    /// Generation tag: tuples()[0, indexed_upto) are covered by the index.
+    /// column_index() advances it to size() before returning; a caller that
+    /// keeps the reference across Add()s sees a stale but well-formed index
+    /// for the prefix it was synced to.
+    std::size_t indexed_upto = 0;
   };
 
   explicit Relation(std::size_t arity) : arity_(arity) {}
@@ -48,8 +56,9 @@ class Relation {
   bool empty() const { return tuples_.empty(); }
 
   /// Inserts `tuple`; returns false when it was already present.
-  /// Arity mismatch is a fatal programming error. Invalidates any column
-  /// indexes previously returned by column_index()/MatchesAt().
+  /// Arity mismatch is a fatal programming error. Column indexes are NOT
+  /// rebuilt: they catch up incrementally on the next column_index() /
+  /// MatchesAt() call (appended postings, merged values).
   bool Add(Tuple tuple);
 
   bool Contains(const Tuple& tuple) const {
@@ -59,12 +68,18 @@ class Relation {
   /// Tuples in insertion order.
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
-  /// The posting-list index for `column` (< arity). Built on first call and
-  /// cached; concurrent calls are safe. The reference stays valid until the
-  /// next Add().
+  /// The posting-list index for `column` (< arity), synced to cover every
+  /// tuple currently present (indexed_upto == size()). Built on first call,
+  /// then extended incrementally — Add() never discards it, so a fixpoint
+  /// loop alternating Add and probe phases pays O(new tuples) per sync, not
+  /// O(all tuples). Concurrent calls are safe; the returned reference stays
+  /// valid for the lifetime of the relation (contents mutate on the next
+  /// sync after an Add).
   const ColumnIndex& column_index(std::size_t column) const;
 
-  /// Indices of the tuples with `e` at `column` (empty when none).
+  /// Indices of the tuples with `e` at `column` (empty when none), synced
+  /// like column_index(). The reference may be invalidated by the next sync
+  /// after an Add (posting vectors grow).
   const std::vector<std::size_t>& MatchesAt(std::size_t column,
                                             Element e) const;
 
@@ -87,10 +102,11 @@ class Relation {
   std::unordered_set<Tuple, VectorHash<Element>> index_;
 
   // Lazily built per-column posting lists. The vector is sized to arity_ on
-  // first use; entries are published once and never reallocated, so
-  // references handed out stay stable until Add() clears the cache.
+  // first use; each ColumnIndex is allocated once and then extended in
+  // place (generation-tagged by indexed_upto), so references handed out
+  // stay stable for the relation's lifetime. Copy/move reset the cache.
   mutable std::mutex column_mutex_;
-  mutable std::vector<std::shared_ptr<const ColumnIndex>> column_indexes_;
+  mutable std::vector<std::shared_ptr<ColumnIndex>> column_indexes_;
 };
 
 }  // namespace fmtk

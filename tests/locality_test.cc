@@ -196,6 +196,26 @@ TEST(ThresholdHanfTest, ZeroThresholdIsTrivial) {
   EXPECT_TRUE(ThresholdHanfEquivalent(chain, cycle, 2, 0));
 }
 
+TEST(ThresholdHanfTest, OneSidedTypeBoundary) {
+  // Pins the b-only branch of ThresholdHanfEquivalent: a type realized in
+  // exactly one structure compares counts (cb, 0), which clears the
+  // threshold only when it is 0. The cycle realizes one r=1 type
+  // (in/out-degree 1 everywhere); the path adds two endpoint types.
+  Structure cycle = MakeDirectedCycle(8);
+  Structure path = MakeDirectedPath(8);
+  // One-sided types in BOTH directions (path-only endpoint types when b is
+  // the path, cycle-only... the interior type is shared), symmetric calls:
+  for (std::size_t threshold : {1, 2, 5}) {
+    EXPECT_FALSE(ThresholdHanfEquivalent(cycle, path, 1, threshold))
+        << "threshold " << threshold;
+    EXPECT_FALSE(ThresholdHanfEquivalent(path, cycle, 1, threshold))
+        << "threshold " << threshold;
+  }
+  // threshold == 0: (cb, 0) passes — trivially equivalent.
+  EXPECT_TRUE(ThresholdHanfEquivalent(cycle, path, 1, 0));
+  EXPECT_TRUE(ThresholdHanfEquivalent(path, cycle, 1, 0));
+}
+
 // --- Gaifman locality (E8) --------------------------------------------------
 
 TEST(GaifmanLocalTest, TcOnLongChainViolatesEveryRadius) {

@@ -237,5 +237,49 @@ TEST(GeneratorsTest, ZeroAryRelationRandom) {
   EXPECT_TRUE(s.relation(0).Contains({}));
 }
 
+TEST(ColumnIndexTest, IncrementalMaintenanceAfterAdd) {
+  Relation r(2);
+  r.Add({3, 0});
+  r.Add({1, 0});
+  const Relation::ColumnIndex& index = r.column_index(0);
+  EXPECT_EQ(index.indexed_upto, 2u);
+  EXPECT_EQ(index.values, (std::vector<Element>{1, 3}));
+  EXPECT_EQ(r.MatchesAt(0, 3), (std::vector<std::size_t>{0}));
+  // Adds extend the existing index in place on the next sync — no rebuild.
+  r.Add({2, 1});
+  r.Add({3, 1});
+  const Relation::ColumnIndex& resynced = r.column_index(0);
+  EXPECT_EQ(&resynced, &index) << "index was rebuilt, not extended";
+  EXPECT_EQ(index.indexed_upto, 4u);
+  EXPECT_EQ(index.values, (std::vector<Element>{1, 2, 3}));
+  EXPECT_EQ(r.MatchesAt(0, 3), (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(r.MatchesAt(0, 2), (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(r.MatchesAt(0, 9).empty());
+}
+
+TEST(ColumnIndexTest, StaleGenerationReadsConsistentPrefix) {
+  Relation r(1);
+  r.Add({5});
+  const Relation::ColumnIndex& index = r.column_index(0);
+  // Without an intervening sync, a held reference keeps describing the
+  // prefix it was synced to (the Datalog engine's per-round freeze).
+  r.Add({7});
+  EXPECT_EQ(index.indexed_upto, 1u);
+  EXPECT_EQ(index.values, (std::vector<Element>{5}));
+  EXPECT_EQ(index.postings.count(7), 0u);
+  (void)r.column_index(0);
+  EXPECT_EQ(index.indexed_upto, 2u);
+  EXPECT_EQ(index.postings.at(7), (std::vector<std::size_t>{1}));
+}
+
+TEST(ColumnIndexTest, DuplicateAddsDoNotGrowIndex) {
+  Relation r(2);
+  r.Add({0, 1});
+  (void)r.column_index(1);
+  r.Add({0, 1});  // Already present: no new posting on resync.
+  EXPECT_EQ(r.column_index(1).postings.at(1).size(), 1u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
 }  // namespace
 }  // namespace fmtk
