@@ -44,7 +44,7 @@ void PrintTable() {
   std::printf("\n-- evaluator cache behaviour on chains n = 8..200 --\n");
   Formula f = *ParseFormula(kSentence);
   BoundedDegreeEvaluator evaluator = *BoundedDegreeEvaluator::Create(
-      f, {.radius = 2, .threshold = 3});
+      f, {.radius = 2, .threshold = 3, .parallel = {}});
   std::printf("%8s %10s %10s %10s\n", "n", "verdict", "hits", "misses");
   for (std::size_t n = 8; n <= 200; n += 24) {
     bool verdict = *evaluator.Evaluate(MakeDirectedPath(n));
@@ -88,7 +88,7 @@ void BM_BoundedDegreeEvaluator(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Formula f = *ParseFormula(kSentence);
   BoundedDegreeEvaluator evaluator = *BoundedDegreeEvaluator::Create(
-      f, {.radius = 2, .threshold = 3});
+      f, {.radius = 2, .threshold = 3, .parallel = {}});
   // Warm the cache with one representative so the loop measures the
   // amortized (cache-hit) path — the theorem's linear pass.
   Structure warmup = MakeDirectedPath(n);

@@ -8,23 +8,44 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/locality/gaifman_local.h"
+#include "core/locality/locality_engine.h"
+#include "core/locality/neighborhood.h"
 #include "logic/parser.h"
 #include "queries/relation_query.h"
 #include "structures/generators.h"
+#include "structures/graph.h"
+#include "structures/isomorphism.h"
 
 namespace {
 
+using fmtk::Adjacency;
+using fmtk::Element;
 using fmtk::FindGaifmanViolation;
+using fmtk::GaifmanAdjacency;
 using fmtk::GaifmanLocalRadiusOn;
+using fmtk::GaifmanViolation;
+using fmtk::IsomorphismInvariant;
+using fmtk::LocalityEngine;
+using fmtk::LocalityStats;
 using fmtk::MakeDirectedPath;
+using fmtk::Neighborhood;
+using fmtk::NeighborhoodOf;
+using fmtk::NeighborhoodsIsomorphic;
 using fmtk::ParseFormula;
 using fmtk::Relation;
 using fmtk::RelationQuery;
 using fmtk::Structure;
+using fmtk::Tuple;
 
 void PrintTable() {
   std::printf("=== E8: Gaifman locality (Thm 3.6) ===\n");
@@ -68,6 +89,143 @@ void PrintTable() {
       "the FO control is local at a fixed small radius.\n\n");
 }
 
+// --- --json mode: engine path vs a replica of the seed algorithm ----------
+//
+// The seed rebuilt the Gaifman adjacency on every call, materialized every
+// tuple's neighborhood by scanning the whole structure, and compared
+// neighborhoods through invariant buckets with pairwise isomorphism tests.
+// The engine overload shares one adjacency across radii and compares by
+// canonical code.
+
+void AllTuplesOver(std::size_t n, std::size_t m, std::vector<Tuple>& out) {
+  Tuple t(m, 0);
+  if (m == 0 || n == 0) {
+    return;
+  }
+  while (true) {
+    out.push_back(t);
+    std::size_t pos = m;
+    while (pos > 0) {
+      --pos;
+      if (t[pos] + 1 < n) {
+        ++t[pos];
+        break;
+      }
+      t[pos] = 0;
+      if (pos == 0) {
+        return;
+      }
+    }
+  }
+}
+
+std::optional<GaifmanViolation> SeedFindViolation(const Structure& s,
+                                                  const Relation& output,
+                                                  std::size_t radius) {
+  Adjacency gaifman = GaifmanAdjacency(s);
+  std::vector<Tuple> tuples;
+  AllTuplesOver(s.domain_size(), output.arity(), tuples);
+  struct Entry {
+    Tuple tuple;
+    Neighborhood neighborhood;
+    bool in_output;
+  };
+  std::unordered_map<std::size_t, std::vector<Entry>> buckets;
+  for (const Tuple& t : tuples) {
+    Neighborhood n = NeighborhoodOf(s, gaifman, t, radius);
+    std::size_t invariant =
+        IsomorphismInvariant(n.structure, n.distinguished);
+    std::vector<Entry>& bucket = buckets[invariant];
+    const bool in_output = output.Contains(t);
+    for (const Entry& other : bucket) {
+      if (other.in_output != in_output &&
+          NeighborhoodsIsomorphic(other.neighborhood, n)) {
+        return in_output ? GaifmanViolation{t, other.tuple}
+                         : GaifmanViolation{other.tuple, t};
+      }
+    }
+    bucket.push_back(Entry{t, std::move(n), in_output});
+  }
+  return std::nullopt;
+}
+
+// Scans radii 0..max_radius, counting how many have a violation — the
+// E8 "largest violated radius" loop both modes run identically.
+template <typename FindFn>
+std::size_t CountViolatedRadii(std::size_t max_radius, const FindFn& find) {
+  std::size_t violated = 0;
+  for (std::size_t r = 0; r <= max_radius; ++r) {
+    if (find(r).has_value()) {
+      ++violated;
+    } else {
+      break;
+    }
+  }
+  return violated;
+}
+
+void EmitJsonLine(const char* bench, const char* mode, std::size_t n,
+                  double wall_ms, std::size_t result,
+                  const LocalityStats& stats) {
+  std::printf(
+      "{\"bench\":\"%s\",\"mode\":\"%s\",\"n\":%zu,\"wall_ms\":%.3f,"
+      "\"result\":%zu,\"balls_extracted\":%llu,\"bfs_node_visits\":%llu,"
+      "\"canon_codes\":%llu,\"canon_hits\":%llu,\"iso_tests\":%llu,"
+      "\"frontier_reuses\":%llu}\n",
+      bench, mode, n, wall_ms, result,
+      static_cast<unsigned long long>(stats.balls_extracted),
+      static_cast<unsigned long long>(stats.bfs_node_visits),
+      static_cast<unsigned long long>(stats.canon_codes),
+      static_cast<unsigned long long>(stats.canon_hits),
+      static_cast<unsigned long long>(stats.iso_tests),
+      static_cast<unsigned long long>(stats.frontier_reuses));
+}
+
+template <typename Fn>
+void TimeAndEmit(const char* bench, const char* mode, std::size_t n,
+                 int reps, const Fn& fn) {
+  double best_ms = 0;
+  std::size_t result = 0;
+  LocalityStats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    LocalityStats run_stats;
+    const auto start = std::chrono::steady_clock::now();
+    result = fn(&run_stats);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (rep == 0 || ms < best_ms) {
+      best_ms = ms;
+    }
+    stats = run_stats;
+  }
+  EmitJsonLine(bench, mode, n, best_ms, result, stats);
+}
+
+void RunJsonSuite() {
+  RelationQuery tc = RelationQuery::TransitiveClosure();
+  for (std::size_t n : {8, 16, 24, 32}) {
+    Structure chain = MakeDirectedPath(n);
+    Relation tc_out = *tc.Evaluate(chain);
+    TimeAndEmit("gaifman_tc_chain", "engine", n, 5,
+                [&](LocalityStats* stats) {
+                  LocalityEngine engine(chain);
+                  std::size_t violated =
+                      CountViolatedRadii(2, [&](std::size_t r) {
+                        return *FindGaifmanViolation(engine, tc_out, r);
+                      });
+                  *stats = engine.stats();
+                  return violated;
+                });
+    TimeAndEmit("gaifman_tc_chain", "seed", n, 3, [&](LocalityStats* stats) {
+      (void)stats;
+      return CountViolatedRadii(2, [&](std::size_t r) {
+        return SeedFindViolation(chain, tc_out, r);
+      });
+    });
+  }
+}
+
 void BM_FindViolation(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Structure chain = MakeDirectedPath(n);
@@ -81,6 +239,12 @@ BENCHMARK(BM_FindViolation)->RangeMultiplier(2)->Range(8, 32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      RunJsonSuite();
+      return 0;
+    }
+  }
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

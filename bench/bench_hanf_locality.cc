@@ -7,22 +7,37 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
 #include <string>
 
 #include "core/locality/hanf.h"
+#include "core/locality/locality_engine.h"
+#include "core/locality/neighborhood.h"
 #include "queries/boolean_query.h"
 #include "structures/generators.h"
+#include "structures/graph.h"
 
 namespace {
 
+using fmtk::Adjacency;
 using fmtk::BooleanQuery;
+using fmtk::Element;
+using fmtk::GaifmanAdjacency;
 using fmtk::HanfEquivalent;
 using fmtk::LargestHanfRadius;
+using fmtk::LocalityEngine;
+using fmtk::LocalityStats;
 using fmtk::MakeDirectedCycle;
 using fmtk::MakeDirectedPath;
 using fmtk::MakeDisjointCycles;
 using fmtk::MakePathPlusCycle;
+using fmtk::NeighborhoodOf;
+using fmtk::NeighborhoodSweep;
+using fmtk::NeighborhoodTypeIndex;
 using fmtk::Structure;
 
 void PrintTable() {
@@ -65,6 +80,142 @@ void PrintTable() {
       "query columns always differ.\n\n");
 }
 
+// --- --json mode: engine sweeps vs a replica of the seed algorithm --------
+//
+// The seed computed each radius from scratch: one GaifmanAdjacency per
+// histogram call, one full-structure scan per neighborhood, and type
+// resolution through invariant buckets plus pairwise isomorphism tests.
+// The engine shares one adjacency, extends balls radius-incrementally, and
+// resolves types by canonical code.
+
+std::map<NeighborhoodTypeIndex::TypeId, std::size_t> SeedHistogram(
+    const Structure& s, std::size_t radius, NeighborhoodTypeIndex& index) {
+  Adjacency gaifman = GaifmanAdjacency(s);
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> histogram;
+  for (Element v = 0; v < s.domain_size(); ++v) {
+    ++histogram[index.TypeOf(NeighborhoodOf(s, gaifman, {v}, radius))];
+  }
+  return histogram;
+}
+
+std::optional<std::size_t> SeedLargestHanfRadius(const Structure& a,
+                                                const Structure& b,
+                                                std::size_t max_radius) {
+  if (!(a.signature() == b.signature()) ||
+      a.domain_size() != b.domain_size()) {
+    return std::nullopt;
+  }
+  NeighborhoodTypeIndex::Options options;
+  options.use_canonical_codes = false;  // the seed's bucket-only regime
+  NeighborhoodTypeIndex index(options);
+  std::optional<std::size_t> best;
+  for (std::size_t r = 0; r <= max_radius; ++r) {
+    if (SeedHistogram(a, r, index) != SeedHistogram(b, r, index)) {
+      break;
+    }
+    best = r;
+  }
+  return best;
+}
+
+std::optional<std::size_t> EngineLargestHanfRadius(const Structure& a,
+                                                  const Structure& b,
+                                                  std::size_t max_radius,
+                                                  LocalityStats* stats) {
+  if (!(a.signature() == b.signature()) ||
+      a.domain_size() != b.domain_size()) {
+    return std::nullopt;
+  }
+  NeighborhoodTypeIndex index;
+  LocalityEngine engine_a(a);
+  LocalityEngine engine_b(b);
+  NeighborhoodSweep sweep_a = engine_a.NewSweep();
+  NeighborhoodSweep sweep_b = engine_b.NewSweep();
+  std::optional<std::size_t> best;
+  for (std::size_t r = 0; r <= max_radius; ++r) {
+    if (sweep_a.HistogramAt(r, index) != sweep_b.HistogramAt(r, index)) {
+      break;
+    }
+    best = r;
+  }
+  if (stats != nullptr) {
+    *stats = engine_a.stats();
+    *stats += engine_b.stats();
+  }
+  return best;
+}
+
+void EmitJsonLine(const char* bench, const char* mode, std::size_t n,
+                  double wall_ms, std::size_t result,
+                  const LocalityStats& stats) {
+  std::printf(
+      "{\"bench\":\"%s\",\"mode\":\"%s\",\"n\":%zu,\"wall_ms\":%.3f,"
+      "\"result\":%zu,\"balls_extracted\":%llu,\"bfs_node_visits\":%llu,"
+      "\"canon_codes\":%llu,\"canon_hits\":%llu,\"iso_tests\":%llu,"
+      "\"frontier_reuses\":%llu}\n",
+      bench, mode, n, wall_ms, result,
+      static_cast<unsigned long long>(stats.balls_extracted),
+      static_cast<unsigned long long>(stats.bfs_node_visits),
+      static_cast<unsigned long long>(stats.canon_codes),
+      static_cast<unsigned long long>(stats.canon_hits),
+      static_cast<unsigned long long>(stats.iso_tests),
+      static_cast<unsigned long long>(stats.frontier_reuses));
+}
+
+// Wall-clock is the best of `reps` runs; counters come from the last run.
+template <typename Fn>
+void TimeAndEmit(const char* bench, const char* mode, std::size_t n,
+                 int reps, const Fn& fn) {
+  double best_ms = 0;
+  std::size_t result = 0;
+  LocalityStats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    LocalityStats run_stats;
+    const auto start = std::chrono::steady_clock::now();
+    result = fn(&run_stats);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (rep == 0 || ms < best_ms) {
+      best_ms = ms;
+    }
+    stats = run_stats;
+  }
+  EmitJsonLine(bench, mode, n, best_ms, result, stats);
+}
+
+void RunJsonSuite() {
+  for (std::size_t m : {5, 9, 13, 17, 21}) {
+    Structure g1 = MakeDisjointCycles(2, m);
+    Structure g2 = MakeDirectedCycle(2 * m);
+    TimeAndEmit("hanf_cycles", "engine", 2 * m, 5,
+                [&](LocalityStats* stats) {
+                  auto r = EngineLargestHanfRadius(g1, g2, m, stats);
+                  return r.has_value() ? *r + 1 : 0;  // 0 = none
+                });
+    TimeAndEmit("hanf_cycles", "seed", 2 * m, 3, [&](LocalityStats* stats) {
+      (void)stats;
+      auto r = SeedLargestHanfRadius(g1, g2, m);
+      return r.has_value() ? *r + 1 : 0;
+    });
+  }
+  for (std::size_t m : {8, 12, 16}) {
+    Structure g1 = MakeDirectedPath(2 * m);
+    Structure g2 = MakePathPlusCycle(m);
+    TimeAndEmit("hanf_chain_vs_lollipop", "engine", 2 * m, 5,
+                [&](LocalityStats* stats) {
+                  auto r = EngineLargestHanfRadius(g1, g2, m, stats);
+                  return r.has_value() ? *r + 1 : 0;
+                });
+    TimeAndEmit("hanf_chain_vs_lollipop", "seed", 2 * m, 3,
+                [&](LocalityStats* stats) {
+                  (void)stats;
+                  auto r = SeedLargestHanfRadius(g1, g2, m);
+                  return r.has_value() ? *r + 1 : 0;
+                });
+  }
+}
+
 void BM_HanfEquivalence(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   Structure g1 = MakeDisjointCycles(2, m);
@@ -78,6 +229,12 @@ BENCHMARK(BM_HanfEquivalence)->DenseRange(5, 13, 2);
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      RunJsonSuite();
+      return 0;
+    }
+  }
   PrintTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

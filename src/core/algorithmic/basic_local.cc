@@ -1,13 +1,13 @@
 #include "core/algorithmic/basic_local.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
 #include "core/algorithmic/local_formula.h"
-#include "core/locality/neighborhood.h"
+#include "core/locality/locality_engine.h"
 #include "eval/compiled_eval.h"
 #include "logic/analysis.h"
-#include "structures/graph.h"
 
 namespace fmtk {
 
@@ -27,18 +27,19 @@ Status ValidateSentence(const BasicLocalSentence& sentence) {
   return Status::OK();
 }
 
-// Backtracking search for `need` elements of `candidates`, pairwise at
-// distance > 2r. `dist[i][j]` gives pairwise distances between candidates.
-bool FindScattered(const std::vector<std::vector<std::size_t>>& dist,
-                   std::size_t threshold, std::size_t need,
-                   std::size_t start, std::vector<std::size_t>& chosen) {
+// Backtracking search for `need` elements of the candidate set, pairwise at
+// distance > 2r. `close[i][j]` says whether candidates i and j are within
+// the threshold distance.
+bool FindScattered(const std::vector<std::vector<bool>>& close,
+                   std::size_t need, std::size_t start,
+                   std::vector<std::size_t>& chosen) {
   if (chosen.size() == need) {
     return true;
   }
-  for (std::size_t i = start; i < dist.size(); ++i) {
+  for (std::size_t i = start; i < close.size(); ++i) {
     bool compatible = true;
     for (std::size_t j : chosen) {
-      if (dist[i][j] <= threshold) {
+      if (close[i][j]) {
         compatible = false;
         break;
       }
@@ -47,7 +48,7 @@ bool FindScattered(const std::vector<std::vector<std::size_t>>& dist,
       continue;
     }
     chosen.push_back(i);
-    if (FindScattered(dist, threshold, need, i + 1, chosen)) {
+    if (FindScattered(close, need, i + 1, chosen)) {
       return true;
     }
     chosen.pop_back();
@@ -55,12 +56,12 @@ bool FindScattered(const std::vector<std::vector<std::size_t>>& dist,
   return false;
 }
 
-}  // namespace
-
-Result<std::vector<Element>> LocallySatisfyingElements(
-    const Structure& s, const BasicLocalSentence& sentence) {
+// The S = { a : N_r(a) ⊨ ψ[a] } computation over a caller-owned engine, so
+// EvaluateBasicLocal's scatter phase reuses the same Gaifman context.
+Result<std::vector<Element>> LocallySatisfying(
+    const LocalityEngine& engine, const BasicLocalSentence& sentence) {
   FMTK_RETURN_IF_ERROR(ValidateSentence(sentence));
-  Adjacency gaifman = GaifmanAdjacency(s);
+  const Structure& s = engine.structure();
   // ψ is checked once per element against its r-ball: compile it once
   // against the shared signature and rebind per neighborhood structure.
   FMTK_ASSIGN_OR_RETURN(
@@ -68,7 +69,7 @@ Result<std::vector<Element>> LocallySatisfyingElements(
       CompiledFormula::Compile(sentence.local, s.signature()));
   std::vector<Element> satisfying;
   for (Element a = 0; a < s.domain_size(); ++a) {
-    Neighborhood n = NeighborhoodOf(s, gaifman, {a}, sentence.radius);
+    Neighborhood n = engine.NeighborhoodAt({a}, sentence.radius);
     FMTK_ASSIGN_OR_RETURN(CompiledEvaluator eval,
                           CompiledEvaluator::Bind(plan, n.structure));
     FMTK_ASSIGN_OR_RETURN(
@@ -81,25 +82,37 @@ Result<std::vector<Element>> LocallySatisfyingElements(
   return satisfying;
 }
 
+}  // namespace
+
+Result<std::vector<Element>> LocallySatisfyingElements(
+    const Structure& s, const BasicLocalSentence& sentence) {
+  LocalityEngine engine(s);
+  return LocallySatisfying(engine, sentence);
+}
+
 Result<bool> EvaluateBasicLocal(const Structure& s,
                                 const BasicLocalSentence& sentence) {
+  LocalityEngine engine(s);
   FMTK_ASSIGN_OR_RETURN(std::vector<Element> candidates,
-                        LocallySatisfyingElements(s, sentence));
+                        LocallySatisfying(engine, sentence));
   if (candidates.size() < sentence.count) {
     return false;
   }
-  // Pairwise Gaifman distances between candidates.
-  Adjacency gaifman = GaifmanAdjacency(s);
-  std::vector<std::vector<std::size_t>> dist(candidates.size());
+  // Pairwise closeness between candidates: candidate j is within 2r of
+  // candidate i iff it lies in i's 2r-ball — bounded BFS instead of a full
+  // per-candidate distance pass.
+  std::vector<std::vector<bool>> close(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    std::vector<std::size_t> all = BfsDistances(gaifman, {candidates[i]});
-    dist[i].resize(candidates.size());
+    std::vector<Element> ball =
+        engine.Ball({candidates[i]}, 2 * sentence.radius);
+    close[i].resize(candidates.size());
     for (std::size_t j = 0; j < candidates.size(); ++j) {
-      dist[i][j] = all[candidates[j]];  // kUnreachable > any threshold.
+      close[i][j] =
+          std::binary_search(ball.begin(), ball.end(), candidates[j]);
     }
   }
   std::vector<std::size_t> chosen;
-  return FindScattered(dist, 2 * sentence.radius, sentence.count, 0, chosen);
+  return FindScattered(close, sentence.count, 0, chosen);
 }
 
 Result<Formula> BasicLocalToSentence(const BasicLocalSentence& sentence) {

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "base/parallel.h"
 #include "base/result.h"
+#include "core/locality/locality_engine.h"
 #include "core/locality/neighborhood.h"
 #include "logic/formula.h"
 #include "structures/structure.h"
@@ -48,6 +50,9 @@ class BoundedDegreeEvaluator {
     /// Override the radius / threshold derived from the quantifier rank.
     std::optional<std::size_t> radius;
     std::optional<std::size_t> threshold;
+    /// Fans the per-element histogram work out across threads; verdicts,
+    /// type ids, and counters are identical to the sequential run.
+    ParallelPolicy parallel;
   };
 
   /// `sentence` must be a sentence (no free variables).
@@ -62,13 +67,18 @@ class BoundedDegreeEvaluator {
   std::size_t radius() const { return radius_; }
   std::size_t threshold() const { return threshold_; }
 
+  /// Accumulated locality-engine counters across all Evaluate calls.
+  const LocalityStats& locality_stats() const { return locality_stats_; }
+
  private:
   BoundedDegreeEvaluator(Formula sentence, std::size_t radius,
-                         std::size_t threshold);
+                         std::size_t threshold, ParallelPolicy parallel);
 
   Formula sentence_;
   std::size_t radius_;
   std::size_t threshold_;
+  ParallelPolicy parallel_;
+  LocalityStats locality_stats_;
   NeighborhoodTypeIndex index_;
   // Clipped histogram (type id -> min(count, threshold)) -> verdict.
   std::map<std::vector<std::pair<std::size_t, std::size_t>>, bool> cache_;

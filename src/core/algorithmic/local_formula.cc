@@ -1,5 +1,6 @@
 #include "core/algorithmic/local_formula.h"
 
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -46,8 +47,15 @@ Formula DistanceGreaterFormula(const std::string& x, const std::string& y,
 
 namespace {
 
+// Guard formulas depend only on the quantified variable (center and radius
+// are fixed per top-level call), and formulas share subtrees on copy — so a
+// variable quantified many times gets one guard built and cheap copies
+// after. The guard's midpoint variables are bound inside it, making reuse
+// capture-safe.
+using GuardCache = std::map<std::string, Formula>;
+
 Result<Formula> Relativize(const Formula& f, const std::string& center,
-                           std::size_t radius) {
+                           std::size_t radius, GuardCache& guards) {
   switch (f.kind()) {
     case FormulaKind::kTrue:
     case FormulaKind::kFalse:
@@ -56,7 +64,7 @@ Result<Formula> Relativize(const Formula& f, const std::string& center,
       return f;
     case FormulaKind::kNot: {
       FMTK_ASSIGN_OR_RETURN(Formula inner,
-                            Relativize(f.child(0), center, radius));
+                            Relativize(f.child(0), center, radius, guards));
       return Formula::Not(std::move(inner));
     }
     case FormulaKind::kAnd:
@@ -64,7 +72,8 @@ Result<Formula> Relativize(const Formula& f, const std::string& center,
       std::vector<Formula> children;
       children.reserve(f.child_count());
       for (const Formula& c : f.children()) {
-        FMTK_ASSIGN_OR_RETURN(Formula rc, Relativize(c, center, radius));
+        FMTK_ASSIGN_OR_RETURN(Formula rc,
+                              Relativize(c, center, radius, guards));
         children.push_back(std::move(rc));
       }
       return f.kind() == FormulaKind::kAnd
@@ -72,13 +81,17 @@ Result<Formula> Relativize(const Formula& f, const std::string& center,
                  : Formula::Or(std::move(children));
     }
     case FormulaKind::kImplies: {
-      FMTK_ASSIGN_OR_RETURN(Formula a, Relativize(f.child(0), center, radius));
-      FMTK_ASSIGN_OR_RETURN(Formula b, Relativize(f.child(1), center, radius));
+      FMTK_ASSIGN_OR_RETURN(Formula a,
+                            Relativize(f.child(0), center, radius, guards));
+      FMTK_ASSIGN_OR_RETURN(Formula b,
+                            Relativize(f.child(1), center, radius, guards));
       return Formula::Implies(std::move(a), std::move(b));
     }
     case FormulaKind::kIff: {
-      FMTK_ASSIGN_OR_RETURN(Formula a, Relativize(f.child(0), center, radius));
-      FMTK_ASSIGN_OR_RETURN(Formula b, Relativize(f.child(1), center, radius));
+      FMTK_ASSIGN_OR_RETURN(Formula a,
+                            Relativize(f.child(0), center, radius, guards));
+      FMTK_ASSIGN_OR_RETURN(Formula b,
+                            Relativize(f.child(1), center, radius, guards));
       return Formula::Iff(std::move(a), std::move(b));
     }
     case FormulaKind::kExists:
@@ -89,8 +102,16 @@ Result<Formula> Relativize(const Formula& f, const std::string& center,
             "formula rebinds the center variable " + center);
       }
       FMTK_ASSIGN_OR_RETURN(Formula body,
-                            Relativize(f.body(), center, radius));
-      Formula guard = DistanceAtMostFormula(center, f.variable(), radius);
+                            Relativize(f.body(), center, radius, guards));
+      auto guard_it = guards.find(f.variable());
+      if (guard_it == guards.end()) {
+        guard_it = guards
+                       .emplace(f.variable(),
+                                DistanceAtMostFormula(center, f.variable(),
+                                                      radius))
+                       .first;
+      }
+      Formula guard = guard_it->second;
       if (f.kind() == FormulaKind::kExists) {
         return Formula::Exists(f.variable(),
                                Formula::And(std::move(guard),
@@ -112,7 +133,8 @@ Result<Formula> Relativize(const Formula& f, const std::string& center,
 
 Result<Formula> RelativizeToBall(const Formula& f, const std::string& center,
                                  std::size_t radius) {
-  return Relativize(f, center, radius);
+  GuardCache guards;
+  return Relativize(f, center, radius, guards);
 }
 
 }  // namespace fmtk

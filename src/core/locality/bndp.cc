@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/locality/locality_engine.h"
 #include "structures/graph.h"
 
 namespace fmtk {
@@ -10,6 +11,17 @@ void BndpProfile::Observe(const Structure& input, std::size_t input_rel_index,
                           const Relation& output) {
   const std::size_t k = MaxDegree(input, input_rel_index);
   const std::size_t degrees = DegreeCount(output, input.domain_size());
+  std::size_t& slot = max_output_degrees_[k];
+  slot = std::max(slot, degrees);
+  ++observations_;
+}
+
+void BndpProfile::Observe(const LocalityEngine& input_context,
+                          std::size_t input_rel_index,
+                          const Relation& output) {
+  const std::size_t k = input_context.CachedMaxDegree(input_rel_index);
+  const std::size_t degrees =
+      DegreeCount(output, input_context.structure().domain_size());
   std::size_t& slot = max_output_degrees_[k];
   slot = std::max(slot, degrees);
   ++observations_;

@@ -10,6 +10,8 @@
 
 namespace fmtk {
 
+class LocalityEngine;
+
 /// Bookkeeping for the bounded-number-of-degrees property (Definition 3.3):
 /// a binary-output query Q has the BNDP when there is f_Q with
 /// |degs(Q(G))| <= f_Q(k) for every G of max degree <= k. Feed observations
@@ -25,6 +27,13 @@ class BndpProfile {
   /// the query's binary output over the same domain.
   void Observe(const Structure& input, std::size_t input_rel_index,
                const Relation& output);
+
+  /// The same observation through a shared engine context: the input's max
+  /// degree is read from the engine's per-relation cache instead of being
+  /// rescanned, so profiling many query outputs against one input costs
+  /// one degree pass total.
+  void Observe(const LocalityEngine& input_context,
+               std::size_t input_rel_index, const Relation& output);
 
   /// max |degs(Q(G))| over observed inputs with max degree exactly k.
   const std::map<std::size_t, std::size_t>& profile() const {

@@ -1,11 +1,14 @@
 #include "core/locality/gaifman_local.h"
 
+#include <cstddef>
+
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/hash.h"
 #include "core/locality/neighborhood.h"
-#include "structures/graph.h"
 #include "structures/isomorphism.h"
 
 namespace fmtk {
@@ -39,6 +42,13 @@ void AllTuples(std::size_t n, std::size_t m, std::vector<Tuple>& out) {
 
 Result<std::optional<GaifmanViolation>> FindGaifmanViolation(
     const Structure& s, const Relation& output, std::size_t radius) {
+  LocalityEngine engine(s);
+  return FindGaifmanViolation(engine, output, radius);
+}
+
+Result<std::optional<GaifmanViolation>> FindGaifmanViolation(
+    const LocalityEngine& engine, const Relation& output, std::size_t radius) {
+  const Structure& s = engine.structure();
   const std::size_t m = output.arity();
   if (m == 0) {
     return Status::InvalidArgument(
@@ -52,40 +62,84 @@ Result<std::optional<GaifmanViolation>> FindGaifmanViolation(
       }
     }
   }
-  Adjacency gaifman = GaifmanAdjacency(s);
   std::vector<Tuple> tuples;
   AllTuples(s.domain_size(), m, tuples);
-  // Bucket tuples by neighborhood invariant; compare in/out pairs within a
-  // bucket with the exact isomorphism test.
+  // Key each tuple's neighborhood by canonical code: isomorphic tuples land
+  // in one slot, and the earliest in-output / not-in-output representatives
+  // per slot reproduce exactly the pair the seed's pairwise bucket scan
+  // reported first. Canonicalizability is isomorphism-invariant, so a slot
+  // never has an isomorphic partner hiding in the fallback pool.
+  struct Slot {
+    std::optional<Tuple> in_rep;
+    std::optional<Tuple> out_rep;
+  };
+  std::unordered_map<CanonicalCode, Slot, CanonicalCodeHash> coded;
+  // Fallback pool for uncanonicalizable neighborhoods: invariant buckets
+  // plus the exact pairwise test, as in the seed.
   struct Entry {
     Tuple tuple;
-    Neighborhood neighborhood;
+    const Neighborhood* neighborhood;  // into the memo, stable
     bool in_output;
   };
   std::unordered_map<std::size_t, std::vector<Entry>> buckets;
+  // Shifted tuples of regular structures yield literally identical
+  // neighborhoods; the memo dedupes them before materialization, and the
+  // canonical code / bucket invariant — both functions of content — are
+  // computed once per distinct content (a repeated canonicalization failure
+  // would burn the whole pass budget again just to fail identically).
+  LocalityEngine::ContentMemo memo;
+  std::vector<std::optional<CanonicalCode>> entry_code;
+  std::vector<std::size_t> entry_invariant;
   for (const Tuple& t : tuples) {
-    Neighborhood n = NeighborhoodOf(s, gaifman, t, radius);
-    std::size_t invariant = IsomorphismInvariant(n.structure, n.distinguished);
-    std::vector<Entry>& bucket = buckets[invariant];
     const bool in_output = output.Contains(t);
-    for (const Entry& other : bucket) {
-      if (other.in_output != in_output &&
-          NeighborhoodsIsomorphic(other.neighborhood, n)) {
-        return std::optional<GaifmanViolation>(
-            in_output ? GaifmanViolation{t, other.tuple}
-                      : GaifmanViolation{other.tuple, t});
-      }
+    const LocalityEngine::DedupResult res =
+        engine.DedupNeighborhoodAt(memo, t, radius);
+    const Neighborhood& n = memo.exemplar(res.entry);
+    if (res.was_new) {
+      entry_code.push_back(engine.CodeOf(n));
+      entry_invariant.push_back(
+          entry_code.back().has_value()
+              ? 0
+              : IsomorphismInvariant(n.structure, n.distinguished));
     }
-    bucket.push_back(Entry{t, std::move(n), in_output});
+    const std::optional<CanonicalCode>& code = entry_code[res.entry];
+    if (code.has_value()) {
+      Slot& slot = coded[*code];
+      std::optional<Tuple>& opposite = in_output ? slot.out_rep : slot.in_rep;
+      if (opposite.has_value()) {
+        return std::optional<GaifmanViolation>(
+            in_output ? GaifmanViolation{t, *opposite}
+                      : GaifmanViolation{*opposite, t});
+      }
+      std::optional<Tuple>& same = in_output ? slot.in_rep : slot.out_rep;
+      if (!same.has_value()) {
+        same = t;
+      }
+    } else {
+      std::vector<Entry>& bucket = buckets[entry_invariant[res.entry]];
+      for (const Entry& other : bucket) {
+        // A shared memo entry means identical content — isomorphic without
+        // the exact search.
+        if (other.in_output != in_output &&
+            (other.neighborhood == &n ||
+             NeighborhoodsIsomorphic(*other.neighborhood, n))) {
+          return std::optional<GaifmanViolation>(
+              in_output ? GaifmanViolation{t, other.tuple}
+                        : GaifmanViolation{other.tuple, t});
+        }
+      }
+      bucket.push_back(Entry{t, &n, in_output});
+    }
   }
   return std::optional<GaifmanViolation>(std::nullopt);
 }
 
 Result<std::optional<std::size_t>> GaifmanLocalRadiusOn(
     const Structure& s, const Relation& output, std::size_t max_radius) {
+  LocalityEngine engine(s);
   for (std::size_t r = 0; r <= max_radius; ++r) {
     FMTK_ASSIGN_OR_RETURN(std::optional<GaifmanViolation> violation,
-                          FindGaifmanViolation(s, output, r));
+                          FindGaifmanViolation(engine, output, r));
     if (!violation.has_value()) {
       return std::optional<std::size_t>(r);
     }

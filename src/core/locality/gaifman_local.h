@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "base/result.h"
+#include "core/locality/locality_engine.h"
 #include "structures/relation.h"
 #include "structures/structure.h"
 
@@ -24,6 +25,15 @@ struct GaifmanViolation {
 /// arity — meant for the small structures of locality experiments.
 Result<std::optional<GaifmanViolation>> FindGaifmanViolation(
     const Structure& s, const Relation& output, std::size_t radius);
+
+/// The same search over a prebuilt engine context — radius loops
+/// (GaifmanLocalRadiusOn, the benches) reuse one Gaifman adjacency and BFS
+/// scratch across every radius. Neighborhood types are keyed by canonical
+/// code (isomorphic tuples collide in one hash slot, replacing the pairwise
+/// isomorphism scan); neighborhoods the canonicalizer declines fall back to
+/// invariant buckets with exact tests, exactly as the seed did.
+Result<std::optional<GaifmanViolation>> FindGaifmanViolation(
+    const LocalityEngine& engine, const Relation& output, std::size_t radius);
 
 /// The least radius <= max_radius at which the output looks Gaifman-local
 /// on this structure (no violation), or nullopt when even max_radius has

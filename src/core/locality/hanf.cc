@@ -3,16 +3,21 @@
 #include <algorithm>
 #include <map>
 
+#include "core/locality/locality_engine.h"
+
 namespace fmtk {
 
 bool HanfEquivalent(const Structure& a, const Structure& b,
-                    std::size_t radius, NeighborhoodTypeIndex& index) {
+                    std::size_t radius, NeighborhoodTypeIndex& index,
+                    const ParallelPolicy& policy) {
   if (!(a.signature() == b.signature()) ||
       a.domain_size() != b.domain_size()) {
     return false;
   }
-  return NeighborhoodTypeHistogram(a, radius, index) ==
-         NeighborhoodTypeHistogram(b, radius, index);
+  LocalityEngine engine_a(a);
+  LocalityEngine engine_b(b);
+  return engine_a.TypeHistogram(radius, index, policy) ==
+         engine_b.TypeHistogram(radius, index, policy);
 }
 
 bool HanfEquivalent(const Structure& a, const Structure& b,
@@ -23,14 +28,17 @@ bool HanfEquivalent(const Structure& a, const Structure& b,
 
 bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
                              std::size_t radius, std::size_t threshold,
-                             NeighborhoodTypeIndex& index) {
+                             NeighborhoodTypeIndex& index,
+                             const ParallelPolicy& policy) {
   if (!(a.signature() == b.signature())) {
     return false;
   }
+  LocalityEngine engine_a(a);
+  LocalityEngine engine_b(b);
   std::map<NeighborhoodTypeIndex::TypeId, std::size_t> ha =
-      NeighborhoodTypeHistogram(a, radius, index);
+      engine_a.TypeHistogram(radius, index, policy);
   std::map<NeighborhoodTypeIndex::TypeId, std::size_t> hb =
-      NeighborhoodTypeHistogram(b, radius, index);
+      engine_b.TypeHistogram(radius, index, policy);
   auto count = [](const std::map<NeighborhoodTypeIndex::TypeId, std::size_t>&
                       h,
                   NeighborhoodTypeIndex::TypeId id) -> std::size_t {
@@ -63,10 +71,18 @@ bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
 std::optional<std::size_t> LargestHanfRadius(const Structure& a,
                                              const Structure& b,
                                              std::size_t max_radius) {
+  if (!(a.signature() == b.signature()) ||
+      a.domain_size() != b.domain_size()) {
+    return std::nullopt;  // even ⇆0 needs a bijection over equal domains
+  }
   NeighborhoodTypeIndex index;
+  LocalityEngine engine_a(a);
+  LocalityEngine engine_b(b);
+  NeighborhoodSweep sweep_a = engine_a.NewSweep();
+  NeighborhoodSweep sweep_b = engine_b.NewSweep();
   std::optional<std::size_t> largest;
   for (std::size_t r = 0; r <= max_radius; ++r) {
-    if (HanfEquivalent(a, b, r, index)) {
+    if (sweep_a.HistogramAt(r, index) == sweep_b.HistogramAt(r, index)) {
       largest = r;
     } else {
       break;  // ⇆r is antitone in r.

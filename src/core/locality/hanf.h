@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "base/parallel.h"
 #include "core/locality/neighborhood.h"
 #include "structures/structure.h"
 
@@ -13,9 +14,12 @@ namespace fmtk {
 /// with N_r(a) ≅ N_r(f(a)) for every a. Equivalently — and this is how it's
 /// decided here — the two structures have the same multiset of
 /// r-neighborhood types (Hall's theorem collapses the bijection search,
-/// since "same type" is an equivalence relation).
+/// since "same type" is an equivalence relation). One LocalityEngine per
+/// structure computes both histograms; `policy` fans the per-element work
+/// out without changing any verdict, id, or counter.
 bool HanfEquivalent(const Structure& a, const Structure& b,
-                    std::size_t radius, NeighborhoodTypeIndex& index);
+                    std::size_t radius, NeighborhoodTypeIndex& index,
+                    const ParallelPolicy& policy = {});
 
 /// Convenience overload with a throwaway type index.
 bool HanfEquivalent(const Structure& a, const Structure& b,
@@ -27,7 +31,8 @@ bool HanfEquivalent(const Structure& a, const Structure& b,
 /// equal cardinalities.
 bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
                              std::size_t radius, std::size_t threshold,
-                             NeighborhoodTypeIndex& index);
+                             NeighborhoodTypeIndex& index,
+                             const ParallelPolicy& policy = {});
 
 bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
                              std::size_t radius, std::size_t threshold);
@@ -35,7 +40,9 @@ bool ThresholdHanfEquivalent(const Structure& a, const Structure& b,
 /// The largest radius r <= max_radius with a ⇆r b, or nullopt when even
 /// r = 0 fails. Balls grow with r, so ⇆r is antitone in r; this is the
 /// crossover the survey's cycle example makes vivid (two m-cycles vs one
-/// 2m-cycle satisfy ⇆r exactly while m > 2r + 1).
+/// 2m-cycle satisfy ⇆r exactly while m > 2r + 1). Radius-incremental
+/// sweeps extend each saved ball by one BFS layer per radius step instead
+/// of recomputing every ball from scratch.
 std::optional<std::size_t> LargestHanfRadius(const Structure& a,
                                              const Structure& b,
                                              std::size_t max_radius);

@@ -1,0 +1,726 @@
+#include "core/locality/locality_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "structures/graph.h"
+
+namespace fmtk {
+
+LocalityStats& LocalityStats::operator+=(const LocalityStats& other) {
+  balls_extracted += other.balls_extracted;
+  bfs_node_visits += other.bfs_node_visits;
+  canon_codes += other.canon_codes;
+  canon_hits += other.canon_hits;
+  iso_tests += other.iso_tests;
+  frontier_reuses += other.frontier_reuses;
+  return *this;
+}
+
+std::string LocalityStats::ToString() const {
+  return "balls_extracted=" + std::to_string(balls_extracted) +
+         " bfs_node_visits=" + std::to_string(bfs_node_visits) +
+         " canon_codes=" + std::to_string(canon_codes) +
+         " canon_hits=" + std::to_string(canon_hits) +
+         " iso_tests=" + std::to_string(iso_tests) +
+         " frontier_reuses=" + std::to_string(frontier_reuses);
+}
+
+LocalityEngine::LocalityEngine(const Structure& s)
+    : s_(&s),
+      domain_size_(s.domain_size()),
+      max_degree_cache_(s.signature().relation_count()),
+      scratch_(s.domain_size()) {
+  // CSR-pack the Gaifman adjacency; the nested vectors are dropped after.
+  Adjacency adj = GaifmanAdjacency(s);
+  csr_offsets_.resize(domain_size_ + 1, 0);
+  std::size_t total = 0;
+  for (Element v = 0; v < domain_size_; ++v) {
+    total += adj[v].size();
+  }
+  csr_neighbors_.reserve(total);
+  for (Element v = 0; v < domain_size_; ++v) {
+    csr_offsets_[v] = static_cast<std::uint32_t>(csr_neighbors_.size());
+    csr_neighbors_.insert(csr_neighbors_.end(), adj[v].begin(), adj[v].end());
+  }
+  csr_offsets_[domain_size_] = static_cast<std::uint32_t>(csr_neighbors_.size());
+  // Occurrence lists: tuple indices by member element, one entry per
+  // distinct member so the min-member rule in MaterializeFromBall emits
+  // every contained tuple exactly once.
+  occurrences_.resize(s.signature().relation_count());
+  for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
+    const std::vector<Tuple>& tuples = s.relation(r).tuples();
+    Occurrences& occ = occurrences_[r];
+    occ.offsets.assign(domain_size_ + 1, 0);
+    auto for_each_distinct_member = [](const Tuple& t, auto&& fn) {
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        bool repeated = false;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (t[j] == t[i]) {
+            repeated = true;
+            break;
+          }
+        }
+        if (!repeated) {
+          fn(t[i]);
+        }
+      }
+    };
+    for (const Tuple& t : tuples) {
+      for_each_distinct_member(t, [&](Element e) { ++occ.offsets[e + 1]; });
+    }
+    for (Element v = 0; v < domain_size_; ++v) {
+      occ.offsets[v + 1] += occ.offsets[v];
+    }
+    occ.tuple_index.resize(occ.offsets[domain_size_]);
+    std::vector<std::uint32_t> cursor(occ.offsets.begin(),
+                                      occ.offsets.end() - 1);
+    for (std::uint32_t idx = 0; idx < tuples.size(); ++idx) {
+      for_each_distinct_member(tuples[idx], [&](Element e) {
+        occ.tuple_index[cursor[e]++] = idx;
+      });
+    }
+  }
+}
+
+void LocalityEngine::BallInto(Scratch& scratch, const Tuple& center,
+                              std::size_t radius, std::vector<Element>& ball,
+                              std::vector<Element>* frontier,
+                              LocalityStats& stats) const {
+  const std::uint64_t gen = ++scratch.generation;
+  scratch.queue.clear();
+  for (Element e : center) {
+    FMTK_CHECK(e < domain_size_) << "ball center outside domain";
+    if (scratch.stamp[e] == gen) {
+      continue;
+    }
+    scratch.stamp[e] = gen;
+    scratch.queue.push_back(e);
+    ++stats.bfs_node_visits;
+  }
+  std::size_t layer_begin = 0;
+  std::size_t layer_end = scratch.queue.size();
+  for (std::size_t d = 0; d < radius && layer_begin < layer_end; ++d) {
+    for (std::size_t i = layer_begin; i < layer_end; ++i) {
+      const Element e = scratch.queue[i];
+      for (std::uint32_t k = csr_offsets_[e]; k < csr_offsets_[e + 1]; ++k) {
+        const Element w = csr_neighbors_[k];
+        if (scratch.stamp[w] != gen) {
+          scratch.stamp[w] = gen;
+          scratch.queue.push_back(w);
+          ++stats.bfs_node_visits;
+        }
+      }
+    }
+    layer_begin = layer_end;
+    layer_end = scratch.queue.size();
+  }
+  if (frontier != nullptr) {
+    frontier->assign(scratch.queue.begin() + layer_begin,
+                     scratch.queue.begin() + layer_end);
+  }
+  ball.assign(scratch.queue.begin(), scratch.queue.end());
+  std::sort(ball.begin(), ball.end());
+  ++stats.balls_extracted;
+}
+
+void LocalityEngine::ExtendBall(Scratch& scratch, std::vector<Element>& ball,
+                                std::vector<Element>& frontier,
+                                LocalityStats& stats) const {
+  const std::uint64_t gen = ++scratch.generation;
+  for (Element e : ball) {
+    scratch.stamp[e] = gen;
+  }
+  std::vector<Element>& next = scratch.queue;  // reused, no per-call alloc
+  next.clear();
+  for (Element e : frontier) {
+    for (std::uint32_t k = csr_offsets_[e]; k < csr_offsets_[e + 1]; ++k) {
+      const Element w = csr_neighbors_[k];
+      if (scratch.stamp[w] != gen) {
+        scratch.stamp[w] = gen;
+        next.push_back(w);
+        ++stats.bfs_node_visits;
+      }
+    }
+  }
+  ++stats.frontier_reuses;
+  if (!next.empty()) {
+    const std::size_t old_size = ball.size();
+    ball.insert(ball.end(), next.begin(), next.end());
+    std::sort(ball.begin() + old_size, ball.end());
+    std::inplace_merge(ball.begin(), ball.begin() + old_size, ball.end());
+  }
+  frontier.assign(next.begin(), next.end());
+}
+
+void LocalityEngine::IndexBall(Scratch& scratch,
+                               const std::vector<Element>& ball) {
+  const std::uint64_t gen = ++scratch.local_generation;
+  for (std::size_t i = 0; i < ball.size(); ++i) {
+    scratch.local_stamp[ball[i]] = gen;
+    scratch.local[ball[i]] = static_cast<std::uint32_t>(i);
+  }
+}
+
+Neighborhood LocalityEngine::MaterializeFromBall(
+    Scratch& scratch, const std::vector<Element>& ball,
+    const Tuple& center) const {
+  Structure induced(s_->signature_ptr(), ball.size());
+  const std::uint64_t gen = scratch.local_generation;
+  auto local_of = [&scratch, gen](Element e) -> std::optional<Element> {
+    if (scratch.local_stamp[e] != gen) {
+      return std::nullopt;
+    }
+    return static_cast<Element>(scratch.local[e]);
+  };
+  Tuple mapped;
+  for (std::size_t r = 0; r < s_->signature().relation_count(); ++r) {
+    const Relation& rel = s_->relation(r);
+    if (rel.arity() == 0) {
+      // Propositional flags have no members and thus no occurrence entries;
+      // they survive induction verbatim.
+      for (const Tuple& t : rel.tuples()) {
+        induced.AddTuple(r, t);
+      }
+      continue;
+    }
+    const Occurrences& occ = occurrences_[r];
+    const std::vector<Tuple>& tuples = rel.tuples();
+    for (Element e : ball) {
+      for (std::uint32_t k = occ.offsets[e]; k < occ.offsets[e + 1]; ++k) {
+        const Tuple& t = tuples[occ.tuple_index[k]];
+        // One pass: track the minimum (each fully-contained tuple is added
+        // exactly once, when e is its minimum element) while relabeling.
+        mapped.clear();
+        Element mn = t[0];
+        bool inside = true;
+        for (Element x : t) {
+          if (x < mn) {
+            mn = x;
+          }
+          if (inside) {
+            if (scratch.local_stamp[x] != gen) {
+              inside = false;
+            } else {
+              mapped.push_back(static_cast<Element>(scratch.local[x]));
+            }
+          }
+        }
+        if (inside && mn == e) {
+          induced.AddTuple(r, mapped);
+        }
+      }
+    }
+  }
+  for (std::size_t c = 0; c < s_->signature().constant_count(); ++c) {
+    std::optional<Element> v = s_->constant(c);
+    if (v.has_value()) {
+      std::optional<Element> lv = local_of(*v);
+      if (lv.has_value()) {
+        induced.SetConstant(c, *lv);
+      }
+    }
+  }
+  Tuple distinguished;
+  distinguished.reserve(center.size());
+  for (Element e : center) {
+    std::optional<Element> le = local_of(e);
+    FMTK_CHECK(le.has_value()) << "center must lie in its ball";
+    distinguished.push_back(*le);
+  }
+  return Neighborhood{std::move(induced), std::move(distinguished)};
+}
+
+std::size_t LocalityEngine::BallContentHash(Scratch& scratch,
+                                            const std::vector<Element>& ball,
+                                            const Tuple& center) const {
+  // Mirrors the content hash in neighborhood.cc on the materialization this
+  // ball would produce. The per-relation fold is an order-independent sum,
+  // so streaming the induced tuples in occurrence order lands on the exact
+  // value NeighborhoodContentHash would report — no Structure is built.
+  std::size_t h = ball.size();
+  VectorHash<Element> tuple_hash;
+  const std::uint64_t gen = scratch.local_generation;
+  auto local_of = [&scratch, gen](Element e) -> std::optional<Element> {
+    if (scratch.local_stamp[e] != gen) {
+      return std::nullopt;
+    }
+    return static_cast<Element>(scratch.local[e]);
+  };
+  Tuple mapped;
+  for (std::size_t r = 0; r < s_->signature().relation_count(); ++r) {
+    const Relation& rel = s_->relation(r);
+    std::size_t folded = 0;
+    std::size_t count = 0;
+    if (rel.arity() == 0) {
+      count = rel.size();
+      for (const Tuple& t : rel.tuples()) {
+        folded += tuple_hash(t);
+      }
+    } else {
+      const Occurrences& occ = occurrences_[r];
+      const std::vector<Tuple>& tuples = rel.tuples();
+      for (Element e : ball) {
+        for (std::uint32_t k = occ.offsets[e]; k < occ.offsets[e + 1]; ++k) {
+          const Tuple& t = tuples[occ.tuple_index[k]];
+          // One fused pass: track the minimum member (the tuple is emitted
+          // only at its minimum), membership of every member, and the
+          // VectorHash of the relabeled tuple (seed = size, then each local
+          // index combined in position order — bit-identical to hashing the
+          // materialized tuple).
+          Element mn = t[0];
+          bool inside = true;
+          std::size_t th = t.size();
+          for (Element x : t) {
+            if (x < mn) {
+              mn = x;
+            }
+            if (inside) {
+              if (scratch.local_stamp[x] != gen) {
+                inside = false;
+              } else {
+                HashCombine(th, static_cast<Element>(scratch.local[x]));
+              }
+            }
+          }
+          if (mn != e || !inside) {
+            continue;
+          }
+          ++count;
+          folded += th;
+        }
+      }
+    }
+    HashCombine(h, folded + count);
+  }
+  for (std::size_t c = 0; c < s_->signature().constant_count(); ++c) {
+    std::optional<Element> v = s_->constant(c);
+    std::optional<Element> lv;
+    if (v.has_value()) {
+      lv = local_of(*v);
+    }
+    HashCombine(h, lv.has_value() ? static_cast<std::size_t>(*lv) + 1 : 0);
+  }
+  mapped.clear();
+  for (Element e : center) {
+    std::optional<Element> le = local_of(e);
+    FMTK_CHECK(le.has_value()) << "center must lie in its ball";
+    mapped.push_back(*le);
+  }
+  HashCombine(h, tuple_hash(mapped));
+  return h;
+}
+
+bool LocalityEngine::BallContentMatches(Scratch& scratch,
+                                        const std::vector<Element>& ball,
+                                        const Tuple& center,
+                                        const Neighborhood& n) const {
+  // Compares the materialization this ball would produce against `n`.
+  // MaterializeFromBall inserts tuples relation-major, ball-ascending,
+  // occurrence-ascending, and Relation preserves insertion order, so a
+  // sequential walk in that same order is an exact content comparison.
+  if (n.structure.domain_size() != ball.size() ||
+      n.distinguished.size() != center.size()) {
+    return false;
+  }
+  const std::uint64_t gen = scratch.local_generation;
+  auto local_of = [&scratch, gen](Element e) -> std::optional<Element> {
+    if (scratch.local_stamp[e] != gen) {
+      return std::nullopt;
+    }
+    return static_cast<Element>(scratch.local[e]);
+  };
+  for (std::size_t i = 0; i < center.size(); ++i) {
+    std::optional<Element> le = local_of(center[i]);
+    FMTK_CHECK(le.has_value()) << "center must lie in its ball";
+    if (n.distinguished[i] != *le) {
+      return false;
+    }
+  }
+  for (std::size_t r = 0; r < s_->signature().relation_count(); ++r) {
+    const Relation& rel = s_->relation(r);
+    const std::vector<Tuple>& out = n.structure.relation(r).tuples();
+    if (rel.arity() == 0) {
+      if (out.size() != rel.size()) {
+        return false;
+      }
+      continue;
+    }
+    const Occurrences& occ = occurrences_[r];
+    const std::vector<Tuple>& tuples = rel.tuples();
+    std::size_t idx = 0;
+    for (Element e : ball) {
+      for (std::uint32_t k = occ.offsets[e]; k < occ.offsets[e + 1]; ++k) {
+        const Tuple& t = tuples[occ.tuple_index[k]];
+        // Fused min + membership pass; only fully-contained tuples at their
+        // minimum member take part in the sequential comparison, exactly as
+        // in MaterializeFromBall.
+        Element mn = t[0];
+        bool inside = true;
+        for (Element x : t) {
+          if (x < mn) {
+            mn = x;
+          }
+          if (scratch.local_stamp[x] != gen) {
+            inside = false;
+          }
+        }
+        if (mn != e || !inside) {
+          continue;
+        }
+        if (idx == out.size()) {
+          return false;
+        }
+        const Tuple& o = out[idx];
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          if (o[i] != static_cast<Element>(scratch.local[t[i]])) {
+            return false;
+          }
+        }
+        ++idx;
+      }
+    }
+    if (idx != out.size()) {
+      return false;
+    }
+  }
+  for (std::size_t c = 0; c < s_->signature().constant_count(); ++c) {
+    std::optional<Element> v = s_->constant(c);
+    std::optional<Element> lv;
+    if (v.has_value()) {
+      lv = local_of(*v);
+    }
+    if (n.structure.constant(c) != lv) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LocalityEngine::DedupResult LocalityEngine::DedupBall(
+    Scratch& scratch, ContentMemo& memo, const std::vector<Element>& ball,
+    const Tuple& center) const {
+  IndexBall(scratch, ball);
+  const std::size_t h = BallContentHash(scratch, ball, center);
+  std::vector<std::uint32_t>& row = memo.by_hash_[h];
+  for (std::uint32_t idx : row) {
+    if (BallContentMatches(scratch, ball, center, memo.entries_[idx])) {
+      return DedupResult{idx, false};
+    }
+  }
+  const auto idx = static_cast<std::uint32_t>(memo.entries_.size());
+  memo.entries_.push_back(MaterializeFromBall(scratch, ball, center));
+  row.push_back(idx);
+  return DedupResult{idx, true};
+}
+
+LocalityEngine::DedupResult LocalityEngine::DedupNeighborhoodAt(
+    ContentMemo& memo, const Tuple& center, std::size_t radius) const {
+  std::vector<Element> ball;
+  BallInto(scratch_, center, radius, ball, nullptr, stats_);
+  return DedupBall(scratch_, memo, ball, center);
+}
+
+std::vector<Element> LocalityEngine::Ball(const Tuple& center,
+                                          std::size_t radius) const {
+  std::vector<Element> ball;
+  BallInto(scratch_, center, radius, ball, nullptr, stats_);
+  return ball;
+}
+
+Neighborhood LocalityEngine::NeighborhoodAt(const Tuple& center,
+                                            std::size_t radius) const {
+  std::vector<Element> ball;
+  BallInto(scratch_, center, radius, ball, nullptr, stats_);
+  IndexBall(scratch_, ball);
+  return MaterializeFromBall(scratch_, ball, center);
+}
+
+std::optional<CanonicalCode> LocalityEngine::CodeOf(
+    const Neighborhood& n) const {
+  std::optional<CanonicalCode> code = CanonicalNeighborhoodCode(n);
+  if (code.has_value()) {
+    ++stats_.canon_codes;
+  }
+  return code;
+}
+
+std::size_t LocalityEngine::CachedMaxDegree(std::size_t rel_index) const {
+  FMTK_CHECK(rel_index < max_degree_cache_.size())
+      << "relation index out of range";
+  if (!max_degree_cache_[rel_index].has_value()) {
+    max_degree_cache_[rel_index] = MaxDegree(*s_, rel_index);
+  }
+  return *max_degree_cache_[rel_index];
+}
+
+std::map<NeighborhoodTypeIndex::TypeId, std::size_t>
+LocalityEngine::TypeHistogram(std::size_t radius, NeighborhoodTypeIndex& index,
+                              const ParallelPolicy& policy) const {
+  return HistogramCore(radius, nullptr, index, policy);
+}
+
+NeighborhoodSweep LocalityEngine::NewSweep() const {
+  return NeighborhoodSweep(this);
+}
+
+std::map<NeighborhoodTypeIndex::TypeId, std::size_t>
+LocalityEngine::HistogramCore(
+    std::size_t radius, const std::vector<std::vector<Element>>* stored_balls,
+    NeighborhoodTypeIndex& index, const ParallelPolicy& policy) const {
+  // Phase A: per-element balls deduplicated by literal content BEFORE any
+  // materialization — each ball is stream-hashed off the occurrence lists
+  // and compared against (1) the chunk's own entries and (2) the index's
+  // exact-content cache, which previous histogram passes populated with
+  // every distinct content they saw. A cache hit resolves straight to a
+  // TypeId with no Structure build and no canonicalization (the second
+  // structure of a Hanf comparison shares almost all its ball contents
+  // with the first); only genuinely novel contents are materialized and
+  // canonicalized, once each. The index is only read here — it is mutated
+  // exclusively in the merge phase, after every chunk has joined — so
+  // concurrent chunk probes are safe. Chunks are contiguous element
+  // ranges, so every per-chunk "first element" is a chunk-local minimum
+  // and the merge below recovers the global one.
+  struct LocalEntry {
+    const Neighborhood* exemplar = nullptr;  // owned or index-owned
+    Neighborhood* owned = nullptr;  // set when this chunk materialized it
+    std::optional<NeighborhoodTypeIndex::TypeId> direct;  // content-cache hit
+    std::optional<CanonicalCode> code;
+    std::size_t content_hash = 0;
+    std::size_t count = 0;
+    Element first_elem = 0;
+  };
+  struct ChunkResult {
+    std::deque<Neighborhood> owned;  // deque: stable exemplar addresses
+    std::vector<LocalEntry> entries;
+    LocalityStats stats;
+  };
+  const bool canon = index.canonical_enabled();
+  auto run_chunk = [&](Element begin, Element end, ChunkResult& out) {
+    Scratch scratch(domain_size_);
+    std::vector<Element> fresh_ball;
+    Tuple center(1);
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash;
+    constexpr std::uint32_t kNoPrev = static_cast<std::uint32_t>(-1);
+    std::uint32_t prev = kNoPrev;
+    for (Element v = begin; v < end; ++v) {
+      center[0] = v;
+      const std::vector<Element>* ball;
+      if (stored_balls != nullptr) {
+        ball = &(*stored_balls)[v];
+      } else {
+        BallInto(scratch, center, radius, fresh_ball, nullptr, out.stats);
+        ball = &fresh_ball;
+      }
+      IndexBall(scratch, *ball);
+      // Identical contents come in element-contiguous runs (shifted interior
+      // balls of a regular structure), so one streaming compare against the
+      // previous element's entry usually replaces the hash + probe. A hit
+      // lands in the exact entry the by_hash probe would have found, so the
+      // outcome is unchanged.
+      if (prev != kNoPrev && BallContentMatches(scratch, *ball, center,
+                                                *out.entries[prev].exemplar)) {
+        ++out.entries[prev].count;
+        continue;
+      }
+      const std::size_t h = BallContentHash(scratch, *ball, center);
+      std::vector<std::uint32_t>& row = by_hash[h];
+      bool merged = false;
+      for (std::uint32_t idx : row) {
+        if (BallContentMatches(scratch, *ball, center,
+                               *out.entries[idx].exemplar)) {
+          ++out.entries[idx].count;
+          prev = idx;
+          merged = true;
+          break;
+        }
+      }
+      if (merged) {
+        continue;
+      }
+      LocalEntry entry;
+      entry.count = 1;
+      entry.first_elem = v;
+      entry.content_hash = h;
+      if (auto it = index.exact_cache_.find(h);
+          it != index.exact_cache_.end()) {
+        for (const auto& [cached, cached_id] : it->second) {
+          if (BallContentMatches(scratch, *ball, center, *cached)) {
+            entry.exemplar = cached;
+            entry.direct = cached_id;
+            break;
+          }
+        }
+      }
+      if (!entry.direct.has_value()) {
+        out.owned.push_back(MaterializeFromBall(scratch, *ball, center));
+        entry.owned = &out.owned.back();
+        entry.exemplar = entry.owned;
+      }
+      prev = static_cast<std::uint32_t>(out.entries.size());
+      row.push_back(prev);
+      out.entries.push_back(std::move(entry));
+    }
+    // Canonicalization is a function of content, so once per distinct
+    // content suffices; the counters stay element-based (the entry count),
+    // which keeps them independent of the chunking.
+    for (LocalEntry& en : out.entries) {
+      if (en.direct.has_value()) {
+        continue;
+      }
+      en.code = canon ? CanonicalNeighborhoodCode(*en.exemplar) : std::nullopt;
+      if (en.code.has_value()) {
+        out.stats.canon_codes += en.count;
+      }
+    }
+  };
+  std::size_t threads = 1;
+  if (policy.enabled && domain_size_ >= policy.min_domain) {
+    threads = policy.num_threads != 0 ? policy.num_threads
+                                      : std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(1, std::min(threads, domain_size_));
+  }
+  std::vector<ChunkResult> chunks(threads);
+  if (threads == 1) {
+    run_chunk(0, static_cast<Element>(domain_size_), chunks[0]);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads - 1);
+    for (std::size_t t = 1; t < threads; ++t) {
+      const Element begin = static_cast<Element>(domain_size_ * t / threads);
+      const Element end =
+          static_cast<Element>(domain_size_ * (t + 1) / threads);
+      workers.emplace_back(
+          [&run_chunk, begin, end, &chunks, t] { run_chunk(begin, end, chunks[t]); });
+    }
+    run_chunk(0, static_cast<Element>(domain_size_ / threads), chunks[0]);
+    for (std::thread& w : workers) {
+      w.join();
+    }
+  }
+  // Phase B: deterministic merge. Counts add up, the first realizing
+  // element is the minimum over chunks, and processing in element order
+  // makes TypeId assignment — and every counter — identical to the
+  // sequential (single-chunk) run regardless of thread count. Chunks cover
+  // ascending contiguous ranges, so iterating chunk entries in order also
+  // reproduces the sequential content-registration order exactly.
+  struct Pending {
+    Element first_elem;
+    const CanonicalCode* code;  // null marks a fallback entry
+    std::size_t count;
+    const Neighborhood* exemplar;
+  };
+  std::unordered_map<CanonicalCode, std::size_t, CanonicalCodeHash> slot_of;
+  std::vector<Pending> pendings;
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> histogram;
+  std::uint64_t direct_hits = 0;
+  for (ChunkResult& chunk : chunks) {
+    for (const LocalEntry& en : chunk.entries) {
+      if (en.direct.has_value()) {
+        histogram[*en.direct] += en.count;
+        direct_hits += en.count;
+      } else if (en.code.has_value()) {
+        auto [it, inserted] = slot_of.try_emplace(*en.code, pendings.size());
+        if (inserted) {
+          pendings.push_back(
+              Pending{en.first_elem, &it->first, en.count, en.exemplar});
+        } else {
+          Pending& p = pendings[it->second];
+          p.count += en.count;
+          if (en.first_elem < p.first_elem) {
+            p.first_elem = en.first_elem;
+            p.exemplar = en.exemplar;
+          }
+        }
+      } else {
+        pendings.push_back(
+            Pending{en.first_elem, nullptr, en.count, en.exemplar});
+      }
+    }
+  }
+  std::vector<std::size_t> order(pendings.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&pendings](std::size_t a,
+                                                    std::size_t b) {
+    return pendings[a].first_elem < pendings[b].first_elem;
+  });
+  std::vector<NeighborhoodTypeIndex::TypeId> id_of(pendings.size(), 0);
+  LocalityStats merge_stats;
+  for (std::size_t i : order) {
+    const Pending& p = pendings[i];
+    if (p.code != nullptr) {
+      NeighborhoodTypeIndex::Resolution res = index.Resolve(*p.code,
+                                                            *p.exemplar);
+      merge_stats.canon_hits += (res.was_new ? 0 : 1) + (p.count - 1);
+      histogram[res.id] += p.count;
+      id_of[i] = res.id;
+    } else {
+      const std::uint64_t before = index.stats().iso_tests;
+      const NeighborhoodTypeIndex::TypeId id =
+          index.FallbackTypeOf(*p.exemplar);
+      merge_stats.iso_tests += index.stats().iso_tests - before;
+      histogram[id] += p.count;
+      id_of[i] = id;
+    }
+  }
+  // Register every distinct coded content so later passes — in particular
+  // the other structure of a Hanf comparison sharing this index — resolve
+  // it by content probe alone. This is the chunk exemplars' last use, so
+  // ownership moves into the index instead of copying.
+  for (ChunkResult& chunk : chunks) {
+    for (LocalEntry& en : chunk.entries) {
+      if (en.code.has_value() && en.owned != nullptr) {
+        index.RegisterContent(std::move(*en.owned),
+                              id_of[slot_of.at(*en.code)], en.content_hash);
+      }
+    }
+  }
+  index.stats_.exact_hits += direct_hits;
+  for (const ChunkResult& chunk : chunks) {
+    stats_ += chunk.stats;
+  }
+  stats_ += merge_stats;
+  return histogram;
+}
+
+NeighborhoodSweep::NeighborhoodSweep(const LocalityEngine* engine)
+    : engine_(engine),
+      balls_(engine->domain_size()),
+      frontiers_(engine->domain_size()) {
+  for (Element v = 0; v < engine_->domain_size(); ++v) {
+    balls_[v] = {v};
+    frontiers_[v] = {v};
+  }
+  engine_->stats_.balls_extracted += engine_->domain_size();
+  engine_->stats_.bfs_node_visits += engine_->domain_size();
+}
+
+const std::vector<Element>& NeighborhoodSweep::BallOf(Element v) const {
+  FMTK_CHECK(v < balls_.size()) << "element outside domain";
+  return balls_[v];
+}
+
+std::map<NeighborhoodTypeIndex::TypeId, std::size_t>
+NeighborhoodSweep::HistogramAt(std::size_t radius,
+                               NeighborhoodTypeIndex& index,
+                               const ParallelPolicy& policy) {
+  FMTK_CHECK(radius >= radius_) << "sweep radii must be nondecreasing";
+  while (radius_ < radius) {
+    for (Element v = 0; v < engine_->domain_size(); ++v) {
+      engine_->ExtendBall(engine_->scratch_, balls_[v], frontiers_[v],
+                          engine_->stats_);
+    }
+    ++radius_;
+  }
+  return engine_->HistogramCore(radius_, &balls_, index, policy);
+}
+
+}  // namespace fmtk

@@ -1,0 +1,239 @@
+#ifndef FMTK_CORE_LOCALITY_LOCALITY_ENGINE_H_
+#define FMTK_CORE_LOCALITY_LOCALITY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/parallel.h"
+#include "core/locality/neighborhood.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+/// Counters for the locality engine, in the style of EvalStats / GameStats /
+/// DatalogStats. Deterministic: a parallel histogram run reports exactly the
+/// numbers of the sequential run.
+struct LocalityStats {
+  /// Balls extracted by a fresh bounded BFS (radius-incremental extensions
+  /// are counted under frontier_reuses instead).
+  std::uint64_t balls_extracted = 0;
+  /// Nodes discovered across all bounded-BFS work (stamped first visits).
+  std::uint64_t bfs_node_visits = 0;
+  /// Canonical codes computed.
+  std::uint64_t canon_codes = 0;
+  /// Types resolved by a canonical-code probe (no isomorphism search).
+  std::uint64_t canon_hits = 0;
+  /// Exact AreIsomorphic runs on the fallback path.
+  std::uint64_t iso_tests = 0;
+  /// Balls grown from the saved frontier of the previous radius instead of
+  /// being recomputed from scratch.
+  std::uint64_t frontier_reuses = 0;
+
+  LocalityStats& operator+=(const LocalityStats& other);
+
+  /// e.g. "balls_extracted=12 bfs_node_visits=40 ... frontier_reuses=0".
+  std::string ToString() const;
+};
+
+class LocalityEngine;
+
+/// Per-element saved balls and frontiers for radius-incremental histogram
+/// sweeps: HistogramAt(r+1) extends each ball by one BFS layer from the
+/// frontier saved at radius r — every node and edge is still visited at
+/// most once across the whole sweep, so a loop over radii 0..R costs what a
+/// single radius-R histogram pass costs in BFS work. Radii must be
+/// nondecreasing. Valid only while its engine (and the engine's structure)
+/// is alive.
+class NeighborhoodSweep {
+ public:
+  std::size_t radius() const { return radius_; }
+
+  /// The r-neighborhood type histogram at `radius` (>= the current radius).
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> HistogramAt(
+      std::size_t radius, NeighborhoodTypeIndex& index,
+      const ParallelPolicy& policy = {});
+
+  /// The current-radius ball of `v`, sorted ascending.
+  const std::vector<Element>& BallOf(Element v) const;
+
+ private:
+  friend class LocalityEngine;
+  explicit NeighborhoodSweep(const LocalityEngine* engine);
+
+  const LocalityEngine* engine_;
+  std::size_t radius_ = 0;
+  std::vector<std::vector<Element>> balls_;      // sorted
+  std::vector<std::vector<Element>> frontiers_;  // nodes at distance radius_
+};
+
+/// Shared per-structure context for the locality toolbox: the Gaifman
+/// adjacency CSR-packed once, tuple-occurrence lists for O(|ball|)
+/// neighborhood materialization, and generation-stamped BFS scratch so ball
+/// extraction touches only O(|ball|) memory with no per-call O(n)
+/// allocations. The referenced structure must outlive the engine.
+///
+/// Thread-safety: const methods are safe to call from one thread at a time
+/// (they share the internal scratch); TypeHistogram fans out internally
+/// with per-thread scratch when given an enabled ParallelPolicy.
+class LocalityEngine {
+ public:
+  explicit LocalityEngine(const Structure& s);
+
+  const Structure& structure() const { return *s_; }
+  std::size_t domain_size() const { return domain_size_; }
+
+  /// B_r(ā), sorted ascending. Bounded BFS over the cached adjacency.
+  std::vector<Element> Ball(const Tuple& center, std::size_t radius) const;
+
+  /// N_r(ā): materialized from occurrence lists in O(|ball| + local tuples)
+  /// rather than a scan of every tuple of the structure. Equal (as a
+  /// structure, set semantics) to NeighborhoodOf on the same inputs.
+  Neighborhood NeighborhoodAt(const Tuple& center, std::size_t radius) const;
+
+  /// Multiset of the r-neighborhood types of all single points. With an
+  /// enabled policy the per-element work (ball extraction, neighborhood
+  /// materialization, canonicalization) fans out across threads into
+  /// thread-local code->count maps which are then merged and interned in
+  /// one deterministic pass ordered by first realizing element — TypeIds,
+  /// histograms, and stats are bit-identical to the sequential run.
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> TypeHistogram(
+      std::size_t radius, NeighborhoodTypeIndex& index,
+      const ParallelPolicy& policy = {}) const;
+
+  /// A radius-incremental sweep positioned at radius 0.
+  NeighborhoodSweep NewSweep() const;
+
+  /// Canonical code of a neighborhood, counted in stats(). Convenience for
+  /// callers that intern codes themselves (the Gaifman-locality search).
+  std::optional<CanonicalCode> CodeOf(const Neighborhood& n) const;
+
+  /// The distinct literal neighborhood contents seen by DedupNeighborhoodAt
+  /// calls sharing this memo. Exemplar references stay valid for the memo's
+  /// lifetime (entries live in a deque).
+  class ContentMemo {
+   public:
+    std::size_t size() const { return entries_.size(); }
+    const Neighborhood& exemplar(std::size_t entry) const {
+      return entries_[entry];
+    }
+
+   private:
+    friend class LocalityEngine;
+    std::deque<Neighborhood> entries_;
+    // Content hash -> entry indices with that hash.
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash_;
+  };
+
+  struct DedupResult {
+    std::size_t entry;  // index into the memo
+    bool was_new;       // first occurrence of this content
+  };
+
+  /// NeighborhoodAt deduplicated by literal content. The r-ball of `center`
+  /// is hashed and compared against the memo's entries by streaming the
+  /// would-be induced tuples straight off the occurrence lists — a repeat
+  /// content (shifted tuples of a regular structure produce long runs of
+  /// them) costs one allocation-free comparison instead of a Structure
+  /// build; only a novel content is materialized.
+  DedupResult DedupNeighborhoodAt(ContentMemo& memo, const Tuple& center,
+                                  std::size_t radius) const;
+
+  /// MaxDegree(structure, rel_index), computed once per engine and cached;
+  /// the BNDP profiler calls this once per observation.
+  std::size_t CachedMaxDegree(std::size_t rel_index) const;
+
+  const LocalityStats& stats() const { return stats_; }
+
+ private:
+  friend class NeighborhoodSweep;
+
+  struct Scratch {
+    explicit Scratch(std::size_t n)
+        : stamp(n, 0), local_stamp(n, 0), local(n, 0) {}
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t generation = 0;
+    std::vector<Element> queue;  // discovery order of the current ball
+    // O(1) global element -> local ball index, filled by IndexBall for the
+    // most recently indexed ball (stamped, so no clearing between balls).
+    std::vector<std::uint64_t> local_stamp;
+    std::uint64_t local_generation = 0;
+    std::vector<std::uint32_t> local;
+  };
+
+  // Publishes `ball` (sorted) as the current ball of `scratch`: afterwards
+  // the streaming probes and MaterializeFromBall resolve membership and
+  // local indices in O(1) instead of a binary search per tuple component.
+  static void IndexBall(Scratch& scratch, const std::vector<Element>& ball);
+
+  // Bounded BFS from `center` into `ball` (sorted on return). When
+  // `frontier` is non-null it receives the nodes at distance exactly
+  // `radius` (discovery order) — the seed for a later one-layer extension.
+  void BallInto(Scratch& scratch, const Tuple& center, std::size_t radius,
+                std::vector<Element>& ball, std::vector<Element>* frontier,
+                LocalityStats& stats) const;
+
+  // Grows a sorted ball by one BFS layer from `frontier` (replaced by the
+  // new layer). Members of `ball` must be exactly the nodes within the
+  // current radius.
+  void ExtendBall(Scratch& scratch, std::vector<Element>& ball,
+                  std::vector<Element>& frontier, LocalityStats& stats) const;
+
+  // Induced substructure of a sorted ball with `center` distinguished.
+  // `scratch` must have the ball indexed (IndexBall).
+  Neighborhood MaterializeFromBall(Scratch& scratch,
+                                   const std::vector<Element>& ball,
+                                   const Tuple& center) const;
+
+  // Streaming content probes computed directly from a sorted ball + center
+  // via the occurrence lists, with no materialization: BallContentHash
+  // equals internal::NeighborhoodContentHash of the neighborhood
+  // MaterializeFromBall would build, and BallContentMatches compares that
+  // would-be neighborhood against `n` tuple-by-tuple in insertion order.
+  // `scratch` must have the ball indexed (IndexBall).
+  std::size_t BallContentHash(Scratch& scratch,
+                              const std::vector<Element>& ball,
+                              const Tuple& center) const;
+  bool BallContentMatches(Scratch& scratch, const std::vector<Element>& ball,
+                          const Tuple& center, const Neighborhood& n) const;
+
+  // DedupNeighborhoodAt on an already-extracted sorted ball (indexes it
+  // into `scratch` itself).
+  DedupResult DedupBall(Scratch& scratch, ContentMemo& memo,
+                        const std::vector<Element>& ball,
+                        const Tuple& center) const;
+
+  // Shared implementation of TypeHistogram / NeighborhoodSweep::HistogramAt:
+  // balls either come from `stored_balls` or from a fresh bounded BFS at
+  // `radius`.
+  std::map<NeighborhoodTypeIndex::TypeId, std::size_t> HistogramCore(
+      std::size_t radius,
+      const std::vector<std::vector<Element>>* stored_balls,
+      NeighborhoodTypeIndex& index, const ParallelPolicy& policy) const;
+
+  const Structure* s_;
+  std::size_t domain_size_;
+  // Gaifman adjacency, CSR-packed: neighbors of v are
+  // csr_neighbors_[csr_offsets_[v] .. csr_offsets_[v + 1]).
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<Element> csr_neighbors_;
+  // Per relation: CSR of tuple indices by member element, each tuple listed
+  // once per *distinct* member (repeated components recorded once).
+  struct Occurrences {
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> tuple_index;
+  };
+  std::vector<Occurrences> occurrences_;
+  mutable std::vector<std::optional<std::size_t>> max_degree_cache_;
+  mutable Scratch scratch_;
+  mutable LocalityStats stats_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_CORE_LOCALITY_LOCALITY_ENGINE_H_

@@ -443,26 +443,95 @@ std::size_t IsomorphismInvariant(const Structure& s,
     }
     color[e] = h;
   }
-  // 1-WL refinement over the Gaifman graph, n rounds (refining a partition
-  // of n elements stabilizes within n rounds; hash colors make detecting
-  // stabilization unreliable, so just run the full count — structures here
-  // are small).
-  for (std::size_t round = 0; round < n; ++round) {
-    std::vector<std::size_t> next(n);
+  // 1-WL refinement over the Gaifman graph. Refining a partition of n
+  // elements stabilizes within n rounds; hashed colors alone make detecting
+  // that unreliable, so stabilization is checked exactly on the round's
+  // per-element signature vectors (color, sorted neighbor colors): the
+  // partition is stable once equal-color elements share identical vectors.
+  // The remaining rounds then run on the class quotient — after
+  // stabilization every class evolves uniformly and classes are exactly
+  // the color values, so one representative per class reproduces the full
+  // per-element iteration bit for bit, hash collisions included.
+  std::size_t round = 0;
+  bool stable = false;
+  std::vector<std::vector<std::size_t>> sigs(n);
+  while (round < n && !stable) {
     for (Element e = 0; e < n; ++e) {
-      std::vector<std::size_t> neighbor_colors;
-      neighbor_colors.reserve(adjacency[e].size());
+      std::vector<std::size_t>& sig = sigs[e];
+      sig.clear();
+      sig.reserve(adjacency[e].size() + 1);
+      sig.push_back(color[e]);
       for (Element w : adjacency[e]) {
-        neighbor_colors.push_back(color[w]);
+        sig.push_back(color[w]);
       }
-      std::sort(neighbor_colors.begin(), neighbor_colors.end());
-      std::size_t h = color[e];
-      for (std::size_t c : neighbor_colors) {
-        HashCombine(h, c);
-      }
-      next[e] = h;
+      std::sort(sig.begin() + 1, sig.end());
     }
-    color = std::move(next);
+    std::unordered_map<std::size_t, Element> rep_of;
+    stable = true;
+    for (Element e = 0; e < n && stable; ++e) {
+      auto [it, inserted] = rep_of.try_emplace(color[e], e);
+      if (!inserted && sigs[e] != sigs[it->second]) {
+        stable = false;
+      }
+    }
+    if (stable) {
+      break;  // this round and the remaining ones run on the quotient
+    }
+    for (Element e = 0; e < n; ++e) {
+      std::size_t h = sigs[e][0];
+      for (std::size_t i = 1; i < sigs[e].size(); ++i) {
+        HashCombine(h, sigs[e][i]);
+      }
+      color[e] = h;
+    }
+    ++round;
+  }
+  if (round < n) {
+    // Quotient fast-forward. Classes are the distinct color values at
+    // stabilization; the color<->class bijection there makes every
+    // member's neighbor-class multiset equal to its representative's, so
+    // iterating per class computes exactly the per-element values.
+    std::unordered_map<std::size_t, std::size_t> class_of_color;
+    std::vector<std::size_t> class_color;
+    std::vector<Element> rep;
+    std::vector<std::size_t> class_of(n);
+    for (Element e = 0; e < n; ++e) {
+      auto [it, inserted] =
+          class_of_color.try_emplace(color[e], class_color.size());
+      if (inserted) {
+        class_color.push_back(color[e]);
+        rep.push_back(e);
+      }
+      class_of[e] = it->second;
+    }
+    const std::size_t k = class_color.size();
+    std::vector<std::vector<std::size_t>> neighbor_classes(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      neighbor_classes[c].reserve(adjacency[rep[c]].size());
+      for (Element w : adjacency[rep[c]]) {
+        neighbor_classes[c].push_back(class_of[w]);
+      }
+    }
+    std::vector<std::size_t> neighbor_colors;
+    for (; round < n; ++round) {
+      std::vector<std::size_t> next(k);
+      for (std::size_t c = 0; c < k; ++c) {
+        neighbor_colors.clear();
+        for (std::size_t nc : neighbor_classes[c]) {
+          neighbor_colors.push_back(class_color[nc]);
+        }
+        std::sort(neighbor_colors.begin(), neighbor_colors.end());
+        std::size_t h = class_color[c];
+        for (std::size_t cc : neighbor_colors) {
+          HashCombine(h, cc);
+        }
+        next[c] = h;
+      }
+      class_color = std::move(next);
+    }
+    for (Element e = 0; e < n; ++e) {
+      color[e] = class_color[class_of[e]];
+    }
   }
   // Hash: domain size, relation sizes, sorted color multiset, and the colors
   // of the distinguished positions in order.

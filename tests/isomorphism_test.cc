@@ -1,8 +1,13 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include <random>
+#include <vector>
 
+#include "base/hash.h"
 #include "structures/generators.h"
+#include "structures/graph.h"
 #include "structures/isomorphism.h"
 
 namespace fmtk {
@@ -184,6 +189,94 @@ TEST(InvariantTest, DiscriminatesBasicFamilies) {
 TEST(InvariantTest, DistinguishedPositionMatters) {
   Structure p = MakeDirectedPath(5);
   EXPECT_NE(IsomorphismInvariant(p, {0}), IsomorphismInvariant(p, {2}));
+}
+
+
+// Pins the early-stopping IsomorphismInvariant to the original definition:
+// initial colors, then n unconditional 1-WL rounds over the Gaifman graph,
+// then the final fold. The production version stops refining once the color
+// partition stabilizes and fast-forwards the remaining rounds on the class
+// quotient; this reference runs every round per element. The results must
+// be bit-identical, hash collisions included.
+std::size_t ReferenceInvariant(const Structure& s, const Tuple& distinguished) {
+  const std::size_t n = s.domain_size();
+  Adjacency adjacency = GaifmanAdjacency(s);
+  std::vector<std::size_t> color(n);
+  for (Element e = 0; e < n; ++e) {
+    std::size_t h = 0x517cc1b727220a95ULL;
+    for (std::size_t v : AtomicInvariantOf(s, e)) {
+      HashCombine(h, v);
+    }
+    for (std::size_t i = 0; i < distinguished.size(); ++i) {
+      if (distinguished[i] == e) {
+        HashCombine(h, i + 1);
+      }
+    }
+    std::vector<std::size_t> profile = BfsDistances(adjacency, {e});
+    std::sort(profile.begin(), profile.end());
+    for (std::size_t d : profile) {
+      HashCombine(h, d);
+    }
+    color[e] = h;
+  }
+  for (std::size_t round = 0; round < n; ++round) {
+    std::vector<std::size_t> next(n);
+    for (Element e = 0; e < n; ++e) {
+      std::vector<std::size_t> neighbor_colors;
+      neighbor_colors.reserve(adjacency[e].size());
+      for (Element w : adjacency[e]) {
+        neighbor_colors.push_back(color[w]);
+      }
+      std::sort(neighbor_colors.begin(), neighbor_colors.end());
+      std::size_t h = color[e];
+      for (std::size_t c : neighbor_colors) {
+        HashCombine(h, c);
+      }
+      next[e] = h;
+    }
+    color = std::move(next);
+  }
+  std::size_t seed = n;
+  for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
+    HashCombine(seed, s.relation(r).size());
+  }
+  std::vector<std::size_t> sorted_colors = color;
+  std::sort(sorted_colors.begin(), sorted_colors.end());
+  for (std::size_t c : sorted_colors) {
+    HashCombine(seed, c);
+  }
+  for (Element e : distinguished) {
+    HashCombine(seed, e < n ? color[e] : static_cast<std::size_t>(-1));
+  }
+  return seed;
+}
+
+TEST(InvariantTest, EarlyStopMatchesFullRoundReference) {
+  std::vector<Structure> pool;
+  pool.push_back(MakeDirectedPath(7));
+  pool.push_back(MakeDirectedCycle(9));
+  pool.push_back(MakeDisjointCycles(2, 4));
+  pool.push_back(MakePathPlusCycle(4));
+  pool.push_back(MakeFullBinaryTree(3));
+  pool.push_back(MakeGrid(3, 4));
+  pool.push_back(MakeCompleteGraph(5));
+  pool.push_back(MakeEmptyGraph(5));
+  pool.push_back(MakeSet(4));
+  pool.push_back(MakeLinearOrder(6));
+  std::mt19937_64 rng(20260807);
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(MakeRandomGraph(11, 0.2, rng));
+    pool.push_back(MakeRandomGraph(8, 0.5, rng));
+  }
+  for (const Structure& s : pool) {
+    EXPECT_EQ(IsomorphismInvariant(s), ReferenceInvariant(s, {}));
+    if (s.domain_size() >= 3) {
+      const Tuple one = {1};
+      const Tuple two = {2, 0};
+      EXPECT_EQ(IsomorphismInvariant(s, one), ReferenceInvariant(s, one));
+      EXPECT_EQ(IsomorphismInvariant(s, two), ReferenceInvariant(s, two));
+    }
+  }
 }
 
 }  // namespace
