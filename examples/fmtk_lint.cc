@@ -1,0 +1,268 @@
+// fmtk_lint — the static query analyzer as a command-line linter.
+//
+//   fmtk_lint [options] <file>...
+//   fmtk_lint [options] -e "<formula or program>"
+//
+// Each input is an FO formula (logic/parser.h surface syntax) or a Datalog
+// program (datalog/program.h syntax; detected by ':-' or forced with
+// --datalog). Diagnostics carry stable FMTK### codes: FMTK0xx for formulas,
+// FMTK1xx for programs (see DESIGN.md for the full table).
+//
+// Options:
+//   --datalog            treat inputs as Datalog programs
+//   --formula            treat inputs as FO formulas (overrides detection)
+//   --structure <file>   check vocabulary against this structure's signature
+//   --signature "<sig>"  inline signature, e.g. "E/2,P/1;c,d"
+//   --query              FO: enforce safe-range (query profile; FMTK010/011
+//                        become errors). Default: model-check profile.
+//   --output <p[,q]>     Datalog: output predicates for reachability
+//                        analysis (FMTK106)
+//   --json               print diagnostics as a JSON array
+//   -e "<text>"          lint the argument instead of a file
+//
+// Exit status: 0 when every input is error-clean (warnings and notes are
+// fine), 1 when any diagnostic of severity error was reported, 2 on usage,
+// I/O or parse failures.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/datalog_analyzer.h"
+#include "analysis/diagnostics.h"
+#include "analysis/fo_analyzer.h"
+#include "base/string_util.h"
+#include "datalog/program.h"
+#include "logic/parser.h"
+#include "structures/io.h"
+#include "structures/signature.h"
+
+namespace {
+
+using fmtk::DatalogAnalysis;
+using fmtk::FoAnalysis;
+using fmtk::Result;
+using fmtk::Signature;
+using fmtk::Status;
+
+struct LintOptions {
+  enum class Mode { kAuto, kFormula, kDatalog };
+  Mode mode = Mode::kAuto;
+  bool query_profile = false;
+  bool json = false;
+  std::shared_ptr<const Signature> signature;  // null = skip vocab checks
+  std::vector<std::string> outputs;
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// "E/2,P/1;c,d" -> Signature. The part after ';' (optional) lists constants.
+Result<std::shared_ptr<const Signature>> ParseInlineSignature(
+    const std::string& text) {
+  auto signature = std::make_shared<Signature>();
+  const std::size_t semi = text.find(';');
+  const std::string relations = text.substr(0, semi);
+  for (const std::string& part : fmtk::Split(relations, ',')) {
+    const std::string entry(fmtk::StripWhitespace(part));
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t slash = entry.find('/');
+    if (slash == std::string::npos) {
+      return Status::InvalidArgument("signature entry '" + entry +
+                                     "' is not of the form name/arity");
+    }
+    const std::string name = entry.substr(0, slash);
+    if (signature->FindRelation(name).has_value()) {
+      return Status::InvalidArgument("duplicate relation '" + name +
+                                     "' in signature");
+    }
+    try {
+      signature->AddRelation(name, std::stoul(entry.substr(slash + 1)));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad arity in signature entry '" +
+                                     entry + "'");
+    }
+  }
+  if (semi != std::string::npos) {
+    for (const std::string& part :
+         fmtk::Split(text.substr(semi + 1), ',')) {
+      const std::string name(fmtk::StripWhitespace(part));
+      if (!name.empty() && !signature->FindConstant(name).has_value()) {
+        signature->AddConstant(name);
+      }
+    }
+  }
+  return std::shared_ptr<const Signature>(std::move(signature));
+}
+
+bool LooksLikeDatalog(const std::string& text) {
+  return text.find(":-") != std::string::npos;
+}
+
+void PrintReport(const std::string& label,
+                 const fmtk::DiagnosticSink& diagnostics,
+                 const std::string& source, bool json,
+                 const std::vector<std::string>& summary) {
+  if (json) {
+    std::printf("%s\n", diagnostics.ToJson().c_str());
+    return;
+  }
+  if (!diagnostics.empty()) {
+    std::printf("%s", diagnostics.ToText(source).c_str());
+  }
+  std::printf("%s: %zu error(s), %zu warning(s)", label.c_str(),
+              diagnostics.error_count(), diagnostics.warning_count());
+  for (const std::string& line : summary) {
+    std::printf("; %s", line.c_str());
+  }
+  std::printf("\n");
+}
+
+// Returns 0/1/2 like the tool's exit status.
+int LintFormula(const std::string& label, const std::string& text,
+                const LintOptions& options) {
+  Result<fmtk::ParsedFormula> parsed =
+      fmtk::ParseFormulaWithSpans(text, options.signature.get());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                 parsed.status().ToString().c_str());
+    return 2;
+  }
+  fmtk::FoAnalyzerOptions analyzer_options;
+  analyzer_options.signature = options.signature.get();
+  analyzer_options.spans = &parsed->spans;
+  analyzer_options.profile = options.query_profile
+                                 ? fmtk::FoProfile::kQuery
+                                 : fmtk::FoProfile::kModelCheck;
+  const FoAnalysis analysis =
+      fmtk::AnalyzeFormula(parsed->formula, analyzer_options);
+  std::vector<std::string> summary;
+  summary.push_back(
+      "qr=" + std::to_string(analysis.quantifier_rank) +
+      " width=" + std::to_string(analysis.variable_width) +
+      " free=" + std::to_string(analysis.free_variables.size()));
+  summary.push_back(analysis.safe_range ? "safe-range" : "not safe-range");
+  PrintReport(label, analysis.diagnostics, text, options.json, summary);
+  return analysis.ok() ? 0 : 1;
+}
+
+int LintDatalog(const std::string& label, const std::string& text,
+                const LintOptions& options) {
+  Result<fmtk::DatalogProgram> program =
+      fmtk::ParseDatalogProgram(text, /*validate=*/false);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                 program.status().ToString().c_str());
+    return 2;
+  }
+  fmtk::DatalogAnalyzerOptions analyzer_options;
+  analyzer_options.signature = options.signature.get();
+  analyzer_options.outputs = options.outputs;
+  const DatalogAnalysis analysis =
+      fmtk::AnalyzeProgram(*program, analyzer_options);
+  std::vector<std::string> summary = analysis.RecursionSummary();
+  PrintReport(label, analysis.diagnostics, text, options.json, summary);
+  return analysis.ok() ? 0 : 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: fmtk_lint [--datalog|--formula] [--structure <file>]\n"
+      "                 [--signature \"E/2,P/1;c\"] [--query]\n"
+      "                 [--output p[,q]] [--json] (<file>... | -e <text>)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  std::vector<std::pair<std::string, std::string>> inputs;  // label, text
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--datalog") {
+      options.mode = LintOptions::Mode::kDatalog;
+    } else if (arg == "--formula") {
+      options.mode = LintOptions::Mode::kFormula;
+    } else if (arg == "--query") {
+      options.query_profile = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--structure" && i + 1 < argc) {
+      Result<std::string> text = ReadFile(argv[++i]);
+      if (!text.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     text.status().ToString().c_str());
+        return 2;
+      }
+      Result<fmtk::Structure> parsed = fmtk::ParseStructure(*text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      options.signature =
+          std::make_shared<Signature>(parsed->signature());
+    } else if (arg == "--signature" && i + 1 < argc) {
+      Result<std::shared_ptr<const Signature>> parsed =
+          ParseInlineSignature(argv[++i]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      options.signature = *parsed;
+    } else if (arg == "--output" && i + 1 < argc) {
+      for (const std::string& p : fmtk::Split(argv[++i], ',')) {
+        const std::string name(fmtk::StripWhitespace(p));
+        if (!name.empty()) {
+          options.outputs.push_back(name);
+        }
+      }
+    } else if (arg == "-e" && i + 1 < argc) {
+      inputs.emplace_back("<arg>", argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  for (const std::string& file : files) {
+    Result<std::string> text = ReadFile(file);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    inputs.emplace_back(file, *text);
+  }
+  if (inputs.empty()) {
+    return Usage();
+  }
+  int exit_code = 0;
+  for (const auto& [label, text] : inputs) {
+    const bool datalog =
+        options.mode == LintOptions::Mode::kDatalog ||
+        (options.mode == LintOptions::Mode::kAuto && LooksLikeDatalog(text));
+    const int code = datalog ? LintDatalog(label, text, options)
+                             : LintFormula(label, text, options);
+    if (code > exit_code) {
+      exit_code = code;
+    }
+  }
+  return exit_code;
+}

@@ -1,0 +1,367 @@
+#include "analysis/datalog_analyzer.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace fmtk {
+
+namespace {
+
+// Local renderings of atoms and rules. fmtk_analysis deliberately uses only
+// the header-level datalog types (no fmtk_datalog object code): fmtk_datalog
+// links against this library for Validate(), not the other way around.
+std::string FormatAtom(const DlAtom& atom) {
+  std::string out = atom.predicate + "(";
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += atom.terms[i].is_variable ? atom.terms[i].variable
+                                     : std::to_string(atom.terms[i].value);
+  }
+  out += ")";
+  return out;
+}
+
+std::string FormatRule(const DlRule& rule) {
+  std::string out = FormatAtom(rule.head);
+  if (!rule.body.empty()) {
+    out += " :- ";
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += FormatAtom(rule.body[i]);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+/// Iterative Tarjan over the IDB predicate dependency graph (edges point
+/// from a head to the IDB predicates its rules' bodies use). Tarjan pops
+/// components sinks-first, which for dependency edges is exactly the
+/// dependencies-first (bottom-up evaluation) order the analysis promises.
+class TarjanScc {
+ public:
+  TarjanScc(const std::vector<std::string>& nodes,
+            const std::map<std::string, std::set<std::string>>& edges)
+      : nodes_(nodes), edges_(edges) {}
+
+  std::vector<std::vector<std::string>> Run() {
+    for (const std::string& node : nodes_) {
+      if (index_.find(node) == index_.end()) {
+        Visit(node);
+      }
+    }
+    return components_;
+  }
+
+ private:
+  struct Frame {
+    std::string node;
+    std::vector<std::string> successors;
+    std::size_t next = 0;
+  };
+
+  void Visit(const std::string& root) {
+    std::vector<Frame> call_stack;
+    call_stack.push_back(MakeFrame(root));
+    Open(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      if (frame.next < frame.successors.size()) {
+        const std::string successor = frame.successors[frame.next++];
+        auto it = index_.find(successor);
+        if (it == index_.end()) {
+          Open(successor);
+          call_stack.push_back(MakeFrame(successor));
+        } else if (on_stack_.count(successor) > 0) {
+          lowlink_[frame.node] =
+              std::min(lowlink_[frame.node], it->second);
+        }
+        continue;
+      }
+      const std::string node = frame.node;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        lowlink_[call_stack.back().node] =
+            std::min(lowlink_[call_stack.back().node], lowlink_[node]);
+      }
+      if (lowlink_[node] == index_[node]) {
+        std::vector<std::string> component;
+        while (true) {
+          const std::string member = stack_.back();
+          stack_.pop_back();
+          on_stack_.erase(member);
+          component.push_back(member);
+          if (member == node) {
+            break;
+          }
+        }
+        std::sort(component.begin(), component.end());
+        components_.push_back(std::move(component));
+      }
+    }
+  }
+
+  Frame MakeFrame(const std::string& node) {
+    Frame frame;
+    frame.node = node;
+    auto it = edges_.find(node);
+    if (it != edges_.end()) {
+      frame.successors.assign(it->second.begin(), it->second.end());
+    }
+    return frame;
+  }
+
+  void Open(const std::string& node) {
+    index_[node] = next_index_;
+    lowlink_[node] = next_index_;
+    ++next_index_;
+    stack_.push_back(node);
+    on_stack_.insert(node);
+  }
+
+  const std::vector<std::string>& nodes_;
+  const std::map<std::string, std::set<std::string>>& edges_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::size_t> lowlink_;
+  std::vector<std::string> stack_;
+  std::unordered_set<std::string> on_stack_;
+  std::size_t next_index_ = 0;
+  std::vector<std::vector<std::string>> components_;
+};
+
+}  // namespace
+
+std::string DatalogSccInfo::ToString() const {
+  std::string out = "{" + Join(predicates, ",") + "} ";
+  if (!recursive) {
+    out += "non-recursive";
+  } else if (linear) {
+    out += "linear recursion";
+  } else {
+    out += "nonlinear recursion (" + std::to_string(max_recursive_atoms) +
+           " recursive atoms)";
+  }
+  return out;
+}
+
+std::vector<std::string> DatalogAnalysis::RecursionSummary() const {
+  std::vector<std::string> out;
+  out.reserve(sccs.size());
+  for (const DatalogSccInfo& scc : sccs) {
+    out.push_back(scc.ToString());
+  }
+  return out;
+}
+
+DatalogAnalysis AnalyzeProgram(const DatalogProgram& program,
+                               const DatalogAnalyzerOptions& options) {
+  DatalogAnalysis analysis;
+  const std::vector<DlRule>& rules = program.rules();
+
+  for (const DlRule& rule : rules) {
+    analysis.idb_predicates.insert(rule.head.predicate);
+  }
+  for (const DlRule& rule : rules) {
+    for (const DlAtom& atom : rule.body) {
+      if (analysis.idb_predicates.count(atom.predicate) == 0) {
+        analysis.edb_predicates.insert(atom.predicate);
+      }
+    }
+  }
+
+  // --- per-predicate arity consistency (FMTK101) --------------------------
+  // The first occurrence (scanning heads then bodies, rule order) fixes the
+  // arity; later deviating occurrences are flagged where they appear.
+  std::map<std::string, std::size_t> arity_of;
+  std::map<std::string, const DlAtom*> first_use;
+  const auto check_arity = [&](const DlAtom& atom) {
+    auto [it, inserted] = arity_of.emplace(atom.predicate,
+                                           atom.terms.size());
+    if (inserted) {
+      first_use[atom.predicate] = &atom;
+      return;
+    }
+    if (it->second != atom.terms.size()) {
+      Diagnostic& d = analysis.diagnostics.Report(
+          DiagCode::kInconsistentPredicateArity, atom.span,
+          "predicate '" + atom.predicate + "' used with arity " +
+              std::to_string(atom.terms.size()) + " but previously with " +
+              std::to_string(it->second));
+      d.notes.push_back(DiagnosticNote{
+          "first use: " + FormatAtom(*first_use[atom.predicate]),
+          first_use[atom.predicate]->span});
+    }
+  };
+  for (const DlRule& rule : rules) {
+    check_arity(rule.head);
+    for (const DlAtom& atom : rule.body) {
+      check_arity(atom);
+    }
+  }
+
+  // --- range restriction & fact schemas (FMTK102, FMTK107) ---------------
+  for (const DlRule& rule : rules) {
+    if (rule.body.empty()) {
+      for (const DlTerm& term : rule.head.terms) {
+        if (term.is_variable) {
+          analysis.diagnostics.Report(
+              DiagCode::kDomainDependentFactSchema, rule.span,
+              "fact schema '" + FormatRule(rule) + "' ranges variable '" +
+                  term.variable + "' over the whole domain");
+          break;
+        }
+      }
+      continue;
+    }
+    std::set<std::string> body_variables;
+    for (const DlAtom& atom : rule.body) {
+      for (const DlTerm& term : atom.terms) {
+        if (term.is_variable) {
+          body_variables.insert(term.variable);
+        }
+      }
+    }
+    for (const DlTerm& term : rule.head.terms) {
+      if (term.is_variable && body_variables.count(term.variable) == 0) {
+        analysis.diagnostics.Report(
+            DiagCode::kUnboundHeadVariable, rule.span,
+            "head variable '" + term.variable + "' of rule '" +
+                FormatRule(rule) + "' does not occur in the body");
+      }
+    }
+  }
+
+  // --- EDB checks against the signature (FMTK103-105) ---------------------
+  if (options.signature != nullptr) {
+    for (const std::string& idb : analysis.idb_predicates) {
+      if (options.signature->FindRelation(idb).has_value()) {
+        analysis.diagnostics.Report(
+            DiagCode::kIdbEdbCollision, SourceSpan{},
+            "IDB predicate '" + idb +
+                "' collides with a relation of the EDB signature " +
+                options.signature->ToString());
+      }
+    }
+    std::set<std::string> reported_unknown;
+    for (const DlRule& rule : rules) {
+      for (const DlAtom& atom : rule.body) {
+        if (analysis.idb_predicates.count(atom.predicate) > 0) {
+          continue;
+        }
+        const auto index = options.signature->FindRelation(atom.predicate);
+        if (!index.has_value()) {
+          if (reported_unknown.insert(atom.predicate).second) {
+            analysis.diagnostics.Report(
+                DiagCode::kUnknownEdbPredicate, atom.span,
+                "EDB predicate '" + atom.predicate +
+                    "' is not a relation of the signature " +
+                    options.signature->ToString());
+          }
+          continue;
+        }
+        const std::size_t arity = options.signature->relation(*index).arity;
+        if (arity != atom.terms.size()) {
+          analysis.diagnostics.Report(
+              DiagCode::kEdbArityMismatch, atom.span,
+              "EDB atom '" + FormatAtom(atom) + "' has " +
+                  std::to_string(atom.terms.size()) + " argument" +
+                  (atom.terms.size() == 1 ? "" : "s") + " but relation '" +
+                  atom.predicate + "' has arity " + std::to_string(arity));
+        }
+      }
+    }
+  }
+
+  // --- dependency condensation & recursion classification -----------------
+  std::vector<std::string> idb_nodes(analysis.idb_predicates.begin(),
+                                     analysis.idb_predicates.end());
+  std::map<std::string, std::set<std::string>> depends_on;
+  std::map<std::string, bool> self_loop;
+  for (const DlRule& rule : rules) {
+    for (const DlAtom& atom : rule.body) {
+      if (analysis.idb_predicates.count(atom.predicate) == 0) {
+        continue;
+      }
+      depends_on[rule.head.predicate].insert(atom.predicate);
+      if (atom.predicate == rule.head.predicate) {
+        self_loop[rule.head.predicate] = true;
+      }
+    }
+  }
+  TarjanScc tarjan(idb_nodes, depends_on);
+  for (std::vector<std::string>& component : tarjan.Run()) {
+    DatalogSccInfo info;
+    info.predicates = std::move(component);
+    info.recursive = info.predicates.size() > 1 ||
+                     self_loop[info.predicates.front()];
+    const std::size_t index = analysis.sccs.size();
+    for (const std::string& predicate : info.predicates) {
+      analysis.scc_of[predicate] = index;
+    }
+    analysis.sccs.push_back(std::move(info));
+  }
+  for (const DlRule& rule : rules) {
+    const std::size_t scc = analysis.scc_of[rule.head.predicate];
+    std::size_t recursive_atoms = 0;
+    for (const DlAtom& atom : rule.body) {
+      auto it = analysis.scc_of.find(atom.predicate);
+      if (it != analysis.scc_of.end() && it->second == scc) {
+        ++recursive_atoms;
+      }
+    }
+    DatalogSccInfo& info = analysis.sccs[scc];
+    info.max_recursive_atoms =
+        std::max(info.max_recursive_atoms, recursive_atoms);
+    if (recursive_atoms > 1) {
+      info.linear = false;
+    }
+  }
+
+  // --- reachability relative to the outputs (FMTK106) ---------------------
+  analysis.rule_reachable.assign(rules.size(), true);
+  if (!options.outputs.empty()) {
+    std::set<std::string> reachable;
+    std::deque<std::string> frontier(options.outputs.begin(),
+                                     options.outputs.end());
+    for (const std::string& output : options.outputs) {
+      reachable.insert(output);
+    }
+    while (!frontier.empty()) {
+      const std::string predicate = std::move(frontier.front());
+      frontier.pop_front();
+      auto it = depends_on.find(predicate);
+      if (it == depends_on.end()) {
+        continue;
+      }
+      for (const std::string& dep : it->second) {
+        if (reachable.insert(dep).second) {
+          frontier.push_back(dep);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      if (reachable.count(rules[i].head.predicate) == 0) {
+        analysis.rule_reachable[i] = false;
+        analysis.diagnostics.Report(
+            DiagCode::kUnreachableRule, rules[i].span,
+            "rule '" + FormatRule(rules[i]) +
+                "' is unreachable from the output predicate" +
+                (options.outputs.size() == 1 ? " '" : "s '") +
+                Join(options.outputs, "', '") + "'");
+      }
+    }
+  }
+
+  return analysis;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,80 @@
+#ifndef FMTK_ANALYSIS_DATALOG_ANALYZER_H_
+#define FMTK_ANALYSIS_DATALOG_ANALYZER_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "datalog/program.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+struct DatalogAnalyzerOptions {
+  /// When set, EDB atoms are checked against this vocabulary (FMTK103-105).
+  const Signature* signature = nullptr;
+  /// Output predicates of the query. Rules whose head cannot reach an
+  /// output in the dependency graph are flagged FMTK106. Empty = every IDB
+  /// predicate is an output (no reachability pruning).
+  std::vector<std::string> outputs;
+};
+
+/// One strongly connected component of the predicate dependency graph.
+struct DatalogSccInfo {
+  /// Member predicates, sorted by name.
+  std::vector<std::string> predicates;
+  /// The SCC contains a cycle (a self-loop or more than one predicate):
+  /// its predicates are defined by recursion.
+  bool recursive = false;
+  /// Every rule whose head lies in this SCC has at most one body atom in
+  /// the SCC. Linear recursions admit the single-delta semi-naive rewrite;
+  /// nonlinear ones need the full delta decomposition.
+  bool linear = true;
+  /// The largest number of same-SCC body atoms of any member rule.
+  std::size_t max_recursive_atoms = 0;
+
+  /// "{tc} nonlinear recursion (2 recursive atoms)".
+  std::string ToString() const;
+};
+
+/// Static analysis of a Datalog program: schema/arity diagnostics plus the
+/// predicate dependency condensation used for recursion classification.
+struct DatalogAnalysis {
+  DiagnosticSink diagnostics;
+
+  std::set<std::string> idb_predicates;
+  std::set<std::string> edb_predicates;
+
+  /// Condensation of the IDB dependency graph in dependencies-first order
+  /// (an SCC appears after every SCC it depends on), i.e. bottom-up
+  /// evaluation order.
+  std::vector<DatalogSccInfo> sccs;
+  /// Index into `sccs` per IDB predicate.
+  std::map<std::string, std::size_t> scc_of;
+
+  /// Per rule (by index in program.rules()): is the rule's head reachable
+  /// from the requested output predicates?
+  std::vector<bool> rule_reachable;
+
+  bool ok() const { return !diagnostics.has_errors(); }
+  Status status() const { return diagnostics.ToStatus(); }
+
+  /// One line per SCC, dependencies first — the recursion commentary the
+  /// engines surface in DatalogStats.
+  std::vector<std::string> RecursionSummary() const;
+};
+
+/// Runs the full program analysis: per-predicate arity consistency
+/// (FMTK101), range restriction of heads (FMTK102), EDB checks against the
+/// signature when given (FMTK103-105), reachability relative to the output
+/// predicates (FMTK106), domain-dependent fact schemas (FMTK107), and the
+/// Tarjan SCC condensation with linear/nonlinear classification.
+DatalogAnalysis AnalyzeProgram(const DatalogProgram& program,
+                               const DatalogAnalyzerOptions& options = {});
+
+}  // namespace fmtk
+
+#endif  // FMTK_ANALYSIS_DATALOG_ANALYZER_H_

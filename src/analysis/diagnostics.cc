@@ -1,0 +1,288 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+namespace {
+
+constexpr DiagSeverity kError = DiagSeverity::kError;
+constexpr DiagSeverity kWarning = DiagSeverity::kWarning;
+constexpr DiagSeverity kNote = DiagSeverity::kNote;
+
+const std::vector<DiagCodeInfo>& CodeTable() {
+  static const std::vector<DiagCodeInfo>* const kTable =
+      new std::vector<DiagCodeInfo>{
+          {DiagCode::kUnknownRelation, "FMTK001", kError,
+           StatusCode::kSignatureMismatch, "unknown relation symbol"},
+          {DiagCode::kRelationArityMismatch, "FMTK002", kError,
+           StatusCode::kSignatureMismatch, "relation arity mismatch"},
+          {DiagCode::kUnknownConstant, "FMTK003", kError,
+           StatusCode::kSignatureMismatch, "unknown constant symbol"},
+          {DiagCode::kNotSafeRange, "FMTK010", kWarning,
+           StatusCode::kInvalidArgument, "formula is not safe-range"},
+          {DiagCode::kUnsafeQuantifier, "FMTK011", kWarning,
+           StatusCode::kInvalidArgument,
+           "quantified variable not range-restricted"},
+          {DiagCode::kUnusedQuantifiedVariable, "FMTK012", kWarning,
+           StatusCode::kInvalidArgument, "quantified variable unused"},
+          {DiagCode::kShadowedVariable, "FMTK013", kWarning,
+           StatusCode::kInvalidArgument, "variable shadows enclosing binding"},
+          {DiagCode::kDoubleNegation, "FMTK014", kNote,
+           StatusCode::kInvalidArgument, "double negation folds away"},
+          {DiagCode::kConstantSubformula, "FMTK015", kNote,
+           StatusCode::kInvalidArgument, "constant subformula folds away"},
+          {DiagCode::kTrivialEquality, "FMTK016", kNote,
+           StatusCode::kInvalidArgument, "equality of identical terms"},
+          {DiagCode::kInconsistentPredicateArity, "FMTK101", kError,
+           StatusCode::kInvalidArgument,
+           "predicate used with inconsistent arities"},
+          {DiagCode::kUnboundHeadVariable, "FMTK102", kError,
+           StatusCode::kInvalidArgument,
+           "head variable not bound in the body"},
+          {DiagCode::kUnknownEdbPredicate, "FMTK103", kError,
+           StatusCode::kSignatureMismatch, "unknown EDB predicate"},
+          {DiagCode::kEdbArityMismatch, "FMTK104", kError,
+           StatusCode::kSignatureMismatch,
+           "EDB atom arity differs from the signature"},
+          {DiagCode::kIdbEdbCollision, "FMTK105", kError,
+           StatusCode::kInvalidArgument,
+           "IDB predicate collides with an EDB relation"},
+          {DiagCode::kUnreachableRule, "FMTK106", kWarning,
+           StatusCode::kInvalidArgument,
+           "rule unreachable from the output predicates"},
+          {DiagCode::kDomainDependentFactSchema, "FMTK107", kWarning,
+           StatusCode::kInvalidArgument,
+           "fact schema ranges over the whole domain"},
+      };
+  return *kTable;
+}
+
+// Resolves a byte offset to 1-based "line:col".
+void LineColOf(std::string_view source, std::size_t offset, std::size_t& line,
+               std::size_t& col) {
+  line = 1;
+  col = 1;
+  const std::size_t end = std::min(offset, source.size());
+  for (std::size_t i = 0; i < end; ++i) {
+    if (source[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// The source line containing `offset` plus a caret underline for the span,
+// both prefixed with "  | ".
+std::string CaretLines(std::string_view source, const SourceSpan& span) {
+  std::size_t line_start = std::min(span.offset, source.size());
+  while (line_start > 0 && source[line_start - 1] != '\n') {
+    --line_start;
+  }
+  std::size_t line_end = std::min(span.offset, source.size());
+  while (line_end < source.size() && source[line_end] != '\n') {
+    ++line_end;
+  }
+  std::string out = "  | ";
+  out.append(source.substr(line_start, line_end - line_start));
+  out += "\n  | ";
+  for (std::size_t i = line_start; i < span.offset; ++i) {
+    out += (source[i] == '\t') ? '\t' : ' ';
+  }
+  const std::size_t width =
+      std::max<std::size_t>(1, std::min(span.length, line_end - span.offset));
+  out += '^';
+  for (std::size_t i = 1; i < width; ++i) {
+    out += '~';
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+const DiagCodeInfo& GetDiagCodeInfo(DiagCode code) {
+  for (const DiagCodeInfo& info : CodeTable()) {
+    if (info.code == code) {
+      return info;
+    }
+  }
+  FMTK_CHECK(false) << "diagnostic code missing from the registry: "
+                    << static_cast<int>(code);
+  return CodeTable().front();
+}
+
+const std::vector<DiagCodeInfo>& AllDiagCodes() { return CodeTable(); }
+
+const char* DiagCodeId(DiagCode code) { return GetDiagCodeInfo(code).id; }
+
+const char* DiagSeverityName(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kNote:
+      return "note";
+  }
+  return "error";
+}
+
+std::string Diagnostic::ToString(std::string_view source) const {
+  std::string out = DiagSeverityName(severity);
+  out += '[';
+  out += DiagCodeId(code);
+  out += "]: ";
+  out += message;
+  if (span.valid() && !source.empty()) {
+    std::size_t line = 0;
+    std::size_t col = 0;
+    LineColOf(source, span.offset, line, col);
+    out += " (at " + std::to_string(line) + ":" + std::to_string(col) + ")";
+  }
+  return out;
+}
+
+Diagnostic& DiagnosticSink::Report(DiagCode code, SourceSpan span,
+                                   std::string message) {
+  return ReportAs(code, GetDiagCodeInfo(code).default_severity, span,
+                  std::move(message));
+}
+
+Diagnostic& DiagnosticSink::ReportAs(DiagCode code, DiagSeverity severity,
+                                     SourceSpan span, std::string message) {
+  if (severity == DiagSeverity::kError) {
+    ++error_count_;
+  } else if (severity == DiagSeverity::kWarning) {
+    ++warning_count_;
+  }
+  diagnostics_.push_back(
+      Diagnostic{code, severity, span, std::move(message), {}});
+  return diagnostics_.back();
+}
+
+std::vector<std::string> DiagnosticSink::MessagesFor(
+    DiagSeverity severity) const {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == severity) {
+      out.push_back(d.ToString());
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticSink::ToText(std::string_view source) const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += d.ToString(source);
+    out += '\n';
+    if (d.span.valid() && !source.empty()) {
+      out += CaretLines(source, d.span);
+    }
+    for (const DiagnosticNote& note : d.notes) {
+      out += "  note: ";
+      out += note.message;
+      out += '\n';
+      if (note.span.valid() && !source.empty()) {
+        out += CaretLines(source, note.span);
+      }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticSink::ToJson() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"code\":";
+    AppendJsonString(out, DiagCodeId(d.code));
+    out += ",\"severity\":";
+    AppendJsonString(out, DiagSeverityName(d.severity));
+    out += ",\"message\":";
+    AppendJsonString(out, d.message);
+    if (d.span.valid()) {
+      out += ",\"offset\":" + std::to_string(d.span.offset);
+      out += ",\"length\":" + std::to_string(d.span.length);
+    }
+    out += ",\"notes\":[";
+    for (std::size_t n = 0; n < d.notes.size(); ++n) {
+      if (n > 0) {
+        out += ',';
+      }
+      out += "{\"message\":";
+      AppendJsonString(out, d.notes[n].message);
+      if (d.notes[n].span.valid()) {
+        out += ",\"offset\":" + std::to_string(d.notes[n].span.offset);
+        out += ",\"length\":" + std::to_string(d.notes[n].span.length);
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += ']';
+  return out;
+}
+
+Status DiagnosticSink::ToStatus() const {
+  if (!has_errors()) {
+    return Status::OK();
+  }
+  std::string message;
+  StatusCode code = StatusCode::kInvalidArgument;
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != DiagSeverity::kError) {
+      continue;
+    }
+    if (first) {
+      code = GetDiagCodeInfo(d.code).status_code;
+      first = false;
+    } else {
+      message += '\n';
+    }
+    message += d.ToString();
+  }
+  return Status(code, std::move(message));
+}
+
+}  // namespace fmtk

@@ -1,0 +1,155 @@
+#ifndef FMTK_ANALYSIS_DIAGNOSTICS_H_
+#define FMTK_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/source_span.h"
+#include "base/status.h"
+
+namespace fmtk {
+
+/// Stable diagnostic codes of the static query analyzer. Codes are part of
+/// the public surface (tests, docs, --json consumers key on them): never
+/// renumber an existing code; add new ones at the end of each block.
+/// FMTK0xx = first-order formulas, FMTK1xx = Datalog programs.
+enum class DiagCode {
+  // --- FO analyzer (fo_analyzer.h) ---------------------------------------
+  /// An atom uses a relation symbol absent from the signature.
+  kUnknownRelation = 1,  // FMTK001
+  /// An atom's term count differs from its relation symbol's arity.
+  kRelationArityMismatch = 2,  // FMTK002
+  /// A constant term names no constant of the signature.
+  kUnknownConstant = 3,  // FMTK003
+  /// The formula is not safe-range: a free variable is not range-restricted
+  /// by the formula (error in the query profile, warning otherwise).
+  kNotSafeRange = 10,  // FMTK010
+  /// A quantified variable is not range-restricted in its scope, so the
+  /// safe-range normal form of the formula is unsafe (profile-dependent
+  /// severity, like FMTK010).
+  kUnsafeQuantifier = 11,  // FMTK011
+  /// A quantifier binds a variable that never occurs in its body.
+  kUnusedQuantifiedVariable = 12,  // FMTK012
+  /// A quantifier rebinds a variable already bound by an enclosing
+  /// quantifier (or shadowing a free variable of the whole formula).
+  kShadowedVariable = 13,  // FMTK013
+  /// A double negation !!φ that folds to φ.
+  kDoubleNegation = 14,  // FMTK014
+  /// A Boolean connective has a constant true/false operand and folds.
+  kConstantSubformula = 15,  // FMTK015
+  /// An equality t = t between identical terms (trivially true).
+  kTrivialEquality = 16,  // FMTK016
+
+  // --- Datalog analyzer (datalog_analyzer.h) ------------------------------
+  /// A predicate is used with different arities across the program.
+  kInconsistentPredicateArity = 101,  // FMTK101
+  /// A head variable does not occur in any body atom (range restriction).
+  kUnboundHeadVariable = 102,  // FMTK102
+  /// A body predicate is neither IDB nor a relation of the EDB signature.
+  kUnknownEdbPredicate = 103,  // FMTK103
+  /// An EDB atom's arity differs from the signature's relation arity.
+  kEdbArityMismatch = 104,  // FMTK104
+  /// An IDB predicate collides with a relation of the EDB signature.
+  kIdbEdbCollision = 105,  // FMTK105
+  /// A rule's head predicate is unreachable from the output predicates.
+  kUnreachableRule = 106,  // FMTK106
+  /// An empty-body rule with a variable head ranges over the whole domain
+  /// (domain-dependent fact schema, like the survey's "sg(x,x) :-").
+  kDomainDependentFactSchema = 107,  // FMTK107
+};
+
+enum class DiagSeverity {
+  kError,
+  kWarning,
+  /// Folding hints and style notes; never rejected on.
+  kNote,
+};
+
+/// Static metadata for one diagnostic code: its stable "FMTK###" id, default
+/// severity, the Status code engines reject with, and a short title for the
+/// docs table. The golden-diagnostic test iterates AllDiagCodes() to assert
+/// every code has a triggering input and a near-miss.
+struct DiagCodeInfo {
+  DiagCode code;
+  const char* id;  // "FMTK001"
+  DiagSeverity default_severity;
+  StatusCode status_code;
+  const char* title;
+};
+
+const DiagCodeInfo& GetDiagCodeInfo(DiagCode code);
+const std::vector<DiagCodeInfo>& AllDiagCodes();
+
+/// "FMTK001" etc.
+const char* DiagCodeId(DiagCode code);
+
+/// "error", "warning", "note".
+const char* DiagSeverityName(DiagSeverity severity);
+
+/// A secondary location or remark attached to a Diagnostic.
+struct DiagnosticNote {
+  std::string message;
+  SourceSpan span;
+};
+
+/// One analyzer finding: a stable code, a severity (usually the code's
+/// default, but the safe-range pair escalates in the query profile), a span
+/// into the source text when the AST was parsed, the human-readable message,
+/// and optional notes.
+struct Diagnostic {
+  DiagCode code = DiagCode::kUnknownRelation;
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceSpan span;
+  std::string message;
+  std::vector<DiagnosticNote> notes;
+
+  /// One-line rendering: "error[FMTK001]: unknown relation symbol 'R'".
+  /// With `source`, appends "at line:col" resolved through the span.
+  std::string ToString(std::string_view source = {}) const;
+};
+
+/// Collects diagnostics during an analysis pass and renders them as pretty
+/// text (with caret underlining when the source text is supplied) or as a
+/// JSON array for --json consumers.
+class DiagnosticSink {
+ public:
+  /// Reports with the code's default severity. Returns the stored
+  /// diagnostic so the caller can attach notes.
+  Diagnostic& Report(DiagCode code, SourceSpan span, std::string message);
+
+  /// Reports with an explicit severity (profile escalation).
+  Diagnostic& ReportAs(DiagCode code, DiagSeverity severity, SourceSpan span,
+                       std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  bool empty() const { return diagnostics_.empty(); }
+  std::size_t error_count() const { return error_count_; }
+  std::size_t warning_count() const { return warning_count_; }
+  bool has_errors() const { return error_count_ > 0; }
+
+  /// Messages of all diagnostics at exactly `severity`, rendered one-line.
+  std::vector<std::string> MessagesFor(DiagSeverity severity) const;
+
+  /// Pretty multi-line report. When `source` is non-empty each spanned
+  /// diagnostic shows its source line with a caret underline.
+  std::string ToText(std::string_view source = {}) const;
+
+  /// JSON array of {code, severity, message, offset, length, notes}.
+  std::string ToJson() const;
+
+  /// OK when there are no errors; otherwise a Status whose code is the
+  /// first error's DiagCodeInfo::status_code and whose message is every
+  /// error (and only the errors), one per line.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_ANALYSIS_DIAGNOSTICS_H_

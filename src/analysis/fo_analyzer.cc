@@ -1,0 +1,464 @@
+#include "analysis/fo_analyzer.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/string_util.h"
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+namespace {
+
+/// A set of range-restricted variables; `all` is the absorbing element that
+/// an unsatisfiable subformula produces (every variable is vacuously
+/// restricted by ⊥, as in the classical rr() tables).
+struct RangeSet {
+  bool all = false;
+  std::set<std::string> vars;
+
+  bool Contains(const std::string& name) const {
+    return all || vars.count(name) > 0;
+  }
+};
+
+RangeSet AllRange() { return RangeSet{true, {}}; }
+
+RangeSet UnionRange(RangeSet a, const RangeSet& b) {
+  if (a.all || b.all) {
+    return AllRange();
+  }
+  a.vars.insert(b.vars.begin(), b.vars.end());
+  return a;
+}
+
+RangeSet IntersectRange(const RangeSet& a, const RangeSet& b) {
+  if (a.all) {
+    return b;
+  }
+  if (b.all) {
+    return a;
+  }
+  RangeSet out;
+  std::set_intersection(a.vars.begin(), a.vars.end(), b.vars.begin(),
+                        b.vars.end(),
+                        std::inserter(out.vars, out.vars.begin()));
+  return out;
+}
+
+/// Positive-polarity equalities of a conjunctive context: variable/variable
+/// links (closure edges) and variables pinned to a constant.
+struct EqualityEdges {
+  std::vector<std::pair<std::string, std::string>> var_var;
+  std::set<std::string> var_const;
+};
+
+/// Flattens the conjunctive context of `f` under the given polarity
+/// (And when positive, Or/Implies under a negation, Not flips) and collects
+/// the equalities that occur positively in it.
+void CollectEqualities(const Formula& f, bool negated, EqualityEdges& out) {
+  switch (f.kind()) {
+    case FormulaKind::kNot:
+      CollectEqualities(f.child(0), !negated, out);
+      return;
+    case FormulaKind::kAnd:
+      if (!negated) {
+        for (const Formula& child : f.children()) {
+          CollectEqualities(child, false, out);
+        }
+      }
+      return;
+    case FormulaKind::kOr:
+      if (negated) {
+        for (const Formula& child : f.children()) {
+          CollectEqualities(child, true, out);
+        }
+      }
+      return;
+    case FormulaKind::kImplies:
+      // ¬(a → b) = a ∧ ¬b.
+      if (negated) {
+        CollectEqualities(f.child(0), false, out);
+        CollectEqualities(f.child(1), true, out);
+      }
+      return;
+    case FormulaKind::kEqual: {
+      if (negated) {
+        return;
+      }
+      const Term& a = f.terms()[0];
+      const Term& b = f.terms()[1];
+      if (a == b) {
+        return;
+      }
+      if (a.is_variable() && b.is_variable()) {
+        out.var_var.emplace_back(a.name, b.name);
+      } else if (a.is_variable()) {
+        out.var_const.insert(a.name);
+      } else if (b.is_variable()) {
+        out.var_const.insert(b.name);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Propagates restriction through the conjunction's equalities: x = c pins
+/// x; x = y spreads restriction both ways until a fixpoint.
+RangeSet CloseOverEqualities(RangeSet s, const EqualityEdges& edges) {
+  if (s.all) {
+    return s;
+  }
+  s.vars.insert(edges.var_const.begin(), edges.var_const.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : edges.var_var) {
+      if (s.vars.count(a) > 0 && s.vars.insert(b).second) {
+        changed = true;
+      }
+      if (s.vars.count(b) > 0 && s.vars.insert(a).second) {
+        changed = true;
+      }
+    }
+  }
+  return s;
+}
+
+class FoAnalyzer {
+ public:
+  FoAnalyzer(const FoAnalyzerOptions& options, FoAnalysis& out)
+      : options_(options), out_(out) {}
+
+  void Run(const Formula& f) {
+    out_.quantifier_rank = QuantifierRank(f);
+    out_.quantifier_count = QuantifierCount(f);
+    out_.variable_width = AllVariables(f).size();
+    out_.free_variables = FreeVariables(f);
+
+    Walk(f, SourceSpan{}, /*bound=*/{});
+
+    const RangeSet rr = Rr(f, /*negated=*/false, SourceSpan{});
+    if (rr.all) {
+      out_.range_restricted = out_.free_variables;
+    } else {
+      std::set_intersection(
+          rr.vars.begin(), rr.vars.end(), out_.free_variables.begin(),
+          out_.free_variables.end(),
+          std::inserter(out_.range_restricted,
+                        out_.range_restricted.begin()));
+    }
+    out_.safe_range = !unsafe_quantifier_seen_ &&
+                      out_.range_restricted == out_.free_variables;
+    if (!out_.safe_range) {
+      std::vector<std::string> unrestricted;
+      for (const std::string& v : out_.free_variables) {
+        if (out_.range_restricted.count(v) == 0) {
+          unrestricted.push_back("'" + v + "'");
+        }
+      }
+      std::string message = "formula is not safe-range";
+      if (!unrestricted.empty()) {
+        message += ": free variable" + std::string(
+                       unrestricted.size() > 1 ? "s " : " ") +
+                   Join(unrestricted, ", ") + " not range-restricted";
+      } else {
+        message += ": a quantified variable is not range-restricted";
+      }
+      out_.diagnostics.ReportAs(DiagCode::kNotSafeRange, SafeRangeSeverity(),
+                                SpanOf(f, SourceSpan{}), std::move(message));
+    }
+  }
+
+ private:
+  DiagSeverity SafeRangeSeverity() const {
+    return options_.profile == FoProfile::kQuery ? DiagSeverity::kError
+                                                 : DiagSeverity::kWarning;
+  }
+
+  SourceSpan SpanOf(const Formula& f, SourceSpan fallback) const {
+    if (options_.spans == nullptr) {
+      return fallback;
+    }
+    const SourceSpan span = options_.spans->Lookup(f);
+    return span.valid() ? span : fallback;
+  }
+
+  // --- general walk: vocabulary checks, hygiene lints, folding hints ------
+
+  void CheckTerms(const Formula& f, SourceSpan span) {
+    if (options_.signature == nullptr) {
+      return;
+    }
+    for (const Term& t : f.terms()) {
+      if (t.is_constant() &&
+          !options_.signature->FindConstant(t.name).has_value()) {
+        out_.diagnostics.Report(
+            DiagCode::kUnknownConstant, span,
+            "constant '" + t.name + "' is not in the signature " +
+                options_.signature->ToString());
+      }
+    }
+  }
+
+  void Walk(const Formula& f, SourceSpan enclosing,
+            std::set<std::string> bound) {
+    ++out_.node_count;
+    const SourceSpan span = SpanOf(f, enclosing);
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        return;
+      case FormulaKind::kAtom: {
+        if (options_.signature != nullptr) {
+          const auto index = options_.signature->FindRelation(
+              f.relation_name());
+          if (!index.has_value()) {
+            out_.diagnostics.Report(
+                DiagCode::kUnknownRelation, span,
+                "relation '" + f.relation_name() +
+                    "' is not in the signature " +
+                    options_.signature->ToString());
+          } else {
+            const std::size_t arity =
+                options_.signature->relation(*index).arity;
+            if (arity != f.terms().size()) {
+              out_.diagnostics.Report(
+                  DiagCode::kRelationArityMismatch, span,
+                  "relation '" + f.relation_name() + "' has arity " +
+                      std::to_string(arity) + " but is used with " +
+                      std::to_string(f.terms().size()) + " argument" +
+                      (f.terms().size() == 1 ? "" : "s"));
+            }
+          }
+        }
+        CheckTerms(f, span);
+        return;
+      }
+      case FormulaKind::kEqual: {
+        CheckTerms(f, span);
+        if (f.terms()[0] == f.terms()[1]) {
+          out_.diagnostics.Report(
+              DiagCode::kTrivialEquality, span,
+              "equality '" + f.ToString() +
+                  "' compares a term with itself and is always true");
+        }
+        return;
+      }
+      case FormulaKind::kNot: {
+        const Formula& child = f.child(0);
+        if (child.kind() == FormulaKind::kNot) {
+          out_.diagnostics.Report(
+              DiagCode::kDoubleNegation, span,
+              "double negation folds away: '" + f.ToString() +
+                  "' is equivalent to its doubly-negated body");
+        }
+        ReportConstantOperand(f, span, "'!'");
+        Walk(child, span, std::move(bound));
+        return;
+      }
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+      case FormulaKind::kImplies:
+      case FormulaKind::kIff: {
+        ReportConstantOperand(
+            f, span,
+            f.kind() == FormulaKind::kAnd       ? "'&'"
+            : f.kind() == FormulaKind::kOr      ? "'|'"
+            : f.kind() == FormulaKind::kImplies ? "'->'"
+                                                : "'<->'");
+        for (const Formula& child : f.children()) {
+          Walk(child, span, bound);
+        }
+        return;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+      case FormulaKind::kCountExists: {
+        const std::string& variable = f.variable();
+        if (FreeVariables(f.body()).count(variable) == 0) {
+          out_.diagnostics.Report(
+              DiagCode::kUnusedQuantifiedVariable, span,
+              "quantified variable '" + variable +
+                  "' does not occur in the quantifier's body");
+        }
+        if (bound.count(variable) > 0) {
+          out_.diagnostics.Report(
+              DiagCode::kShadowedVariable, span,
+              "variable '" + variable +
+                  "' shadows an enclosing quantifier's binding");
+        } else if (out_.free_variables.count(variable) > 0) {
+          out_.diagnostics.Report(
+              DiagCode::kShadowedVariable, span,
+              "variable '" + variable +
+                  "' shadows a free variable of the formula");
+        }
+        ReportConstantOperand(f, span, "the quantifier");
+        bound.insert(variable);
+        Walk(f.body(), span, std::move(bound));
+        return;
+      }
+    }
+  }
+
+  void ReportConstantOperand(const Formula& f, SourceSpan span,
+                             const std::string& what) {
+    for (const Formula& child : f.children()) {
+      if (child.kind() == FormulaKind::kTrue ||
+          child.kind() == FormulaKind::kFalse) {
+        out_.diagnostics.Report(
+            DiagCode::kConstantSubformula, SpanOf(child, span),
+            std::string("constant operand '") +
+                (child.kind() == FormulaKind::kTrue ? "true" : "false") +
+                "' of " + what + " folds away");
+      }
+    }
+  }
+
+  // --- safe-range analysis ------------------------------------------------
+  //
+  // Rr(f, negated) computes rr(f) resp. rr(¬f) of the safe-range normal
+  // form without materializing it: the polarity flag plays the role of the
+  // SRNF rewriting (¬¬ elimination, De Morgan, ∀x φ = ¬∃x ¬φ, expansion of
+  // → and ↔). Quantifiers whose variable is not restricted in their scope
+  // are reported as FMTK011 once per node.
+
+  RangeSet Rr(const Formula& f, bool negated, SourceSpan enclosing) {
+    const SourceSpan span = SpanOf(f, enclosing);
+    switch (f.kind()) {
+      case FormulaKind::kTrue:
+        return negated ? AllRange() : RangeSet{};
+      case FormulaKind::kFalse:
+        return negated ? RangeSet{} : AllRange();
+      case FormulaKind::kAtom: {
+        RangeSet s;
+        if (!negated) {
+          for (const Term& t : f.terms()) {
+            if (t.is_variable()) {
+              s.vars.insert(t.name);
+            }
+          }
+        }
+        return s;
+      }
+      case FormulaKind::kEqual: {
+        RangeSet s;
+        if (negated || f.terms()[0] == f.terms()[1]) {
+          return s;
+        }
+        // x = c pins x; x = y restricts neither by itself (the enclosing
+        // conjunction's equality closure links them).
+        if (f.terms()[0].is_variable() && f.terms()[1].is_constant()) {
+          s.vars.insert(f.terms()[0].name);
+        } else if (f.terms()[1].is_variable() &&
+                   f.terms()[0].is_constant()) {
+          s.vars.insert(f.terms()[1].name);
+        }
+        return s;
+      }
+      case FormulaKind::kNot:
+        return Rr(f.child(0), !negated, span);
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        const bool conjunctive = (f.kind() == FormulaKind::kAnd) != negated;
+        if (f.child_count() == 0) {
+          // Empty And is true, empty Or is false; `conjunctive` coincides
+          // with "effectively true" here.
+          return conjunctive ? RangeSet{} : AllRange();
+        }
+        if (conjunctive) {
+          RangeSet s;
+          for (const Formula& child : f.children()) {
+            s = UnionRange(std::move(s), Rr(child, negated, span));
+          }
+          EqualityEdges edges;
+          CollectEqualities(f, negated, edges);
+          return CloseOverEqualities(std::move(s), edges);
+        }
+        RangeSet s = AllRange();
+        for (const Formula& child : f.children()) {
+          s = IntersectRange(s, Rr(child, negated, span));
+        }
+        return s;
+      }
+      case FormulaKind::kImplies: {
+        // a → b = ¬a ∨ b.
+        if (!negated) {
+          return IntersectRange(Rr(f.child(0), true, span),
+                                Rr(f.child(1), false, span));
+        }
+        RangeSet s = UnionRange(Rr(f.child(0), false, span),
+                                Rr(f.child(1), true, span));
+        EqualityEdges edges;
+        CollectEqualities(f, true, edges);
+        return CloseOverEqualities(std::move(s), edges);
+      }
+      case FormulaKind::kIff: {
+        // a ↔ b = (a ∧ b) ∨ (¬a ∧ ¬b); negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+        const auto branch = [&](bool left_negated, bool right_negated) {
+          RangeSet s = UnionRange(Rr(f.child(0), left_negated, span),
+                                  Rr(f.child(1), right_negated, span));
+          EqualityEdges edges;
+          CollectEqualities(f.child(0), left_negated, edges);
+          CollectEqualities(f.child(1), right_negated, edges);
+          return CloseOverEqualities(std::move(s), edges);
+        };
+        return negated
+                   ? IntersectRange(branch(false, true), branch(true, false))
+                   : IntersectRange(branch(false, false),
+                                    branch(true, true));
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+      case FormulaKind::kCountExists: {
+        // ∀x φ = ¬∃x ¬φ: a Forall node is an Exists over the negated body,
+        // itself under a negation.
+        const bool body_negated = f.kind() == FormulaKind::kForall;
+        const bool existential_here =
+            (f.kind() == FormulaKind::kForall) == negated;
+        RangeSet body = Rr(f.body(), body_negated, span);
+        if (!body.Contains(f.variable())) {
+          unsafe_quantifier_seen_ = true;
+          if (unsafe_reported_.insert(f.node_identity()).second) {
+            out_.diagnostics.ReportAs(
+                DiagCode::kUnsafeQuantifier, SafeRangeSeverity(), span,
+                "quantified variable '" + f.variable() +
+                    "' is not range-restricted in its scope");
+          }
+        }
+        if (!existential_here) {
+          // The quantifier sits under a negation in SRNF (¬∃x ψ): the
+          // negation contributes no restricted variables.
+          return RangeSet{};
+        }
+        if (body.all) {
+          return body;
+        }
+        body.vars.erase(f.variable());
+        return body;
+      }
+    }
+    return RangeSet{};
+  }
+
+  const FoAnalyzerOptions& options_;
+  FoAnalysis& out_;
+  bool unsafe_quantifier_seen_ = false;
+  std::unordered_set<const void*> unsafe_reported_;
+};
+
+}  // namespace
+
+FoAnalysis AnalyzeFormula(const Formula& f, const FoAnalyzerOptions& options) {
+  FoAnalysis analysis;
+  FoAnalyzer analyzer(options, analysis);
+  analyzer.Run(f);
+  return analysis;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,69 @@
+#ifndef FMTK_ANALYSIS_FO_ANALYZER_H_
+#define FMTK_ANALYSIS_FO_ANALYZER_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include "analysis/diagnostics.h"
+#include "logic/formula.h"
+#include "logic/parser.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// Which severity the safe-range pair (FMTK010/FMTK011) carries.
+enum class FoProfile {
+  /// Model checking / domain-relative evaluation (the default semantics of
+  /// EvaluateQuery and ModelChecker): unsafe formulas are still meaningful,
+  /// so safe-range violations are warnings.
+  kModelCheck,
+  /// Active-domain (database) query semantics: safe-range violations are
+  /// errors, as in the survey's Sec. 3 (domain independence).
+  kQuery,
+};
+
+struct FoAnalyzerOptions {
+  /// When set, atoms and constant terms are checked against this vocabulary
+  /// (FMTK001-FMTK003).
+  const Signature* signature = nullptr;
+  /// When set (from ParseFormulaWithSpans), diagnostics carry byte spans
+  /// into the source text.
+  const FormulaSpans* spans = nullptr;
+  FoProfile profile = FoProfile::kModelCheck;
+};
+
+/// Everything the static analyzer derives from one formula.
+struct FoAnalysis {
+  DiagnosticSink diagnostics;
+
+  /// Syntactic measures (the survey's complexity parameters).
+  std::size_t quantifier_rank = 0;
+  std::size_t quantifier_count = 0;
+  /// |variables(φ)|: φ lies in the k-variable fragment FO^k for this k.
+  std::size_t variable_width = 0;
+  /// Number of formula nodes (size of the AST).
+  std::size_t node_count = 0;
+
+  std::set<std::string> free_variables;
+  /// The range-restricted free variables rr(φ) of the safe-range analysis
+  /// (all free variables when φ is unsatisfiable at the top level).
+  std::set<std::string> range_restricted;
+  /// rr(φ) = free(φ) and every quantified variable is range-restricted in
+  /// its scope; safe-range formulas are domain independent.
+  bool safe_range = false;
+
+  bool ok() const { return !diagnostics.has_errors(); }
+  Status status() const { return diagnostics.ToStatus(); }
+};
+
+/// Runs the full static analysis: vocabulary checks, safe-range analysis
+/// (classical syntactic safe-range normal form, handled by polarity-aware
+/// recursion so no rewriting is needed), variable hygiene lints, folding
+/// hints, and syntactic measures. Never fails: inspect `diagnostics`.
+FoAnalysis AnalyzeFormula(const Formula& f,
+                          const FoAnalyzerOptions& options = {});
+
+}  // namespace fmtk
+
+#endif  // FMTK_ANALYSIS_FO_ANALYZER_H_

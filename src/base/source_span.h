@@ -1,0 +1,30 @@
+#ifndef FMTK_BASE_SOURCE_SPAN_H_
+#define FMTK_BASE_SOURCE_SPAN_H_
+
+#include <cstddef>
+
+namespace fmtk {
+
+/// A half-open byte range [offset, offset + length) into the source text a
+/// formula or Datalog program was parsed from. Parsers attach spans so the
+/// static analyzer (analysis/) can point diagnostics at real source text;
+/// programmatically built ASTs carry no spans and render without locations.
+struct SourceSpan {
+  /// kNoOffset marks "no source location available".
+  static constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+  std::size_t offset = kNoOffset;
+  std::size_t length = 0;
+
+  bool valid() const { return offset != kNoOffset; }
+
+  static SourceSpan Of(std::size_t offset, std::size_t length) {
+    return SourceSpan{offset, length};
+  }
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_SOURCE_SPAN_H_

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/datalog_analyzer.h"
 #include "base/check.h"
 
 namespace fmtk {
@@ -127,17 +128,27 @@ struct EngineImpl {
   // Per IDB id: columns probed by some step (synced once per round).
   std::vector<std::vector<std::size_t>> probed_cols;
   std::vector<std::string> join_orders;
+  // The analyzer's SCC classification and warnings, surfaced in
+  // DatalogStats after a run.
+  std::vector<std::string> recursion_info;
+  std::vector<std::string> analyzer_warnings;
 
   // ---- Compilation -------------------------------------------------------
 
   Status Compile() {
-    FMTK_RETURN_IF_ERROR(program->Validate());
+    // The static analyzer is the checked front door; it subsumes
+    // program->Validate() and the per-atom EDB checks the interpreter used
+    // to do by hand, and contributes the SCC recursion classification that
+    // explains the per-recursive-atom delta variants compiled below.
+    DatalogAnalyzerOptions analyzer_options;
+    analyzer_options.signature = &edb->signature();
+    const DatalogAnalysis analysis =
+        AnalyzeProgram(*program, analyzer_options);
+    FMTK_RETURN_IF_ERROR(analysis.status());
+    recursion_info = analysis.RecursionSummary();
+    analyzer_warnings =
+        analysis.diagnostics.MessagesFor(DiagSeverity::kWarning);
     for (const std::string& name : program->IdbPredicates()) {
-      if (edb->signature().FindRelation(name).has_value()) {
-        return Status::InvalidArgument(
-            "IDB predicate " + name +
-            " collides with a relation of the input structure");
-      }
       idb_id.emplace(name, idb_names.size());
       idb_names.push_back(name);
       idb_arity.push_back(0);  // Filled from the first head below.
@@ -773,6 +784,8 @@ Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
     stats->index_probes += acc.index_probes;
     stats->tuples_scanned += acc.tuples_scanned;
     stats->join_orders = impl.join_orders;
+    stats->recursion_info = impl.recursion_info;
+    stats->analyzer_warnings = impl.analyzer_warnings;
   }
 
   std::map<std::string, Relation> out;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/datalog_analyzer.h"
 #include "base/check.h"
 #include "datalog/compiled_engine.h"
 
@@ -63,8 +64,20 @@ class Engine {
       : program_(program), edb_(edb), strategy_(strategy), stats_(stats) {}
 
   Result<std::map<std::string, Relation>> Run() {
-    FMTK_RETURN_IF_ERROR(program_.Validate());
-    FMTK_RETURN_IF_ERROR(Setup());
+    // The static analyzer is the checked front door: range restriction and
+    // arity consistency (FMTK101/102, InvalidArgument), EDB mismatches
+    // (FMTK103/104, SignatureMismatch) and IDB/EDB collisions (FMTK105,
+    // InvalidArgument) all reject here, with warnings surfaced via stats.
+    DatalogAnalyzerOptions analyzer_options;
+    analyzer_options.signature = &edb_.signature();
+    const DatalogAnalysis analysis = AnalyzeProgram(program_, analyzer_options);
+    FMTK_RETURN_IF_ERROR(analysis.status());
+    if (stats_ != nullptr) {
+      stats_->recursion_info = analysis.RecursionSummary();
+      stats_->analyzer_warnings =
+          analysis.diagnostics.MessagesFor(DiagSeverity::kWarning);
+    }
+    Setup();
     FMTK_RETURN_IF_ERROR(SeedFactSchemas());
     // Round 0's delta is everything seeded so far.
     for (auto& [name, rel] : idb_) {
@@ -94,38 +107,13 @@ class Engine {
   }
 
  private:
-  Status Setup() {
+  // The analyzer already vetted the program against the EDB signature; all
+  // that is left is creating the empty IDB relations.
+  void Setup() {
     idb_names_ = program_.IdbPredicates();
-    // IDB predicates must not clash with the input's relations.
-    for (const std::string& name : idb_names_) {
-      if (edb_.signature().FindRelation(name).has_value()) {
-        return Status::InvalidArgument(
-            "IDB predicate " + name +
-            " collides with a relation of the input structure");
-      }
-    }
-    // Collect arities and create empty IDB relations.
     for (const DlRule& rule : program_.rules()) {
-      idb_.emplace(rule.head.predicate,
-                   Relation(rule.head.terms.size()));
-      for (const DlAtom& atom : rule.body) {
-        if (idb_names_.find(atom.predicate) != idb_names_.end()) {
-          continue;
-        }
-        std::optional<std::size_t> rel =
-            edb_.signature().FindRelation(atom.predicate);
-        if (!rel.has_value()) {
-          return Status::SignatureMismatch(
-              "EDB predicate " + atom.predicate +
-              " is not a relation of the input structure");
-        }
-        if (edb_.signature().relation(*rel).arity != atom.terms.size()) {
-          return Status::SignatureMismatch(
-              "EDB predicate " + atom.predicate + " arity mismatch");
-        }
-      }
+      idb_.emplace(rule.head.predicate, Relation(rule.head.terms.size()));
     }
-    return Status::OK();
   }
 
   Status SeedFactSchemas() {

@@ -35,6 +35,14 @@ struct DatalogStats {
   /// variant) describing the chosen join order, e.g.
   /// "tc(x,y) :- E(x,z), tc(z,y). [d@2] tc(z,y):delta, E(x,z):probe(1)".
   std::vector<std::string> join_orders;
+  /// The static analyzer's recursion classification: one line per SCC of
+  /// the predicate dependency graph, dependencies first, e.g.
+  /// "{tc} nonlinear recursion (2 recursive atoms)". Nonlinear SCCs are
+  /// why the compiled engine emits one delta variant per recursive atom.
+  std::vector<std::string> recursion_info;
+  /// Warnings the analyzer reported for the accepted program
+  /// (e.g. FMTK107 domain-dependent fact schemas).
+  std::vector<std::string> analyzer_warnings;
 
   /// Counters on one line (join_orders omitted).
   std::string ToString() const;

@@ -1,8 +1,9 @@
 #include "datalog/program.h"
 
 #include <cctype>
-#include <map>
 #include <utility>
+
+#include "analysis/datalog_analyzer.h"
 
 namespace fmtk {
 
@@ -61,42 +62,10 @@ std::set<std::string> DatalogProgram::EdbPredicates() const {
 }
 
 Status DatalogProgram::Validate() const {
-  std::map<std::string, std::size_t> arities;
-  for (const DlRule& rule : rules_) {
-    // Consistent arities across all uses of a predicate.
-    auto check_arity = [&arities](const DlAtom& atom) -> Status {
-      auto [it, inserted] =
-          arities.emplace(atom.predicate, atom.terms.size());
-      if (!inserted && it->second != atom.terms.size()) {
-        return Status::InvalidArgument("predicate " + atom.predicate +
-                                       " used with inconsistent arities");
-      }
-      return Status::OK();
-    };
-    FMTK_RETURN_IF_ERROR(check_arity(rule.head));
-    for (const DlAtom& atom : rule.body) {
-      FMTK_RETURN_IF_ERROR(check_arity(atom));
-    }
-    if (rule.body.empty()) {
-      continue;  // Fact schema: head variables range over the domain.
-    }
-    std::set<std::string> body_vars;
-    for (const DlAtom& atom : rule.body) {
-      for (const DlTerm& t : atom.terms) {
-        if (t.is_variable) {
-          body_vars.insert(t.variable);
-        }
-      }
-    }
-    for (const DlTerm& t : rule.head.terms) {
-      if (t.is_variable && body_vars.find(t.variable) == body_vars.end()) {
-        return Status::InvalidArgument(
-            "head variable " + t.variable + " of rule " + rule.ToString() +
-            " does not occur in the body");
-      }
-    }
-  }
-  return Status::OK();
+  // The signature-independent part of the static analysis: inconsistent
+  // arities (FMTK101) and unbound head variables (FMTK102) are the hard
+  // errors; fact-schema warnings (FMTK107) do not fail validation.
+  return AnalyzeProgram(*this).status();
 }
 
 std::string DatalogProgram::ToString() const {
@@ -108,33 +77,52 @@ std::string DatalogProgram::ToString() const {
   return out;
 }
 
+namespace {
+
+DlAtom MakeAtom(std::string predicate, std::vector<DlTerm> terms) {
+  DlAtom atom;
+  atom.predicate = std::move(predicate);
+  atom.terms = std::move(terms);
+  return atom;
+}
+
+DlRule MakeRule(DlAtom head, std::vector<DlAtom> body) {
+  DlRule rule;
+  rule.head = std::move(head);
+  rule.body = std::move(body);
+  return rule;
+}
+
+}  // namespace
+
 DatalogProgram DatalogProgram::TransitiveClosure() {
   DatalogProgram p;
-  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
-             {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
-  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
-             {{"E", {DlTerm::Var("x"), DlTerm::Var("z")}},
-              {"tc", {DlTerm::Var("z"), DlTerm::Var("y")}}}});
+  p.AddRule(MakeRule(MakeAtom("tc", {DlTerm::Var("x"), DlTerm::Var("y")}),
+                     {MakeAtom("E", {DlTerm::Var("x"), DlTerm::Var("y")})}));
+  p.AddRule(MakeRule(MakeAtom("tc", {DlTerm::Var("x"), DlTerm::Var("y")}),
+                     {MakeAtom("E", {DlTerm::Var("x"), DlTerm::Var("z")}),
+                      MakeAtom("tc", {DlTerm::Var("z"), DlTerm::Var("y")})}));
   return p;
 }
 
 DatalogProgram DatalogProgram::NonlinearTransitiveClosure() {
   DatalogProgram p;
-  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
-             {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
-  p.AddRule({{"tc", {DlTerm::Var("x"), DlTerm::Var("y")}},
-             {{"tc", {DlTerm::Var("x"), DlTerm::Var("z")}},
-              {"tc", {DlTerm::Var("z"), DlTerm::Var("y")}}}});
+  p.AddRule(MakeRule(MakeAtom("tc", {DlTerm::Var("x"), DlTerm::Var("y")}),
+                     {MakeAtom("E", {DlTerm::Var("x"), DlTerm::Var("y")})}));
+  p.AddRule(MakeRule(MakeAtom("tc", {DlTerm::Var("x"), DlTerm::Var("y")}),
+                     {MakeAtom("tc", {DlTerm::Var("x"), DlTerm::Var("z")}),
+                      MakeAtom("tc", {DlTerm::Var("z"), DlTerm::Var("y")})}));
   return p;
 }
 
 DatalogProgram DatalogProgram::SameGeneration() {
   DatalogProgram p;
-  p.AddRule({{"sg", {DlTerm::Var("x"), DlTerm::Var("x")}}, {}});
-  p.AddRule({{"sg", {DlTerm::Var("x"), DlTerm::Var("y")}},
-             {{"E", {DlTerm::Var("u"), DlTerm::Var("x")}},
-              {"E", {DlTerm::Var("v"), DlTerm::Var("y")}},
-              {"sg", {DlTerm::Var("u"), DlTerm::Var("v")}}}});
+  p.AddRule(MakeRule(MakeAtom("sg", {DlTerm::Var("x"), DlTerm::Var("x")}),
+                     {}));
+  p.AddRule(MakeRule(MakeAtom("sg", {DlTerm::Var("x"), DlTerm::Var("y")}),
+                     {MakeAtom("E", {DlTerm::Var("u"), DlTerm::Var("x")}),
+                      MakeAtom("E", {DlTerm::Var("v"), DlTerm::Var("y")}),
+                      MakeAtom("sg", {DlTerm::Var("u"), DlTerm::Var("v")})}));
   return p;
 }
 
@@ -144,7 +132,7 @@ class DlParser {
  public:
   explicit DlParser(std::string_view text) : text_(text) {}
 
-  Result<DatalogProgram> Parse() {
+  Result<DatalogProgram> Parse(bool validate) {
     DatalogProgram program;
     SkipSpace();
     while (pos_ < text_.size()) {
@@ -152,7 +140,9 @@ class DlParser {
       program.AddRule(std::move(rule));
       SkipSpace();
     }
-    FMTK_RETURN_IF_ERROR(program.Validate());
+    if (validate) {
+      FMTK_RETURN_IF_ERROR(program.Validate());
+    }
     return program;
   }
 
@@ -183,6 +173,8 @@ class DlParser {
   }
 
   Result<DlAtom> ParseAtom() {
+    SkipSpace();
+    const std::size_t start = pos_;
     FMTK_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
     if (std::isdigit(static_cast<unsigned char>(name[0]))) {
       return Error("predicate names cannot start with a digit");
@@ -191,12 +183,14 @@ class DlParser {
     atom.predicate = std::move(name);
     SkipSpace();
     if (pos_ >= text_.size() || text_[pos_] != '(') {
+      atom.span = SourceSpan::Of(start, pos_ - start);
       return atom;  // 0-ary atom without parentheses.
     }
     ++pos_;  // '('
     SkipSpace();
     if (pos_ < text_.size() && text_[pos_] == ')') {
       ++pos_;
+      atom.span = SourceSpan::Of(start, pos_ - start);
       return atom;
     }
     while (true) {
@@ -218,10 +212,13 @@ class DlParser {
       return Error("expected ')'");
     }
     ++pos_;
+    atom.span = SourceSpan::Of(start, pos_ - start);
     return atom;
   }
 
   Result<DlRule> ParseRule() {
+    SkipSpace();
+    const std::size_t start = pos_;
     DlRule rule;
     FMTK_ASSIGN_OR_RETURN(rule.head, ParseAtom());
     SkipSpace();
@@ -248,6 +245,7 @@ class DlParser {
       return Error("expected '.' at end of rule");
     }
     ++pos_;
+    rule.span = SourceSpan::Of(start, pos_ - start);
     return rule;
   }
 
@@ -257,8 +255,9 @@ class DlParser {
 
 }  // namespace
 
-Result<DatalogProgram> ParseDatalogProgram(std::string_view text) {
-  return DlParser(text).Parse();
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                           bool validate) {
+  return DlParser(text).Parse(validate);
 }
 
 }  // namespace fmtk

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "base/source_span.h"
 #include "structures/relation.h"
 
 namespace fmtk {
@@ -38,6 +39,10 @@ struct DlTerm {
 struct DlAtom {
   std::string predicate;
   std::vector<DlTerm> terms;
+  /// Byte span in the source text when parsed; invalid for programmatically
+  /// built atoms. The analyzer (analysis/datalog_analyzer.h) points
+  /// diagnostics at it.
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -47,6 +52,8 @@ struct DlAtom {
 struct DlRule {
   DlAtom head;
   std::vector<DlAtom> body;
+  /// Byte span of the whole rule when parsed.
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -69,9 +76,12 @@ class DatalogProgram {
   /// Body predicates that are not IDB.
   std::set<std::string> EdbPredicates() const;
 
-  /// Range restriction: every head variable must occur in the body, except
-  /// in rules with empty bodies (their head variables range over the whole
-  /// domain, like the survey's "sg(x, x) :-" fact schema).
+  /// Range restriction (every head variable must occur in the body, except
+  /// in rules with empty bodies whose head variables range over the whole
+  /// domain, like the survey's "sg(x, x) :-" fact schema) and per-predicate
+  /// arity consistency. Delegates to the static analyzer
+  /// (analysis/datalog_analyzer.h); use AnalyzeProgram directly for the
+  /// full diagnostic list.
   Status Validate() const;
 
   std::string ToString() const;
@@ -95,8 +105,12 @@ class DatalogProgram {
 ///   "tc(x,y) :- e(x,y). tc(x,y) :- e(x,z), tc(z,y)."
 /// Identifiers are predicates/variables (variables are the identifiers in
 /// term positions); nonnegative integers are domain-element literals. Each
-/// rule ends with '.'; facts may omit ':-'.
-Result<DatalogProgram> ParseDatalogProgram(std::string_view text);
+/// rule ends with '.'; facts may omit ':-'. Atoms and rules carry byte
+/// spans into `text`. With `validate` (the default) the parsed program is
+/// Validate()d; pass false to collect the full diagnostic list from
+/// AnalyzeProgram instead (the lint front end does).
+Result<DatalogProgram> ParseDatalogProgram(std::string_view text,
+                                           bool validate = true);
 
 }  // namespace fmtk
 

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/fo_analyzer.h"
 #include "base/check.h"
 #include "logic/analysis.h"
 
@@ -450,7 +451,13 @@ using internal_eval::PlanNode;
 
 Result<CompiledFormula> CompiledFormula::Compile(const Formula& f,
                                                  const Signature& signature) {
-  FMTK_RETURN_IF_ERROR(CheckAgainstSignature(f, signature));
+  // The static analyzer is the checked front door: vocabulary errors
+  // (FMTK001-003) reject compilation with the same SignatureMismatch code
+  // CheckAgainstSignature used, but with the full diagnostic list.
+  FoAnalyzerOptions analyzer_options;
+  analyzer_options.signature = &signature;
+  analyzer_options.profile = FoProfile::kModelCheck;
+  FMTK_RETURN_IF_ERROR(AnalyzeFormula(f, analyzer_options).status());
   internal_eval::Compiler compiler(signature);
   return CompiledFormula(compiler.Run(f));
 }

@@ -453,10 +453,40 @@ class BottomUpEvaluator {
 
 }  // namespace
 
+namespace {
+
+// The analyzed front door shared by both evaluators: runs the static
+// analyzer against the structure's vocabulary and rejects on errors
+// (vocabulary problems always; safe-range violations only when the caller
+// opted into the query profile).
+Status AnalyzeFrontDoor(const Structure& structure, const Formula& f,
+                        const QueryEvalOptions& options) {
+  FoAnalyzerOptions analyzer_options;
+  analyzer_options.signature = &structure.signature();
+  analyzer_options.profile = options.require_safe_range
+                                 ? FoProfile::kQuery
+                                 : FoProfile::kModelCheck;
+  FoAnalysis analysis = AnalyzeFormula(f, analyzer_options);
+  Status status = analysis.status();
+  if (options.analysis != nullptr) {
+    *options.analysis = std::move(analysis);
+  }
+  return status;
+}
+
+}  // namespace
+
 Result<Relation> EvaluateQuery(
     const Structure& structure, const Formula& f,
     const std::vector<std::string>& output_variables) {
-  FMTK_RETURN_IF_ERROR(CheckAgainstSignature(f, structure.signature()));
+  return EvaluateQuery(structure, f, output_variables, QueryEvalOptions{});
+}
+
+Result<Relation> EvaluateQuery(
+    const Structure& structure, const Formula& f,
+    const std::vector<std::string>& output_variables,
+    const QueryEvalOptions& options) {
+  FMTK_RETURN_IF_ERROR(AnalyzeFrontDoor(structure, f, options));
   // Every free variable must be listed.
   std::set<std::string> out_set(output_variables.begin(),
                                 output_variables.end());
@@ -498,7 +528,7 @@ Result<Relation> EvaluateQuery(
 Result<Relation> EvaluateQueryNaive(
     const Structure& structure, const Formula& f,
     const std::vector<std::string>& output_variables) {
-  FMTK_RETURN_IF_ERROR(CheckAgainstSignature(f, structure.signature()));
+  FMTK_RETURN_IF_ERROR(AnalyzeFrontDoor(structure, f, QueryEvalOptions{}));
   std::set<std::string> out_set(output_variables.begin(),
                                 output_variables.end());
   if (out_set.size() != output_variables.size()) {

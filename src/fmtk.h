@@ -5,6 +5,9 @@
 /// individual headers instead when compile time matters.
 
 // Substrates.
+#include "analysis/datalog_analyzer.h"  // IWYU pragma: export
+#include "analysis/diagnostics.h"  // IWYU pragma: export
+#include "analysis/fo_analyzer.h"  // IWYU pragma: export
 #include "base/result.h"           // IWYU pragma: export
 #include "base/status.h"           // IWYU pragma: export
 #include "circuits/circuit.h"      // IWYU pragma: export

@@ -164,8 +164,10 @@ bool IsKeyword(const Token& t, std::string_view word) {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, const Signature* signature)
-      : tokens_(std::move(tokens)), signature_(signature) {}
+  // `spans` may be null (span recording off).
+  Parser(std::vector<Token> tokens, const Signature* signature,
+         FormulaSpans* spans)
+      : tokens_(std::move(tokens)), signature_(signature), spans_(spans) {}
 
   Result<Formula> Parse() {
     FMTK_ASSIGN_OR_RETURN(Formula f, ParseIff());
@@ -179,6 +181,25 @@ class Parser {
   const Token& Peek() const { return tokens_[pos_]; }
   const Token& Advance() { return tokens_[pos_++]; }
 
+  // Byte offset just past the most recently consumed token.
+  std::size_t EndOfConsumed() const {
+    if (pos_ == 0) {
+      return 0;
+    }
+    const Token& prev = tokens_[pos_ - 1];
+    return prev.offset + prev.text.size();
+  }
+
+  // Records [start, end-of-consumed-input) as the span of `f`'s node.
+  // Desugared inner nodes (nested quantifier blocks) stay untagged; the
+  // analyzer falls back to the nearest tagged ancestor.
+  Formula Tag(Formula f, std::size_t start) {
+    if (spans_ != nullptr) {
+      spans_->Set(f, SourceSpan::Of(start, EndOfConsumed() - start));
+    }
+    return f;
+  }
+
   Status Error(const std::string& message) const {
     return Status::ParseError(message + " at offset " +
                               std::to_string(Peek().offset) + " (near '" +
@@ -186,50 +207,55 @@ class Parser {
   }
 
   Result<Formula> ParseIff() {
+    const std::size_t start = Peek().offset;
     FMTK_ASSIGN_OR_RETURN(Formula left, ParseImplies());
     while (Peek().kind == TokenKind::kIff) {
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula right, ParseImplies());
-      left = Formula::Iff(std::move(left), std::move(right));
+      left = Tag(Formula::Iff(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   Result<Formula> ParseImplies() {
+    const std::size_t start = Peek().offset;
     FMTK_ASSIGN_OR_RETURN(Formula left, ParseOr());
     if (Peek().kind == TokenKind::kImplies) {
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula right, ParseImplies());
-      return Formula::Implies(std::move(left), std::move(right));
+      return Tag(Formula::Implies(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   Result<Formula> ParseOr() {
+    const std::size_t start = Peek().offset;
     FMTK_ASSIGN_OR_RETURN(Formula left, ParseAnd());
     while (Peek().kind == TokenKind::kOr || IsKeyword(Peek(), "or")) {
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula right, ParseAnd());
-      left = Formula::Or(std::move(left), std::move(right));
+      left = Tag(Formula::Or(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   Result<Formula> ParseAnd() {
+    const std::size_t start = Peek().offset;
     FMTK_ASSIGN_OR_RETURN(Formula left, ParseUnary());
     while (Peek().kind == TokenKind::kAnd || IsKeyword(Peek(), "and")) {
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula right, ParseUnary());
-      left = Formula::And(std::move(left), std::move(right));
+      left = Tag(Formula::And(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   Result<Formula> ParseUnary() {
+    const std::size_t start = Peek().offset;
     if (Peek().kind == TokenKind::kNot || IsKeyword(Peek(), "not")) {
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula f, ParseUnary());
-      return Formula::Not(std::move(f));
+      return Tag(Formula::Not(std::move(f)), start);
     }
     if (IsKeyword(Peek(), "atleast")) {
       // Counting quantifier: atleast <k> <var> . <formula>.
@@ -251,8 +277,9 @@ class Parser {
       }
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula body, ParseIff());
-      return Formula::CountExists(count, std::move(variable),
-                                  std::move(body));
+      return Tag(
+          Formula::CountExists(count, std::move(variable), std::move(body)),
+          start);
     }
     const bool is_exists =
         IsKeyword(Peek(), "exists") || IsKeyword(Peek(), "ex");
@@ -275,10 +302,13 @@ class Parser {
         return Error("expected '.' after quantified variables");
       }
       Advance();
-      // The quantifier's scope extends as far right as possible.
+      // The quantifier's scope extends as far right as possible. Only the
+      // outermost node of the desugared block is tagged; the analyzer falls
+      // back to it for the inner per-variable quantifier nodes.
       FMTK_ASSIGN_OR_RETURN(Formula body, ParseIff());
-      return is_exists ? Formula::Exists(variables, std::move(body))
-                       : Formula::Forall(variables, std::move(body));
+      return Tag(is_exists ? Formula::Exists(variables, std::move(body))
+                           : Formula::Forall(variables, std::move(body)),
+                 start);
     }
     return ParsePrimary();
   }
@@ -291,6 +321,7 @@ class Parser {
   }
 
   Result<Formula> ParsePrimary() {
+    const std::size_t start = Peek().offset;
     if (Peek().kind == TokenKind::kLParen) {
       Advance();
       FMTK_ASSIGN_OR_RETURN(Formula f, ParseIff());
@@ -302,11 +333,11 @@ class Parser {
     }
     if (IsKeyword(Peek(), "true")) {
       Advance();
-      return Formula::True();
+      return Tag(Formula::True(), start);
     }
     if (IsKeyword(Peek(), "false")) {
       Advance();
-      return Formula::False();
+      return Tag(Formula::False(), start);
     }
     if (Peek().kind != TokenKind::kName) {
       return Error("expected a formula");
@@ -333,7 +364,7 @@ class Parser {
         return Error("expected ')' after atom arguments");
       }
       Advance();
-      return Formula::Atom(name, std::move(terms));
+      return Tag(Formula::Atom(name, std::move(terms)), start);
     }
     // `name` starts a term: equality, inequality, or infix '<'.
     Term left = ResolveTerm(name);
@@ -344,7 +375,7 @@ class Parser {
           return Error("expected a term after '='");
         }
         Term right = ResolveTerm(Advance().text);
-        return Formula::Equal(std::move(left), std::move(right));
+        return Tag(Formula::Equal(std::move(left), std::move(right)), start);
       }
       case TokenKind::kNotEqual: {
         Advance();
@@ -352,8 +383,11 @@ class Parser {
           return Error("expected a term after '!='");
         }
         Term right = ResolveTerm(Advance().text);
-        return Formula::Not(
-            Formula::Equal(std::move(left), std::move(right)));
+        // "x != y" desugars to !(x = y); tag both nodes with the surface
+        // span so diagnostics on either point at the inequality.
+        Formula equal = Tag(Formula::Equal(std::move(left), std::move(right)),
+                            start);
+        return Tag(Formula::Not(std::move(equal)), start);
       }
       case TokenKind::kLess: {
         Advance();
@@ -361,16 +395,18 @@ class Parser {
           return Error("expected a term after '<'");
         }
         Term right = ResolveTerm(Advance().text);
-        return Formula::Atom("<", {std::move(left), std::move(right)});
+        return Tag(Formula::Atom("<", {std::move(left), std::move(right)}),
+                   start);
       }
       default:
         // A bare name: a 0-ary relation atom (propositional flag).
-        return Formula::Atom(name, {});
+        return Tag(Formula::Atom(name, {}), start);
     }
   }
 
   std::vector<Token> tokens_;
   const Signature* signature_;
+  FormulaSpans* spans_;
   std::size_t pos_ = 0;
 };
 
@@ -378,10 +414,19 @@ class Parser {
 
 Result<Formula> ParseFormula(std::string_view text,
                              const Signature* signature) {
+  FMTK_ASSIGN_OR_RETURN(ParsedFormula parsed,
+                        ParseFormulaWithSpans(text, signature));
+  return std::move(parsed.formula);
+}
+
+Result<ParsedFormula> ParseFormulaWithSpans(std::string_view text,
+                                            const Signature* signature) {
   Lexer lexer(text);
   FMTK_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
-  Parser parser(std::move(tokens), signature);
-  return parser.Parse();
+  ParsedFormula parsed;
+  Parser parser(std::move(tokens), signature, &parsed.spans);
+  FMTK_ASSIGN_OR_RETURN(parsed.formula, parser.Parse());
+  return parsed;
 }
 
 }  // namespace fmtk

@@ -21,19 +21,17 @@ TEST(DatalogProgramTest, IdbEdbSplit) {
 }
 
 TEST(DatalogProgramTest, RangeRestrictionEnforced) {
-  DatalogProgram bad;
-  bad.AddRule({{"p", {DlTerm::Var("x"), DlTerm::Var("y")}},
-               {{"E", {DlTerm::Var("x"), DlTerm::Var("x")}}}});
-  EXPECT_EQ(bad.Validate().code(), StatusCode::kInvalidArgument);
+  Result<DatalogProgram> bad =
+      ParseDatalogProgram("p(x,y) :- E(x,x).", /*validate=*/false);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_EQ(bad->Validate().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(DatalogProgramTest, ArityConsistencyEnforced) {
-  DatalogProgram bad;
-  bad.AddRule({{"p", {DlTerm::Var("x")}},
-               {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
-  bad.AddRule({{"p", {DlTerm::Var("x"), DlTerm::Var("y")}},
-               {{"E", {DlTerm::Var("x"), DlTerm::Var("y")}}}});
-  EXPECT_FALSE(bad.Validate().ok());
+  Result<DatalogProgram> bad = ParseDatalogProgram(
+      "p(x) :- E(x,y). p(x,y) :- E(x,y).", /*validate=*/false);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  EXPECT_FALSE(bad->Validate().ok());
 }
 
 TEST(DatalogParserTest, ParsesTransitiveClosure) {
