@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Runs every bench binary that speaks --json and collects their output into
+# one JSONL file, tagging each line with its suite. The result is the
+# before/after artifact the perf-kernel work tracks (BENCH_pr6.json at the
+# repo root); CI uploads it from the Release bench-smoke job.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_FILE]
+#   BUILD_DIR  build tree containing bench/ binaries (default: build-rel,
+#              falling back to build if build-rel does not exist)
+#   OUT_FILE   output path (default: BENCH_pr6.json in the repo root)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-}"
+if [[ -z "${BUILD_DIR}" ]]; then
+  if [[ -d "${REPO_ROOT}/build-rel" ]]; then
+    BUILD_DIR="${REPO_ROOT}/build-rel"
+  else
+    BUILD_DIR="${REPO_ROOT}/build"
+  fi
+fi
+OUT="${2:-${REPO_ROOT}/BENCH_pr6.json}"
+
+# The suites with a --json mode (one {"bench":...,"n":...,"wall_ms":...}
+# line per configuration).
+SUITES=(
+  datalog
+  ef_games
+  gaifman_locality
+  hanf_locality
+  locality_hierarchy
+  model_checking
+  strategies
+)
+
+: > "${OUT}"
+for suite in "${SUITES[@]}"; do
+  bin="${BUILD_DIR}/bench/bench_${suite}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skip: ${bin} not built" >&2
+    continue
+  fi
+  echo "running bench_${suite} ..." >&2
+  # Tag each emitted line with its suite so one file holds them all.
+  "${bin}" --json | sed "s/^{/{\"suite\":\"${suite}\",/" >> "${OUT}"
+done
+
+echo "wrote $(wc -l < "${OUT}") bench lines to ${OUT}" >&2

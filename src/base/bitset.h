@@ -1,0 +1,172 @@
+#ifndef FMTK_BASE_BITSET_H_
+#define FMTK_BASE_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+
+namespace fmtk {
+
+/// Word-packed bitset over a dense domain {0, ..., n-1}.
+///
+/// The engines use it for set algebra over domain elements: quantifier
+/// candidate sets in the compiled FO evaluator (AND of guard-atom columns)
+/// and duplicator-response buckets in the game solvers. All bulk operations
+/// (AndWith/OrWith/AndNotWith/Count) run a word at a time so the compiler
+/// can vectorise them; ForEachSetBit visits members in ascending order via
+/// count-trailing-zeros, which keeps iteration order identical to the
+/// sorted vectors the kernels replace.
+///
+/// Invariant: bits at positions >= size() are always zero, so Count() and
+/// word-wise equality need no tail masking.
+class ElementBitset {
+ public:
+  ElementBitset() = default;
+  explicit ElementBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  /// Resizes to `size` bits, clearing everything.
+  void Reset(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
+
+  void Set(std::size_t i) {
+    FMTK_CHECK(i < size_) << "bit " << i << " out of range " << size_;
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void Clear(std::size_t i) {
+    FMTK_CHECK(i < size_) << "bit " << i << " out of range " << size_;
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  bool Test(std::size_t i) const {
+    return i < size_ &&
+           (words_[i >> 6] >> (i & 63)) & std::uint64_t{1};
+  }
+
+  void SetAll() {
+    if (size_ == 0) {
+      return;
+    }
+    for (std::uint64_t& w : words_) {
+      w = ~std::uint64_t{0};
+    }
+    const std::size_t tail = size_ & 63;
+    if (tail != 0) {
+      words_.back() = (std::uint64_t{1} << tail) - 1;
+    }
+  }
+
+  void ClearAll() {
+    for (std::uint64_t& w : words_) {
+      w = 0;
+    }
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) {
+      n += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+  bool Any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// this &= other. Sizes must match.
+  void AndWith(const ElementBitset& other) {
+    FMTK_CHECK(size_ == other.size_) << "bitset size mismatch";
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+  }
+
+  /// this |= other. Sizes must match.
+  void OrWith(const ElementBitset& other) {
+    FMTK_CHECK(size_ == other.size_) << "bitset size mismatch";
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  /// this &= ~other. Sizes must match.
+  void AndNotWith(const ElementBitset& other) {
+    FMTK_CHECK(size_ == other.size_) << "bitset size mismatch";
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+  }
+
+  /// Calls fn(i) for every set bit i, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const std::size_t bit = static_cast<std::size_t>(__builtin_ctzll(w));
+        fn(wi * 64 + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Calls fn(i) for set bits i in ascending order until fn returns true;
+  /// returns whether any call did (early-exit search).
+  template <typename Fn>
+  bool ForEachSetBitUntil(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const std::size_t bit = static_cast<std::size_t>(__builtin_ctzll(w));
+        if (fn(wi * 64 + bit)) {
+          return true;
+        }
+        w &= w - 1;
+      }
+    }
+    return false;
+  }
+
+  /// Appends the set bits to `out`, ascending.
+  template <typename T>
+  void AppendSetBits(std::vector<T>& out) const {
+    ForEachSetBit([&out](std::size_t i) { out.push_back(static_cast<T>(i)); });
+  }
+
+  /// Builds a bitset of `size` bits from a list of member positions
+  /// (each < size; duplicates allowed).
+  template <typename T>
+  static ElementBitset FromList(std::size_t size, const std::vector<T>& list) {
+    ElementBitset b(size);
+    for (T v : list) {
+      b.Set(static_cast<std::size_t>(v));
+    }
+    return b;
+  }
+
+  friend bool operator==(const ElementBitset& a, const ElementBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_BITSET_H_

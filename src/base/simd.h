@@ -1,0 +1,65 @@
+#ifndef FMTK_BASE_SIMD_H_
+#define FMTK_BASE_SIMD_H_
+
+// Single SIMD feature-detection point for the perf-kernel layer.
+//
+// Compile with -DFMTK_SIMD=0 to force the scalar fallbacks everywhere (the
+// CI matrix builds one leg this way so both paths stay green). Otherwise the
+// widest instruction set the compiler advertises is selected:
+//
+//   FMTK_SIMD_AVX2  — x86 AVX2 (256-bit, includes 64-bit lane compares)
+//   FMTK_SIMD_SSE2  — x86 SSE2 (128-bit, 32-bit lane compares)
+//   FMTK_SIMD_NEON  — AArch64/ARM NEON (128-bit, 32-bit lane compares)
+//
+// Exactly one of the macros above is defined to 1 (or none, for scalar);
+// FMTK_SIMD_LEVEL is always defined: 0 scalar, 1 SSE2/NEON, 2 AVX2.
+
+#if defined(FMTK_SIMD) && (FMTK_SIMD + 0) == 0
+
+#define FMTK_SIMD_LEVEL 0
+
+#elif defined(__AVX2__)
+
+#include <immintrin.h>
+#define FMTK_SIMD_AVX2 1
+#define FMTK_SIMD_SSE2 1
+#define FMTK_SIMD_LEVEL 2
+
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+
+#include <emmintrin.h>
+#define FMTK_SIMD_SSE2 1
+#define FMTK_SIMD_LEVEL 1
+
+#elif defined(__aarch64__)
+
+#include <arm_neon.h>
+#define FMTK_SIMD_NEON 1
+#define FMTK_SIMD_LEVEL 1
+
+#else
+
+#define FMTK_SIMD_LEVEL 0
+
+#endif
+
+namespace fmtk {
+
+/// Human-readable name of the lane width the kernels were compiled for;
+/// benches print it so JSON snapshots record which path was measured.
+inline const char* SimdLevelName() {
+#if defined(FMTK_SIMD_AVX2)
+  return "avx2";
+#elif defined(FMTK_SIMD_SSE2)
+  return "sse2";
+#elif defined(FMTK_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_SIMD_H_

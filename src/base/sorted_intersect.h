@@ -1,0 +1,199 @@
+#ifndef FMTK_BASE_SORTED_INTERSECT_H_
+#define FMTK_BASE_SORTED_INTERSECT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/simd.h"
+
+// Intersection kernels for sorted duplicate-free integer lists (posting
+// lists, column value lists). Three strategies:
+//
+//   - scalar merge        — baseline two-pointer walk;
+//   - galloping           — when one list is much shorter, gallop through
+//                           the longer one (doubling probe + binary search);
+//   - SIMD linear         — broadcast one element of the shorter list and
+//                           compare against a full vector lane of the longer
+//                           (SSE2/AVX2/NEON for 32-bit keys, AVX2 for 64-bit
+//                           keys; falls back to the scalar merge otherwise).
+//
+// IntersectSorted() dispatches between galloping and linear on the size
+// ratio. All kernels produce identical output: the common elements in
+// ascending order. Inputs must be strictly increasing.
+
+namespace fmtk {
+
+/// Size ratio (longer/shorter) above which galloping wins over the linear
+/// kernels.
+inline constexpr std::size_t kGallopRatio = 16;
+
+/// Baseline two-pointer merge intersection. `out` must have room for
+/// min(na, nb) elements; returns the number written.
+template <typename T>
+inline std::size_t IntersectSortedScalar(const T* a, std::size_t na,
+                                         const T* b, std::size_t nb, T* out) {
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[k++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return k;
+}
+
+/// Galloping intersection: for each element of `a`, advance in `b` with a
+/// doubling probe then binary-search the final window. Intended for
+/// na << nb; correct for any sizes. Returns the number written to `out`.
+template <typename T>
+inline std::size_t IntersectSortedGalloping(const T* a, std::size_t na,
+                                            const T* b, std::size_t nb,
+                                            T* out) {
+  std::size_t j = 0, k = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    const T x = a[i];
+    if (b[j] < x) {
+      std::size_t step = 1;
+      while (j + step < nb && b[j + step] < x) {
+        step <<= 1;
+      }
+      // b[j + step/2] < x and (j + step >= nb or b[j + step] >= x), so the
+      // insertion point lies in (j + step/2, j + step].
+      const std::size_t lo = j + (step >> 1);
+      const std::size_t hi = std::min(j + step, nb);
+      j = static_cast<std::size_t>(std::lower_bound(b + lo, b + hi, x) - b);
+    }
+    if (j < nb && b[j] == x) {
+      out[k++] = x;
+      ++j;
+    }
+  }
+  return k;
+}
+
+namespace intersect_detail {
+
+/// Linear intersection with SIMD block compares where available: broadcast
+/// a[i] and compare against a lane-width block of b, advancing whichever
+/// side is behind. Identical output to the scalar merge.
+template <typename T>
+inline std::size_t IntersectLinear(const T* a, std::size_t na, const T* b,
+                                   std::size_t nb, T* out) {
+  std::size_t i = 0, j = 0, k = 0;
+#if FMTK_SIMD_LEVEL > 0
+  if constexpr (sizeof(T) == 4) {
+#if defined(FMTK_SIMD_AVX2)
+    while (i < na && j + 8 <= nb) {
+      const __m256i probe = _mm256_set1_epi32(static_cast<int>(a[i]));
+      const __m256i block =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(probe, block)) != 0) {
+        out[k++] = a[i];
+      }
+      if (a[i] > b[j + 7]) {
+        j += 8;
+      } else {
+        ++i;
+      }
+    }
+#elif defined(FMTK_SIMD_SSE2)
+    while (i < na && j + 4 <= nb) {
+      const __m128i probe = _mm_set1_epi32(static_cast<int>(a[i]));
+      const __m128i block =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+      if (_mm_movemask_epi8(_mm_cmpeq_epi32(probe, block)) != 0) {
+        out[k++] = a[i];
+      }
+      if (a[i] > b[j + 3]) {
+        j += 4;
+      } else {
+        ++i;
+      }
+    }
+#elif defined(FMTK_SIMD_NEON)
+    while (i < na && j + 4 <= nb) {
+      const uint32x4_t probe = vdupq_n_u32(static_cast<std::uint32_t>(a[i]));
+      const uint32x4_t block =
+          vld1q_u32(reinterpret_cast<const std::uint32_t*>(b + j));
+      if (vmaxvq_u32(vceqq_u32(probe, block)) != 0) {
+        out[k++] = a[i];
+      }
+      if (a[i] > b[j + 3]) {
+        j += 4;
+      } else {
+        ++i;
+      }
+    }
+#endif
+  } else if constexpr (sizeof(T) == 8) {
+#if defined(FMTK_SIMD_AVX2)
+    while (i < na && j + 4 <= nb) {
+      const __m256i probe =
+          _mm256_set1_epi64x(static_cast<long long>(a[i]));
+      const __m256i block =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      if (_mm256_movemask_epi8(_mm256_cmpeq_epi64(probe, block)) != 0) {
+        out[k++] = a[i];
+      }
+      if (a[i] > b[j + 3]) {
+        j += 4;
+      } else {
+        ++i;
+      }
+    }
+#endif
+  }
+#endif  // FMTK_SIMD_LEVEL > 0
+  return k + IntersectSortedScalar(a + i, na - i, b + j, nb - j, out + k);
+}
+
+}  // namespace intersect_detail
+
+/// Intersects two sorted duplicate-free lists into `out` (room for
+/// min(na, nb) elements); returns the number written. Picks galloping when
+/// the size ratio exceeds kGallopRatio, the SIMD/scalar linear kernel
+/// otherwise.
+template <typename T>
+inline std::size_t IntersectSorted(const T* a, std::size_t na, const T* b,
+                                   std::size_t nb, T* out) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na == 0) {
+    return 0;
+  }
+  if (nb / na >= kGallopRatio) {
+    return IntersectSortedGalloping(a, na, b, nb, out);
+  }
+  return intersect_detail::IntersectLinear(a, na, b, nb, out);
+}
+
+/// Vector convenience wrapper: out = a ∩ b.
+template <typename T>
+inline void IntersectSorted(const std::vector<T>& a, const std::vector<T>& b,
+                            std::vector<T>& out) {
+  out.resize(std::min(a.size(), b.size()));
+  out.resize(IntersectSorted(a.data(), a.size(), b.data(), b.size(),
+                             out.data()));
+}
+
+/// acc = acc ∩ b, using `scratch` as the output buffer (swapped into acc).
+template <typename T>
+inline void IntersectSortedInPlace(std::vector<T>& acc, const std::vector<T>& b,
+                                   std::vector<T>& scratch) {
+  IntersectSorted(acc, b, scratch);
+  acc.swap(scratch);
+}
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_SORTED_INTERSECT_H_

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "base/flat_hash.h"
 #include "base/parallel.h"
 #include "base/result.h"
 #include "core/games/game_engine.h"
@@ -96,11 +96,11 @@ class EfGameSolver {
   // stats_ when the search returns.
   struct SearchContext {
     game_engine::PositionState position;
-    std::unordered_map<std::uint64_t, bool>* table;
+    FlatU64Map<bool>* table;
     GameStats local;
   };
 
-  SearchContext MakeContext(std::unordered_map<std::uint64_t, bool>* table);
+  SearchContext MakeContext(FlatU64Map<bool>* table);
   // Folds a finished context's counters into stats_.
   void MergeStats(const SearchContext& ctx);
   // Seeds constants and the initial pairs into ctx.position; false when the
@@ -144,11 +144,13 @@ class EfGameSolver {
   std::uint32_t num_classes_b_ = 0;
   std::vector<std::size_t> sig_a_;
   std::vector<std::size_t> sig_b_;
+  game_engine::SignatureBuckets sig_buckets_a_;
+  game_engine::SignatureBuckets sig_buckets_b_;
   game_engine::ZobristTable zobrist_;
   bool nullary_ok_ = true;
 
   // Shared across queries: iterative deepening in SpoilerNeeds reuses it.
-  std::unordered_map<std::uint64_t, bool> table_;
+  FlatU64Map<bool> table_;
   std::atomic<std::uint64_t> node_count_{0};
   GameStats stats_;
 };

@@ -10,14 +10,11 @@ namespace game_engine {
 
 namespace {
 
-// splitmix64: the standard 64-bit finalizer/sequence generator. Fixed seed
+// splitmix64: Weyl increment plus the shared Mix64 finalizer. Fixed seed
 // keeps Zobrist codes (and hence table behavior) reproducible run to run.
 std::uint64_t SplitMix64(std::uint64_t& state) {
   state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  return Mix64(state);
 }
 
 // Is the transposition (u v) an automorphism of s? It suffices to check the
@@ -72,6 +69,18 @@ std::vector<std::size_t> ElementSignatures(const Structure& s) {
     sig[e] = h;
   }
   return sig;
+}
+
+SignatureBuckets BuildSignatureBuckets(const std::vector<std::size_t>& sigs) {
+  SignatureBuckets buckets;
+  for (std::size_t e = 0; e < sigs.size(); ++e) {
+    auto [bucket, inserted] = buckets.TryEmplace(sigs[e]);
+    if (inserted) {
+      bucket->Reset(sigs.size());
+    }
+    bucket->Set(e);
+  }
+  return buckets;
 }
 
 std::vector<std::uint32_t> SwapClasses(const Structure& s,

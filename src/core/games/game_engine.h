@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "base/bitset.h"
+#include "base/flat_hash.h"
 #include "base/result.h"
 #include "structures/isomorphism.h"
 #include "structures/relation.h"
@@ -43,6 +45,13 @@ OccurrenceLists BuildOccurrenceLists(const Structure& s);
 /// Hash of AtomicInvariantOf(s, e) per element: equal for elements matched
 /// by any isomorphism, comparable across structures over one signature.
 std::vector<std::size_t> ElementSignatures(const Structure& s);
+
+/// signature hash -> bitset of the elements carrying it. The duplicator
+/// response loops walk the spoiler element's bucket first (word-packed,
+/// ascending) instead of re-scanning the whole domain per move, then the
+/// complement via a bucket-membership test.
+using SignatureBuckets = FlatU64Map<ElementBitset>;
+SignatureBuckets BuildSignatureBuckets(const std::vector<std::size_t>& sigs);
 
 /// Partitions the domain into *swap classes*: e and f share a class iff the
 /// transposition (e f) is an automorphism of `s` and neither element

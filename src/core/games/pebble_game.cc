@@ -18,6 +18,8 @@ PebbleGameSolver::PebbleGameSolver(const Structure& a, const Structure& b,
       occ_b_(game_engine::BuildOccurrenceLists(b)),
       sig_a_(game_engine::ElementSignatures(a)),
       sig_b_(game_engine::ElementSignatures(b)),
+      sig_buckets_a_(game_engine::BuildSignatureBuckets(sig_a_)),
+      sig_buckets_b_(game_engine::BuildSignatureBuckets(sig_b_)),
       zobrist_(a.domain_size(), b.domain_size()),
       nullary_ok_(game_engine::NullaryRelationsAgree(a, b)) {
   FMTK_CHECK(a.signature() == b.signature())
@@ -30,7 +32,7 @@ PebbleGameSolver::PebbleGameSolver(const Structure& a, const Structure& b,
 }
 
 PebbleGameSolver::SearchContext PebbleGameSolver::MakeContext(
-    std::unordered_map<std::uint64_t, bool>* table) {
+    FlatU64Map<bool>* table) {
   return SearchContext{
       game_engine::PositionState(a_, b_, &occ_a_, &occ_b_, &zobrist_),
       Board(pebbles_), table, GameStats{}};
@@ -63,9 +65,9 @@ Result<bool> PebbleGameSolver::Wins(SearchContext& ctx, std::size_t rounds) {
   }
   const std::uint64_t key =
       game_engine::TranspositionKey(ctx.position.hash(), rounds);
-  if (auto it = ctx.table->find(key); it != ctx.table->end()) {
+  if (const bool* cached = ctx.table->Find(key)) {
     ++ctx.local.table_hits;
-    return it->second;
+    return *cached;
   }
   if (node_count_.fetch_add(1, std::memory_order_relaxed) + 1 > max_nodes_) {
     return Status::ResourceExhausted("pebble game search exceeded node cap");
@@ -102,7 +104,7 @@ Result<bool> PebbleGameSolver::Wins(SearchContext& ctx, std::size_t rounds) {
     }
     duplicator_wins = *all;
   }
-  ctx.table->emplace(key, duplicator_wins);
+  ctx.table->TryEmplace(key, duplicator_wins);
   return duplicator_wins;
 }
 
@@ -174,40 +176,50 @@ Result<bool> PebbleGameSolver::ResponseExists(SearchContext& ctx,
   const std::size_t n_to = in_a ? b_.domain_size() : a_.domain_size();
   const std::vector<std::uint32_t>& cls_to =
       in_a ? swap_class_b_ : swap_class_a_;
-  const std::vector<std::size_t>& sig_to = in_a ? sig_b_ : sig_a_;
   const std::size_t want = (in_a ? sig_a_ : sig_b_)[s];
+  const ElementBitset* match =
+      (in_a ? sig_buckets_b_ : sig_buckets_a_).Find(want);
   std::vector<bool> seen(in_a ? num_classes_b_ : num_classes_a_, false);
-  // Signature-matching candidates first; see EfGameSolver::MoveSurvivable.
-  for (int pass = 0; pass < 2; ++pass) {
-    for (Element d = 0; d < n_to; ++d) {
-      if ((sig_to[d] == want) != (pass == 0)) {
-        continue;
-      }
-      if (in_a ? ctx.position.PinnedInB(d) : ctx.position.PinnedInA(d)) {
-        ++ctx.local.moves_pruned;
-        continue;
-      }
-      if (seen[cls_to[d]]) {
-        ++ctx.local.moves_pruned;
-        continue;
-      }
-      seen[cls_to[d]] = true;
-      const Element x = in_a ? s : d;
-      const Element y = in_a ? d : s;
-      if (!ctx.position.TryAdd(x, y)) {
-        ++ctx.local.moves_pruned;
-        continue;
-      }
-      ctx.board[p] = std::make_pair(x, y);
-      Result<bool> wins = Wins(ctx, rounds_left);
-      ctx.board[p] = std::nullopt;
-      ctx.position.Remove(x, y);
-      if (!wins.ok()) {
-        return wins;
-      }
-      if (*wins) {
-        return true;
-      }
+  std::optional<Result<bool>> decided;
+  auto consider = [&](Element d) -> bool {
+    if (in_a ? ctx.position.PinnedInB(d) : ctx.position.PinnedInA(d)) {
+      ++ctx.local.moves_pruned;
+      return false;
+    }
+    if (seen[cls_to[d]]) {
+      ++ctx.local.moves_pruned;
+      return false;
+    }
+    seen[cls_to[d]] = true;
+    const Element x = in_a ? s : d;
+    const Element y = in_a ? d : s;
+    if (!ctx.position.TryAdd(x, y)) {
+      ++ctx.local.moves_pruned;
+      return false;
+    }
+    ctx.board[p] = std::make_pair(x, y);
+    Result<bool> wins = Wins(ctx, rounds_left);
+    ctx.board[p] = std::nullopt;
+    ctx.position.Remove(x, y);
+    if (!wins.ok() || *wins) {
+      decided = std::move(wins);
+      return true;
+    }
+    return false;
+  };
+  // Signature-matching candidates first (the spoiler element's bucket,
+  // ascending), then the complement; see EfGameSolver::MoveSurvivable.
+  if (match != nullptr &&
+      match->ForEachSetBitUntil(
+          [&](std::size_t d) { return consider(static_cast<Element>(d)); })) {
+    return *std::move(decided);
+  }
+  for (Element d = 0; d < n_to; ++d) {
+    if (match != nullptr && match->Test(d)) {
+      continue;  // Bucket pass already considered it.
+    }
+    if (consider(d)) {
+      return *std::move(decided);
     }
   }
   return false;
@@ -247,7 +259,7 @@ Result<bool> PebbleGameSolver::SolveRoot(SearchContext& ctx,
     return Wins(ctx, rounds);
   }
   struct WorkerContext {
-    std::unordered_map<std::uint64_t, bool> table;
+    FlatU64Map<bool> table;
     SearchContext search;
   };
   FMTK_ASSIGN_OR_RETURN(
@@ -266,11 +278,13 @@ Result<bool> PebbleGameSolver::SolveRoot(SearchContext& ctx,
                                   moves[j].first, moves[j].second);
           },
           [&](std::unique_ptr<WorkerContext>& worker) {
-            ctx.table->insert(worker->table.begin(), worker->table.end());
+            worker->table.ForEach([&](const std::uint64_t& key, bool& value) {
+              ctx.table->TryEmplace(key, value);
+            });
             ctx.local.table_hits += worker->search.local.table_hits;
             ctx.local.moves_pruned += worker->search.local.moves_pruned;
           })));
-  ctx.table->emplace(
+  ctx.table->TryEmplace(
       game_engine::TranspositionKey(ctx.position.hash(), rounds),
       duplicator_wins);
   return duplicator_wins;

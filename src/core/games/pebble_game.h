@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "base/flat_hash.h"
 #include "base/parallel.h"
 #include "base/result.h"
 #include "core/games/game_engine.h"
@@ -71,11 +71,11 @@ class PebbleGameSolver {
   struct SearchContext {
     game_engine::PositionState position;
     Board board;
-    std::unordered_map<std::uint64_t, bool>* table;
+    FlatU64Map<bool>* table;
     GameStats local;
   };
 
-  SearchContext MakeContext(std::unordered_map<std::uint64_t, bool>* table);
+  SearchContext MakeContext(FlatU64Map<bool>* table);
   void MergeStats(const SearchContext& ctx);
   // Seeds the constant pairs; false when they are incompatible.
   bool BuildConstants(SearchContext& ctx) const;
@@ -112,10 +112,12 @@ class PebbleGameSolver {
   std::uint32_t num_classes_b_ = 0;
   std::vector<std::size_t> sig_a_;
   std::vector<std::size_t> sig_b_;
+  game_engine::SignatureBuckets sig_buckets_a_;
+  game_engine::SignatureBuckets sig_buckets_b_;
   game_engine::ZobristTable zobrist_;
   bool nullary_ok_ = true;
 
-  std::unordered_map<std::uint64_t, bool> table_;
+  FlatU64Map<bool> table_;
   std::atomic<std::uint64_t> node_count_{0};
   GameStats stats_;
 };

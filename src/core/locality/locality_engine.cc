@@ -4,10 +4,10 @@
 #include <deque>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 
 #include "base/check.h"
+#include "base/flat_hash.h"
 #include "base/hash.h"
 #include "structures/graph.h"
 
@@ -506,7 +506,7 @@ LocalityEngine::HistogramCore(
     Scratch scratch(domain_size_);
     std::vector<Element> fresh_ball;
     Tuple center(1);
-    std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash;
+    FlatU64Map<std::vector<std::uint32_t>> by_hash;
     constexpr std::uint32_t kNoPrev = static_cast<std::uint32_t>(-1);
     std::uint32_t prev = kNoPrev;
     for (Element v = begin; v < end; ++v) {
@@ -548,9 +548,8 @@ LocalityEngine::HistogramCore(
       entry.count = 1;
       entry.first_elem = v;
       entry.content_hash = h;
-      if (auto it = index.exact_cache_.find(h);
-          it != index.exact_cache_.end()) {
-        for (const auto& [cached, cached_id] : it->second) {
+      if (const auto* cache_row = index.exact_cache_.Find(h)) {
+        for (const auto& [cached, cached_id] : *cache_row) {
           if (BallContentMatches(scratch, *ball, center, *cached)) {
             entry.exemplar = cached;
             entry.direct = cached_id;
@@ -616,7 +615,7 @@ LocalityEngine::HistogramCore(
     std::size_t count;
     const Neighborhood* exemplar;
   };
-  std::unordered_map<CanonicalCode, std::size_t, CanonicalCodeHash> slot_of;
+  FlatHashMap<CanonicalCode, std::size_t, CanonicalCodeHash> slot_of;
   std::vector<Pending> pendings;
   std::map<NeighborhoodTypeIndex::TypeId, std::size_t> histogram;
   std::uint64_t direct_hits = 0;
@@ -626,12 +625,15 @@ LocalityEngine::HistogramCore(
         histogram[*en.direct] += en.count;
         direct_hits += en.count;
       } else if (en.code.has_value()) {
-        auto [it, inserted] = slot_of.try_emplace(*en.code, pendings.size());
+        auto [slot, inserted] = slot_of.TryEmplace(*en.code, pendings.size());
         if (inserted) {
+          // Point at the chunk-owned code, not into the map: the flat map
+          // relocates its keys on rehash, and the entry vectors are frozen
+          // for the rest of the merge.
           pendings.push_back(
-              Pending{en.first_elem, &it->first, en.count, en.exemplar});
+              Pending{en.first_elem, &*en.code, en.count, en.exemplar});
         } else {
-          Pending& p = pendings[it->second];
+          Pending& p = pendings[*slot];
           p.count += en.count;
           if (en.first_elem < p.first_elem) {
             p.first_elem = en.first_elem;
@@ -678,8 +680,10 @@ LocalityEngine::HistogramCore(
   for (ChunkResult& chunk : chunks) {
     for (LocalEntry& en : chunk.entries) {
       if (en.code.has_value() && en.owned != nullptr) {
-        index.RegisterContent(std::move(*en.owned),
-                              id_of[slot_of.at(*en.code)], en.content_hash);
+        const std::size_t* slot = slot_of.Find(*en.code);
+        FMTK_CHECK(slot != nullptr) << "coded content missing from the merge";
+        index.RegisterContent(std::move(*en.owned), id_of[*slot],
+                              en.content_hash);
       }
     }
   }

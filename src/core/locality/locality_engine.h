@@ -7,9 +7,9 @@
 #include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "base/flat_hash.h"
 #include "base/parallel.h"
 #include "core/locality/neighborhood.h"
 #include "structures/structure.h"
@@ -127,7 +127,7 @@ class LocalityEngine {
     friend class LocalityEngine;
     std::deque<Neighborhood> entries_;
     // Content hash -> entry indices with that hash.
-    std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash_;
+    FlatU64Map<std::vector<std::uint32_t>> by_hash_;
   };
 
   struct DedupResult {

@@ -533,9 +533,8 @@ NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::TypeOf(
   // find — operator[] would grow an empty row per novel content even once
   // the exemplar cap stops anything from being cached under it.
   const std::size_t content = ContentHash(n);
-  if (auto exact_it = exact_cache_.find(content);
-      exact_it != exact_cache_.end()) {
-    for (const auto& [exemplar, id] : exact_it->second) {
+  if (const auto* row = exact_cache_.Find(content)) {
+    for (const auto& [exemplar, id] : *row) {
       if (IdenticalContent(*exemplar, n)) {
         ++stats_.exact_hits;
         return id;
@@ -546,8 +545,9 @@ NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::TypeOf(
   if (options_.use_canonical_codes) {
     if (std::optional<CanonicalCode> code = CanonicalNeighborhoodCode(n)) {
       ++stats_.canon_codes;
-      auto [it, inserted] = code_map_.try_emplace(std::move(*code),
-                                                  reps_.size());
+      auto [slot, inserted] =
+          code_map_.TryEmplace(std::move(*code), reps_.size());
+      const TypeId id = *slot;
       if (!inserted) {
         ++stats_.canon_hits;
         // Novel literal content of a known type: seed the content cache so
@@ -555,15 +555,15 @@ NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::TypeOf(
         // per distinct content, bounded by the exemplar cap.
         if (exemplars_.size() < options_.max_exemplars) {
           exemplars_.push_back(n);
-          exact_cache_[content].emplace_back(&exemplars_.back(), it->second);
+          exact_cache_[content].emplace_back(&exemplars_.back(), id);
         }
-        return it->second;
+        return id;
       }
       reps_.push_back(n);
       // The stored representative doubles as the content exemplar — no
       // second deep copy into exemplars_.
-      exact_cache_[content].emplace_back(&reps_.back(), it->second);
-      return it->second;
+      exact_cache_[content].emplace_back(&reps_.back(), id);
+      return id;
     }
   }
   return FallbackTypeOf(n);
@@ -572,9 +572,8 @@ NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::TypeOf(
 NeighborhoodTypeIndex::TypeId NeighborhoodTypeIndex::FallbackTypeOf(
     const Neighborhood& n) {
   const std::size_t content = ContentHash(n);
-  if (auto exact_it = exact_cache_.find(content);
-      exact_it != exact_cache_.end()) {
-    for (const auto& [exemplar, id] : exact_it->second) {
+  if (const auto* row = exact_cache_.Find(content)) {
+    for (const auto& [exemplar, id] : *row) {
       if (IdenticalContent(*exemplar, n)) {
         ++stats_.exact_hits;
         return id;
@@ -616,13 +615,13 @@ NeighborhoodTypeIndex::Resolution NeighborhoodTypeIndex::Resolve(
     const CanonicalCode& code, const Neighborhood& exemplar) {
   FMTK_CHECK(options_.use_canonical_codes)
       << "Resolve requires canonical codes to be enabled";
-  auto [it, inserted] = code_map_.try_emplace(code, reps_.size());
+  auto [slot, inserted] = code_map_.TryEmplace(code, reps_.size());
+  const TypeId id = *slot;
   if (inserted) {
     reps_.push_back(exemplar);
-    exact_cache_[ContentHash(exemplar)].emplace_back(&reps_.back(),
-                                                     it->second);
+    exact_cache_[ContentHash(exemplar)].emplace_back(&reps_.back(), id);
   }
-  return Resolution{it->second, inserted};
+  return Resolution{id, inserted};
 }
 
 void NeighborhoodTypeIndex::RegisterContent(Neighborhood&& exemplar, TypeId id,

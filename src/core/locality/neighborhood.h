@@ -6,10 +6,10 @@
 #include <deque>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "base/flat_hash.h"
 #include "base/hash.h"
 #include "structures/graph.h"
 #include "structures/structure.h"
@@ -161,16 +161,15 @@ class NeighborhoodTypeIndex {
   // TypeId -> representative, indexed positionally.
   std::deque<Neighborhood> reps_;
   // Canonical code -> type. Exact: no verification needed on a hit.
-  std::unordered_map<CanonicalCode, TypeId, CanonicalCodeHash> code_map_;
+  FlatHashMap<CanonicalCode, TypeId, CanonicalCodeHash> code_map_;
   // IsomorphismInvariant hash -> candidate types (fallback regime only).
-  std::unordered_map<std::size_t, std::vector<BucketEntry>> buckets_;
+  FlatU64Map<std::vector<BucketEntry>> buckets_;
   // Exact-content fast path: content hash -> exemplars seen with that
   // content and their resolved types. Representatives double as exemplars;
   // additional exemplar storage is capped, and past the cap lookups still
   // work but new contents are not cached.
   std::deque<Neighborhood> exemplars_;
-  std::unordered_map<std::size_t,
-                     std::vector<std::pair<const Neighborhood*, TypeId>>>
+  FlatU64Map<std::vector<std::pair<const Neighborhood*, TypeId>>>
       exact_cache_;
   Options options_;
   Stats stats_;

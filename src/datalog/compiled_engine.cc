@@ -11,6 +11,7 @@
 
 #include "analysis/datalog_analyzer.h"
 #include "base/check.h"
+#include "base/sorted_intersect.h"
 
 namespace fmtk {
 
@@ -439,7 +440,8 @@ class VariantRun {
         variant_(variant),
         rs_(rs),
         acc_(acc),
-        env_(rule.slot_count, 0) {}
+        env_(rule.slot_count, 0),
+        isect_(variant.steps.size()) {}
 
   void set_buffer(std::vector<Tuple>* buffer) { buffer_ = buffer; }
   void set_step0_range(std::size_t begin, std::size_t end) {
@@ -494,31 +496,62 @@ class VariantRun {
     if (begin >= end) {
       return Status::OK();
     }
-    // Probe the most selective bound column's posting list; fall back to a
-    // range scan when no column is bound. The posting lists consulted here
-    // are frozen for the round (EDB relations are immutable, IDB indexes
-    // are synced only at round starts), so iterating them is safe even
-    // though the recursion below may Add into the same relation.
+    // Probe the bound columns' posting lists; fall back to a range scan
+    // when no column is bound. The posting lists consulted here are frozen
+    // for the round (EDB relations are immutable, IDB indexes are synced
+    // only at round starts), so iterating them is safe even though the
+    // recursion below may Add into the same relation. With one bound
+    // column the list is walked directly; with several, the lists are
+    // intersected (galloping/SIMD kernel) so only tuples matching every
+    // bound column reach TryTuple.
     const std::vector<std::size_t>* best_list = nullptr;
     if (!s.probe_cols.empty()) {
       if (!chunked_scan) {
         ++acc_.index_probes;
       }
-      for (std::size_t c : s.probe_cols) {
+      auto list_of = [&](std::size_t c) -> const std::vector<std::size_t>* {
         const PosAction& a = s.actions[c];
         const Element value =
             a.kind == PosAction::kCheckConst ? a.value : env_[a.slot];
         const Relation::ColumnIndex* index =
             s.is_idb ? rs_.idb_index[s.pred][c] : s.edb_index[c];
-        auto it = index->postings.find(value);
-        if (it == index->postings.end()) {
+        return index->postings.Find(value);
+      };
+      if (s.probe_cols.size() == 1) {
+        // Single bound column — walk its list directly, no staging.
+        best_list = list_of(s.probe_cols[0]);
+        if (best_list == nullptr) {
           // No tuple with the bound value at this column anywhere in the
           // synced prefix — and the ranges below never exceed it.
           return Status::OK();
         }
-        if (best_list == nullptr || it->second.size() < best_list->size()) {
-          best_list = &it->second;
+      } else {
+        probe_lists_.clear();
+        for (std::size_t c : s.probe_cols) {
+          const std::vector<std::size_t>* list = list_of(c);
+          if (list == nullptr) {
+            return Status::OK();
+          }
+          probe_lists_.push_back(list);
         }
+        // Fold the lists smallest-first into this depth's scratch buffer.
+        // The scratch is per-depth (iterated while deeper steps recurse);
+        // tmp_ is transient within the fold, so one shared buffer works.
+        std::sort(probe_lists_.begin(), probe_lists_.end(),
+                  [](const std::vector<std::size_t>* a,
+                     const std::vector<std::size_t>* b) {
+                    return a->size() < b->size();
+                  });
+        std::vector<std::size_t>& acc = isect_[depth];
+        IntersectSorted(*probe_lists_[0], *probe_lists_[1], acc);
+        for (std::size_t k = 2; k < probe_lists_.size() && !acc.empty();
+             ++k) {
+          IntersectSortedInPlace(acc, *probe_lists_[k], tmp_);
+        }
+        if (acc.empty()) {
+          return Status::OK();
+        }
+        best_list = &acc;
       }
     }
     if (best_list != nullptr) {
@@ -542,9 +575,9 @@ class VariantRun {
                   std::size_t tuple_index) {
     ++acc_.tuples_scanned;
     {
-      // Scope the reference: Add() during the recursion may reallocate the
-      // tuple store, so it must not be held across Step().
-      const Tuple& t = rel.tuples()[tuple_index];
+      // Scope the pointer: Add() during the recursion may reallocate the
+      // flat tuple store, so it must not be held across Step().
+      const Element* t = rel.TupleData(tuple_index);
       for (std::size_t c = 0; c < s.actions.size(); ++c) {
         const PosAction& a = s.actions[c];
         switch (a.kind) {
@@ -569,8 +602,10 @@ class VariantRun {
 
   Status Derive() {
     ++acc_.tuples_derived;
-    Tuple out;
-    out.reserve(rule_.head.size());
+    // Build the head into a reused scratch: most derivations in a recursive
+    // fixpoint are duplicates, and AddCopy() only copies on actual insert,
+    // so the reject path allocates nothing.
+    out_.clear();
     for (const SlotTerm& t : rule_.head) {
       if (t.is_const) {
         if (t.value >= impl_.edb->domain_size()) {
@@ -578,14 +613,14 @@ class VariantRun {
                                          std::to_string(t.value) +
                                          " outside the structure's domain");
         }
-        out.push_back(t.value);
+        out_.push_back(t.value);
       } else {
-        out.push_back(env_[t.slot]);
+        out_.push_back(env_[t.slot]);
       }
     }
     if (buffer_ != nullptr) {
-      buffer_->push_back(std::move(out));
-    } else if (rs_.idb[rule_.head_pred].Add(std::move(out))) {
+      buffer_->push_back(out_);
+    } else if (rs_.idb[rule_.head_pred].AddCopy(out_)) {
       changed_ = true;
       ++tuples_new_;
     }
@@ -598,10 +633,17 @@ class VariantRun {
   RunState& rs_;
   StatsAcc& acc_;
   std::vector<Element> env_;
+  Tuple out_;
   std::vector<Tuple>* buffer_ = nullptr;
   std::optional<std::pair<std::size_t, std::size_t>> step0_range_;
   bool changed_ = false;
   std::uint64_t tuples_new_ = 0;
+  // Probe scratch, reused across Step() calls. probe_lists_ and tmp_ are
+  // done with before the recursion resumes; isect_ is per-depth because a
+  // step iterates its intersection while deeper steps compute theirs.
+  std::vector<const std::vector<std::size_t>*> probe_lists_;
+  std::vector<std::vector<std::size_t>> isect_;
+  std::vector<std::size_t> tmp_;
 };
 
 }  // namespace
@@ -680,6 +722,13 @@ Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
     }
   }
 
+  // hardware_concurrency() reads sysfs on every call (glibc get_nprocs);
+  // resolve the thread budget once, not per rule per round.
+  const std::size_t hw_threads =
+      policy.num_threads != 0
+          ? policy.num_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
   StatsAcc acc;
   std::uint64_t rule_applications = 0;
   std::uint64_t tuples_new = 0;
@@ -715,12 +764,7 @@ Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
           const JoinStep& s0 = variant.steps.front();
           delta_size = rs.delta_end[s0.pred] - rs.delta_begin[s0.pred];
         }
-        std::size_t threads =
-            policy.num_threads != 0
-                ? policy.num_threads
-                : std::max<std::size_t>(
-                      1, std::thread::hardware_concurrency());
-        threads = std::min(threads, delta_size);
+        const std::size_t threads = std::min(hw_threads, delta_size);
         if (parallel_eligible && delta_size >= policy.min_domain &&
             threads > 1) {
           // Fan the delta partition out in contiguous chunks. Derivations

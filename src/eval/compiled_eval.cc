@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "analysis/fo_analyzer.h"
+#include "base/bitset.h"
 #include "base/check.h"
 #include "logic/analysis.h"
 
@@ -26,8 +27,6 @@ struct CompiledTerm {
   std::string name;
 };
 
-constexpr std::uint32_t kNoPrune = 0xFFFFFFFFu;
-
 struct PlanNode {
   FormulaKind kind = FormulaKind::kTrue;
   std::uint32_t relation = 0;          // kAtom: signature relation index.
@@ -35,11 +34,11 @@ struct PlanNode {
   std::vector<std::uint32_t> children;
   std::uint32_t slot = 0;              // quantifiers: environment slot.
   std::uint32_t count = 0;             // kCountExists threshold.
-  // Quantifier pruning guard: when != kNoPrune, the quantified variable must
-  // occur at prune_column of relation prune_relation for the body to hold,
-  // so enumeration can be restricted to that column's distinct values.
-  std::uint32_t prune_relation = kNoPrune;
-  std::uint32_t prune_column = 0;
+  // Quantifier pruning guards: {relation, column} pairs such that the
+  // quantified variable must occur at that column of that relation for the
+  // body (∃/∃^{≥k}) or the antecedent (∀) to hold. Enumeration can be
+  // restricted to the intersection of the guards' distinct column values.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> prune_guards;
 };
 
 struct Plan {
@@ -50,13 +49,22 @@ struct Plan {
   Signature signature;  // The signature compiled against (for Bind checks).
 };
 
+// Per-quantifier candidate set, fixed at Bind time. `values` is null when
+// the quantifier scans the whole domain; otherwise it points at a sorted
+// ascending element list — a single guard's column values in place, or the
+// bitset-AND of several guards' columns materialised into `storage`.
+struct NodeCandidates {
+  const std::vector<Element>* values = nullptr;
+  std::vector<Element> storage;
+};
+
 struct Binding {
   const Structure* structure = nullptr;
   std::size_t domain = 0;
   std::size_t free_count = 0;
   std::vector<const Relation*> relations;          // By signature index.
   std::vector<std::optional<Element>> constants;   // By signature index.
-  std::vector<const Relation::ColumnIndex*> prune;  // Per plan node.
+  std::vector<NodeCandidates> prune;               // Per plan node.
 };
 
 namespace {
@@ -118,15 +126,76 @@ class Compiler {
     return out;
   }
 
-  // Finds the atom evaluated first inside the quantifier body (descending
-  // the left spine of conjunctions; for ∀ the left spine of the antecedent
-  // of a top-level implication). When that atom contains the quantified
-  // variable and every other term is bound by an enclosing quantifier, the
-  // quantifier can enumerate the atom's column values instead of the whole
-  // domain: elements outside the column make the guard atom — and with it
-  // the body (∃/∃^{≥k}) or the antecedent (∀) — evaluate the same way a full
-  // scan would, without errors, so verdicts and error classification are
-  // preserved exactly.
+  // A "transparent" conjunct in a quantifier body is one whose evaluation
+  // can neither error nor depend on anything unavailable at prune time: an
+  // atom with no constants whose terms are all the quantified variable v or
+  // variables bound by enclosing quantifiers (constants could be
+  // uninterpreted and free variables unbound at evaluation time; both would
+  // make a skipped element error-free here but error-producing in a full
+  // scan). When such an atom contains v it is a *guard*: v must occur at
+  // that column of that relation or the atom — and with it the conjunction
+  // — is false. Returns the guard column, nullopt for a v-independent but
+  // still transparent atom.
+  std::optional<std::size_t> GuardColumn(const Formula& g,
+                                         const std::string& v,
+                                         bool* transparent) const {
+    *transparent = false;
+    if (g.kind() == FormulaKind::kTrue) {
+      *transparent = true;
+      return std::nullopt;
+    }
+    if (g.kind() != FormulaKind::kAtom) {
+      return std::nullopt;
+    }
+    std::optional<std::size_t> column;
+    for (std::size_t i = 0; i < g.terms().size(); ++i) {
+      const Term& term = g.terms()[i];
+      if (term.is_constant()) {
+        return std::nullopt;
+      }
+      if (term.name == v) {
+        if (!column.has_value()) {
+          column = i;
+        }
+      } else if (!IsBoundInScope(term.name)) {
+        return std::nullopt;
+      }
+    }
+    *transparent = true;
+    return column;
+  }
+
+  // Collects guards from the leading run of transparent conjuncts (walking
+  // nested conjunctions in evaluation order, stopping at the first
+  // non-transparent one). Returns false to signal the stop.
+  bool CollectGuards(const Formula& g, const std::string& v,
+                     PlanNode* node) const {
+    if (g.kind() == FormulaKind::kAnd) {
+      for (const Formula& child : g.children()) {
+        if (!CollectGuards(child, v, node)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    bool transparent = false;
+    std::optional<std::size_t> column = GuardColumn(g, v, &transparent);
+    if (column.has_value()) {
+      node->prune_guards.emplace_back(
+          static_cast<std::uint32_t>(
+              *signature_.FindRelation(g.relation_name())),
+          static_cast<std::uint32_t>(*column));
+    }
+    return transparent;
+  }
+
+  // Quantifier pruning: restrict enumeration of ∃/∀/∃^{≥k} to the elements
+  // that can satisfy every leading guard atom of the body (for ∀, of the
+  // antecedent of a top-level implication). Elements outside a guard's
+  // column make that guard — and with it the body (∃/∃^{≥k}) or the
+  // antecedent (∀) — evaluate the same way a full scan would, without
+  // errors: guards precede every conjunct that could error, so verdicts and
+  // error classification are preserved exactly.
   void AnalyzePrune(const Formula& f, PlanNode* node) const {
     const Formula* g = &f.body();
     if (f.kind() == FormulaKind::kForall) {
@@ -135,37 +204,7 @@ class Compiler {
       }
       g = &g->child(0);
     }
-    while (g->kind() == FormulaKind::kAnd && g->child_count() > 0) {
-      g = &g->child(0);
-    }
-    if (g->kind() != FormulaKind::kAtom) {
-      return;
-    }
-    const std::string& v = f.variable();
-    std::optional<std::size_t> column;
-    for (std::size_t i = 0; i < g->terms().size(); ++i) {
-      const Term& term = g->terms()[i];
-      // Constants could be uninterpreted and free variables unbound at
-      // evaluation time; both would make a skipped element error-free here
-      // but error-producing in a full scan, so only enclosing-quantifier
-      // variables (and v itself) are allowed.
-      if (term.is_constant()) {
-        return;
-      }
-      if (term.name == v) {
-        if (!column.has_value()) {
-          column = i;
-        }
-      } else if (!IsBoundInScope(term.name)) {
-        return;
-      }
-    }
-    if (!column.has_value()) {
-      return;
-    }
-    node->prune_relation =
-        static_cast<std::uint32_t>(*signature_.FindRelation(g->relation_name()));
-    node->prune_column = static_cast<std::uint32_t>(*column);
+    (void)CollectGuards(*g, f.variable(), node);
   }
 
   std::uint32_t Emit(PlanNode node) {
@@ -337,7 +376,7 @@ Result<bool> EvalNode(EvalState& st, std::uint32_t idx) {
       return a == b;
     }
     case FormulaKind::kCountExists: {
-      const Relation::ColumnIndex* ci = st.binding->prune[idx];
+      const std::vector<Element>* candidates = st.binding->prune[idx].values;
       std::size_t witnesses = 0;
       auto try_element = [&](Element d,
                              std::optional<Result<bool>>& decided) {
@@ -353,9 +392,9 @@ Result<bool> EvalNode(EvalState& st, std::uint32_t idx) {
         }
       };
       std::optional<Result<bool>> decided;
-      if (ci != nullptr) {
+      if (candidates != nullptr) {
         ++st.stats.index_hits;
-        for (Element d : ci->values) {
+        for (Element d : *candidates) {
           try_element(d, decided);
           if (decided.has_value()) {
             return *std::move(decided);
@@ -374,7 +413,7 @@ Result<bool> EvalNode(EvalState& st, std::uint32_t idx) {
     case FormulaKind::kExists:
     case FormulaKind::kForall: {
       const bool is_exists = n.kind == FormulaKind::kExists;
-      const Relation::ColumnIndex* ci = st.binding->prune[idx];
+      const std::vector<Element>* candidates = st.binding->prune[idx].values;
       auto try_element = [&](Element d,
                              std::optional<Result<bool>>& decided) {
         ++st.stats.quantifier_instantiations;
@@ -389,9 +428,9 @@ Result<bool> EvalNode(EvalState& st, std::uint32_t idx) {
         }
       };
       std::optional<Result<bool>> decided;
-      if (ci != nullptr) {
+      if (candidates != nullptr) {
         ++st.stats.index_hits;
-        for (Element d : ci->values) {
+        for (Element d : *candidates) {
           try_element(d, decided);
           if (decided.has_value()) {
             return *std::move(decided);
@@ -427,14 +466,34 @@ std::shared_ptr<const Binding> MakeBinding(const Plan& plan,
   for (std::size_t i = 0; i < sig.constant_count(); ++i) {
     binding->constants.push_back(structure.constant(i));
   }
-  binding->prune.assign(plan.nodes.size(), nullptr);
+  binding->prune.resize(plan.nodes.size());
   for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
     const PlanNode& node = plan.nodes[i];
-    if (node.prune_relation != kNoPrune) {
-      // Built here, once, so parallel evaluation reads lock-free.
-      binding->prune[i] =
-          &binding->relations[node.prune_relation]->column_index(
-              node.prune_column);
+    if (node.prune_guards.empty()) {
+      continue;
+    }
+    // Built here, once, so parallel evaluation reads lock-free. A single
+    // guard aliases the column's value list; several guards AND their
+    // columns' bitsets and materialise the surviving elements (ascending,
+    // matching the order a single-guard scan uses).
+    NodeCandidates& cand = binding->prune[i];
+    if (node.prune_guards.size() == 1) {
+      const auto& [rel, col] = node.prune_guards[0];
+      cand.values = &binding->relations[rel]->column_index(col).values;
+    } else {
+      ElementBitset surviving;
+      for (std::size_t g = 0; g < node.prune_guards.size(); ++g) {
+        const auto& [rel, col] = node.prune_guards[g];
+        const ElementBitset column_set = ElementBitset::FromList(
+            binding->domain, binding->relations[rel]->column_index(col).values);
+        if (g == 0) {
+          surviving = column_set;
+        } else {
+          surviving.AndWith(column_set);
+        }
+      }
+      surviving.AppendSetBits(cand.storage);
+      cand.values = &cand.storage;
     }
   }
   return binding;
@@ -531,9 +590,9 @@ Result<bool> CompiledEvaluator::Run(std::vector<Element> env,
       (root.kind == FormulaKind::kExists ||
        root.kind == FormulaKind::kForall);
   if (parallel_shape) {
-    const Relation::ColumnIndex* ci = binding.prune[plan.root];
+    const std::vector<Element>* candidates = binding.prune[plan.root].values;
     const std::size_t candidate_count =
-        ci != nullptr ? ci->values.size() : binding.domain;
+        candidates != nullptr ? candidates->size() : binding.domain;
     std::size_t threads = policy_.num_threads != 0
                               ? policy_.num_threads
                               : std::max<std::size_t>(
@@ -542,7 +601,7 @@ Result<bool> CompiledEvaluator::Run(std::vector<Element> env,
     if (candidate_count >= policy_.min_domain && threads > 1) {
       const bool is_exists = root.kind == FormulaKind::kExists;
       ++stats_.node_visits;
-      if (ci != nullptr) {
+      if (candidates != nullptr) {
         ++stats_.index_hits;
       }
 
@@ -570,8 +629,8 @@ Result<bool> CompiledEvaluator::Run(std::vector<Element> env,
             if (best.load(std::memory_order_relaxed) < k) {
               break;
             }
-            const Element d =
-                ci != nullptr ? ci->values[k] : static_cast<Element>(k);
+            const Element d = candidates != nullptr ? (*candidates)[k]
+                                                    : static_cast<Element>(k);
             ++st.stats.quantifier_instantiations;
             st.env[root.slot] = d;
             Result<bool> r = internal_eval::EvalNode(st, root.children[0]);

@@ -8,12 +8,18 @@
 namespace fmtk {
 
 Relation::Relation(const Relation& other)
-    : arity_(other.arity_), tuples_(other.tuples_), index_(other.index_) {}
+    : arity_(other.arity_),
+      tuples_(other.tuples_),
+      flat_(other.flat_),
+      packed_index_(other.packed_index_),
+      index_(other.index_) {}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this != &other) {
     arity_ = other.arity_;
     tuples_ = other.tuples_;
+    flat_ = other.flat_;
+    packed_index_ = other.packed_index_;
     index_ = other.index_;
     std::lock_guard<std::mutex> lock(column_mutex_);
     column_indexes_.clear();
@@ -24,12 +30,16 @@ Relation& Relation::operator=(const Relation& other) {
 Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
       tuples_(std::move(other.tuples_)),
+      flat_(std::move(other.flat_)),
+      packed_index_(std::move(other.packed_index_)),
       index_(std::move(other.index_)) {}
 
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this != &other) {
     arity_ = other.arity_;
     tuples_ = std::move(other.tuples_);
+    flat_ = std::move(other.flat_);
+    packed_index_ = std::move(other.packed_index_);
     index_ = std::move(other.index_);
     std::lock_guard<std::mutex> lock(column_mutex_);
     column_indexes_.clear();
@@ -41,11 +51,30 @@ bool Relation::Add(Tuple tuple) {
   FMTK_CHECK(tuple.size() == arity_)
       << "tuple of size " << tuple.size() << " added to relation of arity "
       << arity_;
-  auto [it, inserted] = index_.insert(tuple);
+  const auto position = static_cast<std::uint32_t>(tuples_.size());
+  const bool inserted =
+      arity_ <= 2 ? packed_index_.TryEmplace(PackedKey(tuple), position).second
+                  : index_.TryEmplace(tuple, position).second;
   if (inserted) {
     // Column indexes are left as-is (generation-tagged at indexed_upto);
     // the next column_index() call appends postings for the new suffix.
+    flat_.insert(flat_.end(), tuple.begin(), tuple.end());
     tuples_.push_back(std::move(tuple));
+  }
+  return inserted;
+}
+
+bool Relation::AddCopy(const Tuple& tuple) {
+  FMTK_CHECK(tuple.size() == arity_)
+      << "tuple of size " << tuple.size() << " added to relation of arity "
+      << arity_;
+  const auto position = static_cast<std::uint32_t>(tuples_.size());
+  const bool inserted =
+      arity_ <= 2 ? packed_index_.TryEmplace(PackedKey(tuple), position).second
+                  : index_.TryEmplace(tuple, position).second;
+  if (inserted) {
+    flat_.insert(flat_.end(), tuple.begin(), tuple.end());
+    tuples_.push_back(tuple);
   }
   return inserted;
 }
@@ -89,8 +118,8 @@ const std::vector<std::size_t>& Relation::MatchesAt(std::size_t column,
   static const std::vector<std::size_t>* const kEmpty =
       new std::vector<std::size_t>();
   const ColumnIndex& index = column_index(column);
-  auto it = index.postings.find(e);
-  return it == index.postings.end() ? *kEmpty : it->second;
+  const std::vector<std::size_t>* list = index.postings.Find(e);
+  return list == nullptr ? *kEmpty : *list;
 }
 
 std::string Relation::ToString() const {

@@ -6,10 +6,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "base/flat_hash.h"
 #include "base/hash.h"
 
 namespace fmtk {
@@ -35,8 +34,9 @@ class Relation {
     /// Distinct elements occurring at the column, ascending.
     std::vector<Element> values;
     /// element -> indices into tuples() of the tuples with that element at
-    /// the column, ascending (= insertion order).
-    std::unordered_map<Element, std::vector<std::size_t>> postings;
+    /// the column, ascending (= insertion order). Flat open-addressing map:
+    /// a probe is one cache-line walk, no bucket-node chase.
+    FlatHashMap<Element, std::vector<std::size_t>> postings;
     /// Generation tag: tuples()[0, indexed_upto) are covered by the index.
     /// column_index() advances it to size() before returning; a caller that
     /// keeps the reference across Add()s sees a stale but well-formed index
@@ -61,12 +61,30 @@ class Relation {
   /// MatchesAt() call (appended postings, merged values).
   bool Add(Tuple tuple);
 
+  /// Like Add(), but the caller keeps ownership: `tuple` is copied only
+  /// when it is actually new. Fixpoint loops that derive mostly duplicates
+  /// use this to skip the per-candidate allocation on the reject path.
+  bool AddCopy(const Tuple& tuple);
+
   bool Contains(const Tuple& tuple) const {
-    return index_.find(tuple) != index_.end();
+    if (tuple.size() != arity_) {
+      return false;
+    }
+    if (arity_ <= 2) {
+      return packed_index_.Contains(PackedKey(tuple));
+    }
+    return index_.Contains(tuple);
   }
 
   /// Tuples in insertion order.
   const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Pointer to tuple i's elements in the arity-strided flat mirror of
+  /// tuples(): the engines' inner loops read columns through this without
+  /// the per-tuple vector indirection. Invalidated by Add().
+  const Element* TupleData(std::size_t i) const {
+    return flat_.data() + i * arity_;
+  }
 
   /// The posting-list index for `column` (< arity), synced to cover every
   /// tuple currently present (indexed_upto == size()). Built on first call,
@@ -90,16 +108,42 @@ class Relation {
 
   /// Set equality (order-insensitive).
   friend bool operator==(const Relation& a, const Relation& b) {
-    return a.arity_ == b.arity_ && a.index_ == b.index_;
+    if (a.arity_ != b.arity_ || a.tuples_.size() != b.tuples_.size()) {
+      return false;
+    }
+    for (const Tuple& t : a.tuples_) {
+      if (!b.Contains(t)) {
+        return false;
+      }
+    }
+    return true;
   }
 
   /// e.g. "{(0,1), (1,2)}".
   std::string ToString() const;
 
  private:
+  // Arity <= 2 tuples (the overwhelmingly common case: edges and unary
+  // marks) pack whole into one 64-bit key, so membership skips vector
+  // hashing and comparison entirely. The caller guarantees
+  // tuple.size() == arity_ <= 2.
+  static std::uint64_t PackedKey(const Tuple& tuple) {
+    std::uint64_t key = 0;
+    for (Element e : tuple) {
+      key = (key << 32) | e;
+    }
+    return key;
+  }
+
   std::size_t arity_;
   std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, VectorHash<Element>> index_;
+  // Arity-strided copy of tuples_ for indirection-free column reads.
+  std::vector<Element> flat_;
+  // Membership index; the value is the tuple's position in tuples_. Exactly
+  // one of the two maps is populated: packed_index_ for arity <= 2, index_
+  // otherwise.
+  FlatU64Map<std::uint32_t> packed_index_;
+  FlatHashMap<Tuple, std::uint32_t, VectorHash<Element>> index_;
 
   // Lazily built per-column posting lists. The vector is sized to arity_ on
   // first use; each ColumnIndex is allocated once and then extended in

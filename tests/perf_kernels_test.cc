@@ -1,0 +1,362 @@
+// Property tests for the perf-kernel layer (base/bitset.h,
+// base/sorted_intersect.h, base/flat_hash.h, base/hash.h): each kernel is
+// exercised against the standard-library reference implementation it
+// replaces, under randomized workloads with fixed seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/flat_hash.h"
+#include "base/hash.h"
+#include "base/simd.h"
+#include "base/sorted_intersect.h"
+
+namespace fmtk {
+namespace {
+
+// --- ElementBitset vs std::vector<bool> -----------------------------------
+
+TEST(BitsetTest, RandomOpsMatchVectorBoolReference) {
+  std::mt19937 rng(42);
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 200u, 1000u}) {
+    ElementBitset bits(n);
+    std::vector<bool> ref(n, false);
+    if (n == 0) {
+      EXPECT_EQ(bits.Count(), 0u);
+      EXPECT_FALSE(bits.Any());
+      continue;
+    }
+    std::uniform_int_distribution<std::size_t> pos(0, n - 1);
+    for (int step = 0; step < 500; ++step) {
+      const std::size_t i = pos(rng);
+      if (rng() % 2 == 0) {
+        bits.Set(i);
+        ref[i] = true;
+      } else {
+        bits.Clear(i);
+        ref[i] = false;
+      }
+    }
+    std::size_t ref_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(bits.Test(i), ref[i]) << "bit " << i << " of " << n;
+      ref_count += ref[i] ? 1 : 0;
+    }
+    EXPECT_EQ(bits.Count(), ref_count);
+    EXPECT_EQ(bits.Any(), ref_count > 0);
+  }
+}
+
+TEST(BitsetTest, SetAlgebraMatchesReference) {
+  std::mt19937 rng(7);
+  const std::size_t n = 257;  // non-multiple of 64 exercises the tail word
+  for (int round = 0; round < 20; ++round) {
+    ElementBitset a(n), b(n);
+    std::vector<bool> ra(n, false), rb(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng() % 3 == 0) {
+        a.Set(i);
+        ra[i] = true;
+      }
+      if (rng() % 3 == 0) {
+        b.Set(i);
+        rb[i] = true;
+      }
+    }
+    ElementBitset and_set = a, or_set = a, andnot_set = a;
+    and_set.AndWith(b);
+    or_set.OrWith(b);
+    andnot_set.AndNotWith(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(and_set.Test(i), ra[i] && rb[i]);
+      EXPECT_EQ(or_set.Test(i), ra[i] || rb[i]);
+      EXPECT_EQ(andnot_set.Test(i), ra[i] && !rb[i]);
+    }
+  }
+}
+
+TEST(BitsetTest, ForEachSetBitAscendingAndComplete) {
+  ElementBitset bits(130);
+  const std::vector<std::uint32_t> members = {0, 1, 63, 64, 65, 127, 128, 129};
+  for (std::uint32_t m : members) {
+    bits.Set(m);
+  }
+  std::vector<std::uint32_t> seen;
+  bits.ForEachSetBit(
+      [&seen](std::size_t i) { seen.push_back(static_cast<std::uint32_t>(i)); });
+  EXPECT_EQ(seen, members);
+  std::vector<std::uint32_t> appended;
+  bits.AppendSetBits(appended);
+  EXPECT_EQ(appended, members);
+  EXPECT_EQ(bits, ElementBitset::FromList(130, members));
+}
+
+TEST(BitsetTest, SetAllRespectsTailInvariant) {
+  for (std::size_t n : {1u, 64u, 65u, 127u, 128u, 130u}) {
+    ElementBitset bits(n);
+    bits.SetAll();
+    EXPECT_EQ(bits.Count(), n);
+    ElementBitset empty(n);
+    bits.AndNotWith(bits);  // x & ~x == 0
+    EXPECT_EQ(bits, empty);
+  }
+}
+
+// --- Sorted intersection vs std::set_intersection -------------------------
+
+template <typename T>
+std::vector<T> RandomSortedUnique(std::mt19937& rng, std::size_t max_size,
+                                  T universe) {
+  std::uniform_int_distribution<std::size_t> size_dist(0, max_size);
+  std::uniform_int_distribution<T> value_dist(0, universe);
+  std::set<T> s;
+  const std::size_t target = size_dist(rng);
+  while (s.size() < target) {
+    s.insert(value_dist(rng));
+  }
+  return std::vector<T>(s.begin(), s.end());
+}
+
+template <typename T>
+void CheckIntersectionKernels(const std::vector<T>& a,
+                              const std::vector<T>& b) {
+  std::vector<T> expected;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+  const std::size_t cap = std::min(a.size(), b.size());
+
+  std::vector<T> got(cap);
+  got.resize(
+      IntersectSortedScalar(a.data(), a.size(), b.data(), b.size(), got.data()));
+  EXPECT_EQ(got, expected) << "scalar kernel";
+
+  got.assign(cap, T{});
+  got.resize(IntersectSortedGalloping(a.data(), a.size(), b.data(), b.size(),
+                                      got.data()));
+  EXPECT_EQ(got, expected) << "galloping kernel";
+
+  // Swapped-argument galloping (gallops through the other list).
+  got.assign(cap, T{});
+  got.resize(IntersectSortedGalloping(b.data(), b.size(), a.data(), a.size(),
+                                      got.data()));
+  EXPECT_EQ(got, expected) << "galloping kernel, swapped";
+
+  std::vector<T> dispatched;
+  IntersectSorted(a, b, dispatched);
+  EXPECT_EQ(dispatched, expected) << "dispatched kernel (" << SimdLevelName()
+                                  << ")";
+}
+
+TEST(SortedIntersectTest, RandomListsMatchSetIntersection32) {
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    const auto a = RandomSortedUnique<std::uint32_t>(rng, 200, 500);
+    const auto b = RandomSortedUnique<std::uint32_t>(rng, 200, 500);
+    CheckIntersectionKernels(a, b);
+  }
+}
+
+TEST(SortedIntersectTest, RandomListsMatchSetIntersection64) {
+  std::mt19937 rng(5678);
+  for (int round = 0; round < 200; ++round) {
+    const auto a = RandomSortedUnique<std::uint64_t>(rng, 200, 500);
+    const auto b = RandomSortedUnique<std::uint64_t>(rng, 200, 500);
+    CheckIntersectionKernels(a, b);
+  }
+}
+
+TEST(SortedIntersectTest, SkewedSizesTriggerGallop) {
+  std::mt19937 rng(99);
+  for (int round = 0; round < 50; ++round) {
+    const auto small = RandomSortedUnique<std::uint32_t>(rng, 8, 100000);
+    const auto big = RandomSortedUnique<std::uint32_t>(rng, 2000, 100000);
+    CheckIntersectionKernels(small, big);
+    CheckIntersectionKernels(big, small);
+  }
+}
+
+TEST(SortedIntersectTest, EdgeCases) {
+  const std::vector<std::uint32_t> empty;
+  const std::vector<std::uint32_t> one = {5};
+  const std::vector<std::uint32_t> run = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  CheckIntersectionKernels(empty, empty);
+  CheckIntersectionKernels(empty, run);
+  CheckIntersectionKernels(one, run);
+  CheckIntersectionKernels(run, run);
+  std::vector<std::uint32_t> acc = {2, 4, 6, 8};
+  std::vector<std::uint32_t> scratch;
+  IntersectSortedInPlace(acc, run, scratch);
+  EXPECT_EQ(acc, (std::vector<std::uint32_t>{2, 4, 6, 8}));
+  IntersectSortedInPlace(acc, one, scratch);
+  EXPECT_TRUE(acc.empty());
+}
+
+// --- FlatHashMap vs std::unordered_map ------------------------------------
+
+TEST(FlatHashMapTest, RandomizedInsertFindEraseMatchesUnorderedMap) {
+  std::mt19937 rng(2026);
+  FlatHashMap<std::uint64_t, int> flat;
+  std::unordered_map<std::uint64_t, int> ref;
+  std::uniform_int_distribution<std::uint64_t> key_dist(0, 400);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = key_dist(rng);
+    switch (rng() % 3) {
+      case 0: {  // insert-if-absent
+        const int value = static_cast<int>(rng() % 1000);
+        auto [ptr, inserted] = flat.TryEmplace(key, value);
+        auto [it, ref_inserted] = ref.try_emplace(key, value);
+        EXPECT_EQ(inserted, ref_inserted);
+        EXPECT_EQ(*ptr, it->second);
+        break;
+      }
+      case 1: {  // find
+        const int* found = flat.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(flat.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  // Full-content check at the end, both directions.
+  std::size_t visited = 0;
+  flat.ForEach([&](const std::uint64_t& key, const int& value) {
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(value, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMapTest, VectorKeysWithVectorHash) {
+  std::mt19937 rng(31337);
+  FlatHashMap<std::vector<std::uint32_t>, std::size_t,
+              VectorHash<std::uint32_t>>
+      flat;
+  std::unordered_map<std::vector<std::uint32_t>, std::size_t,
+                     VectorHash<std::uint32_t>>
+      ref;
+  for (int step = 0; step < 5000; ++step) {
+    std::vector<std::uint32_t> key(rng() % 4);
+    for (auto& v : key) {
+      v = static_cast<std::uint32_t>(rng() % 10);
+    }
+    if (rng() % 4 == 0) {
+      EXPECT_EQ(flat.Erase(key), ref.erase(key) > 0);
+    } else {
+      const std::size_t value = ref.size();
+      auto [ptr, inserted] = flat.TryEmplace(key, value);
+      auto [it, ref_inserted] = ref.try_emplace(key, value);
+      EXPECT_EQ(inserted, ref_inserted);
+      EXPECT_EQ(*ptr, it->second);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  for (const auto& [key, value] : ref) {
+    const std::size_t* found = flat.Find(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, value);
+  }
+}
+
+TEST(FlatHashMapTest, OperatorBracketAndReserve) {
+  FlatHashMap<std::uint64_t, std::vector<int>> map;
+  map.Reserve(1000);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    map[i % 100].push_back(static_cast<int>(i));
+  }
+  EXPECT_EQ(map.size(), 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const std::vector<int>* list = map.Find(k);
+    ASSERT_NE(list, nullptr);
+    EXPECT_EQ(list->size(), 10u);
+    EXPECT_EQ((*list)[0], static_cast<int>(k));
+  }
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+}
+
+// Backward-shift erase must not break probe chains: force collisions with a
+// constant-hash functor and erase from the middle of the cluster.
+TEST(FlatHashMapTest, EraseInsideCollisionClusterKeepsChainReachable) {
+  struct ConstantHash {
+    std::size_t operator()(int) const { return 7; }
+  };
+  FlatHashMap<int, int, ConstantHash> map;
+  for (int k = 0; k < 12; ++k) {
+    map.TryEmplace(k, 100 + k);
+  }
+  EXPECT_TRUE(map.Erase(3));
+  EXPECT_TRUE(map.Erase(0));
+  EXPECT_TRUE(map.Erase(11));
+  EXPECT_FALSE(map.Erase(3));
+  for (int k : {1, 2, 4, 5, 6, 7, 8, 9, 10}) {
+    const int* v = map.Find(k);
+    ASSERT_NE(v, nullptr) << "key " << k << " lost after cluster erase";
+    EXPECT_EQ(*v, 100 + k);
+  }
+  EXPECT_EQ(map.size(), 9u);
+}
+
+// --- hash.h mixer regression ----------------------------------------------
+
+// libstdc++'s std::hash<int> is the identity, so before the Mix64 fix the
+// high bits of sequential keys' hashes were all zero and any power-of-two
+// bucketing by high or mid bits collapsed into one bucket. Bucket sequential
+// keys by the TOP bits of their mixed hash and require an even spread.
+TEST(HashMixerTest, SequentialKeysSpreadAcrossHighBitBuckets) {
+  constexpr std::size_t kKeys = 4096;
+  constexpr std::size_t kBuckets = 256;  // top 8 bits
+  std::vector<std::size_t> load(kBuckets, 0);
+  for (std::size_t key = 0; key < kKeys; ++key) {
+    const std::size_t h = ScalarHash(key);
+    ++load[h >> 56];
+  }
+  const std::size_t expected = kKeys / kBuckets;  // 16 per bucket
+  const std::size_t max_load = *std::max_element(load.begin(), load.end());
+  // Identity hashing puts all 4096 keys in bucket 0 (max_load == 4096); a
+  // well-mixed hash stays within a few multiples of the mean.
+  EXPECT_LE(max_load, 4 * expected);
+}
+
+TEST(HashMixerTest, SequentialPairsSpreadAcrossLowBitBuckets) {
+  constexpr std::size_t kBuckets = 4096;
+  std::vector<std::size_t> load(kBuckets, 0);
+  VectorHash<std::uint32_t> h;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    for (std::uint32_t j = 0; j < 64; ++j) {
+      ++load[h({i, j}) & (kBuckets - 1)];
+    }
+  }
+  const std::size_t max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(max_load, 8u);  // 4096 keys over 4096 buckets, mean 1
+}
+
+TEST(HashMixerTest, Mix64IsBijectiveOnSamples) {
+  // Distinct inputs must keep distinct outputs (Mix64 is a bijection);
+  // catches accidental information-losing edits to the mixer.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 10000; ++x) {
+    outputs.insert(Mix64(x));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace fmtk

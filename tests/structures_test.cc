@@ -266,10 +266,11 @@ TEST(ColumnIndexTest, StaleGenerationReadsConsistentPrefix) {
   r.Add({7});
   EXPECT_EQ(index.indexed_upto, 1u);
   EXPECT_EQ(index.values, (std::vector<Element>{5}));
-  EXPECT_EQ(index.postings.count(7), 0u);
+  EXPECT_EQ(index.postings.Find(7), nullptr);
   (void)r.column_index(0);
   EXPECT_EQ(index.indexed_upto, 2u);
-  EXPECT_EQ(index.postings.at(7), (std::vector<std::size_t>{1}));
+  ASSERT_NE(index.postings.Find(7), nullptr);
+  EXPECT_EQ(*index.postings.Find(7), (std::vector<std::size_t>{1}));
 }
 
 TEST(ColumnIndexTest, DuplicateAddsDoNotGrowIndex) {
@@ -277,7 +278,7 @@ TEST(ColumnIndexTest, DuplicateAddsDoNotGrowIndex) {
   r.Add({0, 1});
   (void)r.column_index(1);
   r.Add({0, 1});  // Already present: no new posting on resync.
-  EXPECT_EQ(r.column_index(1).postings.at(1).size(), 1u);
+  EXPECT_EQ(r.MatchesAt(1, 1).size(), 1u);
   EXPECT_EQ(r.size(), 1u);
 }
 
