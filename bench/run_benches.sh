@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Runs every bench binary that speaks --json and collects their output into
 # one JSONL file, tagging each line with its suite. The result is the
-# before/after artifact the perf-kernel work tracks (BENCH_pr6.json at the
+# before/after artifact the perf work tracks (BENCH_pr7.json at the
 # repo root); CI uploads it from the Release bench-smoke job.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_FILE]
 #   BUILD_DIR  build tree containing bench/ binaries (default: build-rel,
 #              falling back to build if build-rel does not exist)
-#   OUT_FILE   output path (default: BENCH_pr6.json in the repo root)
+#   OUT_FILE   output path (default: BENCH_pr7.json in the repo root)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,11 +19,12 @@ if [[ -z "${BUILD_DIR}" ]]; then
     BUILD_DIR="${REPO_ROOT}/build"
   fi
 fi
-OUT="${2:-${REPO_ROOT}/BENCH_pr6.json}"
+OUT="${2:-${REPO_ROOT}/BENCH_pr7.json}"
 
 # The suites with a --json mode (one {"bench":...,"n":...,"wall_ms":...}
 # line per configuration).
 SUITES=(
+  bulk_ingest
   datalog
   ef_games
   gaifman_locality
@@ -33,6 +34,14 @@ SUITES=(
   strategies
 )
 
+# FMTK_BENCH_INGEST_EDGES caps the bulk-ingest graph (default: the bench
+# binary's own ~1M-edge default) so CI smoke runs stay short while local
+# sweeps measure at full scale.
+ingest_args=()
+if [[ -n "${FMTK_BENCH_INGEST_EDGES:-}" ]]; then
+  ingest_args=(--edges "${FMTK_BENCH_INGEST_EDGES}")
+fi
+
 : > "${OUT}"
 for suite in "${SUITES[@]}"; do
   bin="${BUILD_DIR}/bench/bench_${suite}"
@@ -40,9 +49,14 @@ for suite in "${SUITES[@]}"; do
     echo "skip: ${bin} not built" >&2
     continue
   fi
+  args=()
+  if [[ "${suite}" == "bulk_ingest" ]]; then
+    args=("${ingest_args[@]+"${ingest_args[@]}"}")
+  fi
   echo "running bench_${suite} ..." >&2
   # Tag each emitted line with its suite so one file holds them all.
-  "${bin}" --json | sed "s/^{/{\"suite\":\"${suite}\",/" >> "${OUT}"
+  "${bin}" --json ${args[@]+"${args[@]}"} | \
+    sed "s/^{/{\"suite\":\"${suite}\",/" >> "${OUT}"
 done
 
 echo "wrote $(wc -l < "${OUT}") bench lines to ${OUT}" >&2

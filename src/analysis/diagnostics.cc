@@ -57,6 +57,16 @@ const std::vector<DiagCodeInfo>& CodeTable() {
           {DiagCode::kDomainDependentFactSchema, "FMTK107", kWarning,
            StatusCode::kInvalidArgument,
            "fact schema ranges over the whole domain"},
+          {DiagCode::kIoTruncatedInput, "FMTK201", kError,
+           StatusCode::kParseError, "input truncated mid-record"},
+          {DiagCode::kIoMalformedRecord, "FMTK202", kError,
+           StatusCode::kParseError, "malformed input record"},
+          {DiagCode::kIoElementOutOfRange, "FMTK203", kError,
+           StatusCode::kParseError, "element outside the declared domain"},
+          {DiagCode::kIoDuplicateTuple, "FMTK204", kWarning,
+           StatusCode::kParseError, "duplicate tuples collapsed"},
+          {DiagCode::kIoEmptyRelation, "FMTK205", kWarning,
+           StatusCode::kParseError, "relation loaded empty"},
       };
   return *kTable;
 }

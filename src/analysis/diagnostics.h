@@ -14,7 +14,8 @@ namespace fmtk {
 /// Stable diagnostic codes of the static query analyzer. Codes are part of
 /// the public surface (tests, docs, --json consumers key on them): never
 /// renumber an existing code; add new ones at the end of each block.
-/// FMTK0xx = first-order formulas, FMTK1xx = Datalog programs.
+/// FMTK0xx = first-order formulas, FMTK1xx = Datalog programs,
+/// FMTK2xx = structure/bulk-data input.
 enum class DiagCode {
   // --- FO analyzer (fo_analyzer.h) ---------------------------------------
   /// An atom uses a relation symbol absent from the signature.
@@ -58,6 +59,21 @@ enum class DiagCode {
   /// An empty-body rule with a variable head ranges over the whole domain
   /// (domain-dependent fact schema, like the survey's "sg(x,x) :-").
   kDomainDependentFactSchema = 107,  // FMTK107
+
+  // --- Structure / bulk-data input (structures/bulk_load.h, io.h) ----------
+  /// The input ends mid-record: a binary file cut short, or an edge-list
+  /// line with a dangling source vertex and no target.
+  kIoTruncatedInput = 201,  // FMTK201
+  /// A record that cannot be decoded: bad magic/version, a non-numeric
+  /// vertex id in numeric mode, or a wrong column count.
+  kIoMalformedRecord = 202,  // FMTK202
+  /// A tuple element or constant at or beyond the declared domain size.
+  kIoElementOutOfRange = 203,  // FMTK203
+  /// Duplicate tuples in the input, collapsed to one (set semantics).
+  kIoDuplicateTuple = 204,  // FMTK204
+  /// A declared relation with no tuples after loading — often a symptom of
+  /// a wrong delimiter or comment convention, so it is surfaced.
+  kIoEmptyRelation = 205,  // FMTK205
 };
 
 enum class DiagSeverity {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/check.h"
+#include "base/popcount.h"
 
 namespace fmtk {
 
@@ -69,14 +70,17 @@ class ElementBitset {
     }
   }
 
-  /// Number of set bits.
+  /// Number of set bits (vectorized bulk popcount; no tail masking needed
+  /// because bits >= size() are always zero).
   std::size_t Count() const {
-    std::size_t n = 0;
-    for (std::uint64_t w : words_) {
-      n += static_cast<std::size_t>(__builtin_popcountll(w));
-    }
-    return n;
+    return static_cast<std::size_t>(PopcountWords(words_.data(), words_.size()));
   }
+
+  /// The backing words, low bit = element 0. Word-level consumers (the
+  /// locality engine's packed BFS) union rows and popcount frontiers
+  /// without going through per-bit accessors.
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
 
   bool Any() const {
     for (std::uint64_t w : words_) {

@@ -1,0 +1,99 @@
+#ifndef FMTK_BASE_INTERNER_H_
+#define FMTK_BASE_INTERNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "base/hash.h"
+
+namespace fmtk {
+
+/// Maps distinct strings to dense ids {0, 1, ...} — the bulk loaders use it
+/// to turn textual vertex names into structure elements in one pass.
+///
+/// Interned bytes live in chunked arenas owned by the interner, so the map
+/// keys are string_views into stable storage: no per-string heap allocation
+/// (a 10^7-edge list with 10^6 distinct ids costs ~tens of arena chunks, not
+/// 10^6 mallocs), and lookups hash the caller's transient token directly
+/// against them without copying first.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  // Views into the arenas would dangle across a copy; the loaders never
+  // need one.
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  std::size_t size() const { return by_id_.size(); }
+
+  /// Id for `token`, interning it on first sight.
+  std::uint32_t Intern(std::string_view token) {
+    if (const std::uint32_t* found = ids_.Find(token)) {
+      return *found;
+    }
+    // The map key must outlive the caller's transient token, so the entry
+    // is keyed on the arena copy.
+    const std::string_view stored = Store(token);
+    const auto id = static_cast<std::uint32_t>(by_id_.size());
+    ids_.TryEmplace(stored, id);
+    by_id_.push_back(stored);
+    return id;
+  }
+
+  /// Id for `token` if already interned, else nullptr.
+  const std::uint32_t* Find(std::string_view token) const {
+    return ids_.Find(token);
+  }
+
+  /// The token interned as `id` (valid for the interner's lifetime).
+  std::string_view NameOf(std::uint32_t id) const { return by_id_[id]; }
+
+  /// All tokens in id order, copied out (the loaders hand these to callers
+  /// that outlive the interner).
+  std::vector<std::string> Names() const {
+    return std::vector<std::string>(by_id_.begin(), by_id_.end());
+  }
+
+ private:
+  struct ViewHash {
+    std::size_t operator()(std::string_view s) const {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ s.size();
+      for (const char c : s) {
+        h = Mix64(h ^ static_cast<unsigned char>(c));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::string_view Store(std::string_view token) {
+    if (arenas_.empty() ||
+        arenas_.back()->size() + token.size() > arenas_.back()->capacity()) {
+      const std::size_t cap = std::max<std::size_t>(kArenaBytes, token.size());
+      arenas_.push_back(std::make_unique<std::string>());
+      arenas_.back()->reserve(cap);
+    }
+    std::string& arena = *arenas_.back();
+    const std::size_t at = arena.size();
+    arena.append(token.data(), token.size());
+    return std::string_view(arena.data() + at, token.size());
+  }
+
+  static constexpr std::size_t kArenaBytes = 1 << 16;
+
+  FlatHashMap<std::string_view, std::uint32_t, ViewHash> ids_;
+  std::vector<std::string_view> by_id_;
+  // unique_ptr chunks so growth never moves interned bytes.
+  std::vector<std::unique_ptr<std::string>> arenas_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_BASE_INTERNER_H_

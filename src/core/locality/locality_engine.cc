@@ -6,9 +6,11 @@
 #include <thread>
 #include <utility>
 
+#include "base/bitset.h"
 #include "base/check.h"
 #include "base/flat_hash.h"
 #include "base/hash.h"
+#include "base/popcount.h"
 #include "structures/graph.h"
 
 namespace fmtk {
@@ -55,25 +57,28 @@ LocalityEngine::LocalityEngine(const Structure& s)
   // every contained tuple exactly once.
   occurrences_.resize(s.signature().relation_count());
   for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
-    const std::vector<Tuple>& tuples = s.relation(r).tuples();
+    const Relation& rel = s.relation(r);
+    const std::size_t arity = rel.arity();
+    const std::size_t rows = rel.size();
     Occurrences& occ = occurrences_[r];
     occ.offsets.assign(domain_size_ + 1, 0);
-    auto for_each_distinct_member = [](const Tuple& t, auto&& fn) {
-      for (std::size_t i = 0; i < t.size(); ++i) {
+    auto for_each_distinct_member = [arity](const Element* row, auto&& fn) {
+      for (std::size_t i = 0; i < arity; ++i) {
         bool repeated = false;
         for (std::size_t j = 0; j < i; ++j) {
-          if (t[j] == t[i]) {
+          if (row[j] == row[i]) {
             repeated = true;
             break;
           }
         }
         if (!repeated) {
-          fn(t[i]);
+          fn(row[i]);
         }
       }
     };
-    for (const Tuple& t : tuples) {
-      for_each_distinct_member(t, [&](Element e) { ++occ.offsets[e + 1]; });
+    for (std::size_t idx = 0; idx < rows; ++idx) {
+      for_each_distinct_member(rel.TupleData(idx),
+                               [&](Element e) { ++occ.offsets[e + 1]; });
     }
     for (Element v = 0; v < domain_size_; ++v) {
       occ.offsets[v + 1] += occ.offsets[v];
@@ -81,9 +86,9 @@ LocalityEngine::LocalityEngine(const Structure& s)
     occ.tuple_index.resize(occ.offsets[domain_size_]);
     std::vector<std::uint32_t> cursor(occ.offsets.begin(),
                                       occ.offsets.end() - 1);
-    for (std::uint32_t idx = 0; idx < tuples.size(); ++idx) {
-      for_each_distinct_member(tuples[idx], [&](Element e) {
-        occ.tuple_index[cursor[e]++] = idx;
+    for (std::size_t idx = 0; idx < rows; ++idx) {
+      for_each_distinct_member(rel.TupleData(idx), [&](Element e) {
+        occ.tuple_index[cursor[e]++] = static_cast<std::uint32_t>(idx);
       });
     }
   }
@@ -191,16 +196,17 @@ Neighborhood LocalityEngine::MaterializeFromBall(
       continue;
     }
     const Occurrences& occ = occurrences_[r];
-    const std::vector<Tuple>& tuples = rel.tuples();
+    const std::size_t arity = rel.arity();
     for (Element e : ball) {
       for (std::uint32_t k = occ.offsets[e]; k < occ.offsets[e + 1]; ++k) {
-        const Tuple& t = tuples[occ.tuple_index[k]];
+        const Element* t = rel.TupleData(occ.tuple_index[k]);
         // One pass: track the minimum (each fully-contained tuple is added
         // exactly once, when e is its minimum element) while relabeling.
         mapped.clear();
         Element mn = t[0];
         bool inside = true;
-        for (Element x : t) {
+        for (std::size_t i = 0; i < arity; ++i) {
+          const Element x = t[i];
           if (x < mn) {
             mn = x;
           }
@@ -265,10 +271,10 @@ std::size_t LocalityEngine::BallContentHash(Scratch& scratch,
       }
     } else {
       const Occurrences& occ = occurrences_[r];
-      const std::vector<Tuple>& tuples = rel.tuples();
+      const std::size_t arity = rel.arity();
       for (Element e : ball) {
         for (std::uint32_t k = occ.offsets[e]; k < occ.offsets[e + 1]; ++k) {
-          const Tuple& t = tuples[occ.tuple_index[k]];
+          const Element* t = rel.TupleData(occ.tuple_index[k]);
           // One fused pass: track the minimum member (the tuple is emitted
           // only at its minimum), membership of every member, and the
           // VectorHash of the relabeled tuple (seed = size, then each local
@@ -276,8 +282,9 @@ std::size_t LocalityEngine::BallContentHash(Scratch& scratch,
           // materialized tuple).
           Element mn = t[0];
           bool inside = true;
-          std::size_t th = t.size();
-          for (Element x : t) {
+          std::size_t th = arity;
+          for (std::size_t i = 0; i < arity; ++i) {
+            const Element x = t[i];
             if (x < mn) {
               mn = x;
             }
@@ -353,17 +360,18 @@ bool LocalityEngine::BallContentMatches(Scratch& scratch,
       continue;
     }
     const Occurrences& occ = occurrences_[r];
-    const std::vector<Tuple>& tuples = rel.tuples();
+    const std::size_t arity = rel.arity();
     std::size_t idx = 0;
     for (Element e : ball) {
       for (std::uint32_t k = occ.offsets[e]; k < occ.offsets[e + 1]; ++k) {
-        const Tuple& t = tuples[occ.tuple_index[k]];
+        const Element* t = rel.TupleData(occ.tuple_index[k]);
         // Fused min + membership pass; only fully-contained tuples at their
         // minimum member take part in the sequential comparison, exactly as
         // in MaterializeFromBall.
         Element mn = t[0];
         bool inside = true;
-        for (Element x : t) {
+        for (std::size_t i = 0; i < arity; ++i) {
+          const Element x = t[i];
           if (x < mn) {
             mn = x;
           }
@@ -378,7 +386,7 @@ bool LocalityEngine::BallContentMatches(Scratch& scratch,
           return false;
         }
         const Tuple& o = out[idx];
-        for (std::size_t i = 0; i < t.size(); ++i) {
+        for (std::size_t i = 0; i < arity; ++i) {
           if (o[i] != static_cast<Element>(scratch.local[t[i]])) {
             return false;
           }
@@ -468,6 +476,58 @@ LocalityEngine::TypeHistogram(std::size_t radius, NeighborhoodTypeIndex& index,
 
 NeighborhoodSweep LocalityEngine::NewSweep() const {
   return NeighborhoodSweep(this);
+}
+
+std::vector<std::map<std::size_t, std::size_t>>
+LocalityEngine::BallSizeHistogram(std::size_t radius) const {
+  std::vector<std::map<std::size_t, std::size_t>> out(radius + 1);
+  if (domain_size_ == 0) {
+    return out;
+  }
+  ElementBitset visited(domain_size_);
+  const std::uint64_t* words = visited.words();
+  std::vector<Element> members;   // every node of the current ball
+  std::size_t layer_begin = 0;    // members[layer_begin, end) = frontier
+  for (Element v = 0; v < domain_size_; ++v) {
+    visited.Set(v);
+    members.assign(1, v);
+    layer_begin = 0;
+    std::size_t lo_word = static_cast<std::size_t>(v) >> 6;
+    std::size_t hi_word = lo_word;
+    ++stats_.balls_extracted;
+    ++stats_.bfs_node_visits;
+    ++out[0][1];
+    for (std::size_t r = 1; r <= radius; ++r) {
+      const std::size_t layer_end = members.size();
+      for (std::size_t i = layer_begin; i < layer_end; ++i) {
+        const Element e = members[i];
+        for (std::uint32_t k = csr_offsets_[e]; k < csr_offsets_[e + 1];
+             ++k) {
+          const Element w = csr_neighbors_[k];
+          if (!visited.Test(w)) {
+            visited.Set(w);
+            members.push_back(w);
+            const std::size_t wi = static_cast<std::size_t>(w) >> 6;
+            lo_word = std::min(lo_word, wi);
+            hi_word = std::max(hi_word, wi);
+            ++stats_.bfs_node_visits;
+          }
+        }
+      }
+      layer_begin = layer_end;
+      // The level's ball size in one bulk popcount over the touched word
+      // range — the measurement kernel the per-node counter would
+      // serialize.
+      const std::size_t size = static_cast<std::size_t>(
+          PopcountWords(words + lo_word, hi_word - lo_word + 1));
+      ++out[r][size];
+    }
+    // O(|ball|) reset: clear exactly the bits this ball set.
+    for (const Element e : members) {
+      visited.Clear(e);
+    }
+  }
+  return out;
 }
 
 std::map<NeighborhoodTypeIndex::TypeId, std::size_t>

@@ -106,6 +106,20 @@ class LocalityEngine {
       std::size_t radius, NeighborhoodTypeIndex& index,
       const ParallelPolicy& policy = {}) const;
 
+  /// Ball-size histograms for every radius r = 0..radius in one pass:
+  /// result[r][s] = number of elements v with |B_r(v)| == s. Cheaper than a
+  /// type histogram (no canonicalization — size is the coarsest
+  /// neighborhood invariant, a quick first look at how homogeneous a
+  /// structure is before paying for types). Per element the BFS marks a
+  /// word-packed visited bitset and each level's size is one vectorized
+  /// PopcountWords sweep over the word range the ball has touched (AVX2
+  /// nibble-LUT under the simd.h dispatch, scalar popcount under
+  /// FMTK_SIMD=0); the reset between elements clears only the ball's own
+  /// bits, so the whole pass costs O(ball edges + touched words), not
+  /// O(n^2/64).
+  std::vector<std::map<std::size_t, std::size_t>> BallSizeHistogram(
+      std::size_t radius) const;
+
   /// A radius-incremental sweep positioned at radius 0.
   NeighborhoodSweep NewSweep() const;
 

@@ -12,94 +12,22 @@
 #include "analysis/datalog_analyzer.h"
 #include "base/check.h"
 #include "base/sorted_intersect.h"
+#include "datalog/engine_internal.h"
 
 namespace fmtk {
-
-namespace internal_datalog {
-
-// A term compiled to an integer slot or an inline constant.
-struct SlotTerm {
-  bool is_const = false;
-  Element value = 0;  // is_const
-  int slot = -1;      // !is_const
-};
-
-// Which prefix of the IDB tuple store a body atom reads in the standard
-// semi-naive decomposition.
-enum class AtomRole {
-  kEdb,    // EDB relation, whole extent.
-  kFull,   // IDB before the delta position: [0, delta_end).
-  kOld,    // IDB after the delta position: [0, delta_begin).
-  kDelta,  // The delta position itself: [delta_begin, delta_end).
-};
-
-// How one join step treats one column of its atom, decided at compile time
-// from the statically known set of slots bound by earlier steps.
-struct PosAction {
-  enum Kind { kCheckConst, kCheckSlot, kBind } kind = kBind;
-  Element value = 0;  // kCheckConst
-  int slot = -1;      // kCheckSlot / kBind
-};
-
-struct JoinStep {
-  bool is_idb = false;
-  std::size_t pred = 0;  // IDB id, or EDB relation index in the signature.
-  AtomRole role = AtomRole::kEdb;
-  std::vector<PosAction> actions;       // One per column.
-  std::vector<std::size_t> probe_cols;  // Columns bound before this step.
-  // EDB steps: per-column ColumnIndex, bound once at Create (the structure
-  // is immutable while the engine is in use). IDB steps use the per-round
-  // pointers in RunState instead — never Relation::column_index() mid-
-  // round, which would resync the index while an outer recursion frame is
-  // iterating one of its posting lists.
-  std::vector<const Relation::ColumnIndex*> edb_index;
-};
-
-// One (rule, delta position) execution plan with its own join order.
-struct Variant {
-  std::optional<std::size_t> delta_step;  // Index into steps (always 0).
-  std::vector<JoinStep> steps;
-};
-
-struct RuleExec {
-  std::size_t head_pred = 0;  // IDB id.
-  std::vector<SlotTerm> head;
-  std::size_t slot_count = 0;
-  bool pure_edb = false;  // No IDB body atom: fire in round 1 only.
-  bool is_fact = false;   // Empty body: seeded before round 1.
-  std::vector<Variant> variants;
-  // Distinct head-variable slots of a fact rule, first-occurrence order.
-  std::vector<int> fact_slots;
-};
-
-}  // namespace internal_datalog
 
 using internal_datalog::AtomRole;
 using internal_datalog::EngineImpl;
 using internal_datalog::JoinStep;
 using internal_datalog::PosAction;
 using internal_datalog::RuleExec;
+using internal_datalog::RunState;
 using internal_datalog::SlotTerm;
+using internal_datalog::StatsAcc;
 using internal_datalog::Variant;
+using internal_datalog::VariantRun;
 
 namespace {
-
-// Thread-mergeable subset of DatalogStats (everything the join recursion
-// itself touches; rule_applications and tuples_new stay on the main
-// thread).
-struct StatsAcc {
-  std::uint64_t atom_visits = 0;
-  std::uint64_t tuples_derived = 0;
-  std::uint64_t index_probes = 0;
-  std::uint64_t tuples_scanned = 0;
-
-  void MergeFrom(const StatsAcc& other) {
-    atom_visits += other.atom_visits;
-    tuples_derived += other.tuples_derived;
-    index_probes += other.index_probes;
-    tuples_scanned += other.tuples_scanned;
-  }
-};
 
 std::uint64_t SaturatingPow(std::uint64_t base, std::size_t exp) {
   constexpr std::uint64_t kCap = 1000ULL * 1000ULL * 1000ULL * 1000ULL;
@@ -117,568 +45,346 @@ std::uint64_t SaturatingPow(std::uint64_t base, std::size_t exp) {
 
 namespace internal_datalog {
 
-struct EngineImpl {
-  const DatalogProgram* program = nullptr;
-  const Structure* edb = nullptr;
+// ---- Compilation ---------------------------------------------------------
 
-  std::vector<std::string> idb_names;  // id -> name
-  std::vector<std::size_t> idb_arity;  // id -> arity
-  std::unordered_map<std::string, std::size_t> idb_id;
-
-  std::vector<RuleExec> rules;
-  // Per IDB id: columns probed by some step (synced once per round).
-  std::vector<std::vector<std::size_t>> probed_cols;
-  std::vector<std::string> join_orders;
-  // The analyzer's SCC classification and warnings, surfaced in
-  // DatalogStats after a run.
-  std::vector<std::string> recursion_info;
-  std::vector<std::string> analyzer_warnings;
-
-  // ---- Compilation -------------------------------------------------------
-
-  Status Compile() {
-    // The static analyzer is the checked front door; it subsumes
-    // program->Validate() and the per-atom EDB checks the interpreter used
-    // to do by hand, and contributes the SCC recursion classification that
-    // explains the per-recursive-atom delta variants compiled below.
-    DatalogAnalyzerOptions analyzer_options;
-    analyzer_options.signature = &edb->signature();
-    const DatalogAnalysis analysis =
-        AnalyzeProgram(*program, analyzer_options);
-    FMTK_RETURN_IF_ERROR(analysis.status());
-    recursion_info = analysis.RecursionSummary();
-    analyzer_warnings =
-        analysis.diagnostics.MessagesFor(DiagSeverity::kWarning);
-    for (const std::string& name : program->IdbPredicates()) {
-      idb_id.emplace(name, idb_names.size());
-      idb_names.push_back(name);
-      idb_arity.push_back(0);  // Filled from the first head below.
-    }
-    for (const DlRule& rule : program->rules()) {
-      idb_arity[idb_id.at(rule.head.predicate)] = rule.head.terms.size();
-    }
-    probed_cols.resize(idb_names.size());
-    for (const DlRule& rule : program->rules()) {
-      FMTK_RETURN_IF_ERROR(CompileRule(rule));
-    }
-    // Dedup + sort the per-predicate probe column sets.
-    for (std::vector<std::size_t>& cols : probed_cols) {
-      std::sort(cols.begin(), cols.end());
-      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-    }
-    return Status::OK();
+Status EngineImpl::Compile() {
+  // The static analyzer is the checked front door; it subsumes
+  // program->Validate() and the per-atom EDB checks the interpreter used
+  // to do by hand, and contributes the SCC recursion classification that
+  // explains the per-recursive-atom delta variants compiled below.
+  DatalogAnalyzerOptions analyzer_options;
+  analyzer_options.signature = &edb->signature();
+  const DatalogAnalysis analysis = AnalyzeProgram(*program, analyzer_options);
+  FMTK_RETURN_IF_ERROR(analysis.status());
+  recursion_info = analysis.RecursionSummary();
+  analyzer_warnings = analysis.diagnostics.MessagesFor(DiagSeverity::kWarning);
+  for (const std::string& name : program->IdbPredicates()) {
+    idb_id.emplace(name, idb_names.size());
+    idb_names.push_back(name);
+    idb_arity.push_back(0);  // Filled from the first head below.
   }
+  for (const DlRule& rule : program->rules()) {
+    idb_arity[idb_id.at(rule.head.predicate)] = rule.head.terms.size();
+  }
+  probed_cols.resize(idb_names.size());
+  edb_probed_cols.resize(edb->signature().relation_count());
+  for (const DlRule& rule : program->rules()) {
+    FMTK_RETURN_IF_ERROR(CompileRule(rule));
+  }
+  // Dedup + sort the per-predicate probe column sets.
+  for (std::vector<std::size_t>& cols : probed_cols) {
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+  for (std::vector<std::size_t>& cols : edb_probed_cols) {
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+  return Status::OK();
+}
 
-  Status CompileRule(const DlRule& rule) {
-    RuleExec exec;
-    exec.head_pred = idb_id.at(rule.head.predicate);
+Status EngineImpl::CompileRule(const DlRule& rule) {
+  RuleExec exec;
+  exec.head_pred = idb_id.at(rule.head.predicate);
 
-    // Slots: one per distinct variable, first occurrence (body, then head)
-    // wins. Head variables of non-fact rules always occur in the body
-    // (range restriction), so only fact rules allocate slots from heads.
-    std::unordered_map<std::string, int> slot_of;
-    auto slot_for = [&slot_of](const std::string& var) {
-      auto [it, inserted] =
-          slot_of.emplace(var, static_cast<int>(slot_of.size()));
-      (void)inserted;
-      return it->second;
-    };
-    auto compile_terms = [&slot_for](const DlAtom& atom) {
-      std::vector<SlotTerm> out;
-      out.reserve(atom.terms.size());
-      for (const DlTerm& t : atom.terms) {
-        SlotTerm st;
-        if (t.is_variable) {
-          st.slot = slot_for(t.variable);
-        } else {
-          st.is_const = true;
-          st.value = t.value;
-        }
-        out.push_back(st);
+  // Slots: one per distinct variable, first occurrence (body, then head)
+  // wins. Head variables of non-fact rules always occur in the body
+  // (range restriction), so only fact rules allocate slots from heads.
+  std::unordered_map<std::string, int> slot_of;
+  auto slot_for = [&slot_of](const std::string& var) {
+    auto [it, inserted] =
+        slot_of.emplace(var, static_cast<int>(slot_of.size()));
+    (void)inserted;
+    return it->second;
+  };
+  auto compile_terms = [&slot_for](const DlAtom& atom) {
+    std::vector<SlotTerm> out;
+    out.reserve(atom.terms.size());
+    for (const DlTerm& t : atom.terms) {
+      SlotTerm st;
+      if (t.is_variable) {
+        st.slot = slot_for(t.variable);
+      } else {
+        st.is_const = true;
+        st.value = t.value;
       }
-      return out;
-    };
-
-    std::vector<std::vector<SlotTerm>> body_terms;
-    std::vector<bool> body_is_idb;
-    std::vector<std::size_t> body_pred;
-    std::vector<std::size_t> idb_positions;
-    for (std::size_t i = 0; i < rule.body.size(); ++i) {
-      const DlAtom& atom = rule.body[i];
-      body_terms.push_back(compile_terms(atom));
-      auto it = idb_id.find(atom.predicate);
-      if (it != idb_id.end()) {
-        body_is_idb.push_back(true);
-        body_pred.push_back(it->second);
-        idb_positions.push_back(i);
-        continue;
-      }
-      std::optional<std::size_t> rel =
-          edb->signature().FindRelation(atom.predicate);
-      if (!rel.has_value()) {
-        return Status::SignatureMismatch(
-            "EDB predicate " + atom.predicate +
-            " is not a relation of the input structure");
-      }
-      if (edb->signature().relation(*rel).arity != atom.terms.size()) {
-        return Status::SignatureMismatch("EDB predicate " + atom.predicate +
-                                         " arity mismatch");
-      }
-      body_is_idb.push_back(false);
-      body_pred.push_back(*rel);
+      out.push_back(st);
     }
-    exec.head = compile_terms(rule.head);
-    exec.is_fact = rule.body.empty();
-    exec.pure_edb = !exec.is_fact && idb_positions.empty();
+    return out;
+  };
 
-    if (exec.is_fact) {
-      std::set<int> seen;
-      for (const SlotTerm& t : exec.head) {
-        if (!t.is_const && seen.insert(t.slot).second) {
-          exec.fact_slots.push_back(t.slot);
-        }
-      }
-      exec.slot_count = slot_of.size();
-      rules.push_back(std::move(exec));
-      return Status::OK();
+  std::vector<std::vector<SlotTerm>> body_terms;
+  std::vector<bool> body_is_idb;
+  std::vector<std::size_t> body_pred;
+  std::vector<std::size_t> idb_positions;
+  for (std::size_t i = 0; i < rule.body.size(); ++i) {
+    const DlAtom& atom = rule.body[i];
+    body_terms.push_back(compile_terms(atom));
+    auto it = idb_id.find(atom.predicate);
+    if (it != idb_id.end()) {
+      body_is_idb.push_back(true);
+      body_pred.push_back(it->second);
+      idb_positions.push_back(i);
+      continue;
     }
+    std::optional<std::size_t> rel =
+        edb->signature().FindRelation(atom.predicate);
+    if (!rel.has_value()) {
+      return Status::SignatureMismatch(
+          "EDB predicate " + atom.predicate +
+          " is not a relation of the input structure");
+    }
+    if (edb->signature().relation(*rel).arity != atom.terms.size()) {
+      return Status::SignatureMismatch("EDB predicate " + atom.predicate +
+                                       " arity mismatch");
+    }
+    body_is_idb.push_back(false);
+    body_pred.push_back(*rel);
+  }
+  exec.head = compile_terms(rule.head);
+  exec.is_fact = rule.body.empty();
+  exec.pure_edb = !exec.is_fact && idb_positions.empty();
 
-    // One variant per IDB body position (the standard decomposition), or a
-    // single delta-free variant for pure-EDB rules.
-    std::vector<std::optional<std::size_t>> delta_choices;
-    if (idb_positions.empty()) {
-      delta_choices.emplace_back(std::nullopt);
-    } else {
-      for (std::size_t p : idb_positions) {
-        delta_choices.emplace_back(p);
+  if (exec.is_fact) {
+    std::set<int> seen;
+    for (const SlotTerm& t : exec.head) {
+      if (!t.is_const && seen.insert(t.slot).second) {
+        exec.fact_slots.push_back(t.slot);
       }
-    }
-    for (const std::optional<std::size_t>& delta_at : delta_choices) {
-      Variant variant;
-      std::vector<std::size_t> order =
-          ChooseJoinOrder(body_terms, body_is_idb, body_pred, delta_at);
-      std::vector<bool> bound(slot_of.size(), false);
-      std::string desc = rule.ToString();
-      desc += delta_at.has_value()
-                  ? " [d@" + std::to_string(*delta_at + 1) + "]"
-                  : " [edb-only]";
-      for (std::size_t k = 0; k < order.size(); ++k) {
-        const std::size_t i = order[k];
-        // Probe columns must be bound before the atom is scanned: constants,
-        // or slots bound by earlier steps. A repeated variable first bound by
-        // an earlier column of this same atom still checks (kCheckSlot runs
-        // after that column binds), but cannot drive an index probe.
-        const std::vector<bool> bound_before = bound;
-        JoinStep step;
-        step.is_idb = body_is_idb[i];
-        step.pred = body_pred[i];
-        if (!step.is_idb) {
-          step.role = AtomRole::kEdb;
-        } else if (delta_at.has_value() && i == *delta_at) {
-          step.role = AtomRole::kDelta;
-          variant.delta_step = k;
-        } else if (i < *delta_at) {
-          step.role = AtomRole::kFull;
-        } else {
-          step.role = AtomRole::kOld;
-        }
-        for (std::size_t c = 0; c < body_terms[i].size(); ++c) {
-          const SlotTerm& t = body_terms[i][c];
-          PosAction action;
-          if (t.is_const) {
-            action.kind = PosAction::kCheckConst;
-            action.value = t.value;
-            step.probe_cols.push_back(c);
-          } else if (bound[t.slot]) {
-            action.kind = PosAction::kCheckSlot;
-            action.slot = t.slot;
-            if (bound_before[t.slot]) {
-              step.probe_cols.push_back(c);
-            }
-          } else {
-            action.kind = PosAction::kBind;
-            action.slot = t.slot;
-            bound[t.slot] = true;
-          }
-          step.actions.push_back(action);
-        }
-        if (step.is_idb) {
-          std::vector<std::size_t>& cols = probed_cols[step.pred];
-          cols.insert(cols.end(), step.probe_cols.begin(),
-                      step.probe_cols.end());
-        } else {
-          // Bind the EDB posting lists now; they are immutable for the
-          // engine's lifetime, so probes skip the per-call sync + lock.
-          step.edb_index.assign(step.actions.size(), nullptr);
-          for (std::size_t c : step.probe_cols) {
-            step.edb_index[c] = &edb->relation(step.pred).column_index(c);
-          }
-        }
-        desc += k == 0 ? " " : ", ";
-        desc += rule.body[i].ToString();
-        switch (step.role) {
-          case AtomRole::kEdb:
-            break;
-          case AtomRole::kFull:
-            desc += ":full";
-            break;
-          case AtomRole::kOld:
-            desc += ":old";
-            break;
-          case AtomRole::kDelta:
-            desc += ":delta";
-            break;
-        }
-        if (!step.probe_cols.empty()) {
-          desc += ":probe(";
-          for (std::size_t c = 0; c < step.probe_cols.size(); ++c) {
-            desc += (c > 0 ? "," : "") + std::to_string(step.probe_cols[c]);
-          }
-          desc += ")";
-        }
-        variant.steps.push_back(std::move(step));
-      }
-      join_orders.push_back(std::move(desc));
-      exec.variants.push_back(std::move(variant));
     }
     exec.slot_count = slot_of.size();
     rules.push_back(std::move(exec));
     return Status::OK();
   }
 
-  // Greedy join order: the delta atom leads (semi-naive drives from the
-  // delta); afterwards the atom with the most bound positions wins, with
-  // smaller estimated extent as the tie-break (EDB sizes are exact; IDB
-  // extents are estimated as |domain|^arity since they can grow that far).
-  std::vector<std::size_t> ChooseJoinOrder(
-      const std::vector<std::vector<SlotTerm>>& body_terms,
-      const std::vector<bool>& body_is_idb,
-      const std::vector<std::size_t>& body_pred,
-      const std::optional<std::size_t>& delta_at) const {
-    const std::size_t m = body_terms.size();
-    std::vector<bool> used(m, false);
-    std::vector<bool> bound;  // By slot; sized lazily below.
-    for (const std::vector<SlotTerm>& terms : body_terms) {
-      for (const SlotTerm& t : terms) {
-        if (!t.is_const && static_cast<std::size_t>(t.slot) >= bound.size()) {
-          bound.resize(t.slot + 1, false);
+  // Compiles one join-order variant. `delta_at` marks the delta body
+  // position (nullopt = every atom reads its full role); `initial_bound`
+  // pre-binds slots (the rederive plan binds head variables);
+  // `incremental_roles` applies the old/full/delta split to EDB atoms too.
+  auto compile_variant = [&](const std::optional<std::size_t>& delta_at,
+                             const std::vector<bool>* initial_bound,
+                             bool all_full, std::string tag) {
+    Variant variant;
+    std::vector<std::size_t> order = ChooseJoinOrder(
+        body_terms, body_is_idb, body_pred, delta_at, initial_bound);
+    std::vector<bool> bound(slot_of.size(), false);
+    if (initial_bound != nullptr) {
+      for (std::size_t s = 0; s < initial_bound->size() && s < bound.size();
+           ++s) {
+        if ((*initial_bound)[s]) {
+          bound[s] = true;
         }
       }
     }
-    std::vector<std::size_t> order;
-    order.reserve(m);
-    auto take = [&](std::size_t i) {
-      used[i] = true;
-      order.push_back(i);
-      for (const SlotTerm& t : body_terms[i]) {
-        if (!t.is_const) {
+    std::string desc = rule.ToString() + std::move(tag);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t i = order[k];
+      // Probe columns must be bound before the atom is scanned: constants,
+      // or slots bound by earlier steps. A repeated variable first bound by
+      // an earlier column of this same atom still checks (kCheckSlot runs
+      // after that column binds), but cannot drive an index probe.
+      const std::vector<bool> bound_before = bound;
+      JoinStep step;
+      step.is_idb = body_is_idb[i];
+      step.pred = body_pred[i];
+      if (all_full) {
+        step.role = step.is_idb || incremental ? AtomRole::kFull
+                                               : AtomRole::kEdb;
+      } else if (!step.is_idb && !incremental) {
+        step.role = AtomRole::kEdb;
+      } else if (delta_at.has_value() && i == *delta_at) {
+        step.role = AtomRole::kDelta;
+        variant.delta_step = k;
+      } else if (!delta_at.has_value() || i < *delta_at) {
+        step.role = AtomRole::kFull;
+      } else {
+        step.role = AtomRole::kOld;
+      }
+      for (std::size_t c = 0; c < body_terms[i].size(); ++c) {
+        const SlotTerm& t = body_terms[i][c];
+        PosAction action;
+        if (t.is_const) {
+          action.kind = PosAction::kCheckConst;
+          action.value = t.value;
+          step.probe_cols.push_back(c);
+        } else if (bound[t.slot]) {
+          action.kind = PosAction::kCheckSlot;
+          action.slot = t.slot;
+          if (bound_before[t.slot]) {
+            step.probe_cols.push_back(c);
+          }
+        } else {
+          action.kind = PosAction::kBind;
+          action.slot = t.slot;
           bound[t.slot] = true;
         }
+        step.actions.push_back(action);
       }
-    };
-    if (delta_at.has_value()) {
-      take(*delta_at);
-    }
-    while (order.size() < m) {
-      std::size_t best = m;
-      std::size_t best_bound = 0;
-      std::uint64_t best_size = 0;
-      for (std::size_t i = 0; i < m; ++i) {
-        if (used[i]) {
-          continue;
-        }
-        std::size_t bound_count = 0;
-        for (const SlotTerm& t : body_terms[i]) {
-          if (t.is_const || bound[t.slot]) {
-            ++bound_count;
-          }
-        }
-        const std::uint64_t size =
-            body_is_idb[i]
-                ? SaturatingPow(edb->domain_size(), body_terms[i].size())
-                : edb->relation(body_pred[i]).size();
-        if (best == m || bound_count > best_bound ||
-            (bound_count == best_bound && size < best_size)) {
-          best = i;
-          best_bound = bound_count;
-          best_size = size;
+      if (step.is_idb) {
+        std::vector<std::size_t>& cols = probed_cols[step.pred];
+        cols.insert(cols.end(), step.probe_cols.begin(),
+                    step.probe_cols.end());
+      } else if (incremental) {
+        // The EDB mutates between batches (relations are even replaced
+        // after deletions), so its posting lists resolve per round through
+        // RunState, exactly like the IDB's.
+        std::vector<std::size_t>& cols = edb_probed_cols[step.pred];
+        cols.insert(cols.end(), step.probe_cols.begin(),
+                    step.probe_cols.end());
+      } else {
+        // Bind the EDB posting lists now; they are immutable for the
+        // engine's lifetime, so probes skip the per-call sync + lock.
+        step.edb_index.assign(step.actions.size(), nullptr);
+        for (std::size_t c : step.probe_cols) {
+          step.edb_index[c] = &edb->relation(step.pred).column_index(c);
         }
       }
-      take(best);
-    }
-    return order;
-  }
-};
-
-}  // namespace internal_datalog
-
-namespace {
-
-// Per-Evaluate mutable state: the IDB relations plus the delta ranges of
-// the round in flight. "old" = [0, delta_begin), "full-new" =
-// [0, delta_end), "delta" = [delta_begin, delta_end); tuples derived
-// during the round land at indices >= delta_end and stay invisible until
-// the next promotion.
-struct RunState {
-  std::vector<Relation> idb;
-  std::vector<std::size_t> delta_begin;
-  std::vector<std::size_t> delta_end;
-  // Per (IDB id, column): the generation-tagged ColumnIndex, synced at the
-  // round start to cover exactly [0, delta_end); nullptr for unprobed
-  // columns. Frozen for the rest of the round.
-  std::vector<std::vector<const Relation::ColumnIndex*>> idb_index;
-};
-
-// One in-flight execution of a rule variant: either inserting directly
-// into the IDB (sequential) or buffering derivations (parallel worker).
-class VariantRun {
- public:
-  VariantRun(const EngineImpl& impl, const RuleExec& rule,
-             const Variant& variant, RunState& rs, StatsAcc& acc)
-      : impl_(impl),
-        rule_(rule),
-        variant_(variant),
-        rs_(rs),
-        acc_(acc),
-        env_(rule.slot_count, 0),
-        isect_(variant.steps.size()) {}
-
-  void set_buffer(std::vector<Tuple>* buffer) { buffer_ = buffer; }
-  void set_step0_range(std::size_t begin, std::size_t end) {
-    step0_range_ = {begin, end};
-  }
-
-  bool changed() const { return changed_; }
-  std::uint64_t tuples_new() const { return tuples_new_; }
-
-  Status Execute() { return Step(0); }
-
- private:
-  Status Step(std::size_t depth) {
-    if (depth == variant_.steps.size()) {
-      return Derive();
-    }
-    const JoinStep& s = variant_.steps[depth];
-    // A chunked worker runs one slice of the variant's single delta scan;
-    // the driver counts that scan's atom visit (and probe) once so the
-    // counters match the sequential execution exactly.
-    const bool chunked_scan = depth == 0 && step0_range_.has_value();
-    if (!chunked_scan) {
-      ++acc_.atom_visits;
-    }
-    std::size_t begin = 0;
-    std::size_t end = 0;
-    const Relation* rel = nullptr;
-    if (s.is_idb) {
-      rel = &rs_.idb[s.pred];
-      switch (s.role) {
+      desc += k == 0 ? " " : ", ";
+      desc += rule.body[i].ToString();
+      switch (step.role) {
+        case AtomRole::kEdb:
+          break;
         case AtomRole::kFull:
-          end = rs_.delta_end[s.pred];
+          desc += ":full";
           break;
         case AtomRole::kOld:
-          end = rs_.delta_begin[s.pred];
+          desc += ":old";
           break;
         case AtomRole::kDelta:
-          begin = rs_.delta_begin[s.pred];
-          end = rs_.delta_end[s.pred];
+          desc += ":delta";
           break;
-        case AtomRole::kEdb:
-          FMTK_CHECK(false) << "EDB role on IDB step";
       }
-    } else {
-      rel = &impl_.edb->relation(s.pred);
-      end = rel->size();
-    }
-    if (depth == 0 && step0_range_.has_value()) {
-      begin = step0_range_->first;
-      end = step0_range_->second;
-    }
-    if (begin >= end) {
-      return Status::OK();
-    }
-    // Probe the bound columns' posting lists; fall back to a range scan
-    // when no column is bound. The posting lists consulted here are frozen
-    // for the round (EDB relations are immutable, IDB indexes are synced
-    // only at round starts), so iterating them is safe even though the
-    // recursion below may Add into the same relation. With one bound
-    // column the list is walked directly; with several, the lists are
-    // intersected (galloping/SIMD kernel) so only tuples matching every
-    // bound column reach TryTuple.
-    const std::vector<std::size_t>* best_list = nullptr;
-    if (!s.probe_cols.empty()) {
-      if (!chunked_scan) {
-        ++acc_.index_probes;
-      }
-      auto list_of = [&](std::size_t c) -> const std::vector<std::size_t>* {
-        const PosAction& a = s.actions[c];
-        const Element value =
-            a.kind == PosAction::kCheckConst ? a.value : env_[a.slot];
-        const Relation::ColumnIndex* index =
-            s.is_idb ? rs_.idb_index[s.pred][c] : s.edb_index[c];
-        return index->postings.Find(value);
-      };
-      if (s.probe_cols.size() == 1) {
-        // Single bound column — walk its list directly, no staging.
-        best_list = list_of(s.probe_cols[0]);
-        if (best_list == nullptr) {
-          // No tuple with the bound value at this column anywhere in the
-          // synced prefix — and the ranges below never exceed it.
-          return Status::OK();
+      if (!step.probe_cols.empty()) {
+        desc += ":probe(";
+        for (std::size_t c = 0; c < step.probe_cols.size(); ++c) {
+          desc += (c > 0 ? "," : "") + std::to_string(step.probe_cols[c]);
         }
-      } else {
-        probe_lists_.clear();
-        for (std::size_t c : s.probe_cols) {
-          const std::vector<std::size_t>* list = list_of(c);
-          if (list == nullptr) {
-            return Status::OK();
-          }
-          probe_lists_.push_back(list);
-        }
-        // Fold the lists smallest-first into this depth's scratch buffer.
-        // The scratch is per-depth (iterated while deeper steps recurse);
-        // tmp_ is transient within the fold, so one shared buffer works.
-        std::sort(probe_lists_.begin(), probe_lists_.end(),
-                  [](const std::vector<std::size_t>* a,
-                     const std::vector<std::size_t>* b) {
-                    return a->size() < b->size();
-                  });
-        std::vector<std::size_t>& acc = isect_[depth];
-        IntersectSorted(*probe_lists_[0], *probe_lists_[1], acc);
-        for (std::size_t k = 2; k < probe_lists_.size() && !acc.empty();
-             ++k) {
-          IntersectSortedInPlace(acc, *probe_lists_[k], tmp_);
-        }
-        if (acc.empty()) {
-          return Status::OK();
-        }
-        best_list = &acc;
+        desc += ")";
       }
+      variant.steps.push_back(std::move(step));
     }
-    if (best_list != nullptr) {
-      auto it = std::lower_bound(best_list->begin(), best_list->end(), begin);
-      for (; it != best_list->end() && *it < end; ++it) {
-        FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, *it));
-      }
-    } else {
-      // Fixed [begin, end) prefix by index: the recursion can Add into this
-      // very relation (head predicate in its own body), reallocating the
-      // tuple buffer — so re-fetch tuples() each step, never hold
-      // iterators.
-      for (std::size_t i = begin; i < end; ++i) {
-        FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, i));
-      }
+    join_orders.push_back(std::move(desc));
+    return variant;
+  };
+
+  // One variant per delta position: every IDB body position in batch mode
+  // (the standard decomposition; pure-EDB rules get a single delta-free
+  // variant and fire in round 1 only), every body position in incremental
+  // mode — the EDB grows within an insert batch, so new EDB tuples drive
+  // derivations through their own delta variants.
+  std::vector<std::optional<std::size_t>> delta_choices;
+  if (incremental) {
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      delta_choices.emplace_back(i);
     }
-    return Status::OK();
+  } else if (idb_positions.empty()) {
+    delta_choices.emplace_back(std::nullopt);
+  } else {
+    for (std::size_t p : idb_positions) {
+      delta_choices.emplace_back(p);
+    }
   }
-
-  Status TryTuple(std::size_t depth, const JoinStep& s, const Relation& rel,
-                  std::size_t tuple_index) {
-    ++acc_.tuples_scanned;
-    {
-      // Scope the pointer: Add() during the recursion may reallocate the
-      // flat tuple store, so it must not be held across Step().
-      const Element* t = rel.TupleData(tuple_index);
-      for (std::size_t c = 0; c < s.actions.size(); ++c) {
-        const PosAction& a = s.actions[c];
-        switch (a.kind) {
-          case PosAction::kCheckConst:
-            if (t[c] != a.value) {
-              return Status::OK();
-            }
-            break;
-          case PosAction::kCheckSlot:
-            if (t[c] != env_[a.slot]) {
-              return Status::OK();
-            }
-            break;
-          case PosAction::kBind:
-            env_[a.slot] = t[c];
-            break;
-        }
+  for (const std::optional<std::size_t>& delta_at : delta_choices) {
+    const std::string tag =
+        delta_at.has_value() ? " [d@" + std::to_string(*delta_at + 1) + "]"
+                             : " [edb-only]";
+    exec.variants.push_back(
+        compile_variant(delta_at, nullptr, /*all_full=*/false, tag));
+  }
+  if (incremental) {
+    // DRed rederivation plan: head slots arrive pre-bound from the deleted
+    // candidate, every atom reads the full (pruned) store, and the join
+    // order exploits the head bindings as probe columns.
+    std::vector<bool> head_bound(slot_of.size(), false);
+    for (const SlotTerm& t : exec.head) {
+      if (!t.is_const) {
+        head_bound[t.slot] = true;
       }
     }
-    return Step(depth + 1);
+    exec.rederive = compile_variant(std::nullopt, &head_bound,
+                                    /*all_full=*/true, " [rederive]");
   }
-
-  Status Derive() {
-    ++acc_.tuples_derived;
-    // Build the head into a reused scratch: most derivations in a recursive
-    // fixpoint are duplicates, and AddCopy() only copies on actual insert,
-    // so the reject path allocates nothing.
-    out_.clear();
-    for (const SlotTerm& t : rule_.head) {
-      if (t.is_const) {
-        if (t.value >= impl_.edb->domain_size()) {
-          return Status::InvalidArgument("constant " +
-                                         std::to_string(t.value) +
-                                         " outside the structure's domain");
-        }
-        out_.push_back(t.value);
-      } else {
-        out_.push_back(env_[t.slot]);
-      }
-    }
-    if (buffer_ != nullptr) {
-      buffer_->push_back(out_);
-    } else if (rs_.idb[rule_.head_pred].AddCopy(out_)) {
-      changed_ = true;
-      ++tuples_new_;
-    }
-    return Status::OK();
-  }
-
-  const EngineImpl& impl_;
-  const RuleExec& rule_;
-  const Variant& variant_;
-  RunState& rs_;
-  StatsAcc& acc_;
-  std::vector<Element> env_;
-  Tuple out_;
-  std::vector<Tuple>* buffer_ = nullptr;
-  std::optional<std::pair<std::size_t, std::size_t>> step0_range_;
-  bool changed_ = false;
-  std::uint64_t tuples_new_ = 0;
-  // Probe scratch, reused across Step() calls. probe_lists_ and tmp_ are
-  // done with before the recursion resumes; isect_ is per-depth because a
-  // step iterates its intersection while deeper steps compute theirs.
-  std::vector<const std::vector<std::size_t>*> probe_lists_;
-  std::vector<std::vector<std::size_t>> isect_;
-  std::vector<std::size_t> tmp_;
-};
-
-}  // namespace
-
-Result<CompiledDatalogEngine> CompiledDatalogEngine::Create(
-    const DatalogProgram& program, const Structure& edb) {
-  auto impl = std::make_shared<EngineImpl>();
-  impl->program = &program;
-  impl->edb = &edb;
-  FMTK_RETURN_IF_ERROR(impl->Compile());
-  return CompiledDatalogEngine(std::move(impl));
+  exec.slot_count = slot_of.size();
+  rules.push_back(std::move(exec));
+  return Status::OK();
 }
 
-const std::vector<std::string>& CompiledDatalogEngine::join_orders() const {
-  return impl_->join_orders;
+// Greedy join order: the delta atom leads (semi-naive drives from the
+// delta); afterwards the atom with the most bound positions wins, with
+// smaller estimated extent as the tie-break (EDB sizes are exact; IDB
+// extents are estimated as |domain|^arity since they can grow that far).
+std::vector<std::size_t> EngineImpl::ChooseJoinOrder(
+    const std::vector<std::vector<SlotTerm>>& body_terms,
+    const std::vector<bool>& body_is_idb,
+    const std::vector<std::size_t>& body_pred,
+    const std::optional<std::size_t>& delta_at,
+    const std::vector<bool>* initial_bound) const {
+  const std::size_t m = body_terms.size();
+  std::vector<bool> used(m, false);
+  std::vector<bool> bound;  // By slot; sized lazily below.
+  for (const std::vector<SlotTerm>& terms : body_terms) {
+    for (const SlotTerm& t : terms) {
+      if (!t.is_const && static_cast<std::size_t>(t.slot) >= bound.size()) {
+        bound.resize(t.slot + 1, false);
+      }
+    }
+  }
+  if (initial_bound != nullptr) {
+    for (std::size_t s = 0; s < initial_bound->size(); ++s) {
+      if ((*initial_bound)[s]) {
+        if (s >= bound.size()) {
+          bound.resize(s + 1, false);
+        }
+        bound[s] = true;
+      }
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(m);
+  auto take = [&](std::size_t i) {
+    used[i] = true;
+    order.push_back(i);
+    for (const SlotTerm& t : body_terms[i]) {
+      if (!t.is_const) {
+        bound[t.slot] = true;
+      }
+    }
+  };
+  if (delta_at.has_value()) {
+    take(*delta_at);
+  }
+  while (order.size() < m) {
+    std::size_t best = m;
+    std::size_t best_bound = 0;
+    std::uint64_t best_size = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (used[i]) {
+        continue;
+      }
+      std::size_t bound_count = 0;
+      for (const SlotTerm& t : body_terms[i]) {
+        if (t.is_const || bound[t.slot]) {
+          ++bound_count;
+        }
+      }
+      const std::uint64_t size =
+          body_is_idb[i]
+              ? SaturatingPow(edb->domain_size(), body_terms[i].size())
+              : edb->relation(body_pred[i]).size();
+      if (best == m || bound_count > best_bound ||
+          (bound_count == best_bound && size < best_size)) {
+        best = i;
+        best_bound = bound_count;
+        best_size = size;
+      }
+    }
+    take(best);
+  }
+  return order;
 }
 
-Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
-    DatalogStats* stats, ParallelPolicy policy) {
-  EngineImpl& impl = *impl_;
+Status SeedFacts(const EngineImpl& impl, std::vector<Relation>& idb) {
   const std::size_t n = impl.edb->domain_size();
-  RunState rs;
-  rs.idb.reserve(impl.idb_names.size());
-  for (std::size_t arity : impl.idb_arity) {
-    rs.idb.emplace_back(arity);
-  }
-  rs.delta_begin.assign(rs.idb.size(), 0);
-  rs.delta_end.assign(rs.idb.size(), 0);
-  rs.idb_index.resize(rs.idb.size());
-  for (std::size_t p = 0; p < rs.idb.size(); ++p) {
-    rs.idb_index[p].assign(rs.idb[p].arity(), nullptr);
-  }
-
-  // Seed fact schemas: head variables range over the whole domain, exactly
-  // like the interpreter (not counted as derivations there either).
   for (const RuleExec& rule : impl.rules) {
     if (!rule.is_fact) {
       continue;
@@ -705,7 +411,7 @@ Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
           out[c] = env[t.slot];
         }
       }
-      rs.idb[rule.head_pred].Add(out);
+      idb[rule.head_pred].Add(out);
       // Advance the odometer (most significant digit first, matching the
       // interpreter's recursion order).
       exhausted = true;
@@ -721,6 +427,321 @@ Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
       }
     }
   }
+  return Status::OK();
+}
+
+// ---- Join execution ------------------------------------------------------
+
+Status VariantRun::Step(std::size_t depth) {
+  if (found_) {
+    return Status::OK();
+  }
+  if (depth == variant_.steps.size()) {
+    return Derive();
+  }
+  const JoinStep& s = variant_.steps[depth];
+  // A chunked worker runs one slice of the variant's single delta scan;
+  // the driver counts that scan's atom visit (and probe) once so the
+  // counters match the sequential execution exactly.
+  const bool chunked_scan = depth == 0 && step0_range_.has_value();
+  if (!chunked_scan) {
+    ++acc_.atom_visits;
+  }
+  // Resolve the store, the index range, and the per-column index array the
+  // step reads, by role and mode. In batch mode EDB steps read the whole
+  // immutable relation through the indexes pre-bound at compile time; in
+  // incremental mode both EDB and IDB steps read prefix ranges through the
+  // per-round pointers in RunState, and in deletion mode kDelta redirects
+  // to the side stores of deleted tuples.
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  const Relation* rel = nullptr;
+  const std::vector<const Relation::ColumnIndex*>* idx = nullptr;
+  if (s.is_idb) {
+    if (rs_.deletion_mode && s.role == AtomRole::kDelta) {
+      rel = &(*rs_.del_idb)[s.pred];
+      begin = rs_.del_idb_begin[s.pred];
+      end = rs_.del_idb_end[s.pred];
+      idx = &rs_.del_idb_index[s.pred];
+    } else {
+      rel = &rs_.idb[s.pred];
+      idx = &rs_.idb_index[s.pred];
+      switch (s.role) {
+        case AtomRole::kFull:
+          end = rs_.delta_end[s.pred];
+          break;
+        case AtomRole::kOld:
+          end = rs_.delta_begin[s.pred];
+          break;
+        case AtomRole::kDelta:
+          begin = rs_.delta_begin[s.pred];
+          end = rs_.delta_end[s.pred];
+          break;
+        case AtomRole::kEdb:
+          FMTK_CHECK(false) << "EDB role on IDB step";
+      }
+    }
+  } else {
+    rel = &impl_.edb->relation(s.pred);
+    switch (s.role) {
+      case AtomRole::kEdb:
+        end = rel->size();
+        idx = &s.edb_index;
+        break;
+      case AtomRole::kFull:
+        end = rs_.edb_delta_end[s.pred];
+        idx = &rs_.edb_index[s.pred];
+        break;
+      case AtomRole::kOld:
+        end = rs_.edb_delta_begin[s.pred];
+        idx = &rs_.edb_index[s.pred];
+        break;
+      case AtomRole::kDelta:
+        if (rs_.deletion_mode) {
+          rel = &(*rs_.del_edb)[s.pred];
+          begin = rs_.del_edb_begin[s.pred];
+          end = rs_.del_edb_end[s.pred];
+          idx = &rs_.del_edb_index[s.pred];
+        } else {
+          begin = rs_.edb_delta_begin[s.pred];
+          end = rs_.edb_delta_end[s.pred];
+          idx = &rs_.edb_index[s.pred];
+        }
+        break;
+    }
+  }
+  if (depth == 0 && step0_range_.has_value()) {
+    begin = step0_range_->first;
+    end = step0_range_->second;
+  }
+  if (begin >= end) {
+    return Status::OK();
+  }
+  // Probe the bound columns' posting lists; fall back to a range scan
+  // when no column is bound. The posting lists consulted here are frozen
+  // for the round (EDB relations are immutable or synced at round starts,
+  // IDB indexes are synced only at round starts), so iterating them is
+  // safe even though the recursion below may Add into the same relation.
+  // With one bound column the list is walked directly; with several, the
+  // lists are intersected (galloping/SIMD kernel) so only tuples matching
+  // every bound column reach TryTuple.
+  const std::vector<std::uint32_t>* best_list = nullptr;
+  Relation::ColumnIndex::View view;
+  bool single_view = false;
+  if (!s.probe_cols.empty()) {
+    if (!chunked_scan) {
+      ++acc_.index_probes;
+    }
+    auto view_of = [&](std::size_t c) {
+      const PosAction& a = s.actions[c];
+      const Element value =
+          a.kind == PosAction::kCheckConst ? a.value : env_[a.slot];
+      return (*idx)[c]->Find(value);
+    };
+    if (s.probe_cols.size() == 1) {
+      // Single bound column — walk its view directly, no staging.
+      view = view_of(s.probe_cols[0]);
+      if (view.empty()) {
+        // No tuple with the bound value at this column anywhere in the
+        // synced prefix — and the ranges below never exceed it.
+        return Status::OK();
+      }
+      single_view = true;
+    } else {
+      // Stage each bound column as one contiguous sorted span: CSR slices
+      // and tail vectors pass through as-is; a view with both parts is
+      // materialized (CSR row ids all precede tail row ids, so the
+      // concatenation stays sorted).
+      spans_.clear();
+      std::size_t mats = 0;
+      if (mat_.size() < s.probe_cols.size()) {
+        mat_.resize(s.probe_cols.size());
+      }
+      for (std::size_t c : s.probe_cols) {
+        const Relation::ColumnIndex::View v = view_of(c);
+        if (v.empty()) {
+          return Status::OK();
+        }
+        const bool has_tail = v.tail != nullptr && !v.tail->empty();
+        if (v.bulk_size != 0 && has_tail) {
+          std::vector<std::uint32_t>& m = mat_[mats++];
+          m.clear();
+          m.reserve(v.size());
+          m.insert(m.end(), v.bulk, v.bulk + v.bulk_size);
+          m.insert(m.end(), v.tail->begin(), v.tail->end());
+          spans_.emplace_back(m.data(), m.size());
+        } else if (v.bulk_size != 0) {
+          spans_.emplace_back(v.bulk, v.bulk_size);
+        } else {
+          spans_.emplace_back(v.tail->data(), v.tail->size());
+        }
+      }
+      // Fold the spans smallest-first into this depth's scratch buffer.
+      // The scratch is per-depth (iterated while deeper steps recurse);
+      // tmp_ is transient within the fold, so one shared buffer works.
+      std::sort(spans_.begin(), spans_.end(),
+                [](const std::pair<const std::uint32_t*, std::size_t>& a,
+                   const std::pair<const std::uint32_t*, std::size_t>& b) {
+                  return a.second < b.second;
+                });
+      std::vector<std::uint32_t>& acc = isect_[depth];
+      acc.resize(std::min(spans_[0].second, spans_[1].second));
+      acc.resize(IntersectSorted(spans_[0].first, spans_[0].second,
+                                 spans_[1].first, spans_[1].second,
+                                 acc.data()));
+      for (std::size_t k = 2; k < spans_.size() && !acc.empty(); ++k) {
+        tmp_.resize(std::min(acc.size(), spans_[k].second));
+        tmp_.resize(IntersectSorted(acc.data(), acc.size(), spans_[k].first,
+                                    spans_[k].second, tmp_.data()));
+        acc.swap(tmp_);
+      }
+      if (acc.empty()) {
+        return Status::OK();
+      }
+      best_list = &acc;
+    }
+  }
+  if (single_view) {
+    const std::uint32_t* b = view.bulk;
+    const std::uint32_t* b_end = view.bulk + view.bulk_size;
+    b = std::lower_bound(b, b_end, begin);
+    for (; b != b_end && *b < end; ++b) {
+      FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, *b));
+      if (found_) {
+        return Status::OK();
+      }
+    }
+    if (view.tail != nullptr) {
+      auto it = std::lower_bound(view.tail->begin(), view.tail->end(), begin);
+      for (; it != view.tail->end() && *it < end; ++it) {
+        FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, *it));
+        if (found_) {
+          return Status::OK();
+        }
+      }
+    }
+  } else if (best_list != nullptr) {
+    auto it = std::lower_bound(best_list->begin(), best_list->end(), begin);
+    for (; it != best_list->end() && *it < end; ++it) {
+      FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, *it));
+      if (found_) {
+        return Status::OK();
+      }
+    }
+  } else {
+    // Fixed [begin, end) prefix by index: the recursion can Add into this
+    // very relation (head predicate in its own body), reallocating the
+    // tuple buffer — so re-fetch tuples() each step, never hold
+    // iterators.
+    for (std::size_t i = begin; i < end; ++i) {
+      FMTK_RETURN_IF_ERROR(TryTuple(depth, s, *rel, i));
+      if (found_) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VariantRun::TryTuple(std::size_t depth, const JoinStep& s,
+                            const Relation& rel, std::size_t tuple_index) {
+  ++acc_.tuples_scanned;
+  {
+    // Scope the pointer: Add() during the recursion may reallocate the
+    // flat tuple store, so it must not be held across Step().
+    const Element* t = rel.TupleData(tuple_index);
+    for (std::size_t c = 0; c < s.actions.size(); ++c) {
+      const PosAction& a = s.actions[c];
+      switch (a.kind) {
+        case PosAction::kCheckConst:
+          if (t[c] != a.value) {
+            return Status::OK();
+          }
+          break;
+        case PosAction::kCheckSlot:
+          if (t[c] != env_[a.slot]) {
+            return Status::OK();
+          }
+          break;
+        case PosAction::kBind:
+          env_[a.slot] = t[c];
+          break;
+      }
+    }
+  }
+  return Step(depth + 1);
+}
+
+Status VariantRun::Derive() {
+  ++acc_.tuples_derived;
+  if (find_first_) {
+    // Rederivation probe: one surviving body instantiation is the answer.
+    found_ = true;
+    return Status::OK();
+  }
+  // Build the head into a reused scratch: most derivations in a recursive
+  // fixpoint are duplicates, and AddCopy() only copies on actual insert,
+  // so the reject path allocates nothing.
+  out_.clear();
+  for (const SlotTerm& t : rule_.head) {
+    if (t.is_const) {
+      if (t.value >= impl_.edb->domain_size()) {
+        return Status::InvalidArgument("constant " + std::to_string(t.value) +
+                                       " outside the structure's domain");
+      }
+      out_.push_back(t.value);
+    } else {
+      out_.push_back(env_[t.slot]);
+    }
+  }
+  if (buffer_ != nullptr) {
+    buffer_->push_back(out_);
+  } else {
+    // DRed overestimate rounds collect deleted candidates in the side
+    // stores; everything else inserts straight into the IDB.
+    Relation& target = rs_.deletion_mode ? (*rs_.del_idb)[rule_.head_pred]
+                                         : rs_.idb[rule_.head_pred];
+    if (target.AddCopy(out_)) {
+      changed_ = true;
+      ++tuples_new_;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal_datalog
+
+Result<CompiledDatalogEngine> CompiledDatalogEngine::Create(
+    const DatalogProgram& program, const Structure& edb) {
+  auto impl = std::make_shared<EngineImpl>();
+  impl->program = &program;
+  impl->edb = &edb;
+  FMTK_RETURN_IF_ERROR(impl->Compile());
+  return CompiledDatalogEngine(std::move(impl));
+}
+
+const std::vector<std::string>& CompiledDatalogEngine::join_orders() const {
+  return impl_->join_orders;
+}
+
+Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
+    DatalogStats* stats, ParallelPolicy policy) {
+  EngineImpl& impl = *impl_;
+  RunState rs;
+  rs.idb.reserve(impl.idb_names.size());
+  for (std::size_t arity : impl.idb_arity) {
+    rs.idb.emplace_back(arity);
+  }
+  rs.delta_begin.assign(rs.idb.size(), 0);
+  rs.delta_end.assign(rs.idb.size(), 0);
+  rs.idb_index.resize(rs.idb.size());
+  for (std::size_t p = 0; p < rs.idb.size(); ++p) {
+    rs.idb_index[p].assign(rs.idb[p].arity(), nullptr);
+  }
+
+  // Seed fact schemas: head variables range over the whole domain, exactly
+  // like the interpreter (not counted as derivations there either).
+  FMTK_RETURN_IF_ERROR(internal_datalog::SeedFacts(impl, rs.idb));
 
   // hardware_concurrency() reads sysfs on every call (glibc get_nprocs);
   // resolve the thread budget once, not per rule per round.
@@ -756,9 +777,9 @@ Result<std::map<std::string, Relation>> CompiledDatalogEngine::Evaluate(
       }
       for (const Variant& variant : rule.variants) {
         ++rule_applications;
-        const bool parallel_eligible =
-            policy.enabled && variant.delta_step.has_value() &&
-            !variant.steps.empty();
+        const bool parallel_eligible = policy.enabled &&
+                                       variant.delta_step.has_value() &&
+                                       !variant.steps.empty();
         std::size_t delta_size = 0;
         if (parallel_eligible) {
           const JoinStep& s0 = variant.steps.front();

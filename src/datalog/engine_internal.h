@@ -1,0 +1,257 @@
+#ifndef FMTK_DATALOG_ENGINE_INTERNAL_H_
+#define FMTK_DATALOG_ENGINE_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "datalog/program.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+
+/// Shared internals of the compiled semi-naive machinery: the batch engine
+/// (compiled_engine.cc) and the incremental-maintenance session (ivm.cc)
+/// compile rules to the same slot/join-step representation and drive the
+/// same join executor; only the fixpoint drivers differ. Nothing here is
+/// part of the public API.
+
+namespace fmtk {
+namespace internal_datalog {
+
+// A term compiled to an integer slot or an inline constant.
+struct SlotTerm {
+  bool is_const = false;
+  Element value = 0;  // is_const
+  int slot = -1;      // !is_const
+};
+
+// Which view of a body atom's store a join step reads. In batch mode EDB
+// atoms always use kEdb (whole extent) and only IDB atoms carry the
+// semi-naive old/full/delta split. In incremental mode EVERY body position
+// gets a delta variant — the EDB is append-only within a batch, so its
+// old/new views are prefix ranges exactly like the IDB's — and kEdb never
+// appears.
+enum class AtomRole {
+  kEdb,    // EDB relation, whole extent (batch mode only).
+  kFull,   // Before the delta position: [0, delta_end).
+  kOld,    // After the delta position: [0, delta_begin).
+  kDelta,  // The delta position itself: [delta_begin, delta_end).
+};
+
+// How one join step treats one column of its atom, decided at compile time
+// from the statically known set of slots bound by earlier steps.
+struct PosAction {
+  enum Kind { kCheckConst, kCheckSlot, kBind } kind = kBind;
+  Element value = 0;  // kCheckConst
+  int slot = -1;      // kCheckSlot / kBind
+};
+
+struct JoinStep {
+  bool is_idb = false;
+  std::size_t pred = 0;  // IDB id, or EDB relation index in the signature.
+  AtomRole role = AtomRole::kEdb;
+  std::vector<PosAction> actions;       // One per column.
+  std::vector<std::size_t> probe_cols;  // Columns bound before this step.
+  // Batch mode only: per-column EDB ColumnIndex, bound once at Create (the
+  // structure is immutable while the engine is in use). Incremental mode
+  // mutates the EDB between batches — relations are even replaced wholesale
+  // after deletions — so there the per-round pointers in RunState are used
+  // instead, for EDB and IDB alike.
+  std::vector<const Relation::ColumnIndex*> edb_index;
+};
+
+// One (rule, delta position) execution plan with its own join order.
+struct Variant {
+  std::optional<std::size_t> delta_step;  // Index into steps (always 0).
+  std::vector<JoinStep> steps;
+};
+
+struct RuleExec {
+  std::size_t head_pred = 0;  // IDB id.
+  std::vector<SlotTerm> head;
+  std::size_t slot_count = 0;
+  bool pure_edb = false;  // No IDB body atom: fire in round 1 only.
+  bool is_fact = false;   // Empty body: seeded before round 1.
+  std::vector<Variant> variants;
+  // Distinct head-variable slots of a fact rule, first-occurrence order.
+  std::vector<int> fact_slots;
+  // Incremental mode: the DRed rederivation plan — all-full roles, join
+  // order chosen with the head slots pre-bound. The deletion driver seeds
+  // the environment from a deleted-candidate head tuple and asks whether
+  // any body instantiation survives in the pruned database.
+  std::optional<Variant> rederive;
+};
+
+// Thread-mergeable subset of DatalogStats (everything the join recursion
+// itself touches; rule_applications and tuples_new stay on the main
+// thread).
+struct StatsAcc {
+  std::uint64_t atom_visits = 0;
+  std::uint64_t tuples_derived = 0;
+  std::uint64_t index_probes = 0;
+  std::uint64_t tuples_scanned = 0;
+
+  void MergeFrom(const StatsAcc& other) {
+    atom_visits += other.atom_visits;
+    tuples_derived += other.tuples_derived;
+    index_probes += other.index_probes;
+    tuples_scanned += other.tuples_scanned;
+  }
+};
+
+struct EngineImpl {
+  const DatalogProgram* program = nullptr;
+  const Structure* edb = nullptr;
+  // Incremental compilation: delta variants at every body position (EDB
+  // included), no pre-bound EDB indexes, and a rederive plan per rule.
+  bool incremental = false;
+
+  std::vector<std::string> idb_names;  // id -> name
+  std::vector<std::size_t> idb_arity;  // id -> arity
+  std::unordered_map<std::string, std::size_t> idb_id;
+
+  std::vector<RuleExec> rules;
+  // Per IDB id: columns probed by some step (synced once per round).
+  std::vector<std::vector<std::size_t>> probed_cols;
+  // Per EDB relation index, incremental mode only: columns probed by some
+  // step (batch mode pre-binds them in JoinStep::edb_index instead).
+  std::vector<std::vector<std::size_t>> edb_probed_cols;
+  std::vector<std::string> join_orders;
+  // The analyzer's SCC classification and warnings, surfaced in
+  // DatalogStats after a run.
+  std::vector<std::string> recursion_info;
+  std::vector<std::string> analyzer_warnings;
+
+  Status Compile();
+  Status CompileRule(const DlRule& rule);
+  std::vector<std::size_t> ChooseJoinOrder(
+      const std::vector<std::vector<SlotTerm>>& body_terms,
+      const std::vector<bool>& body_is_idb,
+      const std::vector<std::size_t>& body_pred,
+      const std::optional<std::size_t>& delta_at,
+      const std::vector<bool>* initial_bound = nullptr) const;
+};
+
+// Seeds the fact schemas into `idb` (head variables range over the whole
+// domain). Shared by the batch evaluator's round 0 and the session's
+// initial materialization.
+Status SeedFacts(const EngineImpl& impl, std::vector<Relation>& idb);
+
+// Per-run mutable state: the IDB relations plus the delta ranges of the
+// round in flight. "old" = [0, delta_begin), "full-new" = [0, delta_end),
+// "delta" = [delta_begin, delta_end); tuples derived during the round land
+// at indices >= delta_end and stay invisible until the next promotion.
+//
+// Incremental mode adds the same prefix bookkeeping for the EDB relations
+// (append-only within a batch) and, for DRed deletion, redirects kDelta
+// reads to side stores of deleted tuples while the main ranges are pinned
+// to the full pre-deletion extent.
+struct RunState {
+  std::vector<Relation> idb;
+  std::vector<std::size_t> delta_begin;
+  std::vector<std::size_t> delta_end;
+  // Per (IDB id, column): the generation-tagged ColumnIndex, synced at the
+  // round start to cover at least [0, delta_end); nullptr for unprobed
+  // columns. Frozen for the rest of the round.
+  std::vector<std::vector<const Relation::ColumnIndex*>> idb_index;
+
+  // ---- Incremental mode only (empty/false in batch runs) ----------------
+  std::vector<std::size_t> edb_delta_begin;
+  std::vector<std::size_t> edb_delta_end;
+  std::vector<std::vector<const Relation::ColumnIndex*>> edb_index;
+
+  // DRed overestimate mode: kDelta steps read the deletion side stores
+  // below (whose delta ranges grow across rounds like the IDB's), and
+  // derivations land in del_idb instead of idb.
+  bool deletion_mode = false;
+  std::vector<Relation>* del_idb = nullptr;
+  std::vector<Relation>* del_edb = nullptr;
+  std::vector<std::size_t> del_idb_begin;
+  std::vector<std::size_t> del_idb_end;
+  std::vector<std::size_t> del_edb_begin;
+  std::vector<std::size_t> del_edb_end;
+  std::vector<std::vector<const Relation::ColumnIndex*>> del_idb_index;
+  std::vector<std::vector<const Relation::ColumnIndex*>> del_edb_index;
+};
+
+// One in-flight execution of a rule variant: inserting directly into the
+// derive target (sequential), buffering derivations (parallel worker), or
+// probing for a single surviving derivation (find-first, the DRed
+// rederivation check).
+class VariantRun {
+ public:
+  VariantRun(const EngineImpl& impl, const RuleExec& rule,
+             const Variant& variant, RunState& rs, StatsAcc& acc)
+      : impl_(impl),
+        rule_(rule),
+        variant_(variant),
+        rs_(rs),
+        acc_(acc),
+        env_(rule.slot_count, 0),
+        isect_(variant.steps.size()) {}
+
+  void set_buffer(std::vector<Tuple>* buffer) { buffer_ = buffer; }
+  void set_step0_range(std::size_t begin, std::size_t end) {
+    step0_range_ = {begin, end};
+  }
+  // Pre-binds slots (the rederive driver seeds head variables from the
+  // candidate tuple). `env` must have rule.slot_count entries.
+  void set_initial_env(const std::vector<Element>& env) { env_ = env; }
+  // Stop at the first complete derivation instead of inserting; poll
+  // found().
+  void set_find_first() { find_first_ = true; }
+  // Rearms a find-first run for the next candidate: rebinds the
+  // environment and clears the found flag while the probe scratch keeps
+  // its capacity — the rederivation driver reuses one run per rule across
+  // thousands of candidates instead of reconstructing it.
+  void ResetFindFirst(const std::vector<Element>& env) {
+    env_.assign(env.begin(), env.end());
+    found_ = false;
+  }
+
+  bool changed() const { return changed_; }
+  bool found() const { return found_; }
+  std::uint64_t tuples_new() const { return tuples_new_; }
+
+  Status Execute() { return Step(0); }
+
+ private:
+  Status Step(std::size_t depth);
+  Status TryTuple(std::size_t depth, const JoinStep& s, const Relation& rel,
+                  std::size_t tuple_index);
+  Status Derive();
+
+  const EngineImpl& impl_;
+  const RuleExec& rule_;
+  const Variant& variant_;
+  RunState& rs_;
+  StatsAcc& acc_;
+  std::vector<Element> env_;
+  Tuple out_;
+  std::vector<Tuple>* buffer_ = nullptr;
+  std::optional<std::pair<std::size_t, std::size_t>> step0_range_;
+  bool find_first_ = false;
+  bool found_ = false;
+  bool changed_ = false;
+  std::uint64_t tuples_new_ = 0;
+  // Probe scratch, reused across Step() calls. spans_, mat_, and tmp_ are
+  // done with before the recursion resumes; isect_ is per-depth because a
+  // step iterates its intersection while deeper steps compute theirs.
+  // Posting lists arrive as (CSR slice, tail) views; a view with both
+  // parts non-empty is materialized into mat_ so the intersection kernels
+  // see one contiguous sorted span.
+  std::vector<std::pair<const std::uint32_t*, std::size_t>> spans_;
+  std::vector<std::vector<std::uint32_t>> mat_;
+  std::vector<std::vector<std::uint32_t>> isect_;
+  std::vector<std::uint32_t> tmp_;
+};
+
+}  // namespace internal_datalog
+}  // namespace fmtk
+
+#endif  // FMTK_DATALOG_ENGINE_INTERNAL_H_

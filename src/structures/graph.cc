@@ -30,7 +30,9 @@ void SortUnique(Adjacency& adjacency) {
 Adjacency OutAdjacency(const Structure& s, std::size_t rel_index) {
   CheckBinary(s, rel_index);
   Adjacency adjacency(s.domain_size());
-  for (const Tuple& t : s.relation(rel_index).tuples()) {
+  const Relation& rel = s.relation(rel_index);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const Element* t = rel.TupleData(i);
     adjacency[t[0]].push_back(t[1]);
   }
   SortUnique(adjacency);
@@ -40,7 +42,9 @@ Adjacency OutAdjacency(const Structure& s, std::size_t rel_index) {
 Adjacency UndirectedAdjacency(const Structure& s, std::size_t rel_index) {
   CheckBinary(s, rel_index);
   Adjacency adjacency(s.domain_size());
-  for (const Tuple& t : s.relation(rel_index).tuples()) {
+  const Relation& rel = s.relation(rel_index);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    const Element* t = rel.TupleData(i);
     adjacency[t[0]].push_back(t[1]);
     if (t[0] != t[1]) {
       adjacency[t[1]].push_back(t[0]);
@@ -189,8 +193,9 @@ Relation TransitiveClosure(const Structure& s, std::size_t rel_index) {
 std::vector<std::size_t> InDegrees(const Structure& s, std::size_t rel_index) {
   CheckBinary(s, rel_index);
   std::vector<std::size_t> degree(s.domain_size(), 0);
-  for (const Tuple& t : s.relation(rel_index).tuples()) {
-    ++degree[t[1]];
+  const Relation& rel = s.relation(rel_index);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    ++degree[rel.TupleData(i)[1]];
   }
   return degree;
 }
@@ -199,8 +204,9 @@ std::vector<std::size_t> OutDegrees(const Structure& s,
                                     std::size_t rel_index) {
   CheckBinary(s, rel_index);
   std::vector<std::size_t> degree(s.domain_size(), 0);
-  for (const Tuple& t : s.relation(rel_index).tuples()) {
-    ++degree[t[0]];
+  const Relation& rel = s.relation(rel_index);
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    ++degree[rel.TupleData(i)[0]];
   }
   return degree;
 }
@@ -221,7 +227,8 @@ std::set<std::size_t> DegreeSet(const Relation& relation,
   FMTK_CHECK(relation.arity() == 2) << "degree set requires arity 2";
   std::vector<std::size_t> in(domain_size, 0);
   std::vector<std::size_t> out(domain_size, 0);
-  for (const Tuple& t : relation.tuples()) {
+  for (std::size_t i = 0; i < relation.size(); ++i) {
+    const Element* t = relation.TupleData(i);
     FMTK_CHECK(t[0] < domain_size && t[1] < domain_size)
         << "tuple outside domain";
     ++out[t[0]];
@@ -235,9 +242,12 @@ std::set<std::size_t> DegreeSet(const Relation& relation,
 Adjacency GaifmanAdjacency(const Structure& s) {
   Adjacency adjacency(s.domain_size());
   for (std::size_t r = 0; r < s.signature().relation_count(); ++r) {
-    for (const Tuple& t : s.relation(r).tuples()) {
-      for (std::size_t i = 0; i < t.size(); ++i) {
-        for (std::size_t j = i + 1; j < t.size(); ++j) {
+    const Relation& rel = s.relation(r);
+    const std::size_t arity = rel.arity();
+    for (std::size_t row = 0; row < rel.size(); ++row) {
+      const Element* t = rel.TupleData(row);
+      for (std::size_t i = 0; i < arity; ++i) {
+        for (std::size_t j = i + 1; j < arity; ++j) {
           if (t[i] != t[j]) {
             adjacency[t[i]].push_back(t[j]);
             adjacency[t[j]].push_back(t[i]);

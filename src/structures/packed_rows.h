@@ -1,0 +1,89 @@
+#ifndef FMTK_STRUCTURES_PACKED_ROWS_H_
+#define FMTK_STRUCTURES_PACKED_ROWS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fmtk {
+namespace internal_rows {
+
+/// Sorts packed arity<=2 rows (one u64 per row, column-lexicographic by
+/// construction) with an MSD counting sort on the high 32-bit half — one
+/// count pass, one scatter — followed by a comparison sort of each
+/// equal-high run. Graph-shaped inputs have short runs (a node's
+/// out-neighbours), so the run fix-up touches cache-resident slices and
+/// the whole sort costs a single linear scatter instead of the two stable
+/// LSD passes it would take to sort both halves by counting. That is the
+/// bounded-domain regime every structure is in (elements < domain size);
+/// sparse inputs (packed hashes, scattered ids) fall back to std::sort.
+inline void SortPackedRows(std::vector<std::uint64_t>& keys) {
+  const std::size_t n = keys.size();
+  if (n < 2048 || n > 0xffffffffu) {  // u32 count cursors below.
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  std::uint32_t max_hi = 0;
+  for (const std::uint64_t k : keys) {
+    max_hi = std::max(max_hi, static_cast<std::uint32_t>(k >> 32));
+  }
+  if (max_hi == 0) {
+    // Arity 1: the packed key IS the low half; dense inputs get a single
+    // counting pass.
+    std::uint32_t max_lo = 0;
+    for (const std::uint64_t k : keys) {
+      max_lo = std::max(max_lo, static_cast<std::uint32_t>(k));
+    }
+    const std::size_t span = static_cast<std::size_t>(max_lo) + 1;
+    if (span > 4 * n + 2048) {
+      std::sort(keys.begin(), keys.end());
+      return;
+    }
+    std::vector<std::uint64_t> scratch(n);
+    std::vector<std::uint32_t> counts(span + 1, 0);
+    for (const std::uint64_t k : keys) {
+      ++counts[static_cast<std::uint32_t>(k) + 1];
+    }
+    for (std::size_t v = 1; v <= span; ++v) {
+      counts[v] += counts[v - 1];
+    }
+    for (const std::uint64_t k : keys) {
+      scratch[counts[static_cast<std::uint32_t>(k)]++] = k;
+    }
+    keys.swap(scratch);
+    return;
+  }
+  const std::size_t span_hi = static_cast<std::size_t>(max_hi) + 1;
+  if (span_hi > 4 * n + 2048) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  std::vector<std::uint64_t> scratch(n);
+  std::vector<std::uint32_t> counts(span_hi + 1, 0);
+  for (const std::uint64_t k : keys) {
+    ++counts[static_cast<std::uint32_t>(k >> 32) + 1];
+  }
+  for (std::size_t v = 1; v <= span_hi; ++v) {
+    counts[v] += counts[v - 1];
+  }
+  for (const std::uint64_t k : keys) {
+    scratch[counts[static_cast<std::uint32_t>(k >> 32)]++] = k;
+  }
+  // counts[v] now ends each high-value run: sort runs longer than one key
+  // (full u64 compare — the low half decides within a run).
+  std::size_t begin = 0;
+  for (std::size_t v = 0; v < span_hi; ++v) {
+    const std::size_t end = counts[v];
+    if (end - begin > 1) {
+      std::sort(scratch.begin() + begin, scratch.begin() + end);
+    }
+    begin = end;
+  }
+  keys.swap(scratch);
+}
+
+}  // namespace internal_rows
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_PACKED_ROWS_H_

@@ -4,23 +4,31 @@
 #include <utility>
 
 #include "base/check.h"
+#include "structures/packed_rows.h"
 
 namespace fmtk {
 
 Relation::Relation(const Relation& other)
     : arity_(other.arity_),
-      tuples_(other.tuples_),
       flat_(other.flat_),
+      row_count_(other.row_count_),
+      sorted_upto_(other.sorted_upto_),
       packed_index_(other.packed_index_),
-      index_(other.index_) {}
+      index_(other.index_),
+      tuples_(other.tuples_) {
+  rows_synced_.store(tuples_.size(), std::memory_order_relaxed);
+}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this != &other) {
     arity_ = other.arity_;
-    tuples_ = other.tuples_;
     flat_ = other.flat_;
+    row_count_ = other.row_count_;
+    sorted_upto_ = other.sorted_upto_;
     packed_index_ = other.packed_index_;
     index_ = other.index_;
+    tuples_ = other.tuples_;
+    rows_synced_.store(tuples_.size(), std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(column_mutex_);
     column_indexes_.clear();
   }
@@ -29,37 +37,233 @@ Relation& Relation::operator=(const Relation& other) {
 
 Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
-      tuples_(std::move(other.tuples_)),
       flat_(std::move(other.flat_)),
+      row_count_(other.row_count_),
+      sorted_upto_(other.sorted_upto_),
       packed_index_(std::move(other.packed_index_)),
-      index_(std::move(other.index_)) {}
+      index_(std::move(other.index_)),
+      tuples_(std::move(other.tuples_)),
+      column_indexes_(std::move(other.column_indexes_)) {
+  rows_synced_.store(tuples_.size(), std::memory_order_relaxed);
+  other.row_count_ = 0;
+  other.sorted_upto_ = 0;
+  other.rows_synced_.store(0, std::memory_order_relaxed);
+}
 
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this != &other) {
     arity_ = other.arity_;
-    tuples_ = std::move(other.tuples_);
     flat_ = std::move(other.flat_);
+    row_count_ = other.row_count_;
+    sorted_upto_ = other.sorted_upto_;
     packed_index_ = std::move(other.packed_index_);
     index_ = std::move(other.index_);
+    tuples_ = std::move(other.tuples_);
+    rows_synced_.store(tuples_.size(), std::memory_order_relaxed);
+    other.row_count_ = 0;
+    other.sorted_upto_ = 0;
+    other.rows_synced_.store(0, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(column_mutex_);
-    column_indexes_.clear();
+    column_indexes_ = std::move(other.column_indexes_);
   }
   return *this;
+}
+
+Relation Relation::FromSortedRows(std::size_t arity, std::vector<Element> rows,
+                                  bool build_column_indexes) {
+  FMTK_CHECK(arity > 0) << "bulk construction needs positive arity";
+  FMTK_CHECK(rows.size() % arity == 0)
+      << "flat row data of " << rows.size() << " elements for arity " << arity;
+  Relation r(arity);
+  r.flat_ = std::move(rows);
+  r.row_count_ = r.flat_.size() / arity;
+  r.sorted_upto_ = r.row_count_;
+  if (build_column_indexes) {
+    r.BuildColumnIndexesBulk();
+  }
+  return r;
+}
+
+Relation Relation::FromSortedPackedRows(std::size_t arity,
+                                        const std::vector<std::uint64_t>& keys,
+                                        bool build_column_indexes) {
+  FMTK_CHECK(arity == 1 || arity == 2)
+      << "packed rows hold at most two 32-bit columns, got arity " << arity;
+  Relation r(arity);
+  const std::size_t n = keys.size();
+  r.flat_.resize(n * arity);
+  r.row_count_ = n;
+  r.sorted_upto_ = n;
+  Element* dst = r.flat_.data();
+  if (!build_column_indexes || n == 0) {
+    for (const std::uint64_t key : keys) {
+      if (arity == 2) {
+        *dst++ = static_cast<Element>(key >> 32);
+      }
+      *dst++ = static_cast<Element>(key);
+    }
+    return r;
+  }
+  auto col0 = std::make_shared<ColumnIndex>();
+  if (arity == 1) {
+    // Unique rows make every column-0 run a singleton: values are the keys
+    // themselves and the offsets are the identity ramp.
+    col0->bulk_values.resize(n);
+    col0->offsets.resize(n + 1);
+    col0->offsets[0] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Element e = static_cast<Element>(keys[i]);
+      dst[i] = e;
+      col0->bulk_values[i] = e;
+      col0->offsets[i + 1] = static_cast<std::uint32_t>(i + 1);
+    }
+  } else {
+    // One fused pass: unpack both columns and close a column-0 run whenever
+    // the high half changes. The run pre-count keeps the output arrays at
+    // exact capacity.
+    std::size_t distinct = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+      distinct += (keys[i] >> 32) != (keys[i - 1] >> 32);
+    }
+    col0->bulk_values.reserve(distinct);
+    col0->offsets.reserve(distinct + 1);
+    col0->offsets.push_back(0);
+    Element run_value = static_cast<Element>(keys[0] >> 32);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = keys[i];
+      const Element hi = static_cast<Element>(key >> 32);
+      *dst++ = hi;
+      *dst++ = static_cast<Element>(key);
+      if (hi != run_value) {
+        col0->bulk_values.push_back(run_value);
+        col0->offsets.push_back(static_cast<std::uint32_t>(i));
+        run_value = hi;
+      }
+    }
+    col0->bulk_values.push_back(run_value);
+    col0->offsets.push_back(static_cast<std::uint32_t>(n));
+  }
+  col0->positions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    col0->positions[i] = static_cast<std::uint32_t>(i);
+  }
+  col0->bulk_rows = n;
+  col0->values = col0->bulk_values;
+  col0->indexed_upto = n;
+  r.column_indexes_.assign(arity, nullptr);
+  r.column_indexes_[0] = std::move(col0);
+  if (arity == 2) {
+    auto col1 = std::make_shared<ColumnIndex>();
+    r.BuildColumnIndexBulk(1, col1.get());
+    r.column_indexes_[1] = std::move(col1);
+  }
+  return r;
+}
+
+Relation Relation::FromRowsUnique(std::size_t arity,
+                                  const std::vector<Element>& rows) {
+  FMTK_CHECK(arity > 0) << "bulk construction needs positive arity";
+  FMTK_CHECK(rows.size() % arity == 0)
+      << "flat row data of " << rows.size() << " elements for arity " << arity;
+  Relation r(arity);
+  const std::size_t n = rows.size() / arity;
+  r.flat_.reserve(rows.size());
+  if (arity <= 2) {
+    r.packed_index_.Reserve(n);
+  } else {
+    r.index_.Reserve(n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Element* row = rows.data() + i * arity;
+    const auto position = static_cast<std::uint32_t>(r.row_count_);
+    const bool inserted =
+        arity <= 2
+            ? r.packed_index_.TryEmplace(PackedKey(row, arity), position)
+                  .second
+            : r.index_.TryEmplace(Tuple(row, row + arity), position).second;
+    if (inserted) {
+      r.flat_.insert(r.flat_.end(), row, row + arity);
+      ++r.row_count_;
+    }
+  }
+  return r;
+}
+
+std::size_t Relation::SortedPrefixFind(const Element* row) const {
+  constexpr std::size_t kMiss = static_cast<std::size_t>(-1);
+  if (arity_ <= 2) {
+    const std::uint64_t key = PackedKey(row, arity_);
+    std::size_t lo = 0;
+    std::size_t hi = sorted_upto_;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (PackedKey(flat_.data() + mid * arity_, arity_) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < sorted_upto_ &&
+                   PackedKey(flat_.data() + lo * arity_, arity_) == key
+               ? lo
+               : kMiss;
+  }
+  std::size_t lo = 0;
+  std::size_t hi = sorted_upto_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Element* at = flat_.data() + mid * arity_;
+    if (std::lexicographical_compare(at, at + arity_, row, row + arity_)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < sorted_upto_ &&
+                 std::equal(row, row + arity_, flat_.data() + lo * arity_)
+             ? lo
+             : kMiss;
+}
+
+bool Relation::SortedPrefixContains(const Element* row) const {
+  return SortedPrefixFind(row) != static_cast<std::size_t>(-1);
+}
+
+bool Relation::ContainsRow(const Element* row) const {
+  if (sorted_upto_ > 0 && SortedPrefixContains(row)) {
+    return true;
+  }
+  if (arity_ <= 2) {
+    return packed_index_.Contains(PackedKey(row, arity_));
+  }
+  // Arity > 2 falls back to the vector-keyed map; build the probe key once.
+  return index_.Contains(Tuple(row, row + arity_));
 }
 
 bool Relation::Add(Tuple tuple) {
   FMTK_CHECK(tuple.size() == arity_)
       << "tuple of size " << tuple.size() << " added to relation of arity "
       << arity_;
-  const auto position = static_cast<std::uint32_t>(tuples_.size());
+  if (sorted_upto_ > 0 && SortedPrefixContains(tuple.data())) {
+    return false;
+  }
+  const auto position = static_cast<std::uint32_t>(row_count_);
   const bool inserted =
-      arity_ <= 2 ? packed_index_.TryEmplace(PackedKey(tuple), position).second
-                  : index_.TryEmplace(tuple, position).second;
+      arity_ <= 2
+          ? packed_index_.TryEmplace(PackedKey(tuple.data(), arity_), position)
+                .second
+          : index_.TryEmplace(tuple, position).second;
   if (inserted) {
     // Column indexes are left as-is (generation-tagged at indexed_upto);
     // the next column_index() call appends postings for the new suffix.
     flat_.insert(flat_.end(), tuple.begin(), tuple.end());
-    tuples_.push_back(std::move(tuple));
+    ++row_count_;
+    // The tuples() cache is extended only while it is already complete —
+    // a lazily materialized (bulk-built) relation catches up on demand.
+    if (tuples_.size() + 1 == row_count_) {
+      tuples_.push_back(std::move(tuple));
+      rows_synced_.store(row_count_, std::memory_order_release);
+    }
   }
   return inserted;
 }
@@ -68,15 +272,161 @@ bool Relation::AddCopy(const Tuple& tuple) {
   FMTK_CHECK(tuple.size() == arity_)
       << "tuple of size " << tuple.size() << " added to relation of arity "
       << arity_;
-  const auto position = static_cast<std::uint32_t>(tuples_.size());
+  if (sorted_upto_ > 0 && SortedPrefixContains(tuple.data())) {
+    return false;
+  }
+  const auto position = static_cast<std::uint32_t>(row_count_);
+  // TryEmplace copies the key only on actual insert, so the (hot) reject
+  // path of a fixpoint loop allocates nothing.
   const bool inserted =
-      arity_ <= 2 ? packed_index_.TryEmplace(PackedKey(tuple), position).second
-                  : index_.TryEmplace(tuple, position).second;
+      arity_ <= 2
+          ? packed_index_.TryEmplace(PackedKey(tuple.data(), arity_), position)
+                .second
+          : index_.TryEmplace(tuple, position).second;
   if (inserted) {
     flat_.insert(flat_.end(), tuple.begin(), tuple.end());
-    tuples_.push_back(tuple);
+    ++row_count_;
+    if (tuples_.size() + 1 == row_count_) {
+      tuples_.push_back(tuple);
+      rows_synced_.store(row_count_, std::memory_order_release);
+    }
   }
   return inserted;
+}
+
+void Relation::MaterializeTuples() const {
+  std::lock_guard<std::mutex> lock(column_mutex_);
+  tuples_.reserve(row_count_);
+  for (std::size_t i = tuples_.size(); i < row_count_; ++i) {
+    const Element* row = flat_.data() + i * arity_;
+    tuples_.emplace_back(row, row + arity_);
+  }
+  rows_synced_.store(row_count_, std::memory_order_release);
+}
+
+Relation::ColumnIndex::View Relation::ColumnIndex::Find(Element e) const {
+  View view;
+  if (!bulk_values.empty()) {
+    const auto it =
+        std::lower_bound(bulk_values.begin(), bulk_values.end(), e);
+    if (it != bulk_values.end() && *it == e) {
+      const std::size_t k =
+          static_cast<std::size_t>(it - bulk_values.begin());
+      view.bulk = positions.data() + offsets[k];
+      view.bulk_size = offsets[k + 1] - offsets[k];
+    }
+  }
+  view.tail = postings.Find(e);
+  return view;
+}
+
+void Relation::BuildColumnIndexBulk(std::size_t column,
+                                    ColumnIndex* out) const {
+  if (row_count_ == 0) {
+    out->indexed_upto = 0;
+    return;
+  }
+  if (column == 0 && sorted_upto_ == row_count_) {
+    // A store that is lexicographically sorted end to end is already
+    // ordered by column 0: the CSR falls out of one sequential scan —
+    // positions are the identity permutation and offsets are the run
+    // boundaries. No count array, no scatter pass. A pre-count of the runs
+    // sizes the output arrays exactly, so the scan never reallocates.
+    std::size_t distinct = 1;
+    for (std::size_t i = 1; i < row_count_; ++i) {
+      distinct += flat_[i * arity_] != flat_[(i - 1) * arity_];
+    }
+    out->bulk_values.reserve(distinct);
+    out->offsets.reserve(distinct + 1);
+    out->offsets.push_back(0);
+    for (std::size_t i = 0; i < row_count_;) {
+      const Element e = flat_[i * arity_];
+      std::size_t j = i;
+      while (j < row_count_ && flat_[j * arity_] == e) {
+        ++j;
+      }
+      out->bulk_values.push_back(e);
+      out->offsets.push_back(static_cast<std::uint32_t>(j));
+      i = j;
+    }
+    out->positions.resize(row_count_);
+    for (std::size_t i = 0; i < row_count_; ++i) {
+      out->positions[i] = static_cast<std::uint32_t>(i);
+    }
+    out->bulk_rows = row_count_;
+    out->values = out->bulk_values;
+    out->indexed_upto = row_count_;
+    return;
+  }
+  Element max_value = 0;
+  for (std::size_t i = 0; i < row_count_; ++i) {
+    max_value = std::max(max_value, flat_[i * arity_ + column]);
+  }
+  // Counting sort wants a dense value range. Structure elements are always
+  // an initial segment of the naturals, so this holds for every relation an
+  // engine builds; a pathological sparse relation falls back to the
+  // hash-tail path below rather than allocating a huge count array.
+  const std::size_t span = static_cast<std::size_t>(max_value) + 1;
+  if (span > 4 * row_count_ + 1024) {
+    std::vector<Element> fresh;
+    for (std::size_t i = 0; i < row_count_; ++i) {
+      const Element e = flat_[i * arity_ + column];
+      std::vector<std::uint32_t>& list = out->postings[e];
+      if (list.empty()) {
+        fresh.push_back(e);
+      }
+      list.push_back(static_cast<std::uint32_t>(i));
+    }
+    std::sort(fresh.begin(), fresh.end());
+    out->values = std::move(fresh);
+    out->indexed_upto = row_count_;
+    return;
+  }
+  // Count pass -> prefix sums -> scatter pass: three flat arrays, no
+  // per-value allocation no matter how many distinct values the column has.
+  // 32-bit counts (row positions fit u32 by the membership-index layout)
+  // halve the count array's footprint, which is what keeps the scatter's
+  // random reads cache-resident on million-row relations.
+  std::vector<std::uint32_t> counts(span, 0);
+  for (std::size_t i = 0; i < row_count_; ++i) {
+    ++counts[flat_[i * arity_ + column]];
+  }
+  std::size_t distinct = 0;
+  for (const std::uint32_t n : counts) {
+    distinct += n != 0;
+  }
+  out->bulk_values.reserve(distinct);
+  out->offsets.reserve(distinct + 1);
+  out->offsets.push_back(0);
+  // Repurpose counts[v] as the running write cursor for value v.
+  std::size_t running = 0;
+  for (std::size_t v = 0; v < span; ++v) {
+    if (counts[v] != 0) {
+      out->bulk_values.push_back(static_cast<Element>(v));
+      const std::uint32_t n = counts[v];
+      counts[v] = static_cast<std::uint32_t>(running);
+      running += n;
+      out->offsets.push_back(static_cast<std::uint32_t>(running));
+    }
+  }
+  out->positions.resize(row_count_);
+  for (std::size_t i = 0; i < row_count_; ++i) {
+    out->positions[counts[flat_[i * arity_ + column]]++] =
+        static_cast<std::uint32_t>(i);
+  }
+  out->bulk_rows = row_count_;
+  out->values = out->bulk_values;
+  out->indexed_upto = row_count_;
+}
+
+void Relation::BuildColumnIndexesBulk() {
+  column_indexes_.assign(arity_, nullptr);
+  for (std::size_t c = 0; c < arity_; ++c) {
+    auto built = std::make_shared<ColumnIndex>();
+    BuildColumnIndexBulk(c, built.get());
+    built->indexed_upto = row_count_;
+    column_indexes_[c] = std::move(built);
+  }
 }
 
 const Relation::ColumnIndex& Relation::column_index(std::size_t column) const {
@@ -90,16 +440,26 @@ const Relation::ColumnIndex& Relation::column_index(std::size_t column) const {
     column_indexes_[column] = std::make_shared<ColumnIndex>();
   }
   ColumnIndex& built = *column_indexes_[column];
-  if (built.indexed_upto < tuples_.size()) {
-    // Incremental sync: append postings for the tuples added since the last
-    // sync and merge any first-seen elements into the sorted value list.
+  if (built.indexed_upto == 0 && row_count_ > 0) {
+    // First build: one counting-sort pass into the CSR part, whether the
+    // relation was bulk-constructed or grown through Add().
+    BuildColumnIndexBulk(column, &built);
+    return built;
+  }
+  if (built.indexed_upto < row_count_) {
+    // Incremental sync: append postings for the rows added since the last
+    // sync into the tail map and merge any first-seen elements into the
+    // sorted value list.
     std::vector<Element> fresh;
-    for (std::size_t i = built.indexed_upto; i < tuples_.size(); ++i) {
-      std::vector<std::size_t>& list = built.postings[tuples_[i][column]];
-      if (list.empty()) {
-        fresh.push_back(tuples_[i][column]);
+    for (std::size_t i = built.indexed_upto; i < row_count_; ++i) {
+      const Element e = flat_[i * arity_ + column];
+      std::vector<std::uint32_t>& list = built.postings[e];
+      if (list.empty() &&
+          !std::binary_search(built.bulk_values.begin(),
+                              built.bulk_values.end(), e)) {
+        fresh.push_back(e);
       }
-      list.push_back(i);
+      list.push_back(static_cast<std::uint32_t>(i));
     }
     if (!fresh.empty()) {
       std::sort(fresh.begin(), fresh.end());
@@ -108,32 +468,207 @@ const Relation::ColumnIndex& Relation::column_index(std::size_t column) const {
       std::inplace_merge(built.values.begin(), built.values.begin() + mid,
                          built.values.end());
     }
-    built.indexed_upto = tuples_.size();
+    built.indexed_upto = row_count_;
   }
   return built;
 }
 
-const std::vector<std::size_t>& Relation::MatchesAt(std::size_t column,
-                                                    Element e) const {
-  static const std::vector<std::size_t>* const kEmpty =
-      new std::vector<std::size_t>();
-  const ColumnIndex& index = column_index(column);
-  const std::vector<std::size_t>* list = index.postings.Find(e);
-  return list == nullptr ? *kEmpty : *list;
+std::vector<std::size_t> Relation::MatchesAt(std::size_t column,
+                                             Element e) const {
+  const ColumnIndex::View view = column_index(column).Find(e);
+  std::vector<std::size_t> out;
+  out.reserve(view.size());
+  out.insert(out.end(), view.bulk, view.bulk + view.bulk_size);
+  if (view.tail != nullptr) {
+    out.insert(out.end(), view.tail->begin(), view.tail->end());
+  }
+  return out;
+}
+
+std::size_t Relation::EraseRows(const Relation& doomed) {
+  FMTK_CHECK(doomed.arity_ == arity_)
+      << "EraseRows with arity " << doomed.arity_ << " against " << arity_;
+  if (doomed.row_count_ == 0 || row_count_ == 0) {
+    return 0;
+  }
+  if (arity_ == 0) {
+    // Both relations hold the single empty tuple.
+    const std::size_t removed = row_count_;
+    row_count_ = 0;
+    packed_index_.clear();
+    tuples_.clear();
+    rows_synced_.store(0, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(column_mutex_);
+    column_indexes_.clear();
+    return removed;
+  }
+  constexpr std::size_t kMiss = static_cast<std::size_t>(-1);
+  // Resolve each doomed row to its position: the hash values double as a
+  // row -> position map (stored at insert and kept accurate by the fix-ups
+  // below), and sorted-prefix rows resolve by binary search. This keeps
+  // the whole operation O(batch) resolution + targeted row moves, with no
+  // per-row predicate over the full store.
+  std::vector<std::size_t> positions;
+  positions.reserve(doomed.row_count_);
+  for (std::size_t i = 0; i < doomed.row_count_; ++i) {
+    const Element* row = doomed.TupleData(i);
+    std::size_t pos = kMiss;
+    if (arity_ <= 2) {
+      if (const std::uint32_t* p = packed_index_.Find(PackedKey(row, arity_))) {
+        pos = *p;
+      } else if (sorted_upto_ > 0) {
+        pos = SortedPrefixFind(row);
+      }
+    } else {
+      if (const std::uint32_t* p = index_.Find(Tuple(row, row + arity_))) {
+        pos = *p;
+      } else if (sorted_upto_ > 0) {
+        pos = SortedPrefixFind(row);
+      }
+    }
+    if (pos != kMiss) {
+      positions.push_back(pos);
+    }
+  }
+  if (positions.empty()) {
+    return 0;
+  }
+  const std::size_t removed = positions.size();
+  auto erase_entry = [&](const Element* row) {
+    if (arity_ <= 2) {
+      packed_index_.Erase(PackedKey(row, arity_));
+    } else {
+      index_.Erase(Tuple(row, row + arity_));
+    }
+  };
+  auto store_position = [&](const Element* row, std::size_t pos) {
+    if (arity_ <= 2) {
+      *packed_index_.Find(PackedKey(row, arity_)) =
+          static_cast<std::uint32_t>(pos);
+    } else {
+      *index_.Find(Tuple(row, row + arity_)) = static_cast<std::uint32_t>(pos);
+    }
+  };
+  if (sorted_upto_ == 0) {
+    // Fully hashed store: swap-with-last, O(batch) total. Processing the
+    // positions in descending order guarantees the row swapped in is never
+    // itself pending deletion. Insertion order is not preserved (relations
+    // are sets; callers holding delta ranges re-pin them after pruning).
+    std::sort(positions.begin(), positions.end(),
+              std::greater<std::size_t>());
+    for (const std::size_t pos : positions) {
+      const std::size_t last = row_count_ - 1;
+      erase_entry(flat_.data() + pos * arity_);
+      if (pos != last) {
+        const Element* src = flat_.data() + last * arity_;
+        std::copy(src, src + arity_, flat_.begin() + pos * arity_);
+        store_position(flat_.data() + pos * arity_, pos);
+      }
+      --row_count_;
+    }
+    flat_.resize(row_count_ * arity_);
+  } else {
+    // Sorted-prefix store: order-preserving compaction of the gaps between
+    // the doomed positions, so the prefix stays sorted. Only old-suffix
+    // rows have hash entries; survivors get their stored positions
+    // refreshed after the move.
+    std::sort(positions.begin(), positions.end());
+    std::size_t doomed_sorted = 0;
+    for (const std::size_t pos : positions) {
+      if (pos < sorted_upto_) {
+        ++doomed_sorted;
+      } else {
+        erase_entry(flat_.data() + pos * arity_);
+      }
+    }
+    std::size_t write = positions[0];
+    for (std::size_t k = 0; k < positions.size(); ++k) {
+      const std::size_t gap_begin = positions[k] + 1;
+      const std::size_t gap_end =
+          k + 1 < positions.size() ? positions[k + 1] : row_count_;
+      const Element* src = flat_.data() + gap_begin * arity_;
+      const std::size_t count = (gap_end - gap_begin) * arity_;
+      std::copy(src, src + count, flat_.begin() + write * arity_);
+      write += gap_end - gap_begin;
+    }
+    row_count_ = write;
+    sorted_upto_ -= doomed_sorted;
+    flat_.resize(row_count_ * arity_);
+    for (std::size_t i = sorted_upto_; i < row_count_; ++i) {
+      store_position(flat_.data() + i * arity_, i);
+    }
+  }
+  tuples_.clear();
+  rows_synced_.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(column_mutex_);
+  column_indexes_.clear();
+  return removed;
+}
+
+void Relation::Consolidate() {
+  if (arity_ == 0 || row_count_ == sorted_upto_) {
+    return;  // Arity 0 has no row order; otherwise already consolidated.
+  }
+  if (arity_ <= 2) {
+    std::vector<std::uint64_t> keys(row_count_);
+    for (std::size_t i = 0; i < row_count_; ++i) {
+      keys[i] = PackedKey(flat_.data() + i * arity_, arity_);
+    }
+    internal_rows::SortPackedRows(keys);
+    for (std::size_t i = 0; i < row_count_; ++i) {
+      const std::uint64_t key = keys[i];
+      Element* row = flat_.data() + i * arity_;
+      if (arity_ == 2) {
+        row[0] = static_cast<Element>(key >> 32);
+        row[1] = static_cast<Element>(key);
+      } else {
+        row[0] = static_cast<Element>(key);
+      }
+    }
+    packed_index_.clear();
+  } else {
+    std::vector<std::uint32_t> order(row_count_);
+    for (std::size_t i = 0; i < row_count_; ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    const Element* data = flat_.data();
+    const std::size_t arity = arity_;
+    std::sort(order.begin(), order.end(),
+              [data, arity](std::uint32_t a, std::uint32_t b) {
+                const Element* ra = data + std::size_t{a} * arity;
+                const Element* rb = data + std::size_t{b} * arity;
+                return std::lexicographical_compare(ra, ra + arity, rb,
+                                                    rb + arity);
+              });
+    std::vector<Element> sorted;
+    sorted.reserve(flat_.size());
+    for (const std::uint32_t i : order) {
+      const Element* row = data + std::size_t{i} * arity_;
+      sorted.insert(sorted.end(), row, row + arity_);
+    }
+    flat_ = std::move(sorted);
+    index_.clear();
+  }
+  sorted_upto_ = row_count_;
+  tuples_.clear();
+  rows_synced_.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(column_mutex_);
+  column_indexes_.clear();
 }
 
 std::string Relation::ToString() const {
   std::string out = "{";
-  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+  for (std::size_t i = 0; i < row_count_; ++i) {
     if (i > 0) {
       out += ", ";
     }
     out += "(";
-    for (std::size_t j = 0; j < tuples_[i].size(); ++j) {
+    const Element* row = flat_.data() + i * arity_;
+    for (std::size_t j = 0; j < arity_; ++j) {
       if (j > 0) {
         out += ",";
       }
-      out += std::to_string(tuples_[i][j]);
+      out += std::to_string(row[j]);
     }
     out += ")";
   }

@@ -1,6 +1,7 @@
 #ifndef FMTK_STRUCTURES_RELATION_H_
 #define FMTK_STRUCTURES_RELATION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -21,6 +22,14 @@ using Tuple = std::vector<Element>;
 
 /// A finite relation instance: a set of fixed-arity tuples with O(1)
 /// membership tests and stable insertion-order iteration.
+///
+/// Storage is columnar-friendly: the authoritative store is `flat_`, one
+/// arity-strided row-major Element array (struct-of-arrays per tuple, no
+/// per-tuple vector), reachable through TupleData(). The tuples() view of
+/// std::vector<Tuple> is a cache materialized on first use — generator-built
+/// relations keep it in sync for free, while bulk-loaded relations with 10^7
+/// rows never pay the per-tuple allocation unless some caller still walks
+/// the legacy view.
 class Relation {
  public:
   /// Per-column posting lists, built lazily on first use and maintained
@@ -33,15 +42,48 @@ class Relation {
   struct ColumnIndex {
     /// Distinct elements occurring at the column, ascending.
     std::vector<Element> values;
-    /// element -> indices into tuples() of the tuples with that element at
-    /// the column, ascending (= insertion order). Flat open-addressing map:
-    /// a probe is one cache-line walk, no bucket-node chase.
-    FlatHashMap<Element, std::vector<std::size_t>> postings;
+
+    /// Bulk (CSR) part: the postings for rows [0, bulk_rows), produced by
+    /// one counting-sort pass. bulk_values[k]'s row ids live at
+    /// positions[offsets[k], offsets[k+1]), ascending. Three flat arrays
+    /// total — no per-value vector, which is what makes indexing a
+    /// million-edge relation allocation-free. Row ids are 32-bit (the
+    /// membership index already caps row counts at 2^32): half the memory
+    /// traffic of size_t per probe, twice the ids per SIMD lane in the
+    /// intersection kernels.
+    std::vector<Element> bulk_values;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> positions;
+    std::size_t bulk_rows = 0;
+
+    /// Tail part: element -> row ids appended after the bulk build (all
+    /// >= bulk_rows), ascending. Relations grown purely through Add() put
+    /// everything here. Flat open-addressing map: a probe is one
+    /// cache-line walk, no bucket-node chase.
+    FlatHashMap<Element, std::vector<std::uint32_t>> postings;
+
     /// Generation tag: tuples()[0, indexed_upto) are covered by the index.
     /// column_index() advances it to size() before returning; a caller that
     /// keeps the reference across Add()s sees a stale but well-formed index
     /// for the prefix it was synced to.
     std::size_t indexed_upto = 0;
+
+    /// The posting list of `e` as up to two sorted pieces: the CSR slice
+    /// (row ids < bulk_rows) and the tail vector (row ids >= bulk_rows).
+    /// Concatenated they are ascending. Both empty when `e` never occurs.
+    struct View {
+      const std::uint32_t* bulk = nullptr;
+      std::size_t bulk_size = 0;
+      const std::vector<std::uint32_t>* tail = nullptr;
+
+      bool empty() const {
+        return bulk_size == 0 && (tail == nullptr || tail->empty());
+      }
+      std::size_t size() const {
+        return bulk_size + (tail == nullptr ? 0 : tail->size());
+      }
+    };
+    View Find(Element e) const;
   };
 
   explicit Relation(std::size_t arity) : arity_(arity) {}
@@ -51,9 +93,41 @@ class Relation {
   Relation(Relation&& other) noexcept;
   Relation& operator=(Relation&& other) noexcept;
 
+  /// Bulk construction from `rows` (arity-strided, row-major),
+  /// lexicographically sorted and duplicate-free — the RelationBuilder
+  /// merge output. Membership for the sorted prefix is a binary search over
+  /// the flat store itself (no hash table to build), and every ColumnIndex
+  /// is materialized eagerly by counting sort: one count pass, one
+  /// exact-capacity reservation, one fill pass — instead of size() hash-map
+  /// appends with growth churn. arity 0 is not expressible as flat rows;
+  /// use Add.
+  static Relation FromSortedRows(std::size_t arity, std::vector<Element> rows,
+                                 bool build_column_indexes = true);
+
+  /// Packed twin of FromSortedRows for arity 1 and 2: `keys` are whole rows
+  /// packed into one u64 each (column-lexicographic by construction),
+  /// sorted and duplicate-free — the RelationBuilder merge output before
+  /// unpacking. Unpacking and the column-0 CSR build fuse into a single
+  /// pass: the key's high-half run boundaries ARE the column-0 offsets, so
+  /// the index costs no extra scan over the store (positions are the
+  /// identity). Column 1 (arity 2) still takes its counting-sort pass.
+  static Relation FromSortedPackedRows(std::size_t arity,
+                                       const std::vector<std::uint64_t>& keys,
+                                       bool build_column_indexes = true);
+
+  /// Bulk construction from distinct `rows` in caller order (not
+  /// necessarily sorted) — the incremental-maintenance rebuild path.
+  /// Membership goes into the hash index (pre-sized once, no rehash);
+  /// column indexes stay lazy. Duplicate rows are skipped.
+  static Relation FromRowsUnique(std::size_t arity, const std::vector<Element>& rows);
+
   std::size_t arity() const { return arity_; }
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const { return row_count_; }
+  bool empty() const { return row_count_ == 0; }
+
+  /// Rows living outside the sorted prefix (hash-indexed churn tail).
+  /// Callers use this to decide when a Consolidate() pays off.
+  std::size_t unsorted_rows() const { return row_count_ - sorted_upto_; }
 
   /// Inserts `tuple`; returns false when it was already present.
   /// Arity mismatch is a fatal programming error. Column indexes are NOT
@@ -67,21 +141,27 @@ class Relation {
   bool AddCopy(const Tuple& tuple);
 
   bool Contains(const Tuple& tuple) const {
-    if (tuple.size() != arity_) {
-      return false;
-    }
-    if (arity_ <= 2) {
-      return packed_index_.Contains(PackedKey(tuple));
-    }
-    return index_.Contains(tuple);
+    return tuple.size() == arity_ && ContainsRow(tuple.data());
   }
 
-  /// Tuples in insertion order.
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  /// Membership by raw row pointer (arity_ elements) — the flat-store
+  /// counterpart of Contains for loops that never build a Tuple.
+  bool ContainsRow(const Element* row) const;
 
-  /// Pointer to tuple i's elements in the arity-strided flat mirror of
-  /// tuples(): the engines' inner loops read columns through this without
-  /// the per-tuple vector indirection. Invalidated by Add().
+  /// Tuples in insertion order. Materialized from the flat store on first
+  /// call (thread-safe); bulk-built relations that are only read through
+  /// TupleData() never pay for it.
+  const std::vector<Tuple>& tuples() const {
+    if (rows_synced_.load(std::memory_order_acquire) == row_count_) {
+      return tuples_;
+    }
+    MaterializeTuples();
+    return tuples_;
+  }
+
+  /// Pointer to tuple i's elements in the arity-strided flat store: the
+  /// engines' inner loops read columns through this without the per-tuple
+  /// vector indirection. Invalidated by Add().
   const Element* TupleData(std::size_t i) const {
     return flat_.data() + i * arity_;
   }
@@ -96,23 +176,45 @@ class Relation {
   const ColumnIndex& column_index(std::size_t column) const;
 
   /// Indices of the tuples with `e` at `column` (empty when none), synced
-  /// like column_index(). The reference may be invalidated by the next sync
-  /// after an Add (posting vectors grow).
-  const std::vector<std::size_t>& MatchesAt(std::size_t column,
-                                            Element e) const;
+  /// like column_index() and returned as one materialized ascending list
+  /// (CSR slice + tail concatenated). Diagnostic/test convenience; hot
+  /// loops walk ColumnIndex::Find() views instead.
+  std::vector<std::size_t> MatchesAt(std::size_t column, Element e) const;
 
   /// Distinct elements occurring at `column`, ascending.
   const std::vector<Element>& ColumnValues(std::size_t column) const {
     return column_index(column).values;
   }
 
+  /// Removes every row of this relation that `doomed` contains (same
+  /// arity). Each doomed row is resolved to its position (stored hash
+  /// value or sorted-prefix binary search), then removed by swap-with-last
+  /// (fully hashed store, O(batch) total, insertion order not preserved)
+  /// or by an order-preserving compaction of the gaps between doomed
+  /// positions (sorted-prefix store) — either way the cost scales with the
+  /// batch and the rows moved, not with a per-row predicate over the whole
+  /// store. Column indexes are discarded (positions shift); the next
+  /// column_index() call rebuilds them in bulk. References previously
+  /// returned by column_index()/tuples() are invalidated. Returns the
+  /// number of rows removed.
+  std::size_t EraseRows(const Relation& doomed);
+
+  /// Re-sorts the whole store so every row joins the sorted prefix and the
+  /// hash maps empty out. A long-lived relation that interleaves bulk loads
+  /// with Add() churn calls this at a quiet point: membership returns to
+  /// pure binary search, and — decisively for incremental deletion — later
+  /// EraseRows calls take the order-preserving path whose hash fix-ups
+  /// touch only the (empty or tiny) tail map instead of a full-size one.
+  /// Column indexes are discarded (positions shift) and rebuilt lazily.
+  void Consolidate();
+
   /// Set equality (order-insensitive).
   friend bool operator==(const Relation& a, const Relation& b) {
-    if (a.arity_ != b.arity_ || a.tuples_.size() != b.tuples_.size()) {
+    if (a.arity_ != b.arity_ || a.row_count_ != b.row_count_) {
       return false;
     }
-    for (const Tuple& t : a.tuples_) {
-      if (!b.Contains(t)) {
+    for (std::size_t i = 0; i < a.row_count_; ++i) {
+      if (!b.ContainsRow(a.TupleData(i))) {
         return false;
       }
     }
@@ -125,31 +227,61 @@ class Relation {
  private:
   // Arity <= 2 tuples (the overwhelmingly common case: edges and unary
   // marks) pack whole into one 64-bit key, so membership skips vector
-  // hashing and comparison entirely. The caller guarantees
-  // tuple.size() == arity_ <= 2.
-  static std::uint64_t PackedKey(const Tuple& tuple) {
+  // hashing and comparison entirely. Packed keys order exactly like the
+  // rows they pack (lexicographic), which is what lets the sorted-prefix
+  // binary search below compare keys instead of columns. The caller
+  // guarantees arity_ <= 2 and `row` has arity_ elements.
+  static std::uint64_t PackedKey(const Element* row, std::size_t arity) {
     std::uint64_t key = 0;
-    for (Element e : tuple) {
-      key = (key << 32) | e;
+    for (std::size_t i = 0; i < arity; ++i) {
+      key = (key << 32) | row[i];
     }
     return key;
   }
 
+  // Membership in the sorted prefix rows [0, sorted_upto_), by binary
+  // search over the flat store. SortedPrefixFind returns the row's
+  // position, or size_t(-1) on a miss.
+  bool SortedPrefixContains(const Element* row) const;
+  std::size_t SortedPrefixFind(const Element* row) const;
+
+  void MaterializeTuples() const;
+
+  // Counting-sort materialization of every ColumnIndex (fresh relation,
+  // rows [0, row_count_) only).
+  void BuildColumnIndexesBulk();
+
+  // Counting-sort build of one column's CSR part covering rows
+  // [0, row_count_): count pass, prefix sums, scatter pass — three flat
+  // allocations regardless of how many distinct values the column holds.
+  void BuildColumnIndexBulk(std::size_t column, ColumnIndex* out) const;
+
   std::size_t arity_;
-  std::vector<Tuple> tuples_;
-  // Arity-strided copy of tuples_ for indirection-free column reads.
+  // Authoritative arity-strided row-major store (empty for arity 0;
+  // row_count_ tracks the size in rows for every arity).
   std::vector<Element> flat_;
-  // Membership index; the value is the tuple's position in tuples_. Exactly
-  // one of the two maps is populated: packed_index_ for arity <= 2, index_
-  // otherwise.
+  std::size_t row_count_ = 0;
+  // Rows [0, sorted_upto_) are lexicographically sorted and unique: bulk
+  // construction leaves membership to a binary search over them, and only
+  // rows appended afterwards go through the hash maps below. 0 for
+  // Add-built relations.
+  std::size_t sorted_upto_ = 0;
+  // Membership index for rows >= sorted_upto_; the value is the row's
+  // position. At most one of the two maps is populated: packed_index_ for
+  // arity <= 2, index_ otherwise.
   FlatU64Map<std::uint32_t> packed_index_;
   FlatHashMap<Tuple, std::uint32_t, VectorHash<Element>> index_;
 
-  // Lazily built per-column posting lists. The vector is sized to arity_ on
-  // first use; each ColumnIndex is allocated once and then extended in
-  // place (generation-tagged by indexed_upto), so references handed out
-  // stay stable for the relation's lifetime. Copy/move reset the cache.
+  // Lazy caches, both guarded by column_mutex_ for concurrent build:
+  // tuples_ mirrors the flat store row by row (rows_synced_ = how many rows
+  // it covers, advanced with release ordering so readers on the fast path
+  // skip the lock); column_indexes_ is sized to arity_ on first use, each
+  // ColumnIndex allocated once and then extended in place (generation-
+  // tagged by indexed_upto), so references handed out stay stable for the
+  // relation's lifetime. Copy/move reset the column cache.
   mutable std::mutex column_mutex_;
+  mutable std::vector<Tuple> tuples_;
+  mutable std::atomic<std::size_t> rows_synced_{0};
   mutable std::vector<std::shared_ptr<ColumnIndex>> column_indexes_;
 };
 

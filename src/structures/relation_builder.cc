@@ -1,0 +1,213 @@
+#include "structures/relation_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+#include "structures/packed_rows.h"
+
+namespace fmtk {
+
+RelationBuilder::RelationBuilder(std::size_t arity, std::size_t run_rows)
+    : arity_(arity), run_rows_(std::max<std::size_t>(run_rows, 2)) {}
+
+void RelationBuilder::Add(const Element* row) {
+  ++rows_added_;
+  if (arity_ == 0) {
+    any_row_ = true;
+    return;
+  }
+  if (arity_ <= 2) {
+    std::uint64_t key = 0;
+    for (std::size_t i = 0; i < arity_; ++i) {
+      key = (key << 32) | row[i];
+    }
+    if (cur_packed_.capacity() == 0) {
+      // One up-front reservation per run: a million-row run otherwise
+      // pays ~20 geometric regrowths of an 8 MB buffer.
+      cur_packed_.reserve(run_rows_);
+    }
+    cur_packed_.push_back(key);
+    if (cur_packed_.size() >= run_rows_) {
+      FlushPackedRun();
+    }
+    return;
+  }
+  cur_wide_.insert(cur_wide_.end(), row, row + arity_);
+  if (cur_wide_.size() >= run_rows_ * arity_) {
+    FlushWideRun();
+  }
+}
+
+void RelationBuilder::Add(const Tuple& tuple) {
+  FMTK_CHECK(tuple.size() == arity_)
+      << "tuple of size " << tuple.size() << " added to builder of arity "
+      << arity_;
+  Add(tuple.data());
+}
+
+void RelationBuilder::FlushPackedRun() {
+  if (cur_packed_.empty()) {
+    return;
+  }
+  internal_rows::SortPackedRows(cur_packed_);
+  cur_packed_.erase(std::unique(cur_packed_.begin(), cur_packed_.end()),
+                    cur_packed_.end());
+  runs_packed_.push_back(std::move(cur_packed_));
+  cur_packed_ = {};
+}
+
+void RelationBuilder::FlushWideRun() {
+  if (cur_wide_.empty()) {
+    return;
+  }
+  const std::size_t rows = cur_wide_.size() / arity_;
+  std::vector<std::uint32_t> order(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  const Element* data = cur_wide_.data();
+  const std::size_t arity = arity_;
+  auto row_less = [data, arity](std::uint32_t a, std::uint32_t b) {
+    const Element* ra = data + std::size_t{a} * arity;
+    const Element* rb = data + std::size_t{b} * arity;
+    return std::lexicographical_compare(ra, ra + arity, rb, rb + arity);
+  };
+  std::sort(order.begin(), order.end(), row_less);
+  std::vector<Element> sorted;
+  sorted.reserve(cur_wide_.size());
+  const Element* prev = nullptr;
+  for (const std::uint32_t i : order) {
+    const Element* row = data + std::size_t{i} * arity_;
+    if (prev != nullptr && std::equal(row, row + arity_, prev)) {
+      continue;
+    }
+    sorted.insert(sorted.end(), row, row + arity_);
+    prev = row;
+  }
+  runs_wide_.push_back(std::move(sorted));
+  cur_wide_ = {};
+}
+
+std::vector<std::uint64_t> RelationBuilder::MergePackedRuns() {
+  FlushPackedRun();
+  if (runs_packed_.empty()) {
+    return {};
+  }
+  if (runs_packed_.size() == 1) {
+    return std::move(runs_packed_[0]);
+  }
+  // K-way merge with a linear scan of the run heads: a 10^7-row ingest at
+  // the default run size is ~10 runs, where scanning beats a heap.
+  std::size_t total = 0;
+  for (const auto& run : runs_packed_) {
+    total += run.size();
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(total);
+  std::vector<std::size_t> cursor(runs_packed_.size(), 0);
+  while (true) {
+    bool any = false;
+    std::uint64_t min_key = 0;
+    for (std::size_t r = 0; r < runs_packed_.size(); ++r) {
+      if (cursor[r] >= runs_packed_[r].size()) {
+        continue;
+      }
+      const std::uint64_t key = runs_packed_[r][cursor[r]];
+      if (!any || key < min_key) {
+        any = true;
+        min_key = key;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    out.push_back(min_key);
+    // Advance every run sitting on the minimum: cross-run duplicates
+    // collapse here (each run is already internally unique).
+    for (std::size_t r = 0; r < runs_packed_.size(); ++r) {
+      if (cursor[r] < runs_packed_[r].size() &&
+          runs_packed_[r][cursor[r]] == min_key) {
+        ++cursor[r];
+      }
+    }
+  }
+  runs_packed_.clear();
+  return out;
+}
+
+std::vector<Element> RelationBuilder::MergeWideRuns() {
+  FlushWideRun();
+  if (runs_wide_.empty()) {
+    return {};
+  }
+  if (runs_wide_.size() == 1) {
+    return std::move(runs_wide_[0]);
+  }
+  std::size_t total = 0;
+  for (const auto& run : runs_wide_) {
+    total += run.size();
+  }
+  std::vector<Element> out;
+  out.reserve(total);
+  std::vector<std::size_t> cursor(runs_wide_.size(), 0);  // In rows.
+  const std::size_t arity = arity_;
+  auto row_at = [&](std::size_t r) {
+    return runs_wide_[r].data() + cursor[r] * arity;
+  };
+  while (true) {
+    std::size_t min_run = runs_wide_.size();
+    for (std::size_t r = 0; r < runs_wide_.size(); ++r) {
+      if (cursor[r] * arity >= runs_wide_[r].size()) {
+        continue;
+      }
+      if (min_run == runs_wide_.size()) {
+        min_run = r;
+        continue;
+      }
+      const Element* a = row_at(r);
+      const Element* b = row_at(min_run);
+      if (std::lexicographical_compare(a, a + arity, b, b + arity)) {
+        min_run = r;
+      }
+    }
+    if (min_run == runs_wide_.size()) {
+      break;
+    }
+    const Element* min_row = row_at(min_run);
+    out.insert(out.end(), min_row, min_row + arity);
+    const Element* emitted = out.data() + out.size() - arity;
+    for (std::size_t r = 0; r < runs_wide_.size(); ++r) {
+      if (cursor[r] * arity < runs_wide_[r].size() &&
+          std::equal(emitted, emitted + arity, row_at(r))) {
+        ++cursor[r];
+      }
+    }
+  }
+  runs_wide_.clear();
+  return out;
+}
+
+Relation RelationBuilder::Build(bool build_column_indexes) {
+  if (arity_ == 0) {
+    Relation r(0);
+    if (any_row_) {
+      r.Add(Tuple{});
+    }
+    rows_built_ = any_row_ ? 1 : 0;
+    any_row_ = false;
+    return r;
+  }
+  if (arity_ <= 2) {
+    const std::vector<std::uint64_t> merged = MergePackedRuns();
+    rows_built_ = merged.size();
+    return Relation::FromSortedPackedRows(arity_, merged,
+                                          build_column_indexes);
+  }
+  std::vector<Element> flat = MergeWideRuns();
+  rows_built_ = flat.size() / arity_;
+  return Relation::FromSortedRows(arity_, std::move(flat),
+                                  build_column_indexes);
+}
+
+}  // namespace fmtk

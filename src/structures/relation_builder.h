@@ -1,0 +1,76 @@
+#ifndef FMTK_STRUCTURES_RELATION_BUILDER_H_
+#define FMTK_STRUCTURES_RELATION_BUILDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "structures/relation.h"
+
+namespace fmtk {
+
+/// Bulk relation construction: ingests unsorted (possibly duplicated)
+/// tuples into bounded sorted runs and materializes the Relation in one
+/// shot — sorted flat store, binary-search membership over it, and every
+/// per-column ColumnIndex built by counting sort — instead of N incremental
+/// Add() calls each paying a per-tuple allocation, hash-map growth, and a
+/// posting append.
+///
+///   RelationBuilder b(2);
+///   for (...) b.Add(row);        // amortized: one append + periodic sort
+///   Relation r = b.Build();      // k-way merge of the runs, dedup on the fly
+///
+/// Arity <= 2 rows pack into one u64 per tuple (the same packed key
+/// Relation uses for membership), so a run sort is a flat u64 sort and the
+/// merge compares words, not columns. Duplicates across the whole input are
+/// eliminated once, at merge time; DuplicatesDropped() reports how many the
+/// loaders saw, for the duplicate-edge diagnostic.
+class RelationBuilder {
+ public:
+  /// `run_rows` bounds the in-memory unsorted buffer: when it fills, the
+  /// run is sorted, deduplicated, and set aside. ~1M rows keeps run sorts
+  /// inside the L3 while 10^7+-row inputs stay streamable.
+  explicit RelationBuilder(std::size_t arity,
+                           std::size_t run_rows = std::size_t{1} << 20);
+
+  std::size_t arity() const { return arity_; }
+  /// Rows accepted so far (duplicates included; they drop at Build).
+  std::size_t rows_added() const { return rows_added_; }
+
+  /// Appends one row of arity() elements.
+  void Add(const Element* row);
+  void Add(const Tuple& tuple);
+
+  /// Merges the runs into the finished Relation and resets the builder.
+  /// With `build_column_indexes` every ColumnIndex is materialized eagerly
+  /// (the engines' first probe pays nothing); pass false to defer them.
+  Relation Build(bool build_column_indexes = true);
+
+  /// Distinct rows the last Build() emitted.
+  std::size_t rows_built() const { return rows_built_; }
+  /// rows_added - distinct rows, valid after Build().
+  std::size_t DuplicatesDropped() const { return rows_added_ - rows_built_; }
+
+ private:
+  void FlushPackedRun();
+  void FlushWideRun();
+  std::vector<std::uint64_t> MergePackedRuns();
+  std::vector<Element> MergeWideRuns();
+
+  std::size_t arity_;
+  std::size_t run_rows_;
+  std::size_t rows_added_ = 0;
+  std::size_t rows_built_ = 0;
+  bool any_row_ = false;  // arity 0: the single empty tuple seen?
+
+  // Arity <= 2: one packed u64 per row.
+  std::vector<std::uint64_t> cur_packed_;
+  std::vector<std::vector<std::uint64_t>> runs_packed_;
+  // Arity >= 3: arity-strided flat rows.
+  std::vector<Element> cur_wide_;
+  std::vector<std::vector<Element>> runs_wide_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_RELATION_BUILDER_H_

@@ -65,6 +65,20 @@ Status Structure::TryAddTuple(std::string_view name, Tuple tuple) {
   return Status::OK();
 }
 
+void Structure::SetRelation(std::size_t index, Relation relation) {
+  FMTK_CHECK(index < relations_.size()) << "relation index out of range";
+  FMTK_CHECK(relation.arity() == signature_->relation(index).arity)
+      << "relation arity " << relation.arity() << " does not match "
+      << signature_->relation(index).name << "/"
+      << signature_->relation(index).arity;
+  relations_[index] = std::move(relation);
+}
+
+Relation& Structure::MutableRelation(std::size_t index) {
+  FMTK_CHECK(index < relations_.size()) << "relation index out of range";
+  return relations_[index];
+}
+
 void Structure::SetConstant(std::size_t index, Element value) {
   FMTK_CHECK(index < constants_.size()) << "constant index out of range";
   FMTK_CHECK(value < domain_size_) << "constant value outside domain";

@@ -48,6 +48,20 @@ class Structure {
   /// Validated insertion for user-supplied data.
   Status TryAddTuple(std::string_view name, Tuple tuple);
 
+  /// Replaces relation `index` wholesale — the bulk-load and incremental-
+  /// maintenance install path (a RelationBuilder output or a rebuilt
+  /// relation after deletions). Arity must match the signature; the caller
+  /// guarantees every element is < domain_size() (the loaders validate
+  /// before building).
+  void SetRelation(std::size_t index, Relation relation);
+
+  /// In-place mutable access (fatal on out-of-range) — the incremental-
+  /// maintenance deletion path, which compacts a relation with
+  /// Relation::EraseRows instead of copying it out and back through
+  /// SetRelation. The caller owns keeping the contents consistent with the
+  /// signature and domain.
+  Relation& MutableRelation(std::size_t index);
+
   /// Constant interpretations.
   void SetConstant(std::size_t index, Element value);
   std::optional<Element> constant(std::size_t index) const;

@@ -17,6 +17,7 @@
 #include "logic/analysis.h"
 #include "logic/parser.h"
 #include "logic/random_formula.h"
+#include "structures/bulk_load.h"
 #include "structures/generators.h"
 #include "structures/signature.h"
 
@@ -151,6 +152,39 @@ std::map<DiagCode, GoldenPair> GoldenCases() {
   cases[DiagCode::kDomainDependentFactSchema] = {
       [dl] { return dl("p(x)."); },
       [dl] { return dl("p(0)."); }};
+  // The FMTK2xx bulk-input codes run the loaders themselves: each lambda
+  // feeds a tiny edge list / binary blob and returns whatever they report.
+  auto edges = [](const char* text,
+                  EdgeListOptions options = EdgeListOptions{}) {
+    DiagnosticSink sink;
+    (void)LoadEdgeListText(text, options, &sink);
+    return sink;
+  };
+  auto binary = [](std::string bytes) {
+    DiagnosticSink sink;
+    (void)ParseStructureBinary(bytes, &sink);
+    return sink;
+  };
+  cases[DiagCode::kIoTruncatedInput] = {
+      [edges] { return edges("0 1\n2\n"); },
+      [edges] { return edges("0 1\n2 3\n"); }};
+  cases[DiagCode::kIoMalformedRecord] = {
+      [binary] { return binary("NOTFMTK!"); },
+      [binary] {
+        return binary(SerializeStructureBinary(MakeDirectedPath(3)));
+      }};
+  EdgeListOptions numeric;
+  numeric.id_mode = EdgeListOptions::IdMode::kNumeric;
+  numeric.domain_size = 3;
+  cases[DiagCode::kIoElementOutOfRange] = {
+      [edges, numeric] { return edges("0 7\n", numeric); },
+      [edges, numeric] { return edges("0 2\n", numeric); }};
+  cases[DiagCode::kIoDuplicateTuple] = {
+      [edges] { return edges("0 1\n0 1\n"); },
+      [edges] { return edges("0 1\n1 0\n"); }};
+  cases[DiagCode::kIoEmptyRelation] = {
+      [edges] { return edges("# only comments\n"); },
+      [edges] { return edges("0 1\n"); }};
   return cases;
 }
 

@@ -88,6 +88,27 @@ TEST(LocalityEngineTest, BallsAndNeighborhoodsMatchFreeFunctions) {
   }
 }
 
+// BallSizeHistogram is a cross-check of the vectorized popcount sweep: the
+// size counted over the visited bitset must equal Ball().size() for every
+// element at every radius, and each per-radius histogram is exactly the
+// multiset of those sizes.
+TEST(LocalityEngineTest, BallSizeHistogramMatchesBallSizes) {
+  const std::size_t kRadius = 3;
+  for (const Structure& s : TestPool()) {
+    LocalityEngine engine(s);
+    const std::vector<std::map<std::size_t, std::size_t>> hist =
+        engine.BallSizeHistogram(kRadius);
+    ASSERT_EQ(hist.size(), kRadius + 1);
+    for (std::size_t r = 0; r <= kRadius; ++r) {
+      std::map<std::size_t, std::size_t> ref;
+      for (Element v = 0; v < s.domain_size(); ++v) {
+        ++ref[engine.Ball({v}, r).size()];
+      }
+      EXPECT_EQ(hist[r], ref) << "radius " << r;
+    }
+  }
+}
+
 // The tentpole correctness claim: canonical-code equality coincides exactly
 // with AreIsomorphic. >= 500 fixed-seed pairs across shapes and radii.
 TEST(LocalityEngineTest, DifferentialSweepCodesMatchIsomorphism) {

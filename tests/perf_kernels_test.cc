@@ -15,6 +15,7 @@
 #include "base/bitset.h"
 #include "base/flat_hash.h"
 #include "base/hash.h"
+#include "base/popcount.h"
 #include "base/simd.h"
 #include "base/sorted_intersect.h"
 
@@ -106,6 +107,29 @@ TEST(BitsetTest, SetAllRespectsTailInvariant) {
     ElementBitset empty(n);
     bits.AndNotWith(bits);  // x & ~x == 0
     EXPECT_EQ(bits, empty);
+  }
+}
+
+TEST(PopcountTest, PopcountWordsMatchesScalarReference) {
+  // Lengths straddle the AVX2 4-word stride (0..3 tail words) and run long
+  // enough to exercise several full vector iterations.
+  std::mt19937_64 rng(99);
+  for (std::size_t n :
+       {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 64u, 129u, 1000u}) {
+    std::vector<std::uint64_t> words(n);
+    for (std::uint64_t& w : words) {
+      switch (rng() % 4) {
+        case 0: w = 0; break;
+        case 1: w = ~std::uint64_t{0}; break;
+        case 2: w = rng(); break;
+        default: w = rng() & rng() & rng(); break;  // sparse
+      }
+    }
+    std::uint64_t ref = 0;
+    for (const std::uint64_t w : words) {
+      ref += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    }
+    EXPECT_EQ(PopcountWords(words.data(), n), ref) << "n=" << n;
   }
 }
 

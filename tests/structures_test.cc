@@ -270,7 +270,7 @@ TEST(ColumnIndexTest, StaleGenerationReadsConsistentPrefix) {
   (void)r.column_index(0);
   EXPECT_EQ(index.indexed_upto, 2u);
   ASSERT_NE(index.postings.Find(7), nullptr);
-  EXPECT_EQ(*index.postings.Find(7), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(*index.postings.Find(7), (std::vector<std::uint32_t>{1}));
 }
 
 TEST(ColumnIndexTest, DuplicateAddsDoNotGrowIndex) {
