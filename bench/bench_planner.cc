@@ -1,0 +1,428 @@
+// E19 (extension) — the cost-based meta-planner and compiled-plan cache.
+//
+// Claims measured:
+//   1. Warm plan-cache serving beats cold compile-per-call by >= 5x on a
+//      compile-dominated suite (many distinct small queries over a tiny
+//      structure: parse + analyze + canonicalize + compile dwarfs the
+//      domain scan).
+//   2. EvaluateAuto's routed engine is never materially worse than the
+//      best single engine's steady-state direct use (<= 1.2x on every
+//      benched config), and beats the worst engine by >= 10x on a
+//      bounded-degree config (Hanf histogram vs the naive interpreter —
+//      survey Thm 3.10/3.11).
+//
+// `--json` emits one {"bench":...,"engine":...,"wall_ms":...} line per
+// (config, engine) plus the cold/warm cache lines; steady-state per-engine
+// numbers are best-of-N after one untimed warmup (plan caches, Datalog
+// engine memo and Hanf verdict cache seeded — the serving regime the plan
+// cache exists for).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/algorithmic/bounded_degree.h"
+#include "datalog/evaluator.h"
+#include "datalog/program.h"
+#include "eval/compiled_eval.h"
+#include "eval/model_check.h"
+#include "eval/query_eval.h"
+#include "logic/parser.h"
+#include "planner/fo_to_datalog.h"
+#include "planner/plan_cache.h"
+#include "planner/planner.h"
+#include "structures/generators.h"
+
+namespace {
+
+using namespace fmtk;  // NOLINT — bench file, brevity wins.
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Best-of-reps wall time of `fn` (one untimed warmup first).
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  fn();
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = MsSince(start);
+    if (r == 0 || ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Cold vs warm plan cache on a compile-dominated suite: K distinct
+// rank-<=5 sentences over a 3-cycle. Evaluation is a few hundred slot ops;
+// parse + analyze + canonicalize + compile dominates a cold pass.
+
+std::vector<std::string> CompileDominatedSuite() {
+  std::vector<std::string> suite;
+  for (int chain = 2; chain <= 5; ++chain) {
+    for (int variant = 0; variant < 8; ++variant) {
+      std::string body = "E(v0,v1)";
+      for (int i = 1; i < chain; ++i) {
+        body += " & E(v" + std::to_string(i) + ",v" + std::to_string(i + 1) +
+                ")";
+      }
+      if (variant & 1) {
+        body = "(" + body + ") | E(v0,v0)";
+      }
+      if (variant & 2) {
+        body = "(" + body + ") & ~E(v1,v0)";
+      }
+      std::string text;
+      for (int i = 0; i <= chain; ++i) {
+        text += ((variant & 4) != 0 && i == chain ? "forall v" : "exists v") +
+                std::to_string(i) + ". ";
+      }
+      suite.push_back(text + body);
+    }
+  }
+  return suite;
+}
+
+void BenchPlanCache(bool json) {
+  const Structure tiny = MakeDirectedCycle(3);
+  const std::vector<std::string> suite = CompileDominatedSuite();
+  constexpr int kReps = 20;
+
+  // Cold: a fresh cache every pass — every sentence recompiles.
+  double cold_best = 0;
+  for (int r = 0; r < kReps; ++r) {
+    PlanCache fresh;
+    PlannerOptions opts;
+    opts.cache = &fresh;
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string& text : suite) {
+      (void)*EvaluateAuto(tiny, text, opts);
+    }
+    const double ms = MsSince(start);
+    if (r == 0 || ms < cold_best) {
+      cold_best = ms;
+    }
+  }
+
+  // Warm: one persistent cache, same passes — text-layer hits throughout.
+  PlanCache persistent;
+  PlannerOptions warm_opts;
+  warm_opts.cache = &persistent;
+  const double warm_best = BestOf(kReps, [&] {
+    for (const std::string& text : suite) {
+      (void)*EvaluateAuto(tiny, text, warm_opts);
+    }
+  });
+
+  const PlanCacheStats stats = persistent.formula_stats();
+  if (json) {
+    std::printf(
+        "{\"bench\":\"plan_cache_cold\",\"n\":%zu,\"wall_ms\":%.3f}\n",
+        suite.size(), cold_best);
+    std::printf(
+        "{\"bench\":\"plan_cache_warm\",\"n\":%zu,\"wall_ms\":%.3f,"
+        "\"speedup\":%.1f,\"cache_hits\":%llu,\"cache_misses\":%llu}\n",
+        suite.size(), warm_best, cold_best / warm_best,
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses));
+  } else {
+    std::printf("-- plan cache: %zu distinct sentences on a 3-cycle --\n",
+                suite.size());
+    std::printf("%18s %12s\n", "config", "wall_ms");
+    std::printf("%18s %12.3f\n", "cold (recompile)", cold_best);
+    std::printf("%18s %12.3f   (%.1fx; %s)\n", "warm (cache)", warm_best,
+                cold_best / warm_best, stats.ToString().c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Routing grid: steady-state per-call latency of each engine's direct
+// use vs the routed EvaluateAuto, per config.
+
+struct SentenceConfig {
+  std::string name;
+  std::string text;
+  Structure structure;
+  int reps;
+  // Large complements make the direct relational evaluator materialize
+  // n^2-sized intermediates (seconds + GBs on the big configs); the router
+  // prices that out, the grid skips measuring it.
+  bool skip_relational = false;
+  int naive_reps = 0;  // 0 = same as reps
+};
+
+void EmitEngineLine(const std::string& config, const char* engine,
+                    double wall_ms, const char* chosen = nullptr) {
+  std::printf("{\"bench\":\"route_%s\",\"engine\":\"%s\",\"wall_ms\":%.4f",
+              config.c_str(), engine, wall_ms);
+  if (chosen != nullptr) {
+    std::printf(",\"chosen\":\"%s\"", chosen);
+  }
+  std::printf("}\n");
+}
+
+void BenchSentenceConfig(const SentenceConfig& cfg, bool json) {
+  const Structure& s = cfg.structure;
+  const Formula f = *ParseFormula(cfg.text, &s.signature());
+  std::vector<std::pair<std::string, double>> rows;
+
+  // naive: the interpreter, per call.
+  rows.emplace_back("naive",
+                    BestOf(cfg.naive_reps > 0 ? cfg.naive_reps : cfg.reps,
+                           [&] {
+                             ModelChecker checker(s);
+                             (void)*checker.Check(f);
+                           }));
+  // compiled: plan compiled once (steady state), bind + evaluate per call.
+  {
+    const CompiledFormula plan = *CompiledFormula::Compile(f, s.signature());
+    rows.emplace_back("compiled", BestOf(cfg.reps, [&] {
+                        CompiledEvaluator ev = *CompiledEvaluator::Bind(plan, s);
+                        (void)*ev.Evaluate();
+                      }));
+  }
+  // relational: bottom-up algebra per call.
+  if (!cfg.skip_relational) {
+    rows.emplace_back("relational", BestOf(cfg.reps, [&] {
+                        (void)*EvaluateQuery(s, f, {});
+                      }));
+  }
+  // datalog: lowering + engine bound once, evaluate per call.
+  if (auto tr = TranslateToDatalog(f, s.signature()); tr.ok()) {
+    CompiledDatalogEngine engine =
+        *CompiledDatalogEngine::Create(tr->program, s);
+    const std::string pred = tr->output_predicate;
+    rows.emplace_back("datalog", BestOf(cfg.reps, [&] {
+                        (void)(*engine.Evaluate()).at(pred).size();
+                      }));
+  }
+  // bounded-degree: evaluator built once, histogram pass per call (the
+  // verdict cache is warm after BestOf's warmup call).
+  {
+    BoundedDegreeEvaluator::Options options;
+    options.threshold = 256;
+    auto evaluator = BoundedDegreeEvaluator::Create(f, options);
+    if (evaluator.ok()) {
+      rows.emplace_back("bounded-degree", BestOf(cfg.reps, [&] {
+                          (void)*evaluator->Evaluate(s);
+                        }));
+    }
+  }
+  // auto: the routed text front door against a warm cache.
+  PlanCache cache;
+  PlannerOptions opts;
+  opts.cache = &cache;
+  PlanExplanation explain;
+  (void)*EvaluateAuto(s, cfg.text, opts, &explain);  // warm + capture route
+  const double auto_ms = BestOf(cfg.reps, [&] {
+    (void)*EvaluateAuto(s, cfg.text, opts);
+  });
+
+  if (json) {
+    for (const auto& [engine, ms] : rows) {
+      EmitEngineLine(cfg.name, engine.c_str(), ms);
+    }
+    EmitEngineLine(cfg.name, "auto", auto_ms,
+                   EngineKindName(explain.chosen));
+  } else {
+    std::printf("-- %s (n=%zu): %s --\n", cfg.name.c_str(), s.domain_size(),
+                cfg.text.c_str());
+    for (const auto& [engine, ms] : rows) {
+      std::printf("  %16s %12.4f ms\n", engine.c_str(), ms);
+    }
+    std::printf("  %16s %12.4f ms  -> %s\n", "auto", auto_ms,
+                EngineKindName(explain.chosen));
+  }
+}
+
+void BenchQueryConfig(bool json) {
+  std::mt19937_64 rng(20260809);
+  const Structure s = MakeRandomGraph(48, 0.08, rng);
+  const std::string text = "E(x,y) & E(y,z)";
+  const std::vector<std::string> outputs = {"x", "y", "z"};
+  const Formula f = *ParseFormula(text, &s.signature());
+  constexpr int kReps = 5;
+  std::vector<std::pair<std::string, double>> rows;
+
+  rows.emplace_back("naive", BestOf(kReps, [&] {
+                      (void)*EvaluateQueryNaive(s, f, outputs);
+                    }));
+  rows.emplace_back("relational", BestOf(kReps, [&] {
+                      (void)*EvaluateQuery(s, f, outputs);
+                    }));
+  if (auto tr = TranslateToDatalog(f, s.signature()); tr.ok()) {
+    CompiledDatalogEngine engine =
+        *CompiledDatalogEngine::Create(tr->program, s);
+    const std::string pred = tr->output_predicate;
+    rows.emplace_back("datalog", BestOf(kReps, [&] {
+                        (void)(*engine.Evaluate()).at(pred).size();
+                      }));
+  }
+  PlanCache cache;
+  PlannerOptions opts;
+  opts.cache = &cache;
+  PlanExplanation explain;
+  (void)*EvaluateQueryAuto(s, text, outputs, opts, &explain);
+  const double auto_ms = BestOf(kReps, [&] {
+    (void)*EvaluateQueryAuto(s, text, outputs, opts);
+  });
+
+  if (json) {
+    for (const auto& [engine, ms] : rows) {
+      EmitEngineLine("join_query", engine.c_str(), ms);
+    }
+    EmitEngineLine("join_query", "auto", auto_ms,
+                   EngineKindName(explain.chosen));
+  } else {
+    std::printf("-- join_query (n=%zu): %s -> (x,y,z) --\n", s.domain_size(),
+                text.c_str());
+    for (const auto& [engine, ms] : rows) {
+      std::printf("  %16s %12.4f ms\n", engine.c_str(), ms);
+    }
+    std::printf("  %16s %12.4f ms  -> %s\n", "auto", auto_ms,
+                EngineKindName(explain.chosen));
+  }
+}
+
+// Datalog serving: cached engine binding vs full per-call evaluation.
+void BenchDatalogServing(bool json) {
+  const Structure chain = MakeDirectedPath(96);
+  const DatalogProgram tc = DatalogProgram::TransitiveClosure();
+  constexpr int kReps = 5;
+
+  const double direct_ms = BestOf(kReps, [&] {
+    (void)*EvaluateDatalog(tc, chain, DatalogStrategy::kSemiNaive);
+  });
+  PlanCache cache;
+  PlannerOptions opts;
+  opts.cache = &cache;
+  const double auto_ms = BestOf(kReps, [&] {
+    (void)*EvaluateDatalogAuto(chain, tc, opts);
+  });
+
+  if (json) {
+    std::printf(
+        "{\"bench\":\"datalog_serving\",\"engine\":\"direct\","
+        "\"wall_ms\":%.4f}\n",
+        direct_ms);
+    std::printf(
+        "{\"bench\":\"datalog_serving\",\"engine\":\"auto\","
+        "\"wall_ms\":%.4f}\n",
+        auto_ms);
+  } else {
+    std::printf("-- datalog serving (TC on a 96-chain) --\n");
+    std::printf("  %16s %12.4f ms\n", "direct", direct_ms);
+    std::printf("  %16s %12.4f ms\n", "auto (memo)", auto_ms);
+  }
+}
+
+std::vector<SentenceConfig> RoutingConfigs() {
+  std::mt19937_64 rng(4242);
+  std::vector<SentenceConfig> configs;
+  // Bounded-degree showcase: a TRUE universal-universal sentence on a big
+  // degree-2 cycle. No short-circuit escape for the compiled scan (n^2
+  // pairs must all pass), the relational route materializes the ~E
+  // complement (16M rows at this size), the naive interpreter crawls —
+  // the Hanf histogram pass is ~n (Thm 3.10/3.11).
+  configs.push_back({"bd_cycle",
+                     "forall x. forall y. ~E(x,y) | (exists z. E(y,z))",
+                     MakeDirectedCycle(4096), 3,
+                     /*skip_relational=*/true, /*naive_reps=*/1});
+  // Existential-positive, FALSE (no triangle on a cycle): the compiled
+  // scan must exhaust n^3 candidates, the materializing engines join two
+  // n-sized relations.
+  configs.push_back({"ep_triangle",
+                     "exists x. exists y. exists z. E(x,y) & E(y,z) & "
+                     "E(z,x)",
+                     MakeDirectedCycle(128), 5,
+                     /*skip_relational=*/false, /*naive_reps=*/2});
+  // Diameter-2 check on a dense random digraph: TRUE forall-forall with a
+  // cheap inner witness — compiled territory (n^2 with tiny constants),
+  // complements price relational out.
+  configs.push_back({"dense_diam2",
+                     "forall x. forall y. (x = y) | E(x,y) | "
+                     "(exists z. E(x,z) & E(z,y))",
+                     MakeRandomGraph(96, 0.6, rng), 5});
+  return configs;
+}
+
+void RunJsonSuite() {
+  BenchPlanCache(/*json=*/true);
+  for (const SentenceConfig& cfg : RoutingConfigs()) {
+    BenchSentenceConfig(cfg, /*json=*/true);
+  }
+  BenchQueryConfig(/*json=*/true);
+  BenchDatalogServing(/*json=*/true);
+}
+
+void PrintTable() {
+  std::printf("=== E19: meta-planner routing & compiled-plan cache ===\n");
+  std::printf(
+      "paper: route by the survey's complexity map — bounded degree => "
+      "Hanf histogram (Thm 3.10/3.11), EP => Datalog (Sec. 4), else "
+      "compiled O(n^qr) (Sec. 2.2)\n\n");
+  BenchPlanCache(/*json=*/false);
+  std::printf("\n");
+  for (const SentenceConfig& cfg : RoutingConfigs()) {
+    BenchSentenceConfig(cfg, /*json=*/false);
+  }
+  BenchQueryConfig(/*json=*/false);
+  BenchDatalogServing(/*json=*/false);
+  std::printf(
+      "\nshape check: warm cache >= 5x cold; auto tracks the best engine "
+      "(<= 1.2x) on every config and beats the worst by >= 10x on the "
+      "bounded-degree config.\n\n");
+}
+
+void BM_EvaluateAutoWarm(benchmark::State& state) {
+  const Structure cycle = MakeDirectedCycle(
+      static_cast<std::size_t>(state.range(0)));
+  PlanCache cache;
+  PlannerOptions opts;
+  opts.cache = &cache;
+  const std::string text = "forall x. exists y. E(x,y)";
+  (void)*EvaluateAuto(cycle, text, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateAuto(cycle, text, opts));
+  }
+}
+BENCHMARK(BM_EvaluateAutoWarm)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_CompileUncached(benchmark::State& state) {
+  const Structure cycle = MakeDirectedCycle(3);
+  const std::string text = "forall x. exists y. E(x,y)";
+  PlannerOptions opts;
+  opts.use_cache = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateAuto(cycle, text, opts));
+  }
+}
+BENCHMARK(BM_CompileUncached);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      RunJsonSuite();
+      return 0;
+    }
+  }
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Runs every bench binary that speaks --json and collects their output into
 # one JSONL file, tagging each line with its suite. The result is the
-# before/after artifact the perf work tracks (BENCH_pr7.json at the
+# before/after artifact the perf work tracks (BENCH_pr8.json at the
 # repo root); CI uploads it from the Release bench-smoke job.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_FILE]
 #   BUILD_DIR  build tree containing bench/ binaries (default: build-rel,
 #              falling back to build if build-rel does not exist)
-#   OUT_FILE   output path (default: BENCH_pr7.json in the repo root)
+#   OUT_FILE   output path (default: BENCH_pr8.json in the repo root)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +19,7 @@ if [[ -z "${BUILD_DIR}" ]]; then
     BUILD_DIR="${REPO_ROOT}/build"
   fi
 fi
-OUT="${2:-${REPO_ROOT}/BENCH_pr7.json}"
+OUT="${2:-${REPO_ROOT}/BENCH_pr8.json}"
 
 # The suites with a --json mode (one {"bench":...,"n":...,"wall_ms":...}
 # line per configuration).
@@ -31,6 +31,7 @@ SUITES=(
   hanf_locality
   locality_hierarchy
   model_checking
+  planner
   strategies
 )
 

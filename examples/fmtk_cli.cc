@@ -1,10 +1,22 @@
 // fmtk_cli — a small command-line front end for the toolkit.
 //
-//   fmtk_cli check <structure-file> "<sentence>"
-//   fmtk_cli query <structure-file> "<formula>" <var,var,...>
+//   fmtk_cli [options] check <structure-file> "<sentence>"
+//   fmtk_cli [options] query <structure-file> "<formula>" <var,var,...>
 //   fmtk_cli game <structure-file-A> <structure-file-B> <rounds>
 //   fmtk_cli distinguish <structure-file-A> <structure-file-B> <max-rank>
-//   fmtk_cli datalog <structure-file> "<program>"
+//   fmtk_cli [options] datalog <structure-file> "<program>"
+//
+// check / query / datalog go through the meta-planner (EvaluateAuto): the
+// cost model routes each input to the estimated-fastest engine and the
+// compiled plan is cached for repeat invocations within one process.
+//
+// Options:
+//   --engine <name>   bypass the cost model and force one engine: naive,
+//                     compiled, parallel, relational, datalog,
+//                     bounded-degree
+//   --explain         print the routing decision (chosen engine, the
+//                     survey theorem backing it, and the per-engine cost
+//                     table) before the answer
 //
 // Structure files use the structures/io.h format (see the header or
 // `examples/` docs). Formulas use the logic/parser.h surface syntax.
@@ -13,20 +25,20 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/string_util.h"
 #include "core/games/ef_game.h"
 #include "core/games/hintikka.h"
 #include "core/types/rank_type.h"
-#include "datalog/evaluator.h"
-#include "datalog/program.h"
-#include "eval/model_check.h"
-#include "eval/query_eval.h"
 #include "logic/parser.h"
+#include "planner/planner.h"
 #include "structures/io.h"
 
 namespace {
 
+using fmtk::PlanExplanation;
+using fmtk::PlannerOptions;
 using fmtk::Result;
 using fmtk::Status;
 using fmtk::Structure;
@@ -51,34 +63,39 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int RunCheck(const std::string& file, const std::string& formula_text) {
+struct CliOptions {
+  PlannerOptions planner;
+  bool explain = false;
+};
+
+void MaybeExplain(const CliOptions& options, const PlanExplanation& explain) {
+  if (options.explain) {
+    std::printf("%s\n", explain.ToString().c_str());
+  }
+}
+
+int RunCheck(const std::string& file, const std::string& formula_text,
+             const CliOptions& options) {
   Result<Structure> s = LoadStructure(file);
   if (!s.ok()) {
     return Fail(s.status());
   }
-  Result<fmtk::Formula> f =
-      fmtk::ParseFormula(formula_text, &s->signature());
-  if (!f.ok()) {
-    return Fail(f.status());
-  }
-  Result<bool> verdict = fmtk::Satisfies(*s, *f);
+  PlanExplanation explain;
+  Result<bool> verdict =
+      fmtk::EvaluateAuto(*s, formula_text, options.planner, &explain);
   if (!verdict.ok()) {
     return Fail(verdict.status());
   }
+  MaybeExplain(options, explain);
   std::printf("%s\n", *verdict ? "true" : "false");
   return *verdict ? 0 : 2;
 }
 
 int RunQuery(const std::string& file, const std::string& formula_text,
-             const std::string& vars_csv) {
+             const std::string& vars_csv, const CliOptions& options) {
   Result<Structure> s = LoadStructure(file);
   if (!s.ok()) {
     return Fail(s.status());
-  }
-  Result<fmtk::Formula> f =
-      fmtk::ParseFormula(formula_text, &s->signature());
-  if (!f.ok()) {
-    return Fail(f.status());
   }
   std::vector<std::string> vars;
   for (const std::string& v : fmtk::Split(vars_csv, ',')) {
@@ -87,10 +104,13 @@ int RunQuery(const std::string& file, const std::string& formula_text,
       vars.push_back(stripped);
     }
   }
-  Result<fmtk::Relation> answers = fmtk::EvaluateQuery(*s, *f, vars);
+  PlanExplanation explain;
+  Result<fmtk::Relation> answers = fmtk::EvaluateQueryAuto(
+      *s, formula_text, vars, options.planner, &explain);
   if (!answers.ok()) {
     return Fail(answers.status());
   }
+  MaybeExplain(options, explain);
   std::printf("%zu answers: %s\n", answers->size(),
               answers->ToString().c_str());
   return 0;
@@ -146,19 +166,15 @@ int RunDistinguish(const std::string& file_a, const std::string& file_b,
   return 0;
 }
 
-int RunDatalog(const std::string& file, const std::string& program_text) {
+int RunDatalog(const std::string& file, const std::string& program_text,
+               const CliOptions& options) {
   Result<Structure> s = LoadStructure(file);
   if (!s.ok()) {
     return Fail(s.status());
   }
-  Result<fmtk::DatalogProgram> program =
-      fmtk::ParseDatalogProgram(program_text);
-  if (!program.ok()) {
-    return Fail(program.status());
-  }
   fmtk::DatalogStats stats;
-  Result<std::map<std::string, fmtk::Relation>> idb = fmtk::EvaluateDatalog(
-      *program, *s, fmtk::DatalogStrategy::kSemiNaive, &stats);
+  Result<std::map<std::string, fmtk::Relation>> idb =
+      fmtk::EvaluateDatalogAuto(*s, program_text, options.planner, &stats);
   if (!idb.ok()) {
     return Fail(idb.status());
   }
@@ -174,35 +190,60 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  fmtk_cli check <structure-file> \"<sentence>\"\n"
-      "  fmtk_cli query <structure-file> \"<formula>\" <var,var,...>\n"
+      "  fmtk_cli [options] check <structure-file> \"<sentence>\"\n"
+      "  fmtk_cli [options] query <structure-file> \"<formula>\" "
+      "<var,var,...>\n"
       "  fmtk_cli game <file-A> <file-B> <rounds>\n"
       "  fmtk_cli distinguish <file-A> <file-B> <max-rank>\n"
-      "  fmtk_cli datalog <structure-file> \"<program>\"\n");
+      "  fmtk_cli [options] datalog <structure-file> \"<program>\"\n"
+      "options:\n"
+      "  --engine <naive|compiled|parallel|relational|datalog|"
+      "bounded-degree>\n"
+      "  --explain\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  CliOptions options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--explain") {
+      options.explain = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      options.planner.force_engine = fmtk::ParseEngineKind(name);
+      if (!options.planner.force_engine.has_value()) {
+        std::fprintf(stderr, "error: unknown engine '%s'\n", name.c_str());
+        return 1;
+      }
+    } else if (!arg.empty() && arg.rfind("--", 0) == 0) {
+      Usage();
+      return 1;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
     Usage();
     return 1;
   }
-  const std::string command = argv[1];
-  if (command == "check" && argc == 4) {
-    return RunCheck(argv[2], argv[3]);
+  const std::string& command = args[0];
+  if (command == "check" && args.size() == 3) {
+    return RunCheck(args[1], args[2], options);
   }
-  if (command == "query" && argc == 5) {
-    return RunQuery(argv[2], argv[3], argv[4]);
+  if (command == "query" && args.size() == 4) {
+    return RunQuery(args[1], args[2], args[3], options);
   }
-  if (command == "game" && argc == 5) {
-    return RunGame(argv[2], argv[3], argv[4]);
+  if (command == "game" && args.size() == 4) {
+    return RunGame(args[1], args[2], args[3]);
   }
-  if (command == "distinguish" && argc == 5) {
-    return RunDistinguish(argv[2], argv[3], argv[4]);
+  if (command == "distinguish" && args.size() == 4) {
+    return RunDistinguish(args[1], args[2], args[3]);
   }
-  if (command == "datalog" && argc == 4) {
-    return RunDatalog(argv[2], argv[3]);
+  if (command == "datalog" && args.size() == 3) {
+    return RunDatalog(args[1], args[2], options);
   }
   Usage();
   return 1;

@@ -17,7 +17,12 @@
 //                        become errors). Default: model-check profile.
 //   --output <p[,q]>     Datalog: output predicates for reachability
 //                        analysis (FMTK106)
-//   --json               print diagnostics as a JSON array
+//   --json               print one JSON object per input: the diagnostics
+//                        array plus the meta-planner's routing measures
+//                        (qr, width, node count, safe-range) and — when
+//                        --structure was given — the structure statistics
+//                        (Gaifman degree, components, diameter bound) the
+//                        EvaluateAuto cost model consumes
 //   -e "<text>"          lint the argument instead of a file
 //
 // Exit status: 0 when every input is error-clean (warnings and notes are
@@ -40,6 +45,8 @@
 #include "logic/parser.h"
 #include "structures/io.h"
 #include "structures/signature.h"
+#include "structures/structure.h"
+#include "structures/structure_stats.h"
 
 namespace {
 
@@ -55,8 +62,53 @@ struct LintOptions {
   bool query_profile = false;
   bool json = false;
   std::shared_ptr<const Signature> signature;  // null = skip vocab checks
+  /// Set by --structure: its stats ride along in the --json report.
+  std::shared_ptr<const fmtk::Structure> structure;
   std::vector<std::string> outputs;
 };
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// The analyzer measures the meta-planner's cost model routes on
+// (src/planner/planner.cc Route()), as one JSON object.
+std::string MeasuresJson(const FoAnalysis& analysis) {
+  std::ostringstream out;
+  out << "{\"quantifier_rank\":" << analysis.quantifier_rank
+      << ",\"quantifier_count\":" << analysis.quantifier_count
+      << ",\"variable_width\":" << analysis.variable_width
+      << ",\"node_count\":" << analysis.node_count
+      << ",\"free_variable_count\":" << analysis.free_variables.size()
+      << ",\"safe_range\":" << (analysis.safe_range ? "true" : "false")
+      << "}";
+  return out.str();
+}
+
+std::string StructureStatsJson(const fmtk::StructureStats& stats) {
+  std::ostringstream out;
+  out << "{\"domain_size\":" << stats.domain_size
+      << ",\"tuple_count\":" << stats.tuple_count
+      << ",\"relation_count\":" << stats.relation_count
+      << ",\"max_relation_size\":" << stats.max_relation_size
+      << ",\"gaifman_edge_count\":" << stats.gaifman_edge_count
+      << ",\"max_degree\":" << stats.max_degree << ",\"avg_degree\":"
+      << stats.avg_degree << ",\"component_count\":" << stats.component_count
+      << ",\"diameter_bound\":" << stats.diameter_bound << "}";
+  return out.str();
+}
 
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -112,12 +164,17 @@ bool LooksLikeDatalog(const std::string& text) {
   return text.find(":-") != std::string::npos;
 }
 
-void PrintReport(const std::string& label,
+// `extra_json` is either empty or ",\"key\":value,..." to splice into the
+// JSON object after the diagnostics array.
+void PrintReport(const std::string& label, const std::string& kind,
                  const fmtk::DiagnosticSink& diagnostics,
                  const std::string& source, bool json,
-                 const std::vector<std::string>& summary) {
+                 const std::vector<std::string>& summary,
+                 const std::string& extra_json = "") {
   if (json) {
-    std::printf("%s\n", diagnostics.ToJson().c_str());
+    std::printf("{\"input\":\"%s\",\"kind\":\"%s\",\"diagnostics\":%s%s}\n",
+                JsonEscape(label).c_str(), kind.c_str(),
+                diagnostics.ToJson().c_str(), extra_json.c_str());
     return;
   }
   if (!diagnostics.empty()) {
@@ -155,7 +212,13 @@ int LintFormula(const std::string& label, const std::string& text,
       " width=" + std::to_string(analysis.variable_width) +
       " free=" + std::to_string(analysis.free_variables.size()));
   summary.push_back(analysis.safe_range ? "safe-range" : "not safe-range");
-  PrintReport(label, analysis.diagnostics, text, options.json, summary);
+  std::string extra = ",\"measures\":" + MeasuresJson(analysis);
+  if (options.structure != nullptr) {
+    extra += ",\"structure_stats\":" +
+             StructureStatsJson(options.structure->Stats());
+  }
+  PrintReport(label, "formula", analysis.diagnostics, text, options.json,
+              summary, extra);
   return analysis.ok() ? 0 : 1;
 }
 
@@ -174,7 +237,13 @@ int LintDatalog(const std::string& label, const std::string& text,
   const DatalogAnalysis analysis =
       fmtk::AnalyzeProgram(*program, analyzer_options);
   std::vector<std::string> summary = analysis.RecursionSummary();
-  PrintReport(label, analysis.diagnostics, text, options.json, summary);
+  std::string extra;
+  if (options.structure != nullptr) {
+    extra = ",\"structure_stats\":" +
+            StructureStatsJson(options.structure->Stats());
+  }
+  PrintReport(label, "datalog", analysis.diagnostics, text, options.json,
+              summary, extra);
   return analysis.ok() ? 0 : 1;
 }
 
@@ -218,6 +287,8 @@ int main(int argc, char** argv) {
       }
       options.signature =
           std::make_shared<Signature>(parsed->signature());
+      options.structure =
+          std::make_shared<const fmtk::Structure>(*std::move(parsed));
     } else if (arg == "--signature" && i + 1 < argc) {
       Result<std::shared_ptr<const Signature>> parsed =
           ParseInlineSignature(argv[++i]);

@@ -1,18 +1,19 @@
-// Four ways to answer a query, mirroring the survey's complexity story:
-// the naive O(n^k) checker (combined complexity), the bottom-up relational
-// evaluator (a tiny database engine), the AC0 circuit family (parallel
-// data complexity), and Datalog for what FO cannot say. Plus the QBF
-// reduction that pins combined complexity to PSPACE.
+// The engines behind EvaluateAuto, mirroring the survey's complexity story:
+// the naive O(n^k) checker (combined complexity), compiled slot evaluation
+// (data complexity), the bottom-up relational evaluator (a tiny database
+// engine), Datalog for the existential-positive fragment, and the Hanf
+// histogram for bounded-degree inputs — then the meta-planner routing one
+// query across all of them, with the --explain cost table. Plus the AC0
+// circuit family and the QBF reduction that pin the two ends of the
+// complexity spectrum.
 
 #include <cstdio>
 #include <random>
 
 #include "circuits/compile.h"
-#include "datalog/evaluator.h"
-#include "datalog/program.h"
 #include "eval/model_check.h"
-#include "eval/query_eval.h"
 #include "logic/parser.h"
+#include "planner/planner.h"
 #include "qbf/qbf.h"
 #include "structures/generators.h"
 
@@ -25,33 +26,50 @@ int main() {
   std::printf("query: %s   on a random 6-node graph\n\n",
               f.ToString().c_str());
 
-  // Engine 1: recursive model checking (the O(n^k) algorithm).
-  ModelChecker checker(g);
-  bool direct = *checker.Check(f);
-  std::printf("1. recursive checker:    %s  (%llu atom lookups)\n",
-              direct ? "true" : "false",
-              static_cast<unsigned long long>(checker.stats().atom_lookups));
+  // Every engine answers through the same front door: EvaluateAuto with
+  // force_engine pinned. Engines that cannot handle this query (here:
+  // parallel needs >= 2 threads, bounded-degree is gated on sparsity)
+  // report Unsupported instead of a wrong answer.
+  const EngineKind kAll[] = {EngineKind::kNaive,      EngineKind::kCompiled,
+                             EngineKind::kParallel,   EngineKind::kRelational,
+                             EngineKind::kDatalog,    EngineKind::kBoundedDegree};
+  for (EngineKind kind : kAll) {
+    PlannerOptions options;
+    options.force_engine = kind;
+    Result<bool> verdict = EvaluateAuto(g, f, options);
+    std::printf("  %-15s %s\n", EngineKindName(kind),
+                verdict.ok() ? (*verdict ? "true" : "false")
+                             : verdict.status().ToString().c_str());
+  }
 
-  // Engine 2: bottom-up relational algebra (select/join/project).
-  Relation ans = *EvaluateQuery(g, f, {});
-  std::printf("2. relational engine:    %s  (answer relation %s)\n",
-              ans.size() == 1 ? "true" : "false",
-              ans.size() == 1 ? "{()}" : "{}");
+  // The meta-planner itself: no force flag, explain the routing decision.
+  PlanExplanation explain;
+  bool routed = *EvaluateAuto(g, f, {}, &explain);
+  std::printf("\nEvaluateAuto: %s\n%s\n", routed ? "true" : "false",
+              explain.ToString().c_str());
 
-  // Engine 3: the AC0 circuit for n = 6.
+  // Second call hits the compiled-plan cache (same canonical key).
+  PlanExplanation warm;
+  (void)*EvaluateAuto(g, f, {}, &warm);
+  std::printf("repeat call: cache_hit=%s\n\n",
+              warm.cache_hit ? "true" : "false");
+
+  // The AC0 circuit for n = 6 — parallel data complexity (Thm 2.4).
   Circuit circuit = *CompileSentence(f, *Signature::Graph(), 6);
   bool via_circuit = *circuit.Evaluate(*EncodeStructure(g));
-  std::printf("3. AC0 circuit:          %s  (depth %zu, %zu gates)\n",
+  std::printf("AC0 circuit:  %s  (depth %zu, %zu gates)\n",
               via_circuit ? "true" : "false", circuit.Depth(),
               circuit.gate_count());
 
-  // Engine 4: Datalog, for the fixed points FO cannot express.
+  // Datalog serving path — transitive closure of a 6-chain through the
+  // plan cache (repeat programs skip parse/analyze/bind).
   std::printf("\nDatalog — transitive closure of a 6-chain:\n");
   DatalogStats stats;
-  auto idb = *EvaluateDatalog(DatalogProgram::TransitiveClosure(),
-                              MakeDirectedPath(6),
-                              DatalogStrategy::kSemiNaive, &stats);
-  std::printf("4. tc has %zu tuples after %zu semi-naive rounds\n",
+  auto idb = *EvaluateDatalogAuto(MakeDirectedPath(6),
+                                  "tc(x,y) :- E(x,y).\n"
+                                  "tc(x,z) :- E(x,y), tc(y,z).",
+                                  {}, &stats);
+  std::printf("  tc has %zu tuples after %zu semi-naive rounds\n",
               idb.at("tc").size(), stats.iterations);
 
   // The other direction: combined complexity is PSPACE-hard because QBF

@@ -21,6 +21,9 @@
 #include "logic/parser.h"          // IWYU pragma: export
 #include "logic/random_formula.h"  // IWYU pragma: export
 #include "logic/transform.h"       // IWYU pragma: export
+#include "planner/canonical.h"     // IWYU pragma: export
+#include "planner/plan_cache.h"    // IWYU pragma: export
+#include "planner/planner.h"       // IWYU pragma: export
 #include "qbf/qbf.h"               // IWYU pragma: export
 #include "queries/boolean_query.h" // IWYU pragma: export
 #include "queries/relation_query.h"  // IWYU pragma: export

@@ -1,0 +1,247 @@
+#include "planner/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/hash.h"
+#include "logic/analysis.h"
+#include "logic/transform.h"
+
+namespace fmtk {
+
+namespace {
+
+// Environment mapping original bound-variable names to canonical ones.
+// Scope-depth naming: the quantifier at nesting depth d binds prefix+d, so
+// α-equivalent formulas canonicalize identically and disjoint sibling
+// scopes reuse the same canonical name (never widening FO^k width).
+struct CanonEnv {
+  const std::string* prefix;
+  std::map<std::string, std::string> rename;
+};
+
+Term CanonTerm(const Term& t, const CanonEnv& env) {
+  if (t.is_variable()) {
+    auto it = env.rename.find(t.name);
+    if (it != env.rename.end()) {
+      return Term::Var(it->second);
+    }
+  }
+  return t;
+}
+
+Formula CanonRec(const Formula& f, CanonEnv& env, std::size_t depth);
+
+// Canonicalizes the children of a commutative connective: recurse, sort by
+// canonical text, drop structural duplicates.
+std::vector<Formula> CanonSortedChildren(const Formula& f, CanonEnv& env,
+                                         std::size_t depth) {
+  std::vector<std::pair<std::string, Formula>> keyed;
+  keyed.reserve(f.child_count());
+  for (const Formula& child : f.children()) {
+    Formula canon = CanonRec(child, env, depth);
+    keyed.emplace_back(canon.ToString(), std::move(canon));
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Formula> out;
+  out.reserve(keyed.size());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].first == keyed[i - 1].first) {
+      continue;  // idempotence: φ ∧ φ ≡ φ, φ ∨ φ ≡ φ
+    }
+    out.push_back(std::move(keyed[i].second));
+  }
+  return out;
+}
+
+Formula CanonRec(const Formula& f, CanonEnv& env, std::size_t depth) {
+  switch (f.kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return f;
+    case FormulaKind::kAtom: {
+      std::vector<Term> terms;
+      terms.reserve(f.terms().size());
+      for (const Term& t : f.terms()) {
+        terms.push_back(CanonTerm(t, env));
+      }
+      return Formula::Atom(f.relation_name(), std::move(terms));
+    }
+    case FormulaKind::kEqual: {
+      Term a = CanonTerm(f.terms()[0], env);
+      Term b = CanonTerm(f.terms()[1], env);
+      // Equality is symmetric: order the sides by rendered form.
+      const std::string ka =
+          (a.is_constant() ? "c:" : "v:") + a.name;
+      const std::string kb =
+          (b.is_constant() ? "c:" : "v:") + b.name;
+      if (kb < ka) {
+        std::swap(a, b);
+      }
+      return Formula::Equal(std::move(a), std::move(b));
+    }
+    case FormulaKind::kNot: {
+      Formula child = CanonRec(f.child(0), env, depth);
+      if (child.kind() == FormulaKind::kNot) {
+        return child.child(0);  // ¬¬φ (dedup/sorting can re-expose it)
+      }
+      return Formula::Not(std::move(child));
+    }
+    case FormulaKind::kAnd: {
+      std::vector<Formula> children = CanonSortedChildren(f, env, depth);
+      if (children.size() == 1) {
+        return std::move(children[0]);
+      }
+      return Formula::And(std::move(children));
+    }
+    case FormulaKind::kOr: {
+      std::vector<Formula> children = CanonSortedChildren(f, env, depth);
+      if (children.size() == 1) {
+        return std::move(children[0]);
+      }
+      return Formula::Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      Formula a = CanonRec(f.child(0), env, depth);
+      Formula b = CanonRec(f.child(1), env, depth);
+      return Formula::Implies(std::move(a), std::move(b));
+    }
+    case FormulaKind::kIff: {
+      Formula a = CanonRec(f.child(0), env, depth);
+      Formula b = CanonRec(f.child(1), env, depth);
+      if (b.ToString() < a.ToString()) {
+        std::swap(a, b);
+      }
+      return Formula::Iff(std::move(a), std::move(b));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists: {
+      const std::string canonical_name =
+          *env.prefix + std::to_string(depth);
+      auto it = env.rename.find(f.variable());
+      std::string saved;
+      const bool had = it != env.rename.end();
+      if (had) {
+        saved = it->second;
+        it->second = canonical_name;
+      } else {
+        env.rename.emplace(f.variable(), canonical_name);
+      }
+      Formula body = CanonRec(f.body(), env, depth + 1);
+      if (had) {
+        env.rename[f.variable()] = saved;
+      } else {
+        env.rename.erase(f.variable());
+      }
+      switch (f.kind()) {
+        case FormulaKind::kExists:
+          return Formula::Exists(canonical_name, std::move(body));
+        case FormulaKind::kForall:
+          return Formula::Forall(canonical_name, std::move(body));
+        default:
+          return Formula::CountExists(f.count(), canonical_name,
+                                      std::move(body));
+      }
+    }
+  }
+  return f;  // unreachable
+}
+
+}  // namespace
+
+Formula CanonicalizeFormula(const Formula& f) {
+  const Formula folded = Simplify(f);
+  // Pick a bound-variable prefix no existing variable name starts with, so
+  // renaming can never capture a free variable ("%" unless the input
+  // already uses such names — parser identifiers never do).
+  std::string prefix = "%";
+  const std::set<std::string> all = AllVariables(folded);
+  bool clash = true;
+  while (clash) {
+    clash = false;
+    for (const std::string& name : all) {
+      if (name.rfind(prefix, 0) == 0) {
+        prefix += "%";
+        clash = true;
+        break;
+      }
+    }
+  }
+  CanonEnv env{&prefix, {}};
+  return CanonRec(folded, env, 0);
+}
+
+std::uint64_t SignatureFingerprint(const Signature& signature) {
+  std::size_t seed = static_cast<std::size_t>(Mix64(0x464d544bULL));  // FMTK
+  for (std::size_t i = 0; i < signature.relation_count(); ++i) {
+    HashCombine(seed, signature.relation(i).name);
+    HashCombine(seed, signature.relation(i).arity);
+  }
+  for (std::size_t i = 0; i < signature.constant_count(); ++i) {
+    HashCombine(seed, signature.constant_name(i));
+  }
+  return Mix64(seed);
+}
+
+CanonicalQuery CanonicalizeQuery(const Formula& f,
+                                 const Signature& signature) {
+  CanonicalQuery out;
+  out.formula = CanonicalizeFormula(f);
+  out.text = out.formula.ToString();
+  out.key = out.text + "\n@sig " + signature.ToString();
+  out.fingerprint = Mix64(ScalarHash(out.key));
+  return out;
+}
+
+namespace {
+
+DlAtom CanonAtom(const DlAtom& atom,
+                 std::map<std::string, std::string>& rename,
+                 std::size_t& next_id) {
+  DlAtom out;
+  out.predicate = atom.predicate;
+  out.terms.reserve(atom.terms.size());
+  for (const DlTerm& t : atom.terms) {
+    if (!t.is_variable) {
+      out.terms.push_back(t);
+      continue;
+    }
+    auto [it, inserted] = rename.emplace(t.variable, std::string());
+    if (inserted) {
+      it->second = "v" + std::to_string(next_id++);
+    }
+    out.terms.push_back(DlTerm::Var(it->second));
+  }
+  return out;
+}
+
+}  // namespace
+
+DatalogProgram CanonicalizeProgram(const DatalogProgram& program) {
+  DatalogProgram out;
+  for (const DlRule& rule : program.rules()) {
+    std::map<std::string, std::string> rename;
+    std::size_t next_id = 0;
+    DlRule canon;
+    canon.head = CanonAtom(rule.head, rename, next_id);
+    canon.body.reserve(rule.body.size());
+    for (const DlAtom& atom : rule.body) {
+      canon.body.push_back(CanonAtom(atom, rename, next_id));
+    }
+    out.AddRule(std::move(canon));
+  }
+  return out;
+}
+
+std::string CanonicalProgramKey(const DatalogProgram& canonical_program,
+                                const Signature& signature) {
+  return canonical_program.ToString() + "\n@sig " + signature.ToString();
+}
+
+}  // namespace fmtk

@@ -1,0 +1,67 @@
+#ifndef FMTK_PLANNER_CANONICAL_H_
+#define FMTK_PLANNER_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datalog/program.h"
+#include "logic/formula.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// Rewrites φ into a canonical representative of its syntactic equivalence
+/// class so the plan cache unifies queries that only differ in bound
+/// variable names, commutative-connective order, or foldable constants:
+///
+///   1. constant folding via Simplify() — the transform implementing the
+///      analyzer's FMTK014/FMTK015 folding hints (double negation,
+///      true/false units, flattened ∧/∨); quantified constants are left
+///      alone exactly as Simplify leaves them (∃x.true is not true on the
+///      empty structure). FMTK016 trivial equalities (x = x) are NOT
+///      folded: dropping them would change the free-variable set and the
+///      safe-range profile of subformulas.
+///   2. bound-variable renaming to scope-depth names ("%0", "%1", ...; a
+///      longer prefix is chosen in the degenerate case where the input
+///      already uses such names) — α-equivalent formulas map to the same
+///      representative, and sibling quantifiers reuse names, which can
+///      only shrink the FO^k width measure. Free variables keep their
+///      names, so a compiled plan's free-variable order is unchanged.
+///   3. sorted + deduplicated children of the commutative connectives
+///      (∧, ∨, ↔), ordered by canonical text.
+///
+/// Preserves logical equivalence on all structures (including empty ones).
+Formula CanonicalizeFormula(const Formula& f);
+
+/// 64-bit fingerprint of a signature (relation names/arities + constant
+/// names). Exposed for --explain output; cache keys embed the exact
+/// signature text, not the fingerprint, so fingerprint collisions cannot
+/// alias plans.
+std::uint64_t SignatureFingerprint(const Signature& signature);
+
+/// The stable cache identity of a query: canonical formula + rendered text
+/// + the (canonical text, signature) key string and its fingerprint.
+struct CanonicalQuery {
+  Formula formula;
+  std::string text;       // formula.ToString()
+  std::string key;        // text + signature text: exact, collision-free
+  std::uint64_t fingerprint = 0;  // Mix64-combined hash of `key`
+};
+
+CanonicalQuery CanonicalizeQuery(const Formula& f, const Signature& signature);
+
+/// Canonical representative of a Datalog program: per-rule variable
+/// renaming in first-occurrence order (head, then body atoms left to
+/// right). Rule order and atom order are preserved — they are semantically
+/// irrelevant but the engine's join-order heuristics see them, so the
+/// cache only unifies programs that differ in variable naming.
+DatalogProgram CanonicalizeProgram(const DatalogProgram& program);
+
+/// Cache key for a (program, signature) pair: canonical program text +
+/// signature text.
+std::string CanonicalProgramKey(const DatalogProgram& canonical_program,
+                                const Signature& signature);
+
+}  // namespace fmtk
+
+#endif  // FMTK_PLANNER_CANONICAL_H_

@@ -1,0 +1,223 @@
+#include "planner/fo_to_datalog.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "logic/analysis.h"
+
+namespace fmtk {
+
+namespace {
+
+// Union-find over variable names for equality unification inside ∧.
+class VarUnion {
+ public:
+  const std::string& Find(const std::string& v) {
+    auto it = parent_.find(v);
+    if (it == parent_.end()) {
+      it = parent_.emplace(v, v).first;
+    }
+    if (it->second == v) {
+      return it->first;
+    }
+    // Path compression via recursion on the parent name.
+    const std::string root = Find(it->second);
+    parent_[v] = root;
+    return parent_.find(v)->second;
+  }
+
+  void Union(const std::string& a, const std::string& b) {
+    std::string ra = Find(a);
+    std::string rb = Find(b);
+    if (ra == rb) {
+      return;
+    }
+    // Deterministic: smaller name wins as representative.
+    if (rb < ra) {
+      std::swap(ra, rb);
+    }
+    parent_[rb] = ra;
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+struct Translator {
+  const Signature* signature;
+  DatalogProgram program;
+  std::size_t next_pred = 0;
+
+  std::string FreshPredicate() {
+    // '$' cannot appear in parsed relation identifiers, so fresh IDB names
+    // cannot collide with EDB names; programmatically built signatures are
+    // re-checked by CompiledDatalogEngine::Create's collision diagnostics.
+    return "q$" + std::to_string(next_pred++);
+  }
+
+  // Translates φ and returns the body atom standing for it: either an EDB
+  // atom used inline or a call to a fresh IDB predicate whose rules were
+  // appended to `program`. The atom's variable set equals fv(φ).
+  Result<DlAtom> Translate(const Formula& f) {
+    switch (f.kind()) {
+      case FormulaKind::kAtom: {
+        DlAtom atom;
+        atom.predicate = f.relation_name();
+        atom.terms.reserve(f.terms().size());
+        for (const Term& t : f.terms()) {
+          if (t.is_constant()) {
+            // FO constants are named symbols interpreted by the structure;
+            // Datalog constants are raw domain elements. The planner would
+            // need the structure to bridge them, which would make the
+            // cached program structure-dependent — out of the fragment.
+            return Status::Unsupported(
+                "FO->Datalog: constant term '" + t.name + "' in atom");
+          }
+          atom.terms.push_back(DlTerm::Var(t.name));
+        }
+        return atom;
+      }
+      case FormulaKind::kAnd:
+        return TranslateAnd(f.children());
+      case FormulaKind::kOr: {
+        if (f.child_count() == 0) {
+          return Status::Unsupported("FO->Datalog: empty disjunction");
+        }
+        const std::set<std::string> fv = FreeVariables(f);
+        // All disjunct rules share one predicate name (union of CQs).
+        const std::string pred = FreshPredicate();
+        for (const Formula& child : f.children()) {
+          if (FreeVariables(child) != fv) {
+            return Status::Unsupported(
+                "FO->Datalog: disjuncts with unequal free variables");
+          }
+          FMTK_ASSIGN_OR_RETURN(DlAtom atom, Translate(child));
+          DlRule rule;
+          rule.head = HeadAtom(pred, fv);
+          rule.body.push_back(std::move(atom));
+          program.AddRule(std::move(rule));
+        }
+        return CallAtom(pred, fv);
+      }
+      case FormulaKind::kExists: {
+        const std::set<std::string> fv = FreeVariables(f);
+        FMTK_ASSIGN_OR_RETURN(DlAtom atom, Translate(f.body()));
+        DlRule rule;
+        const std::string pred = FreshPredicate();
+        rule.head = HeadAtom(pred, fv);
+        rule.body.push_back(std::move(atom));
+        program.AddRule(std::move(rule));
+        return CallAtom(pred, fv);
+      }
+      case FormulaKind::kEqual:
+        return Status::Unsupported(
+            "FO->Datalog: equality outside a conjunction");
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        return Status::Unsupported("FO->Datalog: constant subformula");
+      case FormulaKind::kNot:
+      case FormulaKind::kImplies:
+      case FormulaKind::kIff:
+      case FormulaKind::kForall:
+      case FormulaKind::kCountExists:
+        return Status::Unsupported(
+            "FO->Datalog: outside the existential-positive fragment");
+    }
+    return Status::Internal("FO->Datalog: unknown formula kind");
+  }
+
+  Result<DlAtom> TranslateAnd(const std::vector<Formula>& children) {
+    VarUnion unify;
+    std::vector<DlAtom> body;
+    std::set<std::string> fv;
+    for (const Formula& child : children) {
+      for (const std::string& v : FreeVariables(child)) {
+        fv.insert(v);
+      }
+      if (child.kind() == FormulaKind::kEqual) {
+        const Term& a = child.terms()[0];
+        const Term& b = child.terms()[1];
+        if (!a.is_variable() || !b.is_variable()) {
+          return Status::Unsupported(
+              "FO->Datalog: equality with a constant side");
+        }
+        unify.Union(a.name, b.name);
+        continue;
+      }
+      FMTK_ASSIGN_OR_RETURN(DlAtom atom, Translate(child));
+      body.push_back(std::move(atom));
+    }
+    if (body.empty()) {
+      return Status::Unsupported(
+          "FO->Datalog: conjunction of equalities only");
+    }
+    // Substitute representatives into the body calls; the head repeats the
+    // representative for unified columns (q(x, x) :- ...), which is how
+    // positive Datalog expresses equality.
+    for (DlAtom& atom : body) {
+      for (DlTerm& t : atom.terms) {
+        if (t.is_variable) {
+          t.variable = unify.Find(t.variable);
+        }
+      }
+    }
+    DlRule rule;
+    const std::string pred = FreshPredicate();
+    rule.head.predicate = pred;
+    for (const std::string& v : fv) {
+      rule.head.terms.push_back(DlTerm::Var(unify.Find(v)));
+    }
+    rule.body = std::move(body);
+    program.AddRule(std::move(rule));
+    return CallAtom(pred, fv);
+  }
+
+  static DlAtom HeadAtom(std::string pred, const std::set<std::string>& fv) {
+    DlAtom atom;
+    atom.predicate = std::move(pred);
+    for (const std::string& v : fv) {
+      atom.terms.push_back(DlTerm::Var(v));
+    }
+    return atom;
+  }
+
+  static DlAtom CallAtom(std::string pred, const std::set<std::string>& fv) {
+    return HeadAtom(std::move(pred), fv);
+  }
+};
+
+}  // namespace
+
+Result<FoDatalogTranslation> TranslateToDatalog(const Formula& f,
+                                                const Signature& signature) {
+  Translator tr;
+  tr.signature = &signature;
+  FMTK_ASSIGN_OR_RETURN(DlAtom root, tr.Translate(f));
+
+  FoDatalogTranslation out;
+  const std::set<std::string> fv = FreeVariables(f);
+  out.output_variables.assign(fv.begin(), fv.end());
+
+  // Always materialize a dedicated output predicate (the root may be a bare
+  // EDB atom, possibly with repeated variables).
+  DlRule ans;
+  ans.head = Translator::HeadAtom("q$ans", fv);
+  ans.body.push_back(std::move(root));
+  tr.program.AddRule(std::move(ans));
+  out.output_predicate = "q$ans";
+
+  // Range restriction / collision checks: anything the unification step
+  // could not ground (e.g. ∃x. x = y) fails here instead of at run time.
+  Status valid = tr.program.Validate();
+  if (!valid.ok()) {
+    return Status::Unsupported("FO->Datalog: " + valid.ToString());
+  }
+  out.program = std::move(tr.program);
+  return out;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,41 @@
+#ifndef FMTK_PLANNER_FO_TO_DATALOG_H_
+#define FMTK_PLANNER_FO_TO_DATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "datalog/program.h"
+#include "logic/formula.h"
+#include "structures/signature.h"
+
+namespace fmtk {
+
+/// A nonrecursive Datalog program equivalent to an existential-positive FO
+/// query: the survey's §4 lowering in the easy direction (every EP query is
+/// a union of conjunctive queries, i.e. a nonrecursive program). Lets the
+/// planner route join-heavy queries onto the compiled semi-naive engine's
+/// index-driven join orders.
+struct FoDatalogTranslation {
+  DatalogProgram program;
+  /// The IDB predicate holding the answers.
+  std::string output_predicate;
+  /// Its columns, in order: the query's free variables sorted by name.
+  std::vector<std::string> output_variables;
+};
+
+/// Translates an existential-positive, constant-free formula (∧, ∨, ∃,
+/// variable equalities inside conjunctions — equality handled by
+/// unification into repeated variables) into one IDB predicate per
+/// connective scope. Fails with Unsupported for anything outside the
+/// fragment (negation, →, ↔, ∀, counting, constants, equalities that no
+/// atom ranges over) and for disjuncts with unequal free-variable sets
+/// (not range-restrictable). The resulting program is equivalent to φ on
+/// every structure with a nonempty domain (∃x over an x-free body is the
+/// one empty-domain caveat, shared with prenexing).
+Result<FoDatalogTranslation> TranslateToDatalog(const Formula& f,
+                                                const Signature& signature);
+
+}  // namespace fmtk
+
+#endif  // FMTK_PLANNER_FO_TO_DATALOG_H_

@@ -1,0 +1,159 @@
+#ifndef FMTK_PLANNER_PLANNER_H_
+#define FMTK_PLANNER_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/result.h"
+#include "datalog/evaluator.h"
+#include "logic/formula.h"
+#include "planner/plan_cache.h"
+#include "structures/relation.h"
+#include "structures/structure.h"
+#include "structures/structure_stats.h"
+
+namespace fmtk {
+
+/// The evaluation strategies EvaluateAuto routes between.
+enum class EngineKind {
+  /// The reference interpreter (ModelChecker / EvaluateQueryNaive):
+  /// dominated by kCompiled on every input, kept as a forceable oracle.
+  kNaive,
+  /// Compiled slot evaluation, serial (eval/compiled_eval.h). For queries:
+  /// domain^m enumeration over the cached compiled plan's row fast path.
+  kCompiled,
+  /// Compiled evaluation with the outer-quantifier parallel fan-out.
+  kParallel,
+  /// Bottom-up relational algebra (eval/query_eval.h EvaluateQuery).
+  kRelational,
+  /// Existential-positive lowering to nonrecursive Datalog on the compiled
+  /// semi-naive engine (planner/fo_to_datalog.h).
+  kDatalog,
+  /// The Hanf bounded-degree histogram evaluator
+  /// (core/algorithmic/bounded_degree.h) — survey Thm 3.10/3.11.
+  kBoundedDegree,
+};
+
+/// "naive", "compiled", "parallel", "relational", "datalog",
+/// "bounded-degree".
+const char* EngineKindName(EngineKind kind);
+
+/// Inverse of EngineKindName (also accepts "bounded_degree"); nullopt for
+/// unknown names.
+std::optional<EngineKind> ParseEngineKind(std::string_view name);
+
+struct PlannerOptions {
+  /// Bypass the cost model and run this engine (Unsupported when the
+  /// engine cannot evaluate the query, e.g. Datalog outside the
+  /// existential-positive fragment).
+  std::optional<EngineKind> force_engine;
+  /// Use (and fill) the plan cache. Off = canonicalize + compile fresh.
+  bool use_cache = true;
+  /// Cache to use; nullptr = the process-global DefaultPlanCache().
+  PlanCache* cache = nullptr;
+  /// Threads the parallel route may assume; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Bounded-degree route: largest estimated r-ball size worth the
+  /// histogram pass, and the safety factor — the histogram pass must be
+  /// estimated at most this fraction of the compiled scan before the
+  /// route is taken (so even a verdict-cache miss, which falls back to one
+  /// compiled check, costs at most (1 + safety) of the compiled route).
+  std::size_t bounded_degree_max_ball = 256;
+  double bounded_degree_safety = 0.15;
+};
+
+/// Cost-model verdict for one engine (for --explain).
+struct EngineCost {
+  EngineKind engine = EngineKind::kCompiled;
+  bool eligible = false;
+  /// Abstract work units (comparable across engines, not wall time).
+  double cost = 0.0;
+  /// Why ineligible / what the estimate assumed.
+  std::string note;
+};
+
+/// Everything --explain prints: the chosen route, the analyzer measures and
+/// structure statistics that drove it, the survey theorem justifying it,
+/// and the per-engine cost table.
+struct PlanExplanation {
+  EngineKind chosen = EngineKind::kCompiled;
+  /// The routing rule that fired, in words.
+  std::string rule;
+  /// The survey result backing the rule (e.g. "Thm 3.10/3.11: bounded
+  /// degree => Hanf-local => linear time").
+  std::string theorem;
+  bool cache_hit = false;
+  bool text_cache_hit = false;
+  std::string canonical_text;
+  std::uint64_t signature_fingerprint = 0;
+
+  /// Analyzer measures (of the canonical formula).
+  std::size_t quantifier_rank = 0;
+  std::size_t variable_width = 0;
+  std::size_t node_count = 0;
+  std::size_t free_variable_count = 0;
+  bool safe_range = false;
+  bool existential_positive = false;
+
+  StructureStats structure;
+  std::vector<EngineCost> costs;
+
+  /// Multi-line, human-readable --explain block.
+  std::string ToString() const;
+  /// One JSON object (machine-readable --explain / fmtk_lint --json).
+  std::string ToJson() const;
+};
+
+/// Decides structure ⊨ sentence, routing to the estimated-fastest engine.
+/// Verdicts are identical to every engine's direct invocation (the engines
+/// are differential-tested against each other). `sentence` must have no
+/// free variables.
+Result<bool> EvaluateAuto(const Structure& structure, const Formula& sentence,
+                          const PlannerOptions& options = {},
+                          PlanExplanation* explain = nullptr);
+
+/// Text front door: repeat query strings skip parse + analyze + compile
+/// via the exact-text cache layer.
+Result<bool> EvaluateAuto(const Structure& structure,
+                          std::string_view sentence_text,
+                          const PlannerOptions& options = {},
+                          PlanExplanation* explain = nullptr);
+
+/// ans(φ(x̄), A) with automatic engine choice. Matches EvaluateQuery's
+/// semantics: column i is output_variables[i], the list must cover every
+/// free variable (of the canonicalized query) and contain no duplicates;
+/// extra variables range over the whole domain.
+Result<Relation> EvaluateQueryAuto(
+    const Structure& structure, const Formula& f,
+    const std::vector<std::string>& output_variables,
+    const PlannerOptions& options = {}, PlanExplanation* explain = nullptr);
+
+Result<Relation> EvaluateQueryAuto(
+    const Structure& structure, std::string_view query_text,
+    const std::vector<std::string>& output_variables,
+    const PlannerOptions& options = {}, PlanExplanation* explain = nullptr);
+
+/// Datalog serving path: the cached rule-lowering. The canonicalized
+/// program's analysis and the per-structure compiled engine are memoized on
+/// the plan cache entry, so repeat programs skip parse/analyze/compile and
+/// repeat (program, structure) pairs skip rule binding too. Results equal
+/// EvaluateDatalog(program, edb, kSemiNaive).
+Result<std::map<std::string, Relation>> EvaluateDatalogAuto(
+    const Structure& edb, const DatalogProgram& program,
+    const PlannerOptions& options = {}, DatalogStats* stats = nullptr,
+    PlanCacheLookup* lookup = nullptr);
+
+Result<std::map<std::string, Relation>> EvaluateDatalogAuto(
+    const Structure& edb, std::string_view program_text,
+    const PlannerOptions& options = {}, DatalogStats* stats = nullptr,
+    PlanCacheLookup* lookup = nullptr);
+
+}  // namespace fmtk
+
+#endif  // FMTK_PLANNER_PLANNER_H_

@@ -18,6 +18,70 @@ Structure::Structure(std::shared_ptr<const Signature> signature,
   constants_.resize(signature_->constant_count());
 }
 
+std::uint64_t Structure::NextUid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Structure::Structure(const Structure& other)
+    : signature_(other.signature_),
+      domain_size_(other.domain_size_),
+      relations_(other.relations_),
+      constants_(other.constants_),
+      generation_(other.generation_),
+      uid_(NextUid()),
+      stats_cache_(other.stats_cache_.load(std::memory_order_acquire)) {}
+
+Structure& Structure::operator=(const Structure& other) {
+  if (this == &other) {
+    return *this;
+  }
+  signature_ = other.signature_;
+  domain_size_ = other.domain_size_;
+  relations_ = other.relations_;
+  constants_ = other.constants_;
+  generation_ = other.generation_;
+  uid_ = NextUid();
+  stats_cache_.store(other.stats_cache_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  return *this;
+}
+
+Structure::Structure(Structure&& other) noexcept
+    : signature_(std::move(other.signature_)),
+      domain_size_(other.domain_size_),
+      relations_(std::move(other.relations_)),
+      constants_(std::move(other.constants_)),
+      generation_(other.generation_),
+      uid_(NextUid()),
+      stats_cache_(other.stats_cache_.load(std::memory_order_acquire)) {}
+
+Structure& Structure::operator=(Structure&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  signature_ = std::move(other.signature_);
+  domain_size_ = other.domain_size_;
+  relations_ = std::move(other.relations_);
+  constants_ = std::move(other.constants_);
+  generation_ = other.generation_;
+  uid_ = NextUid();
+  stats_cache_.store(other.stats_cache_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  return *this;
+}
+
+StructureStats Structure::Stats() const {
+  std::shared_ptr<const StructureStats> cached =
+      stats_cache_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->generation == generation_) {
+    return *cached;
+  }
+  auto fresh = std::make_shared<StructureStats>(ComputeStructureStats(*this));
+  stats_cache_.store(fresh, std::memory_order_release);
+  return *fresh;
+}
+
 const Relation& Structure::relation(std::size_t index) const {
   FMTK_CHECK(index < relations_.size()) << "relation index out of range";
   return relations_[index];
@@ -38,6 +102,7 @@ bool Structure::AddTuple(std::size_t index, Tuple tuple) {
     FMTK_CHECK(e < domain_size_)
         << "element " << e << " outside domain of size " << domain_size_;
   }
+  ++generation_;
   return relations_[index].Add(std::move(tuple));
 }
 
@@ -61,6 +126,7 @@ Status Structure::TryAddTuple(std::string_view name, Tuple tuple) {
           std::to_string(domain_size_));
     }
   }
+  ++generation_;
   relations_[index].Add(std::move(tuple));
   return Status::OK();
 }
@@ -71,17 +137,21 @@ void Structure::SetRelation(std::size_t index, Relation relation) {
       << "relation arity " << relation.arity() << " does not match "
       << signature_->relation(index).name << "/"
       << signature_->relation(index).arity;
+  ++generation_;
   relations_[index] = std::move(relation);
 }
 
 Relation& Structure::MutableRelation(std::size_t index) {
   FMTK_CHECK(index < relations_.size()) << "relation index out of range";
+  // Conservative: hand-out of a mutable reference counts as a mutation.
+  ++generation_;
   return relations_[index];
 }
 
 void Structure::SetConstant(std::size_t index, Element value) {
   FMTK_CHECK(index < constants_.size()) << "constant index out of range";
   FMTK_CHECK(value < domain_size_) << "constant value outside domain";
+  ++generation_;
   constants_[index] = value;
 }
 

@@ -1,7 +1,9 @@
 #ifndef FMTK_STRUCTURES_STRUCTURE_H_
 #define FMTK_STRUCTURES_STRUCTURE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -12,6 +14,7 @@
 #include "base/status.h"
 #include "structures/relation.h"
 #include "structures/signature.h"
+#include "structures/structure_stats.h"
 
 namespace fmtk {
 
@@ -24,6 +27,18 @@ class Structure {
   /// `signature` must be non-null.
   Structure(std::shared_ptr<const Signature> signature,
             std::size_t domain_size);
+
+  /// Copies share the (immutable) memoized statistics snapshot but get a
+  /// fresh identity: uid() differs, so caches keyed by (uid, generation) —
+  /// e.g. the planner's per-structure Datalog engine memo, which holds raw
+  /// pointers — never confuse a copy with the original.
+  Structure(const Structure& other);
+  Structure& operator=(const Structure& other);
+  /// Moves also take a fresh uid: engines bound to the source's address
+  /// must not be served for the moved-to object.
+  Structure(Structure&& other) noexcept;
+  Structure& operator=(Structure&& other) noexcept;
+  ~Structure() = default;
 
   const Signature& signature() const { return *signature_; }
   const std::shared_ptr<const Signature>& signature_ptr() const {
@@ -69,6 +84,25 @@ class Structure {
   /// Total number of tuples across all relations.
   std::size_t TupleCount() const;
 
+  /// Mutation generation: bumped by every mutator (AddTuple, TryAddTuple,
+  /// SetRelation, MutableRelation — conservatively, at access time —
+  /// and SetConstant). Generation-stamped caches (Stats(), the planner's
+  /// engine memos) use it to detect staleness, the way PR 4 stamps the
+  /// locality engine's BFS scratch.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Process-unique identity, fresh for every constructed/copied/moved-to
+  /// structure (never reused, unlike addresses). (uid, generation) is a
+  /// safe key for caches that hold pointers into a structure.
+  std::uint64_t uid() const { return uid_; }
+
+  /// Gaifman-graph statistics (size, max degree, diameter bound, ...),
+  /// memoized against generation(). Cheap after the first call until the
+  /// structure is mutated. Thread-safe against concurrent Stats() calls on
+  /// an otherwise unmutated structure (mutation concurrent with any read is
+  /// a data race, as everywhere else on Structure).
+  StructureStats Stats() const;
+
   /// Two structures are equal when they share equal signatures, equal domain
   /// sizes, equal relations, and equal constant interpretations.
   friend bool operator==(const Structure& a, const Structure& b);
@@ -77,10 +111,17 @@ class Structure {
   std::string ToString() const;
 
  private:
+  static std::uint64_t NextUid();
+
   std::shared_ptr<const Signature> signature_;
   std::size_t domain_size_;
   std::vector<Relation> relations_;
   std::vector<std::optional<Element>> constants_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t uid_ = NextUid();
+  // Memoized Stats() snapshot (null until first computed; replaced, never
+  // mutated, so concurrent readers are safe).
+  mutable std::atomic<std::shared_ptr<const StructureStats>> stats_cache_{};
 };
 
 /// The substructure of `s` induced by `subdomain` (order gives the new

@@ -1,0 +1,86 @@
+#include "structures/structure_stats.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "structures/graph.h"
+#include "structures/structure.h"
+
+namespace fmtk {
+
+std::string StructureStats::ToString() const {
+  char avg[32];
+  std::snprintf(avg, sizeof(avg), "%.2f", avg_degree);
+  std::string out = "n=" + std::to_string(domain_size) +
+                    " tuples=" + std::to_string(tuple_count) +
+                    " max_deg=" + std::to_string(max_degree) +
+                    " avg_deg=" + avg +
+                    " comps=" + std::to_string(component_count) +
+                    " diam<=" + std::to_string(diameter_bound) +
+                    " gen=" + std::to_string(generation);
+  return out;
+}
+
+StructureStats ComputeStructureStats(const Structure& s) {
+  StructureStats stats;
+  stats.generation = s.generation();
+  stats.domain_size = s.domain_size();
+  stats.relation_count = s.signature().relation_count();
+  for (std::size_t r = 0; r < stats.relation_count; ++r) {
+    const std::size_t size = s.relation(r).size();
+    stats.tuple_count += size;
+    if (size > stats.max_relation_size) {
+      stats.max_relation_size = size;
+    }
+  }
+  const Adjacency adjacency = GaifmanAdjacency(s);
+  std::size_t degree_sum = 0;
+  for (const std::vector<Element>& neighbors : adjacency) {
+    degree_sum += neighbors.size();
+    if (neighbors.size() > stats.max_degree) {
+      stats.max_degree = neighbors.size();
+    }
+  }
+  stats.gaifman_edge_count = degree_sum / 2;
+  if (stats.domain_size > 0) {
+    stats.avg_degree =
+        static_cast<double>(degree_sum) / static_cast<double>(stats.domain_size);
+  }
+
+  // One BFS per component: component count and the 2 * eccentricity(root)
+  // diameter bound in a single pass.
+  const std::size_t n = stats.domain_size;
+  std::vector<std::size_t> distance(n, kUnreachable);
+  std::vector<Element> queue;
+  queue.reserve(n);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (distance[root] != kUnreachable) {
+      continue;
+    }
+    ++stats.component_count;
+    distance[root] = 0;
+    queue.clear();
+    queue.push_back(static_cast<Element>(root));
+    std::size_t eccentricity = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Element v = queue[head];
+      const std::size_t d = distance[v];
+      if (d > eccentricity) {
+        eccentricity = d;
+      }
+      for (Element w : adjacency[v]) {
+        if (distance[w] == kUnreachable) {
+          distance[w] = d + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    const std::size_t bound = 2 * eccentricity;
+    if (bound > stats.diameter_bound) {
+      stats.diameter_bound = bound;
+    }
+  }
+  return stats;
+}
+
+}  // namespace fmtk

@@ -1,0 +1,51 @@
+#ifndef FMTK_STRUCTURES_STRUCTURE_STATS_H_
+#define FMTK_STRUCTURES_STRUCTURE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fmtk {
+
+class Structure;
+
+/// Cheap whole-structure statistics the meta-planner's cost model consumes:
+/// one O(n + m) pass over the Gaifman graph (adjacency build + one BFS per
+/// connected component). Memoized on the structure itself
+/// (Structure::Stats(), generation-stamped) so repeated routing decisions
+/// against an unchanged structure pay nothing.
+struct StructureStats {
+  /// Structure::generation() at computation time (stamp for the memo).
+  std::uint64_t generation = 0;
+  std::size_t domain_size = 0;
+  /// Total tuples across all relations.
+  std::size_t tuple_count = 0;
+  std::size_t relation_count = 0;
+  /// Size of the largest single relation.
+  std::size_t max_relation_size = 0;
+  /// Undirected Gaifman edge count (each adjacency pair counted once).
+  std::size_t gaifman_edge_count = 0;
+  /// Maximum Gaifman degree — the k of "degree-k-bounded class" in the
+  /// survey's Thm 3.10/3.11 routing rule (bounded degree => Hanf-local
+  /// => linear-time evaluation).
+  std::size_t max_degree = 0;
+  /// 2 * gaifman_edge_count / domain_size (0 when the domain is empty).
+  double avg_degree = 0.0;
+  /// Connected components of the Gaifman graph.
+  std::size_t component_count = 0;
+  /// Upper bound on the Gaifman diameter: max over components of twice the
+  /// BFS eccentricity of the component's discovery root (standard
+  /// 2-approximation; exact diameter would need all-pairs work).
+  std::size_t diameter_bound = 0;
+
+  /// e.g. "n=64 tuples=128 max_deg=2 avg_deg=2.0 comps=1 diam<=64 gen=3".
+  std::string ToString() const;
+};
+
+/// Computes the statistics from scratch. Prefer Structure::Stats(), which
+/// memoizes the result against the structure's mutation generation.
+StructureStats ComputeStructureStats(const Structure& s);
+
+}  // namespace fmtk
+
+#endif  // FMTK_STRUCTURES_STRUCTURE_STATS_H_

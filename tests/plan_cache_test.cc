@@ -1,0 +1,294 @@
+#include "planner/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logic/parser.h"
+#include "structures/generators.h"
+
+namespace fmtk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardedLruCache: single-shard LRU semantics and exact counters.
+
+using StringCache = ShardedLruCache<std::string>;
+
+std::shared_ptr<const std::string> Val(const std::string& s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
+  StringCache cache({/*shards=*/1, /*capacity_per_shard=*/2});
+  cache.Insert("a", Val("A"));
+  cache.Insert("b", Val("B"));
+  cache.Insert("c", Val("C"));  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  ASSERT_NE(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("c"), nullptr);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedLruCacheTest, GetBumpsRecency) {
+  StringCache cache({1, 2});
+  cache.Insert("a", Val("A"));
+  cache.Insert("b", Val("B"));
+  ASSERT_NE(cache.Get("a"), nullptr);  // "b" is now least recent
+  cache.Insert("c", Val("C"));         // evicts "b"
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, FirstInserterWins) {
+  StringCache cache({1, 4});
+  auto first = cache.Insert("k", Val("first"));
+  auto second = cache.Insert("k", Val("second"));
+  EXPECT_EQ(*second, "first");
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictedEntryStaysAliveForHolders) {
+  StringCache cache({1, 1});
+  auto held = cache.Insert("a", Val("A"));
+  cache.Insert("b", Val("B"));  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*held, "A");  // the shared_ptr keeps it valid
+}
+
+TEST(ShardedLruCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  StringCache cache({5, 4});
+  EXPECT_EQ(cache.shard_count(), 8u);
+  StringCache one({0, 4});
+  EXPECT_EQ(one.shard_count(), 1u);
+}
+
+// The multithreaded hammer: counters must balance exactly under contention
+// (this test also runs under TSan in CI).
+TEST(ShardedLruCacheTest, HammerCountersBalanceExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 2000;
+  constexpr std::size_t kKeys = 32;
+  StringCache cache({4, 4});
+
+  std::atomic<std::uint64_t> total_gets{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &total_gets, t] {
+      std::uint64_t gets = 0;
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        // Deterministic per-thread key walk; threads overlap heavily.
+        const std::string key =
+            "k" + std::to_string((i * (t + 3) + t) % kKeys);
+        ++gets;
+        if (cache.Get(key) == nullptr) {
+          cache.Insert(key, Val(key));
+        }
+      }
+      total_gets.fetch_add(gets);
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, total_gets.load());
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+  EXPECT_LE(stats.entries, cache.shard_count() * cache.capacity_per_shard());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache: the two-layer formula cache.
+
+TEST(PlanCacheTest, SecondLookupOfSameFormulaHits) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(4);
+  const Formula f = *ParseFormula("exists x. E(x,x)", &g.signature());
+
+  PlanCacheLookup first;
+  ASSERT_TRUE(cache.GetFormulaPlan(f, g.signature(), &first).ok());
+  EXPECT_FALSE(first.hit);
+
+  PlanCacheLookup second;
+  auto plan = cache.GetFormulaPlan(f, g.signature(), &second);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.key, second.key);
+}
+
+TEST(PlanCacheTest, AlphaVariantsShareOnePlan) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(4);
+  const Formula f1 = *ParseFormula("exists x. E(x,x)", &g.signature());
+  const Formula f2 = *ParseFormula("exists alpha. E(alpha,alpha)",
+                                   &g.signature());
+  const Formula f3 = *ParseFormula(
+      "exists y. E(y,y) & E(y,y)", &g.signature());  // dedups to f1
+
+  auto p1 = cache.GetFormulaPlan(f1, g.signature());
+  PlanCacheLookup lookup;
+  auto p2 = cache.GetFormulaPlan(f2, g.signature(), &lookup);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(lookup.hit);
+  EXPECT_EQ(p1->get(), p2->get());
+
+  PlanCacheLookup dedup_lookup;
+  auto p3 = cache.GetFormulaPlan(f3, g.signature(), &dedup_lookup);
+  ASSERT_TRUE(p3.ok());
+  EXPECT_TRUE(dedup_lookup.hit);
+}
+
+TEST(PlanCacheTest, CommutedConjunctionsShareOnePlan) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(4);
+  const Signature& sig = g.signature();
+  const Formula ab = *ParseFormula(
+      "(exists x. E(x,x)) & (exists x. exists y. E(x,y))", &sig);
+  const Formula ba = *ParseFormula(
+      "(exists x. exists y. E(x,y)) & (exists x. E(x,x))", &sig);
+  auto p1 = cache.GetFormulaPlan(ab, sig);
+  PlanCacheLookup lookup;
+  auto p2 = cache.GetFormulaPlan(ba, sig, &lookup);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(lookup.hit);
+  EXPECT_EQ(p1->get(), p2->get());
+}
+
+TEST(PlanCacheTest, TextLayerSkipsParseOnRepeat) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(4);
+  const std::string text = "exists x. exists y. E(x,y) & E(y,x)";
+
+  PlanCacheLookup first;
+  ASSERT_TRUE(cache.GetFormulaPlanFromText(text, g.signature(), &first).ok());
+  EXPECT_FALSE(first.text_hit);
+
+  PlanCacheLookup second;
+  auto plan = cache.GetFormulaPlanFromText(text, g.signature(), &second);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(second.hit);
+  EXPECT_TRUE(second.text_hit);
+}
+
+TEST(PlanCacheTest, DifferentSignaturesNeverAlias) {
+  PlanCache cache;
+  const Structure cycle = MakeDirectedCycle(4);   // sig {E/2}
+  const Structure order = MakeLinearOrder(4);     // different vocabulary
+  auto p1 = cache.GetFormulaPlanFromText("exists x. exists y. E(x,y)",
+                                         cycle.signature());
+  ASSERT_TRUE(p1.ok());
+  // Same text against a signature that also has E/2 plus more relations:
+  // must compile its own plan, not alias the cycle's.
+  Signature extended;
+  extended.AddRelation("E", 2);
+  extended.AddRelation("F", 2);
+  PlanCacheLookup lookup;
+  auto p2 = cache.GetFormulaPlanFromText("exists x. exists y. E(x,y)",
+                                         extended, &lookup);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_FALSE(lookup.hit);
+  EXPECT_NE(p1->get(), p2->get());
+  (void)order;
+}
+
+TEST(PlanCacheTest, InvalidFormulaPropagatesError) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(4);
+  auto bad = cache.GetFormulaPlanFromText("exists x. NoSuch(x)",
+                                          g.signature());
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(PlanCacheTest, DatalogProgramsCacheByCanonicalRules) {
+  PlanCache cache;
+  const Structure g = MakeDirectedPath(5);
+  const DatalogProgram p1 = *ParseDatalogProgram(
+      "tc(x, y) :- E(x, y).\ntc(x, z) :- tc(x, y), E(y, z).");
+  // α-variant: different rule variable names, same canonical program.
+  const DatalogProgram p2 = *ParseDatalogProgram(
+      "tc(a, b) :- E(a, b).\ntc(a, c) :- tc(a, b), E(b, c).");
+
+  PlanCacheLookup first;
+  ASSERT_TRUE(cache.GetDatalogPlan(p1, g.signature(), &first).ok());
+  EXPECT_FALSE(first.hit);
+  PlanCacheLookup second;
+  ASSERT_TRUE(cache.GetDatalogPlan(p2, g.signature(), &second).ok());
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.key, second.key);
+}
+
+TEST(PlanCacheTest, StatsSumBothSections) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(4);
+  ASSERT_TRUE(
+      cache.GetFormulaPlanFromText("exists x. E(x,x)", g.signature()).ok());
+  ASSERT_TRUE(cache.GetDatalogPlanFromText("p(x) :- E(x, x).",
+                                           g.signature())
+                  .ok());
+  const PlanCacheStats total = cache.stats();
+  EXPECT_EQ(total.entries, cache.formula_stats().entries +
+                               cache.datalog_stats().entries);
+  // Formula text layer stores two entries (text alias + canonical).
+  EXPECT_EQ(cache.formula_stats().entries, 2u);
+  EXPECT_EQ(cache.datalog_stats().entries, 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// Concurrent lookups of one formula must produce one shared plan and exact
+// counters (runs under TSan in CI).
+TEST(PlanCacheTest, ConcurrentFormulaLookupsShareOnePlan) {
+  PlanCache cache;
+  const Structure g = MakeDirectedCycle(6);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kReps = 50;
+
+  std::vector<std::thread> workers;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, &g, &failures] {
+      for (std::size_t i = 0; i < kReps; ++i) {
+        auto plan = cache.GetFormulaPlanFromText(
+            "forall x. exists y. E(x,y)", g.signature());
+        if (!plan.ok() || *plan == nullptr) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+  const PlanCacheStats stats = cache.formula_stats();
+  // Every rep does one text-layer Get; the reps that missed the text layer
+  // additionally do one canonical-layer Get, so:
+  //   lookups = kThreads*kReps + text_misses  and  hits + misses == lookups.
+  EXPECT_GE(stats.hits + stats.misses, kThreads * kReps);
+  EXPECT_LE(stats.hits + stats.misses, 2 * kThreads * kReps);
+  // Entries: exactly 2 (text alias + canonical), whatever the interleaving.
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+}
+
+}  // namespace
+}  // namespace fmtk
