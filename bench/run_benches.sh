@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Runs every bench binary that speaks --json and collects their output into
 # one JSONL file, tagging each line with its suite. The result is the
-# before/after artifact the perf work tracks (BENCH_pr8.json at the
+# before/after artifact the perf work tracks (BENCH_pr9.json at the
 # repo root); CI uploads it from the Release bench-smoke job.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_FILE]
 #   BUILD_DIR  build tree containing bench/ binaries (default: build-rel,
 #              falling back to build if build-rel does not exist)
-#   OUT_FILE   output path (default: BENCH_pr8.json in the repo root)
+#   OUT_FILE   output path (default: BENCH_pr9.json in the repo root)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,7 +19,7 @@ if [[ -z "${BUILD_DIR}" ]]; then
     BUILD_DIR="${REPO_ROOT}/build"
   fi
 fi
-OUT="${2:-${REPO_ROOT}/BENCH_pr8.json}"
+OUT="${2:-${REPO_ROOT}/BENCH_pr9.json}"
 
 # The suites with a --json mode (one {"bench":...,"n":...,"wall_ms":...}
 # line per configuration).
@@ -32,6 +32,7 @@ SUITES=(
   locality_hierarchy
   model_checking
   planner
+  server
   strategies
 )
 
@@ -41,6 +42,13 @@ SUITES=(
 ingest_args=()
 if [[ -n "${FMTK_BENCH_INGEST_EDGES:-}" ]]; then
   ingest_args=(--edges "${FMTK_BENCH_INGEST_EDGES}")
+fi
+
+# FMTK_BENCH_SERVER_REQUESTS caps the closed-loop request counts of the
+# server suite the same way (default: the binary's own 150 per client).
+server_args=()
+if [[ -n "${FMTK_BENCH_SERVER_REQUESTS:-}" ]]; then
+  server_args=(--requests "${FMTK_BENCH_SERVER_REQUESTS}")
 fi
 
 : > "${OUT}"
@@ -53,6 +61,8 @@ for suite in "${SUITES[@]}"; do
   args=()
   if [[ "${suite}" == "bulk_ingest" ]]; then
     args=("${ingest_args[@]+"${ingest_args[@]}"}")
+  elif [[ "${suite}" == "server" ]]; then
+    args=("${server_args[@]+"${server_args[@]}"}")
   fi
   echo "running bench_${suite} ..." >&2
   # Tag each emitted line with its suite so one file holds them all.

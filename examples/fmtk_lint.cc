@@ -40,6 +40,7 @@
 #include "analysis/datalog_analyzer.h"
 #include "analysis/diagnostics.h"
 #include "analysis/fo_analyzer.h"
+#include "base/json_out.h"
 #include "base/string_util.h"
 #include "datalog/program.h"
 #include "logic/parser.h"
@@ -67,19 +68,13 @@ struct LintOptions {
   std::vector<std::string> outputs;
 };
 
+// base/json_out.h: the shared escaper handles control characters and
+// invalid UTF-8 bytes, which the seed's ad-hoc escaper passed through raw
+// (a "\x01" in a file name made --json emit invalid JSON).
 std::string JsonEscape(const std::string& text) {
   std::string out;
   out.reserve(text.size() + 2);
-  for (char c : text) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
-    }
-  }
+  fmtk::JsonAppendEscaped(out, text);
   return out;
 }
 

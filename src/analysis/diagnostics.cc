@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "base/json_out.h"
 
 namespace fmtk {
 
@@ -85,36 +86,6 @@ void LineColOf(std::string_view source, std::size_t offset, std::size_t& line,
       ++col;
     }
   }
-}
-
-void AppendJsonString(std::string& out, std::string_view text) {
-  out += '"';
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char kHex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
-          out += kHex[static_cast<unsigned char>(c) & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
 }
 
 // The source line containing `offset` plus a caret underline for the span,
@@ -245,11 +216,11 @@ std::string DiagnosticSink::ToJson() const {
       out += ',';
     }
     out += "{\"code\":";
-    AppendJsonString(out, DiagCodeId(d.code));
+    JsonAppendString(out, DiagCodeId(d.code));
     out += ",\"severity\":";
-    AppendJsonString(out, DiagSeverityName(d.severity));
+    JsonAppendString(out, DiagSeverityName(d.severity));
     out += ",\"message\":";
-    AppendJsonString(out, d.message);
+    JsonAppendString(out, d.message);
     if (d.span.valid()) {
       out += ",\"offset\":" + std::to_string(d.span.offset);
       out += ",\"length\":" + std::to_string(d.span.length);
@@ -260,7 +231,7 @@ std::string DiagnosticSink::ToJson() const {
         out += ',';
       }
       out += "{\"message\":";
-      AppendJsonString(out, d.notes[n].message);
+      JsonAppendString(out, d.notes[n].message);
       if (d.notes[n].span.valid()) {
         out += ",\"offset\":" + std::to_string(d.notes[n].span.offset);
         out += ",\"length\":" + std::to_string(d.notes[n].span.length);

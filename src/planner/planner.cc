@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/json_out.h"
 #include "core/algorithmic/bounded_degree.h"
 #include "eval/compiled_eval.h"
 #include "eval/model_check.h"
@@ -241,9 +242,61 @@ double BdHistogramCost(const StructureStats& stats, double ball) {
 const char* kEngineNames[] = {"naive",      "compiled", "parallel",
                               "relational", "datalog",  "bounded-degree"};
 
+// --------------------------------------------------------------------------
+// Short-circuit scan feedback (PR 9): see CachedFormulaPlan's feedback
+// fields. The static model prices a full scan; the engine short-circuits.
+
+// Identity of one measured configuration. `output_count` distinguishes
+// sentence checks (0) from query enumerations, whose work scales with the
+// output arity.
+std::uint64_t ScanFeedbackKey(const Structure& s, std::size_t output_count) {
+  std::size_t seed = 0;
+  HashCombine(seed, s.uid());
+  HashCombine(seed, s.generation());
+  HashCombine(seed, output_count + 1);  // never 0: 0 = "no measurement"
+  const std::uint64_t key = Mix64(seed);
+  return key == 0 ? 1 : key;
+}
+
+// The static full-scan estimate in node-visit units — the denominator the
+// measured visits are normalized against (must match the pricing below).
+double StaticScanUnits(const CachedFormulaPlan& plan, double n,
+                       bool query_mode, std::size_t output_count) {
+  const double nodes = static_cast<double>(
+      plan.analysis.node_count == 0 ? 1 : plan.analysis.node_count);
+  const std::size_t exp = plan.analysis.quantifier_rank +
+                          (query_mode ? output_count : 0);
+  return Cap(nodes * PowCap(n, exp));
+}
+
+// Records a router-chosen compiled run's measured work on the plan.
+void RecordScanFeedback(const CachedFormulaPlan& plan, const Structure& s,
+                        bool query_mode, std::size_t output_count,
+                        const EvalStats& stats) {
+  const double n =
+      static_cast<double>(s.domain_size() == 0 ? 1 : s.domain_size());
+  const double scan = StaticScanUnits(plan, n, query_mode, output_count);
+  const std::uint64_t visits =
+      stats.node_visits == 0 ? 1 : stats.node_visits;
+  double ratio = static_cast<double>(visits) / scan;
+  if (ratio > 1.0) {
+    ratio = 1.0;  // the model underestimated; never inflate other routes
+  }
+  plan.scan_feedback_visits.store(visits, std::memory_order_relaxed);
+  plan.scan_feedback_short_circuits.store(stats.short_circuits,
+                                          std::memory_order_relaxed);
+  plan.scan_feedback_ratio.store(ratio, std::memory_order_relaxed);
+  plan.scan_feedback_key.store(ScanFeedbackKey(s, query_mode ? output_count : 0),
+                               std::memory_order_release);
+}
+
 struct RouteResult {
   EngineKind chosen = EngineKind::kCompiled;
   std::vector<EngineCost> costs;
+  /// "static" / "measured" / "prior" — see PlanExplanation::scan_estimate.
+  const char* scan_estimate = "static";
+  double scan_ratio = 1.0;
+  std::uint64_t observed_short_circuits = 0;
 };
 
 EngineCost MakeCost(EngineKind k, bool eligible, double cost,
@@ -270,12 +323,47 @@ RouteResult Route(const Structure& s, const CachedFormulaPlan& plan,
   const double scan = Cap(nodes * PowCap(n, qr));
 
   // Serial compiled evaluation: the default. Queries enumerate domain^m
-  // candidate rows over the cached plan.
-  const double compiled_cost =
-      query_mode ? Cap(0.3 * nodes * PowCap(n, output_count + qr))
-                 : Cap(0.3 * scan);
-  result.costs.push_back(
-      MakeCost(EngineKind::kCompiled, true, compiled_cost));
+  // candidate rows over the cached plan. The full-scan estimate is
+  // discounted by short-circuit feedback when this plan has a measured run
+  // (PR 8's "remaining headroom": the model priced full scans even when
+  // the engine short-circuits after a handful of node visits).
+  double compiled_units = StaticScanUnits(plan, n, query_mode, output_count);
+  std::string compiled_note;
+  {
+    const std::uint64_t key =
+        ScanFeedbackKey(s, query_mode ? output_count : 0);
+    const std::uint64_t seen =
+        plan.scan_feedback_key.load(std::memory_order_acquire);
+    if (seen == key) {
+      const double visits = static_cast<double>(
+          plan.scan_feedback_visits.load(std::memory_order_relaxed));
+      result.scan_estimate = "measured";
+      result.scan_ratio = visits / compiled_units;
+      result.observed_short_circuits =
+          plan.scan_feedback_short_circuits.load(std::memory_order_relaxed);
+      compiled_units = visits < 1.0 ? 1.0 : visits;
+      compiled_note = "measured node visits";
+    } else if (seen != 0) {
+      double ratio = plan.scan_feedback_ratio.load(std::memory_order_relaxed);
+      if (ratio > 0.0 && ratio < 1.0) {
+        // Another structure's measurement: apply the dimensionless ratio,
+        // hedged toward the static model (a different structure may
+        // short-circuit later, so a prior never discounts past 10x).
+        if (ratio < 0.1) {
+          ratio = 0.1;
+        }
+        result.scan_estimate = "prior";
+        result.scan_ratio = ratio;
+        result.observed_short_circuits =
+            plan.scan_feedback_short_circuits.load(std::memory_order_relaxed);
+        compiled_units = Cap(compiled_units * ratio);
+        compiled_note = "short-circuit ratio prior";
+      }
+    }
+  }
+  const double compiled_cost = Cap(0.3 * compiled_units);
+  result.costs.push_back(MakeCost(EngineKind::kCompiled, true, compiled_cost,
+                                  std::move(compiled_note)));
 
   // The interpreter: same exploration, measured 3-4x slower per node
   // (PR 1); queries additionally recompile per call.
@@ -473,30 +561,7 @@ std::string FormatCost(double cost) {
 std::string JsonEscape(const std::string& in) {
   std::string out;
   out.reserve(in.size() + 8);
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  JsonAppendEscaped(out, in);
   return out;
 }
 
@@ -506,7 +571,8 @@ std::string JsonEscape(const std::string& in) {
 Result<bool> RunSentence(EngineKind kind, const Structure& s,
                          const CachedFormulaPlan& plan,
                          const StructureStats& stats,
-                         const PlannerOptions& opts) {
+                         const PlannerOptions& opts,
+                         bool record_feedback) {
   switch (kind) {
     case EngineKind::kNaive: {
       ModelChecker checker(s);
@@ -515,7 +581,12 @@ Result<bool> RunSentence(EngineKind kind, const Structure& s,
     case EngineKind::kCompiled: {
       FMTK_ASSIGN_OR_RETURN(CompiledEvaluator evaluator,
                             CompiledEvaluator::Bind(plan.plan, s));
-      return evaluator.Evaluate();
+      Result<bool> verdict = evaluator.Evaluate();
+      if (verdict.ok() && record_feedback) {
+        RecordScanFeedback(plan, s, /*query_mode=*/false, 0,
+                           evaluator.stats());
+      }
+      return verdict;
     }
     case EngineKind::kParallel: {
       ParallelPolicy policy;
@@ -578,9 +649,19 @@ Result<bool> RunSentence(EngineKind kind, const Structure& s,
 // order and verdicts as EvaluateQueryNaive, minus the recompilation.
 Result<Relation> EnumerateWithPlan(
     const Structure& s, const CachedFormulaPlan& plan,
-    const std::vector<std::string>& output_variables) {
+    const std::vector<std::string>& output_variables,
+    bool record_feedback) {
   FMTK_ASSIGN_OR_RETURN(CompiledEvaluator evaluator,
                         CompiledEvaluator::Bind(plan.plan, s));
+  // The evaluator accumulates EvalStats across every enumerated row, so
+  // the total is exactly what the routing formula estimates; record it on
+  // the way out of each successful return path.
+  const auto record = [&] {
+    if (record_feedback) {
+      RecordScanFeedback(plan, s, /*query_mode=*/true,
+                         output_variables.size(), evaluator.stats());
+    }
+  };
   const std::vector<std::string>& free_vars = evaluator.free_variables();
   std::vector<std::size_t> source(free_vars.size(), 0);
   for (std::size_t i = 0; i < free_vars.size(); ++i) {
@@ -605,6 +686,7 @@ Result<Relation> EnumerateWithPlan(
     if (holds) {
       answers.Add({});
     }
+    record();
     return answers;
   }
   if (n == 0) {
@@ -628,6 +710,7 @@ Result<Relation> EnumerateWithPlan(
       }
       tuple[pos] = 0;
       if (pos == 0) {
+        record();
         return answers;
       }
     }
@@ -637,13 +720,13 @@ Result<Relation> EnumerateWithPlan(
 Result<Relation> RunQuery(EngineKind kind, const Structure& s,
                           const CachedFormulaPlan& plan,
                           const std::vector<std::string>& output_variables,
-                          const PlannerOptions& opts) {
+                          const PlannerOptions& opts, bool record_feedback) {
   (void)opts;
   switch (kind) {
     case EngineKind::kNaive:
       return EvaluateQueryNaive(s, plan.canonical.formula, output_variables);
     case EngineKind::kCompiled:
-      return EnumerateWithPlan(s, plan, output_variables);
+      return EnumerateWithPlan(s, plan, output_variables, record_feedback);
     case EngineKind::kRelational:
       return EvaluateQuery(s, plan.canonical.formula, output_variables);
     case EngineKind::kDatalog: {
@@ -716,6 +799,11 @@ struct AutoContext {
   StructureStats stats;
   EngineKind chosen = EngineKind::kCompiled;
   std::vector<EngineCost> costs;
+  const char* scan_estimate = "static";
+  double scan_ratio = 1.0;
+  std::uint64_t observed_short_circuits = 0;
+  /// Feedback is recorded only for router-chosen runs, never forced ones.
+  bool record_feedback = false;
 };
 
 Result<AutoContext> PrepareAuto(const Structure& s, const Formula* formula,
@@ -770,6 +858,10 @@ Result<AutoContext> PrepareAuto(const Structure& s, const Formula* formula,
         Route(s, *ctx.plan, ctx.stats, query_mode, output_count, opts);
     ctx.chosen = route.chosen;
     ctx.costs = std::move(route.costs);
+    ctx.scan_estimate = route.scan_estimate;
+    ctx.scan_ratio = route.scan_ratio;
+    ctx.observed_short_circuits = route.observed_short_circuits;
+    ctx.record_feedback = true;
   }
   return ctx;
 }
@@ -790,6 +882,9 @@ void FillExplanation(const AutoContext& ctx, PlanExplanation* explain) {
   explain->free_variable_count = ctx.plan->analysis.free_variables.size();
   explain->safe_range = ctx.plan->analysis.safe_range;
   explain->existential_positive = ctx.plan->existential_positive;
+  explain->scan_estimate = ctx.scan_estimate;
+  explain->scan_ratio = ctx.scan_ratio;
+  explain->observed_short_circuits = ctx.observed_short_circuits;
   explain->structure = ctx.stats;
   explain->costs = ctx.costs;
 }
@@ -832,6 +927,12 @@ std::string PlanExplanation::ToString() const {
          " free=" + std::to_string(free_variable_count) +
          " safe_range=" + (safe_range ? "yes" : "no") +
          " ep=" + (existential_positive ? "yes" : "no");
+  if (scan_estimate != "static") {
+    out += "\n  scan estimate: " + scan_estimate +
+           " (ratio=" + FormatCost(scan_ratio) +
+           " short_circuits=" + std::to_string(observed_short_circuits) +
+           ")";
+  }
   out += "\n  structure: " + structure.ToString();
   out += "\n  rule: " + rule;
   out += "\n  theorem: " + theorem;
@@ -873,6 +974,10 @@ std::string PlanExplanation::ToJson() const {
          ",\"safe_range\":" + (safe_range ? "true" : "false") +
          ",\"existential_positive\":" +
          (existential_positive ? "true" : "false") + "}";
+  out += ",\"scan_estimate\":\"" + JsonEscape(scan_estimate) +
+         "\",\"scan_ratio\":" + FormatCost(scan_ratio) +
+         ",\"observed_short_circuits\":" +
+         std::to_string(observed_short_circuits);
   out += ",\"structure\":{\"domain_size\":" +
          std::to_string(structure.domain_size) +
          ",\"tuple_count\":" + std::to_string(structure.tuple_count) +
@@ -902,6 +1007,19 @@ std::string PlanExplanation::ToJson() const {
   return out;
 }
 
+Result<PlanExplanation> PlanAuto(const Structure& structure,
+                                 std::string_view text, bool query_mode,
+                                 std::size_t output_count,
+                                 const PlannerOptions& options) {
+  FMTK_ASSIGN_OR_RETURN(
+      AutoContext ctx,
+      PrepareAuto(structure, nullptr, &text, query_mode, output_count,
+                  options));
+  PlanExplanation explain;
+  FillExplanation(ctx, &explain);
+  return explain;
+}
+
 Result<bool> EvaluateAuto(const Structure& structure, const Formula& sentence,
                           const PlannerOptions& options,
                           PlanExplanation* explain) {
@@ -915,7 +1033,8 @@ Result<bool> EvaluateAuto(const Structure& structure, const Formula& sentence,
         "formulas with free variables");
   }
   FillExplanation(ctx, explain);
-  return RunSentence(ctx.chosen, structure, *ctx.plan, ctx.stats, options);
+  return RunSentence(ctx.chosen, structure, *ctx.plan, ctx.stats, options,
+                     ctx.record_feedback);
 }
 
 Result<bool> EvaluateAuto(const Structure& structure,
@@ -932,7 +1051,8 @@ Result<bool> EvaluateAuto(const Structure& structure,
         "formulas with free variables");
   }
   FillExplanation(ctx, explain);
-  return RunSentence(ctx.chosen, structure, *ctx.plan, ctx.stats, options);
+  return RunSentence(ctx.chosen, structure, *ctx.plan, ctx.stats, options,
+                     ctx.record_feedback);
 }
 
 namespace {
@@ -970,7 +1090,7 @@ Result<Relation> EvaluateQueryAuto(
   }
   FillExplanation(ctx, explain);
   return RunQuery(ctx.chosen, structure, *ctx.plan, output_variables,
-                  options);
+                  options, ctx.record_feedback);
 }
 
 Result<Relation> EvaluateQueryAuto(
@@ -987,7 +1107,7 @@ Result<Relation> EvaluateQueryAuto(
   }
   FillExplanation(ctx, explain);
   return RunQuery(ctx.chosen, structure, *ctx.plan, output_variables,
-                  options);
+                  options, ctx.record_feedback);
 }
 
 Result<std::map<std::string, Relation>> EvaluateDatalogAuto(

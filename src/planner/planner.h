@@ -101,6 +101,18 @@ struct PlanExplanation {
   bool safe_range = false;
   bool existential_positive = false;
 
+  /// How the compiled-scan estimate was priced (PR 9 short-circuit
+  /// feedback): "static" = full nodes * n^qr scan model, "measured" = this
+  /// exact (structure, generation) had a recorded compiled run and its
+  /// EvalStats::node_visits priced the route, "prior" = another
+  /// structure's observed visited/static ratio discounted the scan.
+  std::string scan_estimate = "static";
+  /// The effective discount applied to the static full-scan estimate
+  /// (1.0 = no discount; "measured" runs report visits / static scan).
+  double scan_ratio = 1.0;
+  /// EvalStats::short_circuits of the recorded run ("measured"/"prior").
+  std::uint64_t observed_short_circuits = 0;
+
   StructureStats structure;
   std::vector<EngineCost> costs;
 
@@ -109,6 +121,19 @@ struct PlanExplanation {
   /// One JSON object (machine-readable --explain / fmtk_lint --json).
   std::string ToJson() const;
 };
+
+/// Cost-estimate export (PR 9): plan acquisition + routing WITHOUT
+/// execution. The query server's admission control calls this to price a
+/// request against its budgets before committing a worker to it; repeat
+/// texts hit the plan cache, so admission adds no parse/analyze/compile
+/// work to admitted requests. `query_mode` prices EvaluateQueryAuto's
+/// domain^m enumeration with `output_count` output columns; sentences pass
+/// query_mode = false. The returned explanation's `costs` row for `chosen`
+/// carries the work estimate in compiled-slot-op units.
+Result<PlanExplanation> PlanAuto(const Structure& structure,
+                                 std::string_view text, bool query_mode,
+                                 std::size_t output_count,
+                                 const PlannerOptions& options = {});
 
 /// Decides structure ⊨ sentence, routing to the estimated-fastest engine.
 /// Verdicts are identical to every engine's direct invocation (the engines

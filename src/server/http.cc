@@ -1,0 +1,674 @@
+#include "server/http.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace fmtk {
+
+namespace {
+
+std::int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// RFC 7230 token characters (header names, methods).
+bool IsTokenChar(char c) {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Status";
+  }
+}
+
+std::string_view HttpRequest::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return {};
+}
+
+std::string_view HttpRequest::QueryParam(std::string_view key) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair = rest.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (eq == std::string_view::npos && pair == key) return "";
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+// --- HttpRequestParser ------------------------------------------------------
+
+void HttpRequestParser::Reset() {
+  request_ = HttpRequest{};
+  consumed_ = 0;
+  error_status_ = 400;
+  error_.clear();
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string message) {
+  error_status_ = status;
+  error_ = std::move(message);
+  return State::kError;
+}
+
+HttpRequestParser::State HttpRequestParser::Parse(std::string_view buffer) {
+  Reset();
+
+  // Locate the end of the header block; CRLF per the RFC, bare LF
+  // tolerated (robustness principle — printf-style hand-written clients).
+  std::size_t head_end = std::string_view::npos;
+  std::size_t body_start = 0;
+  const std::size_t crlf = buffer.find("\r\n\r\n");
+  const std::size_t lflf = buffer.find("\n\n");
+  if (crlf != std::string_view::npos &&
+      (lflf == std::string_view::npos || crlf + 1 <= lflf)) {
+    head_end = crlf;
+    body_start = crlf + 4;
+  } else if (lflf != std::string_view::npos) {
+    head_end = lflf;
+    body_start = lflf + 2;
+  }
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits_.max_header_bytes) {
+      return Fail(431, "header block exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return State::kNeedMore;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    return Fail(431, "header block exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  // Split the head into lines (strip one optional trailing '\r' per line).
+  std::string_view head = buffer.substr(0, head_end);
+  std::vector<std::string_view> lines;
+  while (!head.empty()) {
+    const std::size_t nl = head.find('\n');
+    std::string_view line = head.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    head.remove_prefix(nl + 1);
+  }
+  if (lines.empty() || lines[0].empty()) {
+    return Fail(400, "empty request line");
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  {
+    const std::string_view line = lines[0];
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return Fail(400, "malformed request line");
+    }
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (method.empty() || method.size() > 16 ||
+        !std::all_of(method.begin(), method.end(), IsTokenChar)) {
+      return Fail(400, "malformed method");
+    }
+    if (target.empty() || target[0] != '/' ||
+        std::any_of(target.begin(), target.end(), [](char c) {
+          return static_cast<unsigned char>(c) < 0x21;
+        })) {
+      return Fail(400, "malformed request target");
+    }
+    if (version == "HTTP/1.1") {
+      request_.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+      request_.version_minor = 0;
+    } else {
+      return Fail(505, "unsupported HTTP version");
+    }
+    request_.method = std::string(method);
+    request_.target = std::string(target);
+    const std::size_t qmark = target.find('?');
+    request_.path = std::string(target.substr(0, qmark));
+    request_.query = qmark == std::string_view::npos
+                         ? std::string()
+                         : std::string(target.substr(qmark + 1));
+  }
+
+  // Header fields.
+  std::size_t content_length = 0;
+  bool have_content_length = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail(400, "obsolete header line folding");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header field");
+    }
+    const std::string_view raw_name = line.substr(0, colon);
+    if (!std::all_of(raw_name.begin(), raw_name.end(), IsTokenChar)) {
+      return Fail(400, "malformed header name");
+    }
+    std::string name = ToLowerAscii(raw_name);
+    const std::string_view value = TrimOws(line.substr(colon + 1));
+    if (std::any_of(value.begin(), value.end(), [](char c) {
+          const unsigned char u = static_cast<unsigned char>(c);
+          return u < 0x20 && c != '\t';
+        })) {
+      return Fail(400, "control character in header value");
+    }
+    if (name == "content-length") {
+      if (value.empty() || value.size() > 18 ||
+          !std::all_of(value.begin(), value.end(),
+                       [](char c) { return c >= '0' && c <= '9'; })) {
+        return Fail(400, "malformed Content-Length");
+      }
+      std::size_t parsed = 0;
+      for (char c : value) {
+        parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+      }
+      if (have_content_length && parsed != content_length) {
+        return Fail(400, "conflicting Content-Length headers");
+      }
+      content_length = parsed;
+      have_content_length = true;
+    }
+    if (name == "transfer-encoding") {
+      return Fail(501, "Transfer-Encoding is not supported");
+    }
+    request_.headers.emplace_back(std::move(name), std::string(value));
+  }
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "body exceeds " +
+                         std::to_string(limits_.max_body_bytes) + " bytes");
+  }
+
+  if (buffer.size() < body_start + content_length) {
+    return State::kNeedMore;
+  }
+  request_.body = std::string(buffer.substr(body_start, content_length));
+  consumed_ = body_start + content_length;
+  return State::kComplete;
+}
+
+// --- HttpServer -------------------------------------------------------------
+
+struct HttpServer::Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd;
+  std::string buffer;       // Unparsed bytes read off the socket.
+  HttpRequest request;      // Valid while queued for / held by a worker.
+  bool keep_alive = true;   // Decision for the request being handled.
+  std::int64_t last_active_ms = 0;
+};
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load()) return Status::InvalidArgument("server already started");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status s = Status::Internal("bind(" + options_.host + ":" +
+                                      std::to_string(options_.port) +
+                                      ") failed: " + strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    const Status s =
+        Status::Internal("listen() failed: " + std::string(strerror(errno)));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("pipe() failed: " + std::string(strerror(errno)));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+
+  running_.store(true);
+  loop_thread_ = std::thread([this] { LoopThread(); });
+  const std::size_t workers = std::max<std::size_t>(1, options_.worker_threads);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerThread(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    // Anything still queued or completed dies here (fds close in ~Connection).
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    work_queue_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_queue_.clear();
+  }
+  idle_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void HttpServer::Wake() {
+  if (wake_write_fd_ < 0) return;
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+}
+
+void HttpServer::AcceptPending() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // EMFILE etc.: retry on the next loop pass.
+    }
+    if (live_connections_ >= options_.max_connections) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.connections_rejected;
+      }
+      static constexpr char kBusy[] =
+          "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+          "Connection: close\r\n\r\n";
+      [[maybe_unused]] ssize_t n =
+          send(fd, kBusy, sizeof(kBusy) - 1, MSG_NOSIGNAL);
+      close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(fd);
+    conn->last_active_ms = NowMs();
+    ++live_connections_;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    idle_.emplace(fd, std::move(conn));
+  }
+}
+
+bool HttpServer::WriteResponse(Connection* conn, const HttpResponse& response,
+                               bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpReasonPhrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        send(conn->fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      if (poll(&pfd, 1, 5000) <= 0) return false;  // Stuck peer: give up.
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.bytes_out += out.size();
+  }
+  return true;
+}
+
+bool HttpServer::TryDispatch(Connection* conn) {
+  if (conn->buffer.empty()) return true;
+  HttpRequestParser parser(options_.limits);
+  const HttpRequestParser::State state = parser.Parse(conn->buffer);
+  switch (state) {
+    case HttpRequestParser::State::kNeedMore:
+      return true;
+    case HttpRequestParser::State::kError: {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.parse_errors;
+      }
+      HttpResponse err = HttpResponse::Json(
+          parser.error_status(),
+          "{\"error\":\"" + parser.error() + "\"}\n");
+      WriteResponse(conn, err, /*keep_alive=*/false);
+      return false;
+    }
+    case HttpRequestParser::State::kComplete:
+      break;
+  }
+
+  conn->request = parser.request();
+  conn->buffer.erase(0, parser.consumed());
+  const std::string_view connection_header = conn->request.Header("connection");
+  conn->keep_alive = conn->request.version_minor >= 1
+                         ? connection_header != "close"
+                         : ToLowerAscii(connection_header) == "keep-alive";
+
+  // Shed at the HTTP layer when the worker queue is saturated: answer 503
+  // from the loop thread without occupying a worker.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (work_queue_.size() >= options_.max_queued_requests) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.requests_shed;
+      // Fall through to the shed response outside the queue lock.
+    } else {
+      return true;  // Caller moves the connection into the work queue.
+    }
+  }
+  HttpResponse shed = HttpResponse::Json(
+      503, "{\"error\":\"server overloaded, request queue full\"}\n");
+  shed.headers.emplace_back("Retry-After", "1");
+  if (!WriteResponse(conn, shed, conn->keep_alive)) return false;
+  conn->request = HttpRequest{};
+  return conn->keep_alive;
+}
+
+bool HttpServer::HandleReadable(Connection* conn) {
+  char chunk[64 * 1024];
+  while (true) {
+    const ssize_t n = recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->buffer.append(chunk, static_cast<std::size_t>(n));
+      conn->last_active_ms = NowMs();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // Peer closed.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return TryDispatch(conn);
+}
+
+void HttpServer::LoopThread() {
+  std::vector<pollfd> pfds;
+  std::vector<int> ready;
+  while (running_.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : idle_) {
+      pfds.push_back({fd, POLLIN, 0});
+    }
+
+    const int rc = poll(pfds.data(), pfds.size(), 500);
+    if (!running_.load(std::memory_order_relaxed)) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    // Wake pipe: drain it, then re-arm (or close) completed connections.
+    if (pfds[1].revents & POLLIN) {
+      char scratch[256];
+      while (read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+      }
+    }
+    {
+      std::deque<std::pair<std::unique_ptr<Connection>, bool>> done;
+      {
+        std::lock_guard<std::mutex> lock(done_mu_);
+        done.swap(done_queue_);
+      }
+      for (auto& [conn, keep_open] : done) {
+        if (!keep_open) {
+          --live_connections_;
+          continue;  // ~Connection closes the fd.
+        }
+        conn->request = HttpRequest{};
+        conn->last_active_ms = NowMs();
+        // Pipelined bytes may already hold the next request.
+        Connection* raw = conn.get();
+        if (!TryDispatch(raw)) {
+          --live_connections_;
+          continue;
+        }
+        if (!raw->request.method.empty()) {
+          std::unique_ptr<Connection> moved = std::move(conn);
+          {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            work_queue_.push_back(std::move(moved));
+          }
+          queue_cv_.notify_one();
+        } else {
+          idle_.emplace(raw->fd, std::move(conn));
+        }
+      }
+    }
+
+    if (pfds[0].revents & (POLLIN | POLLERR)) AcceptPending();
+
+    // Readable / errored connections.
+    ready.clear();
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      if (pfds[i].revents != 0) ready.push_back(pfds[i].fd);
+    }
+    for (int fd : ready) {
+      auto it = idle_.find(fd);
+      if (it == idle_.end()) continue;
+      Connection* conn = it->second.get();
+      if (!HandleReadable(conn)) {
+        idle_.erase(it);
+        --live_connections_;
+        continue;
+      }
+      if (!conn->request.method.empty()) {
+        std::unique_ptr<Connection> moved = std::move(it->second);
+        idle_.erase(it);
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          work_queue_.push_back(std::move(moved));
+        }
+        queue_cv_.notify_one();
+      }
+    }
+
+    // Idle-timeout sweep.
+    if (options_.idle_timeout_ms > 0) {
+      const std::int64_t now = NowMs();
+      for (auto it = idle_.begin(); it != idle_.end();) {
+        if (now - it->second->last_active_ms > options_.idle_timeout_ms) {
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.timeouts;
+          }
+          it = idle_.erase(it);
+          --live_connections_;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  idle_.clear();
+}
+
+void HttpServer::WorkerThread() {
+  while (true) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !work_queue_.empty() || !running_.load();
+      });
+      if (work_queue_.empty()) return;  // Stopping.
+      conn = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+
+    HttpResponse response = handler_(conn->request);
+    {
+      // Counted before the response bytes go out: a client that has read
+      // its response (and then asks /stats) must already see it counted.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_handled;
+    }
+    const bool keep = conn->keep_alive;
+    const bool wrote = WriteResponse(conn.get(), response, keep);
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_queue_.emplace_back(std::move(conn), wrote && keep);
+    }
+    Wake();
+  }
+}
+
+}  // namespace fmtk

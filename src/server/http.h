@@ -1,0 +1,223 @@
+#ifndef FMTK_SERVER_HTTP_H_
+#define FMTK_SERVER_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace fmtk {
+
+/// A tiny dependency-free HTTP/1.1 server: a poll(2) event loop thread that
+/// owns every socket, plus a worker pool that runs the request handler.
+/// This is deliberately a small subset of HTTP — enough for fmtk_serve and
+/// its benchmarks, not a general web server:
+///
+///   * methods GET/PUT/POST/DELETE, HTTP/1.0 and 1.1;
+///   * Content-Length bodies only (Transfer-Encoding is rejected with 501);
+///   * keep-alive (default on for 1.1, off for 1.0, `Connection` header
+///     respected) with pipelined requests handled one at a time;
+///   * hard limits on header block size, body size, and connection count,
+///     enforced during parsing so oversized requests die cheaply.
+///
+/// Threading model (see DESIGN.md "Query server"): the loop thread polls
+/// the listener plus every idle connection. When a full request has been
+/// buffered, the connection is marked busy (dropped from the poll set — no
+/// concurrent reads on it) and the request is queued for the worker pool.
+/// A worker runs the handler and writes the response itself (blocking
+/// writes with a poll(POLLOUT) backoff), then hands the connection back to
+/// the loop through a completion queue + self-pipe wakeup to be re-armed
+/// for the next request. So: one reader (the loop), one writer at a time
+/// (the worker that owns the busy connection) — no socket is ever touched
+/// by two threads at once.
+
+struct HttpRequest {
+  std::string method;   // Uppercase: "GET", "POST", ...
+  std::string target;   // Exactly as sent: "/query", "/structure/g?f=bin".
+  std::string path;     // Target before '?'.
+  std::string query;    // Target after '?' (empty when absent).
+  int version_minor = 1;  // HTTP/1.<version_minor>.
+  /// Header names lowercased; values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of `name` (lowercase), or "" when absent.
+  std::string_view Header(std::string_view name) const;
+  /// Value of `key` in the query string (no %-decoding), or "".
+  std::string_view QueryParam(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  static HttpResponse Json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+/// "OK", "Bad Request", ... (a fixed table; unknown codes get "Status").
+std::string_view HttpReasonPhrase(int status);
+
+struct HttpParserLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 64 * 1024 * 1024;
+};
+
+/// Incremental request parser state machine, exposed for direct testing
+/// (the malformed-input table test drives it without sockets).
+class HttpRequestParser {
+ public:
+  enum class State {
+    kNeedMore,  // Valid so far; feed more bytes.
+    kComplete,  // One full request parsed; consumed() bytes used.
+    kError,     // Protocol violation; error_status()/error() describe it.
+  };
+
+  using Limits = HttpParserLimits;
+
+  explicit HttpRequestParser(Limits limits = {}) : limits_(limits) {}
+
+  /// Parses one request from the front of `buffer` (which accumulates raw
+  /// socket bytes across reads). On kComplete, request() is valid and
+  /// consumed() says how many bytes the request spanned — the caller
+  /// erases them and may immediately Parse again (pipelining). The parser
+  /// is reusable after Reset().
+  State Parse(std::string_view buffer);
+
+  const HttpRequest& request() const { return request_; }
+  std::size_t consumed() const { return consumed_; }
+  /// HTTP status to answer the offender with (400, 413, 431, 501, 505).
+  int error_status() const { return error_status_; }
+  const std::string& error() const { return error_; }
+
+  void Reset();
+
+ private:
+  State Fail(int status, std::string message);
+
+  Limits limits_;
+  HttpRequest request_;
+  std::size_t consumed_ = 0;
+  int error_status_ = 400;
+  std::string error_;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral; the bound port is reported by port() after Start().
+    std::uint16_t port = 0;
+    std::size_t worker_threads = 4;
+    /// Accepted connections beyond this are answered 503 and closed.
+    std::size_t max_connections = 512;
+    /// Parsed requests waiting for a worker beyond this are answered 503
+    /// without dispatch (overload shedding at the HTTP layer; the query
+    /// layer's admission control is separate and smarter).
+    std::size_t max_queued_requests = 256;
+    HttpRequestParser::Limits limits;
+    /// Close connections idle (mid-parse or between requests) this long.
+    int idle_timeout_ms = 30'000;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the loop + worker threads.
+  Status Start();
+  /// Stops accepting, drains in-flight requests, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (after a successful Start()).
+  std::uint16_t port() const { return port_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  // Over max_connections.
+    std::uint64_t requests_handled = 0;
+    std::uint64_t requests_shed = 0;     // 503: worker queue full.
+    std::uint64_t parse_errors = 0;      // 4xx/5xx from the parser.
+    std::uint64_t timeouts = 0;          // Idle connections reaped.
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection;
+
+  void LoopThread();
+  void WorkerThread();
+  void Wake();
+  void AcceptPending();
+  /// Reads from a connection; parses and dispatches (or answers errors).
+  /// Returns false when the connection should be closed.
+  bool HandleReadable(Connection* conn);
+  /// Parses as many requests as the buffer holds; dispatches the first
+  /// complete one. Returns false to close.
+  bool TryDispatch(Connection* conn);
+  /// Serializes and writes a response on the caller's thread (loop thread
+  /// for parse errors/shedding, worker thread for handled requests).
+  /// Returns false on write failure.
+  bool WriteResponse(Connection* conn, const HttpResponse& response,
+                     bool keep_alive);
+  void FinishOnLoop(std::unique_ptr<Connection> conn, bool keep_open);
+
+  Options options_;
+  Handler handler_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Worker queue: connections with a parsed request, awaiting a handler.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Connection>> work_queue_;
+
+  // Completion queue: connections coming back from workers to be re-armed
+  // (or closed) by the loop thread.
+  std::mutex done_mu_;
+  std::deque<std::pair<std::unique_ptr<Connection>, bool>> done_queue_;
+
+  // Connections currently owned by the poll loop, keyed by fd.
+  std::map<int, std::unique_ptr<Connection>> idle_;
+  std::size_t live_connections_ = 0;  // idle_ + busy (loop thread only).
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_SERVER_HTTP_H_

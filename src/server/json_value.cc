@@ -1,0 +1,322 @@
+#include "server/json_value.h"
+
+#include <cstdlib>
+
+#include "base/status.h"
+
+namespace fmtk {
+
+namespace {
+
+constexpr std::size_t kMaxDepth = 64;
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    Status s = ParseValue(&v, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Fail(std::string message) const {
+    return Status::ParseError("json: " + std::move(message) + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, std::size_t depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!ConsumeWord("true")) return Fail("invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeWord("false")) return Fail("invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeWord("null")) return Fail("invalid literal");
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Fail("unexpected character");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '{'
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key string");
+      }
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue member;
+      s = ParseValue(&member, depth + 1);
+      if (!s.ok()) return s;
+      out->members_.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '['
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      Status s = ParseValue(&item, depth + 1);
+      if (!s.ok()) return s;
+      out->items_.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    Consume('-');
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Fail("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // No leading zeros: "0" may only be followed by . e E end.
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    // The slice is a valid JSON number grammar-wise; strtod cannot fail on
+    // it (a copy guarantees NUL termination for strtod).
+    const std::string slice(text_.substr(start, pos_ - start));
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = std::strtod(slice.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  Status ParseHex4(std::uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\\'
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          Status s = ParseHex4(&cp);
+          if (!s.ok()) return s;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Fail("unpaired high surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t low = 0;
+            s = ParseHex4(&low);
+            if (!s.ok()) return s;
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            return Fail("unpaired low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Run();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> JsonValue::FindString(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->string_value();
+}
+
+std::optional<bool> JsonValue::FindBool(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_bool()) return std::nullopt;
+  return v->bool_value();
+}
+
+std::optional<double> JsonValue::FindNumber(std::string_view key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  return v->number_value();
+}
+
+}  // namespace fmtk

@@ -1,0 +1,71 @@
+#ifndef FMTK_SERVER_JSON_VALUE_H_
+#define FMTK_SERVER_JSON_VALUE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+
+namespace fmtk {
+
+/// A minimal JSON document model for parsing request bodies — the reading
+/// half of the dependency-free JSON story (base/json_out.h is the writing
+/// half; responses are built directly as strings, so only the server's
+/// *inputs* need a DOM). Strict RFC 8259 subset: UTF-8 input, \uXXXX
+/// escapes (surrogate pairs included), no trailing commas, no comments,
+/// nesting capped to keep adversarial bodies from recursing the stack out.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses exactly one JSON value spanning all of `text` (trailing
+  /// whitespace allowed, trailing garbage is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return members_;
+  }
+
+  /// Object lookup (first match); nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed convenience lookups for request handling: value when the member
+  /// exists with the right type, nullopt when absent, error-signaling is
+  /// the caller's job (it knows the field name and the endpoint).
+  std::optional<std::string> FindString(std::string_view key) const;
+  std::optional<bool> FindBool(std::string_view key) const;
+  std::optional<double> FindNumber(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace fmtk
+
+#endif  // FMTK_SERVER_JSON_VALUE_H_

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "base/hash.h"
+#include "base/json_out.h"
 #include "base/result.h"
 #include "base/status.h"
 #include "base/string_util.h"
@@ -109,6 +114,70 @@ TEST(StringUtilTest, StripWhitespace) {
 TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(StartsWith("forall x", "forall"));
   EXPECT_FALSE(StartsWith("for", "forall"));
+}
+
+// --- The shared JSON writer (base/json_out.h, PR 9) -------------------------
+// One escaper for every --json surface (lint, diagnostics, --explain, the
+// query server): correctness here is what keeps `fmtk_lint --json | jq`
+// from choking on a hostile query string.
+
+TEST(JsonOutTest, PlainAsciiPassesThrough) {
+  EXPECT_EQ(JsonQuote("hello world"), "\"hello world\"");
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+}
+
+TEST(JsonOutTest, ShortEscapesForQuoteBackslashAndWhitespace) {
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("a\nb\tc\rd\be\ff"), "\"a\\nb\\tc\\rd\\be\\ff\"");
+}
+
+TEST(JsonOutTest, ControlCharactersBecomeUnicodeEscapes) {
+  // The seed escaper passed these through raw, producing invalid JSON.
+  EXPECT_EQ(JsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonQuote(std::string("\x1f", 1)), "\"\\u001f\"");
+  std::string with_nul = "a";
+  with_nul += '\0';
+  with_nul += 'b';
+  EXPECT_EQ(JsonQuote(with_nul), "\"a\\u0000b\"");
+}
+
+TEST(JsonOutTest, ValidUtf8PassesThroughUnchanged) {
+  EXPECT_EQ(JsonQuote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");            // é
+  EXPECT_EQ(JsonQuote("\xe2\x88\x80x"), "\"\xe2\x88\x80x\"");        // ∀x
+  EXPECT_EQ(JsonQuote("\xf0\x9f\x98\x80"), "\"\xf0\x9f\x98\x80\"");  // 😀
+}
+
+TEST(JsonOutTest, InvalidUtf8BecomesReplacementCharacter) {
+  const char* replacement = "\\ufffd";
+  // Lone continuation byte.
+  EXPECT_EQ(JsonQuote("\x80"), "\"" + std::string(replacement) + "\"");
+  // Truncated two-byte sequence at end of string.
+  EXPECT_EQ(JsonQuote("a\xc3"), "\"a" + std::string(replacement) + "\"");
+  // Overlong encoding of '/'.
+  EXPECT_EQ(JsonQuote("\xc0\xaf"),
+            "\"" + std::string(replacement) + replacement + "\"");
+  // UTF-8-encoded surrogate half (CESU-8) is not valid UTF-8.
+  EXPECT_EQ(JsonQuote("\xed\xa0\x80"),
+            "\"" + std::string(replacement) + replacement + replacement +
+                "\"");
+  // Codepoint above U+10FFFF.
+  EXPECT_EQ(JsonQuote("\xf4\x90\x80\x80"),
+            "\"" + std::string(replacement) + replacement + replacement +
+                replacement + "\"");
+  // Valid text resumes after the damage.
+  EXPECT_EQ(JsonQuote("a\x80z"), "\"a" + std::string(replacement) + "z\"");
+}
+
+TEST(JsonOutTest, NumbersAreFiniteAndRoundTrip) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  // NaN/inf are not representable in JSON; the writer clamps instead of
+  // emitting tokens jq would reject.
+  EXPECT_EQ(JsonNumber(std::nan("")), "0");
+  EXPECT_NE(JsonNumber(std::numeric_limits<double>::infinity()).find("1e"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -459,5 +459,95 @@ TEST(EvaluateDatalogAutoTest, MatchesDirectEvaluationAndMemoizesEngines) {
   EXPECT_EQ(TupleSet(from_text->at("tc")), TupleSet(direct_after->at("tc")));
 }
 
+// ---------------------------------------------------------------------------
+// Short-circuit-aware scan estimates (PR 9): a router-chosen compiled run
+// records its measured EvalStats on the cached plan, and later routing of
+// the same (structure, generation) prices the compiled scan from the
+// measurement instead of the static full-scan model.
+
+TEST(ScanFeedbackTest, MeasuredRunDiscountsCompiledEstimate) {
+  PlanCache cache;
+  PlannerOptions options;
+  options.cache = &cache;
+  const Structure cycle = MakeDirectedCycle(16);
+  const std::string q = "forall x. exists y. E(x,y)";
+
+  auto before = PlanAuto(cycle, q, /*query_mode=*/false, 0, options);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->scan_estimate, "static");
+  EXPECT_DOUBLE_EQ(before->scan_ratio, 1.0);
+  double static_cost = 0.0;
+  for (const EngineCost& c : before->costs) {
+    if (c.engine == EngineKind::kCompiled) static_cost = c.cost;
+  }
+  ASSERT_GT(static_cost, 0.0);
+
+  // A routed (non-forced) evaluation records the measurement.
+  PlanExplanation explain;
+  auto verdict = EvaluateAuto(cycle, q, options, &explain);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(*verdict);
+  ASSERT_EQ(explain.chosen, EngineKind::kCompiled);
+
+  auto after = PlanAuto(cycle, q, /*query_mode=*/false, 0, options);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->scan_estimate, "measured");
+  EXPECT_LT(after->scan_ratio, 1.0);
+  double measured_cost = 0.0;
+  for (const EngineCost& c : after->costs) {
+    if (c.engine == EngineKind::kCompiled) measured_cost = c.cost;
+  }
+  // The inner "exists" short-circuits on the cycle's single successor, so
+  // the measured scan is a fraction of the static n^qr model.
+  EXPECT_LT(measured_cost, static_cost);
+
+  // A different structure sharing the plan gets the cross-structure ratio
+  // prior, never the other structure's raw measurement.
+  const Structure other = MakeDirectedCycle(24);
+  auto prior = PlanAuto(other, q, /*query_mode=*/false, 0, options);
+  ASSERT_TRUE(prior.ok());
+  EXPECT_EQ(prior->scan_estimate, "prior");
+  EXPECT_LT(prior->scan_ratio, 1.0);
+  EXPECT_GE(prior->scan_ratio, 0.1);  // The prior is floored, not trusted.
+}
+
+TEST(ScanFeedbackTest, ForcedRunsDoNotRecordFeedback) {
+  PlanCache cache;
+  PlannerOptions options;
+  options.cache = &cache;
+  const Structure cycle = MakeDirectedCycle(16);
+  const std::string q = "forall x. exists y. E(x,y)";
+
+  PlannerOptions forced = options;
+  forced.force_engine = EngineKind::kCompiled;
+  ASSERT_TRUE(EvaluateAuto(cycle, q, forced).ok());
+
+  // Forced runs bypass the cost model, so pricing must stay static: a
+  // forced measurement would perturb later routing decisions (e.g. the
+  // bounded-degree gate) that the user never asked to train.
+  auto explain = PlanAuto(cycle, q, /*query_mode=*/false, 0, options);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_EQ(explain->scan_estimate, "static");
+}
+
+TEST(ScanFeedbackTest, QueryEnumerationRecordsFeedbackToo) {
+  PlanCache cache;
+  PlannerOptions options;
+  options.cache = &cache;
+  const Structure cycle = MakeDirectedCycle(12);
+  const std::string q = "E(x,y)";
+
+  PlanExplanation explain;
+  auto rows = EvaluateQueryAuto(cycle, q, {"x", "y"}, options, &explain);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 12u);
+  if (explain.chosen != EngineKind::kCompiled) {
+    GTEST_SKIP() << "router sent the query elsewhere; nothing recorded";
+  }
+  auto after = PlanAuto(cycle, q, /*query_mode=*/true, 2, options);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->scan_estimate, "measured");
+}
+
 }  // namespace
 }  // namespace fmtk
